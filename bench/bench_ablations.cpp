@@ -1,0 +1,167 @@
+// Ablations for the design choices called out in DESIGN.md §6:
+//   1. Allreduce strategy (flat vs tree): identical convergence, different
+//      reduction structure.
+//   2. Constant-liar lie value (mean vs min vs max): batch diversity and
+//      final search quality.
+//   3. Surrogate forest size vs ask() latency: the BO-overhead trade-off the
+//      paper motivates ("failure to generate quickly hurts utilization").
+//   4. Aging vs elitist (remove-worst) population replacement in AgE.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bo/optimizer.hpp"
+#include "data/scaler.hpp"
+#include "data/synthetic.hpp"
+#include "dp/data_parallel.hpp"
+#include "nas/arch_metrics.hpp"
+#include "nn/graph_net.hpp"
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace agebo;
+
+  std::printf("=== Ablation 1: allreduce strategy (flat vs tree) ===\n");
+  {
+    auto spec = data::covertype_spec(0.003, 7);
+    const auto dataset = data::make_classification(spec);
+    Rng split_rng(3);
+    auto splits = data::split(dataset, data::SplitFractions{}, split_rng);
+    data::standardize(splits);
+
+    nn::GraphSpec gspec;
+    gspec.input_dim = dataset.n_features;
+    gspec.output_dim = dataset.n_classes;
+    for (std::size_t i = 0; i < 3; ++i) {
+      nn::NodeSpec node;
+      node.units = 48;
+      node.act = nn::Activation::kRelu;
+      gspec.nodes.push_back(node);
+    }
+    for (auto strategy : {dp::AllreduceStrategy::kFlat, dp::AllreduceStrategy::kTree}) {
+      dp::DataParallelConfig cfg;
+      cfg.n_procs = 4;
+      cfg.lr1 = 0.004;
+      cfg.bs1 = 64;
+      cfg.epochs = 5;
+      cfg.allreduce = strategy;
+      dp::DataParallelTrainer trainer(gspec, cfg);
+      const auto result = trainer.fit(splits.train, splits.valid);
+      std::printf("  %s: best valid %.4f, %.2fs wall, replica divergence %g\n",
+                  strategy == dp::AllreduceStrategy::kFlat ? "flat" : "tree",
+                  result.best_valid_accuracy, result.wall_seconds,
+                  trainer.max_replica_divergence());
+    }
+  }
+
+  std::printf("\n=== Ablation 2: constant-liar lie value ===\n");
+  {
+    nas::SearchSpace space;
+    benchutil::CampaignSpec cspec;
+    cspec.wall_minutes = 60.0;
+    const char* names[] = {"CL-mean (paper)", "CL-min", "CL-max"};
+    const bo::LiarStrategy liars[] = {bo::LiarStrategy::kMean,
+                                      bo::LiarStrategy::kMin,
+                                      bo::LiarStrategy::kMax};
+    for (int i = 0; i < 3; ++i) {
+      auto cfg = core::agebo_config(55);
+      cfg.bo.liar = liars[i];
+      const auto out = benchutil::run_campaign(space, cfg, cspec);
+      std::printf("  %-16s best %.4f after %zu evaluations\n", names[i],
+                  out.result.best_objective, out.result.history.size());
+    }
+  }
+
+  std::printf("\n=== Ablation 2b: acquisition function (UCB vs EI) ===\n");
+  {
+    nas::SearchSpace space;
+    benchutil::CampaignSpec cspec;
+    cspec.wall_minutes = 60.0;
+    const char* names[] = {"UCB kappa=0.001 (paper)", "Expected improvement"};
+    const bo::Acquisition acqs[] = {bo::Acquisition::kUcb,
+                                    bo::Acquisition::kExpectedImprovement};
+    for (int i = 0; i < 2; ++i) {
+      auto cfg = core::agebo_config(56);
+      cfg.bo.acquisition = acqs[i];
+      const auto out = benchutil::run_campaign(space, cfg, cspec);
+      std::printf("  %-24s best %.4f after %zu evaluations\n", names[i],
+                  out.result.best_objective, out.result.history.size());
+    }
+  }
+
+  std::printf("\n=== Ablation 2c: random search vs aging evolution ===\n");
+  {
+    nas::SearchSpace space;
+    benchutil::CampaignSpec cspec;
+    cspec.wall_minutes = 120.0;
+    const auto rs = benchutil::run_campaign(
+        space, core::random_search_config(4, 57), cspec);
+    const auto age = benchutil::run_campaign(space, core::age_config(4, 57), cspec);
+    std::printf("  %-16s best %.4f after %zu evaluations\n", "random search",
+                rs.result.best_objective, rs.result.history.size());
+    std::printf("  %-16s best %.4f after %zu evaluations\n", "aging evolution",
+                age.result.best_objective, age.result.history.size());
+  }
+
+  std::printf("\n=== Ablation 3: surrogate size vs ask() latency ===\n");
+  {
+    auto space = bo::ParamSpace::paper_space();
+    Rng rng(5);
+    for (std::size_t trees : {10u, 25u, 50u, 100u}) {
+      bo::BoConfig cfg;
+      cfg.n_trees = trees;
+      bo::AskTellOptimizer opt(space, cfg);
+      // Seed with 200 observations.
+      std::vector<bo::Point> pts;
+      std::vector<double> ys;
+      for (int i = 0; i < 200; ++i) {
+        pts.push_back(space.sample(rng));
+        ys.push_back(rng.uniform(0.8, 0.93));
+      }
+      opt.tell(pts, ys);
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t batch = 16;
+      (void)opt.ask(batch);
+      const double dt = seconds(t0);
+      std::printf("  %3zu trees: ask(%zu) took %.1f ms (%.2f ms/config)\n",
+                  trees, batch, 1e3 * dt, 1e3 * dt / batch);
+    }
+  }
+
+  std::printf("\n=== Ablation 4: aging vs elitist replacement (AgE-4, "
+              "Covertype) ===\n");
+  {
+    nas::SearchSpace space;
+    benchutil::CampaignSpec cspec;
+    cspec.wall_minutes = 90.0;
+    for (auto policy : {core::Replacement::kAging, core::Replacement::kWorst}) {
+      auto cfg = core::age_config(4, 66);
+      cfg.replacement = policy;
+      const auto out = benchutil::run_campaign(space, cfg, cspec);
+
+      // Diversity of the *trailing* 100 evaluations — an aging population's
+      // churn keeps this higher than elitist retention does.
+      std::vector<nas::Genome> tail;
+      const auto& h = out.result.history;
+      for (std::size_t i = h.size() >= 100 ? h.size() - 100 : 0; i < h.size();
+           ++i) {
+        tail.push_back(h[i].config.genome);
+      }
+      const auto div = nas::population_diversity(tail);
+      std::printf("  %-8s best %.4f after %zu evaluations; tail diversity: "
+                  "%zu unique, mean hamming %.1f\n",
+                  policy == core::Replacement::kAging ? "aging" : "elitist",
+                  out.result.best_objective, out.result.history.size(),
+                  div.n_unique, div.mean_hamming);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig 3: search trajectories of AgE with different numbers of processes for
+// data-parallel training on Covertype. Best-so-far validation accuracy over
+// search wall time (180 min, 128 workers).
+//
+// Expected shape: AgE-2 and AgE-4 climb fastest and reach the highest
+// accuracy; AgE-1 climbs slowly (few, long evaluations); AgE-8 climbs fast
+// but plateaus at a lower accuracy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace agebo;
+
+  nas::SearchSpace space;
+  benchutil::CampaignSpec spec;
+
+  std::printf("=== Fig 3: AgE-n search trajectories on Covertype ===\n");
+  std::printf("# columns: variant  minutes  best-so-far valid acc\n");
+  double final_acc[4];
+  int i = 0;
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    const auto out =
+        benchutil::run_campaign(space, core::age_config(n, 100 + n), spec);
+    benchutil::print_trajectory(out.variant, out.result);
+    final_acc[i++] = out.result.best_objective;
+  }
+  std::printf("\nfinal best accuracies: AgE-1=%.4f AgE-2=%.4f AgE-4=%.4f "
+              "AgE-8=%.4f\n",
+              final_acc[0], final_acc[1], final_acc[2], final_acc[3]);
+  std::printf("expected ordering: AgE-2 ~ AgE-4 > AgE-1 > AgE-8\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig 4: search trajectories of AgEBO variants and AgE-8 on Covertype.
+//
+// Variants: AgE-8 (no tuning), AgEBO-8-LR (learning rate tuned, bs=256,
+// n=8), AgEBO-8-LR-BS (lr and bs tuned, n=8), AgEBO (all three tuned).
+// Expected: AgEBO >= AgEBO-8-LR-BS >= AgEBO-8-LR > AgE-8 in final accuracy,
+// with AgEBO possibly behind during the first ~30 minutes (initial rank
+// exploration inflates early evaluation times).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace agebo;
+
+  nas::SearchSpace space;
+  benchutil::CampaignSpec spec;
+
+  std::printf("=== Fig 4: AgEBO variants vs AgE-8 on Covertype ===\n");
+  std::printf("# columns: variant  minutes  best-so-far valid acc\n");
+
+  struct Row {
+    std::string label;
+    core::SearchConfig cfg;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"AgE-8", core::age_config(8, 208)});
+  rows.push_back({"AgEBO-8-LR", core::agebo_8_lr_config(209)});
+  rows.push_back({"AgEBO-8-LR-BS", core::agebo_8_lr_bs_config(210)});
+  rows.push_back({"AgEBO", core::agebo_config(211)});
+
+  for (auto& row : rows) {
+    const auto out = benchutil::run_campaign(space, row.cfg, spec);
+    benchutil::print_trajectory(row.label, out.result);
+    std::printf("%s final best: %.4f (%zu evaluations)\n\n", row.label.c_str(),
+                out.result.best_objective, out.result.history.size());
+  }
+  std::printf("expected: AgEBO >= AgEBO-8-LR-BS >= AgEBO-8-LR > AgE-8\n");
+  return 0;
+}

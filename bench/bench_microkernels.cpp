@@ -1,0 +1,138 @@
+// google-benchmark microkernels for the hot paths: tensor matmul, gradient
+// allreduce, decision-tree fits (the BO surrogate's cost), surrogate
+// evaluation, and one full forward/backward of a search-space network.
+#include <benchmark/benchmark.h>
+
+#include "bo/optimizer.hpp"
+#include "data/synthetic.hpp"
+#include "dp/allreduce.hpp"
+#include "eval/surrogate.hpp"
+#include "ml/forest.hpp"
+#include "nas/search_space.hpp"
+#include "nn/graph_net.hpp"
+#include "nn/loss.hpp"
+#include "nn/tensor.hpp"
+
+namespace {
+
+using namespace agebo;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a(n, n);
+  nn::Tensor b(n, n);
+  for (auto& v : a.v) v = static_cast<float>(rng.normal());
+  for (auto& v : b.v) v = static_cast<float>(rng.normal());
+  nn::Tensor out;
+  for (auto _ : state) {
+    nn::matmul(a, b, out);
+    benchmark::DoNotOptimize(out.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AllreduceFlat(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> grads(ranks, std::vector<float>(1 << 16, 1.0f));
+  for (auto _ : state) {
+    std::vector<std::vector<float>*> bufs;
+    for (auto& g : grads) bufs.push_back(&g);
+    dp::allreduce_average(bufs, dp::AllreduceStrategy::kFlat);
+    benchmark::DoNotOptimize(grads[0].data());
+  }
+}
+BENCHMARK(BM_AllreduceFlat)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AllreduceTree(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> grads(ranks, std::vector<float>(1 << 16, 1.0f));
+  for (auto _ : state) {
+    std::vector<std::vector<float>*> bufs;
+    for (auto& g : grads) bufs.push_back(&g);
+    dp::allreduce_average(bufs, dp::AllreduceStrategy::kTree);
+    benchmark::DoNotOptimize(grads[0].data());
+  }
+}
+BENCHMARK(BM_AllreduceTree)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TreeFit(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<float> x(rows * 3);
+  std::vector<double> y(rows);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  for (auto& v : y) v = rng.uniform(0.8, 0.93);
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    ml::TreeConfig cfg;
+    cfg.max_depth = 12;
+    cfg.n_thresholds = 16;
+    Rng tree_rng = rng.split();
+    tree.fit_regression(x.data(), rows, 3, y, cfg, tree_rng);
+    benchmark::DoNotOptimize(tree.n_nodes());
+  }
+}
+BENCHMARK(BM_TreeFit)->Arg(256)->Arg(512)->Arg(2048);
+
+void BM_SurrogateEvaluate(benchmark::State& state) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+  Rng rng(3);
+  eval::ModelConfig config;
+  config.genome = space.random(rng);
+  config.hparams = eval::default_hparams(4);
+  for (auto _ : state) {
+    auto out = evaluator.evaluate(config);
+    benchmark::DoNotOptimize(out.objective);
+  }
+}
+BENCHMARK(BM_SurrogateEvaluate);
+
+void BM_BoAsk(benchmark::State& state) {
+  auto space = bo::ParamSpace::paper_space();
+  Rng rng(4);
+  bo::BoConfig cfg;
+  bo::AskTellOptimizer opt(space, cfg);
+  std::vector<bo::Point> pts;
+  std::vector<double> ys;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(space.sample(rng));
+    ys.push_back(rng.uniform(0.8, 0.93));
+  }
+  opt.tell(pts, ys);
+  for (auto _ : state) {
+    auto batch = opt.ask(4);
+    benchmark::DoNotOptimize(batch.data());
+  }
+}
+BENCHMARK(BM_BoAsk);
+
+void BM_GraphNetStep(benchmark::State& state) {
+  nas::SearchSpace space;
+  Rng rng(5);
+  const auto genome = space.random(rng);
+  const auto spec = space.to_graph_spec(genome, 54, 7);
+  Rng net_rng(6);
+  nn::GraphNet net(spec, net_rng);
+
+  nn::Tensor x(256, 54);
+  std::vector<int> y(256);
+  for (auto& v : x.v) v = static_cast<float>(rng.normal());
+  for (auto& label : y) label = static_cast<int>(rng.index(7));
+  nn::Tensor dlogits;
+  for (auto _ : state) {
+    const nn::Tensor& logits = net.forward(x);
+    net.zero_grad();
+    const double loss = nn::softmax_cross_entropy(logits, y, dlogits);
+    net.backward(dlogits);
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_GraphNetStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Related-work comparison (Sec V): AgEBO vs a BOHB-style joint-space
+// successive-halving search on the same simulated cluster.
+//
+// The paper's argument: successive halving is a *blocking* approach — every
+// rung is a synchronization barrier, so stragglers idle the machine and
+// node utilization collapses at scale, while AgEBO's asynchronous
+// manager-worker loop keeps ~94% of the workers busy.
+//
+// Expected: comparable or lower best accuracy for SHA, and a large
+// utilization gap in AgEBO's favor.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/sha_search.hpp"
+
+int main() {
+  using namespace agebo;
+
+  nas::SearchSpace space;
+  benchutil::CampaignSpec spec;  // covertype, 128 workers, 180 min
+
+  const auto agebo = benchutil::run_campaign(space, core::agebo_config(1301), spec);
+
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+  exec::SimulatedExecutor executor(spec.n_workers, spec.job_overhead_seconds);
+  core::ShaJointConfig sha_cfg;
+  sha_cfg.bracket_size = 128;
+  sha_cfg.eta = 3;
+  sha_cfg.rungs = 3;
+  sha_cfg.wall_time_seconds = spec.wall_minutes * 60.0;
+  sha_cfg.seed = 1302;
+  core::ShaJointSearch sha(space, evaluator, executor, sha_cfg);
+  const auto sha_result = sha.run();
+
+  std::printf("=== Related work: AgEBO vs BOHB-style successive halving "
+              "(Covertype, 128 workers, 180 min) ===\n");
+  std::printf("%-18s %-14s %-16s %-12s\n", "method", "best acc",
+              "full-fid evals", "utilization");
+  std::printf("%-18s %-14.4f %-16zu %-12.0f%%\n", "AgEBO",
+              agebo.result.best_objective, agebo.result.history.size(),
+              100.0 * agebo.result.utilization.fraction());
+  std::printf("%-18s %-14.4f %-16zu %-12.0f%%\n", "SHA (BOHB-style)",
+              sha_result.best_objective, sha_result.history.size(),
+              100.0 * sha_result.utilization.fraction());
+  std::printf("\nexpected: AgEBO's asynchronous loop sustains much higher "
+              "node utilization than the rung-barrier SHA\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table I: impact of static data-parallel training on AgE (Covertype).
+//
+// Paper reference (Theta, 128 workers, 3 h):
+//   |                         | AgE-1 | AgE-2 | AgE-4 | AgE-8 |
+//   | Number of architectures |   632 |  1764 |  2421 |  4221 |
+//   | Training time (min.)    | 26.54 |  8.97 |  5.38 |  3.19 |
+//   | Validation accuracy     | 0.918 | 0.925 | 0.925 | 0.902 |
+//
+// Expected shape: #architectures increasing in n, training time decreasing
+// in n, accuracy peaking at n in {2,4} and dropping at n=8 (linear-scaling
+// limit exceeded).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace agebo;
+
+  nas::SearchSpace space;
+  benchutil::CampaignSpec spec;  // covertype, 128 workers, 180 min
+
+  TextTable table({"variant", "architectures", "train time (min)",
+                   "train time sd", "best valid acc"});
+
+  std::printf("=== Table I: AgE with static data-parallel training "
+              "(Covertype, simulated Theta campaign) ===\n");
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    const auto out =
+        benchutil::run_campaign(space, core::age_config(n, /*seed=*/100 + n), spec);
+    const auto stats = core::run_stats(out.result);
+    table.add_row({out.variant, std::to_string(stats.n_evaluations),
+                   TextTable::fmt(stats.mean_train_minutes, 2),
+                   TextTable::fmt(stats.sd_train_minutes, 2),
+                   TextTable::fmt(stats.best_accuracy, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("paper: archs 632/1764/2421/4221, time 26.54/8.97/5.38/3.19,"
+              " acc 0.918/0.925/0.925/0.902\n");
+  return 0;
+}

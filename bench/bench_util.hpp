@@ -1,0 +1,78 @@
+// Shared driver code for the table/figure benches: run one simulated search
+// campaign (the paper's 129-node / 3-hour Theta configuration) against the
+// calibrated surrogate, and print trajectories in a gnuplot-friendly form.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "eval/surrogate.hpp"
+#include "exec/sim_executor.hpp"
+#include "nas/search_space.hpp"
+
+namespace agebo::benchutil {
+
+struct CampaignSpec {
+  std::string dataset = "covertype";
+  std::size_t n_workers = 128;  ///< the paper's 128 worker nodes
+  double wall_minutes = 180.0;  ///< the paper's 3-hour budget
+  /// Per-evaluation launch cost (Balsam + mpirun + model build); yields the
+  /// paper's ~94% node utilization.
+  double job_overhead_seconds = 90.0;
+};
+
+struct CampaignOutput {
+  core::SearchResult result;
+  std::string variant;
+};
+
+/// Run one search variant in simulation. The SearchConfig's wall time is
+/// overridden by spec.wall_minutes.
+inline CampaignOutput run_campaign(const nas::SearchSpace& space,
+                                   core::SearchConfig cfg,
+                                   const CampaignSpec& spec) {
+  eval::SurrogateEvaluator evaluator(space,
+                                     eval::profile_by_name(spec.dataset));
+  exec::SimulatedExecutor executor(spec.n_workers, spec.job_overhead_seconds);
+  cfg.wall_time_seconds = spec.wall_minutes * 60.0;
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  CampaignOutput out;
+  out.variant = core::variant_name(cfg);
+  out.result = search.run();
+  return out;
+}
+
+/// Print a best-so-far trajectory as "minutes accuracy" pairs.
+inline void print_trajectory(const std::string& label,
+                             const core::SearchResult& result,
+                             std::size_t max_points = 24) {
+  const auto series = core::best_so_far(result);
+  std::printf("# trajectory %s (%zu improvements, %zu evaluations)\n",
+              label.c_str(), series.size(), result.history.size());
+  const std::size_t stride =
+      series.size() > max_points ? series.size() / max_points : 1;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i % stride != 0 && i + 1 != series.size()) continue;
+    std::printf("%s  %7.1f  %.4f\n", label.c_str(),
+                series[i].time_seconds / 60.0, series[i].value);
+  }
+}
+
+/// Print a cumulative-count series as "minutes count" pairs.
+inline void print_count_series(const std::string& label,
+                               const std::vector<core::TimeSeriesPoint>& series,
+                               std::size_t max_points = 16) {
+  const std::size_t stride =
+      series.size() > max_points ? series.size() / max_points : 1;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i % stride != 0 && i + 1 != series.size()) continue;
+    std::printf("%s  %7.1f  %5.0f\n", label.c_str(),
+                series[i].time_seconds / 60.0, series[i].value);
+  }
+}
+
+}  // namespace agebo::benchutil

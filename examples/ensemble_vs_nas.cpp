@@ -1,0 +1,102 @@
+// Table II in miniature: on one tabular problem, compare
+//   (a) a single NAS-discovered neural network (short live AgEBO search +
+//       final training), against
+//   (b) the AutoGluon-like stacking ensemble, and
+//   (c) the Auto-PyTorch-like successive-halving MLP baseline,
+// on test accuracy and measured inference time.
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/auto_ensemble.hpp"
+#include "baselines/auto_pytorch_like.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "data/scaler.hpp"
+#include "data/synthetic.hpp"
+#include "eval/training_eval.hpp"
+#include "exec/live_executor.hpp"
+#include "nas/search_space.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace agebo;
+
+  auto spec = data::albert_spec(/*scale=*/0.01, /*seed=*/2024);
+  const auto dataset = data::make_classification(spec);
+  Rng split_rng(5);
+  auto splits = data::split(dataset, data::SplitFractions{}, split_rng);
+  data::standardize(splits);
+  std::printf("dataset %s: %zu rows, %zu features, %zu classes\n\n",
+              dataset.name.c_str(), dataset.n_rows, dataset.n_features,
+              dataset.n_classes);
+
+  // --- (a) NAS-discovered single network. ---
+  nas::SearchSpace space;
+  eval::TrainingEvalConfig ec;
+  ec.epochs = 4;
+  eval::TrainingEvaluator evaluator(splits.train, splits.valid, ec);
+  exec::LiveExecutor executor(4);
+  core::SearchConfig cfg = core::agebo_config(77);
+  cfg.population_size = 8;
+  cfg.sample_size = 3;
+  cfg.wall_time_seconds = 20.0;
+  cfg.hp_space = bo::ParamSpace{}
+                     .add_categorical("batch_size", {64, 128, 256})
+                     .add_real("learning_rate", 0.001, 0.1, true)
+                     .add_categorical("n_processes", {1, 2});
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  std::printf("AgEBO search: %zu architectures in %.0fs, best valid %.4f\n",
+              result.history.size(), executor.now(), result.best_objective);
+
+  eval::TrainingEvalConfig final_ec;
+  final_ec.epochs = 12;
+  eval::TrainingEvaluator final_eval(splits.train, splits.valid, final_ec);
+  auto net = final_eval.train_model(result.best().config);
+
+  auto t0 = std::chrono::steady_clock::now();
+  const double nn_acc = nn::evaluate_accuracy(*net, splits.test);
+  const double nn_inference = seconds_since(t0);
+
+  // --- (b) AutoGluon-like stacking ensemble. ---
+  baselines::AutoEnsembleConfig ac;
+  ac.forest_trees = 40;
+  ac.boosting_rounds = 25;
+  baselines::AutoEnsemble ensemble(ac);
+  const auto report = ensemble.fit(splits.train, splits.valid);
+  const double ens_acc = ensemble.accuracy(splits.test);
+  const double ens_inference = ensemble.inference_seconds(splits.test);
+  std::printf("AutoEnsemble: %zu fold-models fitted in %.1fs\n",
+              report.total_models, report.fit_seconds);
+
+  // --- (c) Auto-PyTorch-like successive halving. ---
+  baselines::ShaConfig sha_cfg;
+  sha_cfg.n_configs = 9;
+  sha_cfg.min_epochs = 2;
+  sha_cfg.rungs = 2;
+  baselines::SuccessiveHalvingMlp sha(sha_cfg);
+  const auto sha_report = sha.fit(splits.train, splits.valid);
+  t0 = std::chrono::steady_clock::now();
+  const double sha_acc = nn::evaluate_accuracy(sha.best_model(), splits.test);
+  const double sha_inference = seconds_since(t0);
+
+  std::printf("\n%-22s %-10s %-14s\n", "method", "test acc", "inference (s)");
+  std::printf("%-22s %-10.4f %-14.4f\n", "AgEBO single network", nn_acc,
+              nn_inference);
+  std::printf("%-22s %-10.4f %-14.4f\n", "stacking ensemble", ens_acc,
+              ens_inference);
+  std::printf("%-22s %-10.4f %-14.4f\n", "successive-halving MLP", sha_acc,
+              sha_inference);
+  std::printf("\ninference speedup of single network vs ensemble: %.0fx\n",
+              ens_inference / std::max(nn_inference, 1e-9));
+  return 0;
+}

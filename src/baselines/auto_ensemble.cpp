@@ -1,0 +1,160 @@
+#include "baselines/auto_ensemble.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "ml/boosting.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+
+namespace agebo::baselines {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Fit a model on train, return validation accuracy.
+template <typename Model>
+double holdout_score(Model& model, const data::Dataset& train,
+                     const data::Dataset& valid) {
+  model.fit(train);
+  return model.accuracy(valid);
+}
+
+}  // namespace
+
+AutoEnsemble::AutoEnsemble(AutoEnsembleConfig cfg) : cfg_(cfg) {}
+
+AutoEnsembleReport AutoEnsemble::fit(const data::Dataset& train,
+                                     const data::Dataset& valid) {
+  const auto t0 = Clock::now();
+  Rng rng(cfg_.seed);
+
+  // --- Per-family hyperparameter tuning on the validation split. ---
+  // Random forest: tune max_depth.
+  ml::ForestConfig best_rf = ml::random_forest_defaults(cfg_.forest_trees);
+  {
+    double best = -1.0;
+    const std::size_t depths[] = {12, 18, 24};
+    for (std::size_t t = 0; t < cfg_.tuning_trials && t < 3; ++t) {
+      auto fc = ml::random_forest_defaults(cfg_.forest_trees / 2);
+      fc.tree.max_depth = depths[t];
+      fc.seed = rng.split()();
+      ml::RandomForestClassifier model(fc);
+      const double acc = holdout_score(model, train, valid);
+      if (acc > best) {
+        best = acc;
+        best_rf = fc;
+        best_rf.n_trees = cfg_.forest_trees;
+      }
+    }
+  }
+
+  // Gradient boosting: tune learning rate.
+  ml::BoostingConfig best_gb;
+  best_gb.n_rounds = cfg_.boosting_rounds;
+  {
+    double best = -1.0;
+    const double lrs[] = {0.05, 0.1, 0.2};
+    for (std::size_t t = 0; t < cfg_.tuning_trials && t < 3; ++t) {
+      ml::BoostingConfig bc;
+      bc.n_rounds = cfg_.boosting_rounds / 2;
+      bc.learning_rate = lrs[t];
+      bc.seed = rng.split()();
+      ml::GradientBoostingClassifier model(bc);
+      const double acc = holdout_score(model, train, valid);
+      if (acc > best) {
+        best = acc;
+        best_gb = bc;
+        best_gb.n_rounds = cfg_.boosting_rounds;
+      }
+    }
+  }
+
+  // kNN: tune k.
+  ml::KnnConfig best_knn;
+  {
+    double best = -1.0;
+    const std::size_t ks[] = {5, 15, 31};
+    for (std::size_t t = 0; t < cfg_.tuning_trials && t < 3; ++t) {
+      ml::KnnConfig kc;
+      kc.k = ks[t];
+      kc.seed = rng.split()();
+      ml::KnnClassifier model(kc);
+      const double acc = holdout_score(model, train, valid);
+      if (acc > best) {
+        best = acc;
+        best_knn = kc;
+      }
+    }
+  }
+
+  ml::ForestConfig et_cfg = ml::extra_trees_defaults(cfg_.forest_trees);
+  et_cfg.seed = rng.split()();
+
+  // --- Stacked fit on the training split. ---
+  std::vector<ml::ClassifierFactory> factories;
+  factories.push_back([best_rf] {
+    return std::make_unique<ml::ClassifierAdapter<ml::RandomForestClassifier>>(
+        ml::RandomForestClassifier(best_rf), "random_forest");
+  });
+  factories.push_back([et_cfg] {
+    return std::make_unique<ml::ClassifierAdapter<ml::RandomForestClassifier>>(
+        ml::RandomForestClassifier(et_cfg), "extra_trees");
+  });
+  factories.push_back([best_gb] {
+    return std::make_unique<ml::ClassifierAdapter<ml::GradientBoostingClassifier>>(
+        ml::GradientBoostingClassifier(best_gb), "gradient_boosting");
+  });
+  factories.push_back([best_knn] {
+    return std::make_unique<ml::ClassifierAdapter<ml::KnnClassifier>>(
+        ml::KnnClassifier(best_knn), "knn");
+  });
+
+  ml::StackingConfig stack_cfg;
+  stack_cfg.n_folds = cfg_.n_folds;
+  stack_cfg.seed = cfg_.seed;
+  stack_ = std::make_unique<ml::StackingEnsemble>(std::move(factories), stack_cfg);
+  stack_->fit(train);
+
+  AutoEnsembleReport report;
+  report.fit_seconds = seconds_since(t0);
+  report.valid_accuracy = stack_->accuracy(valid);
+  report.base_models = stack_->base_names();
+  report.total_models = stack_->n_models();
+  return report;
+}
+
+std::vector<int> AutoEnsemble::predict(const data::Dataset& ds) const {
+  if (!stack_) throw std::logic_error("AutoEnsemble: not fitted");
+  return stack_->predict(ds);
+}
+
+double AutoEnsemble::accuracy(const data::Dataset& ds) const {
+  if (!stack_) throw std::logic_error("AutoEnsemble: not fitted");
+  return stack_->accuracy(ds);
+}
+
+double AutoEnsemble::inference_seconds(const data::Dataset& ds) const {
+  if (!stack_) throw std::logic_error("AutoEnsemble: not fitted");
+  const auto t0 = Clock::now();
+  double sink = 0.0;
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const auto proba = stack_->predict_proba_row(ds.row(i));
+    sink += proba[0];
+  }
+  // Keep the loop from being optimized out.
+  if (sink == -1.0) throw std::logic_error("unreachable");
+  return seconds_since(t0);
+}
+
+const ml::StackingEnsemble& AutoEnsemble::ensemble() const {
+  if (!stack_) throw std::logic_error("AutoEnsemble: not fitted");
+  return *stack_;
+}
+
+}  // namespace agebo::baselines

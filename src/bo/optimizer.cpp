@@ -1,0 +1,152 @@
+#include "bo/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace agebo::bo {
+
+namespace {
+
+ml::ForestConfig surrogate_config(const BoConfig& cfg) {
+  ml::ForestConfig fc;
+  fc.n_trees = cfg.n_trees;
+  fc.bootstrap = true;
+  fc.tree.max_depth = cfg.tree_depth;
+  fc.tree.min_samples_leaf = 2;
+  fc.tree.n_thresholds = 16;
+  fc.tree.max_features = 0;  // all features: H_m is low-dimensional
+  fc.seed = cfg.seed * 7919 + 1;
+  return fc;
+}
+
+}  // namespace
+
+AskTellOptimizer::AskTellOptimizer(ParamSpace space, BoConfig cfg)
+    : space_(std::move(space)),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      surrogate_(surrogate_config(cfg)) {
+  if (cfg_.kappa < 0.0) throw std::invalid_argument("BoConfig: kappa < 0");
+  if (cfg_.n_candidates == 0) throw std::invalid_argument("BoConfig: no candidates");
+}
+
+void AskTellOptimizer::tell(const std::vector<Point>& points,
+                            const std::vector<double>& objectives) {
+  if (points.size() != objectives.size()) {
+    throw std::invalid_argument("tell: size mismatch");
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    space_.validate(points[i]);
+    x_points_.push_back(points[i]);
+    x_feat_.push_back(space_.to_features(points[i]));
+    y_.push_back(objectives[i]);
+    seen_.insert(space_.key(points[i]));
+  }
+}
+
+void AskTellOptimizer::refit(const std::vector<std::vector<double>>& xs,
+                             const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  const std::size_t d = space_.size();
+  std::vector<float> flat(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      flat[i * d + j] = static_cast<float>(xs[i][j]);
+    }
+  }
+  surrogate_ = ml::RandomForestRegressor(surrogate_config(cfg_));
+  surrogate_.fit(flat, n, d, ys);
+}
+
+namespace {
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+double AskTellOptimizer::acquisition_value(double mu, double sigma,
+                                           double best_observed) const {
+  if (cfg_.acquisition == Acquisition::kUcb) {
+    return mu + cfg_.kappa * sigma;  // Eq. 3 (maximization)
+  }
+  // Expected improvement over the incumbent (maximization form).
+  if (sigma < 1e-12) return std::max(0.0, mu - best_observed - cfg_.xi);
+  const double z = (mu - best_observed - cfg_.xi) / sigma;
+  return (mu - best_observed - cfg_.xi) * normal_cdf(z) + sigma * normal_pdf(z);
+}
+
+Point AskTellOptimizer::acquire(double best_observed) {
+  const std::size_t d = space_.size();
+  Point best_point;
+  double best_score = -1e300;
+  std::vector<float> feat(d);
+  for (std::size_t c = 0; c < cfg_.n_candidates; ++c) {
+    Point p = space_.sample(rng_);
+    // Skip configurations already evaluated; the paper samples among
+    // *unevaluated* configurations.
+    if (seen_.count(space_.key(p)) > 0) continue;
+    const auto features = space_.to_features(p);
+    for (std::size_t j = 0; j < d; ++j) feat[j] = static_cast<float>(features[j]);
+    double mu = 0.0;
+    double sigma = 0.0;
+    surrogate_.predict_with_uncertainty(feat.data(), mu, sigma);
+    const double score = acquisition_value(mu, sigma, best_observed);
+    if (score > best_score) {
+      best_score = score;
+      best_point = std::move(p);
+    }
+  }
+  if (best_point.empty()) best_point = space_.sample(rng_);  // all seen
+  return best_point;
+}
+
+std::vector<Point> AskTellOptimizer::ask(std::size_t k) {
+  std::vector<Point> out;
+  out.reserve(k);
+
+  if (y_.size() < cfg_.n_initial_random) {
+    for (std::size_t i = 0; i < k; ++i) out.push_back(space_.sample(rng_));
+    return out;
+  }
+
+  // Constant-liar batch (paper: lie with the mean of observed objectives).
+  double lie = mean(y_);
+  if (cfg_.liar == LiarStrategy::kMin) {
+    lie = *std::min_element(y_.begin(), y_.end());
+  } else if (cfg_.liar == LiarStrategy::kMax) {
+    lie = *std::max_element(y_.begin(), y_.end());
+  }
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  if (y_.size() > cfg_.max_fit_points) {
+    const auto keep =
+        rng_.sample_without_replacement(y_.size(), cfg_.max_fit_points);
+    xs.reserve(keep.size() + k);
+    ys.reserve(keep.size() + k);
+    for (std::size_t i : keep) {
+      xs.push_back(x_feat_[i]);
+      ys.push_back(y_[i]);
+    }
+  } else {
+    xs = x_feat_;
+    ys = y_;
+  }
+  const double best_observed = *std::max_element(y_.begin(), y_.end());
+  for (std::size_t i = 0; i < k; ++i) {
+    refit(xs, ys);
+    Point p = acquire(best_observed);
+    xs.push_back(space_.to_features(p));
+    ys.push_back(lie);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace agebo::bo

@@ -1,0 +1,70 @@
+// Mixed-integer hyperparameter space H_m (Sec II): real dimensions with
+// optional log-uniform sampling (the learning rate), integer ranges, and
+// categorical value lists (batch size, number of processes).
+//
+// A Point stores the actual hyperparameter values; to_features() maps a
+// point into the normalized representation the random-forest surrogate
+// consumes (log-transform + [0,1] scaling for reals, label index for
+// categoricals).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agebo::bo {
+
+using Point = std::vector<double>;
+
+struct RealDim {
+  std::string name;
+  double lo;
+  double hi;
+  bool log_scale = false;
+};
+
+struct IntDim {
+  std::string name;
+  long lo;
+  long hi;
+};
+
+struct CatDim {
+  std::string name;
+  std::vector<double> values;
+};
+
+class ParamSpace {
+ public:
+  ParamSpace& add_real(std::string name, double lo, double hi,
+                       bool log_scale = false);
+  ParamSpace& add_int(std::string name, long lo, long hi);
+  ParamSpace& add_categorical(std::string name, std::vector<double> values);
+
+  std::size_t size() const { return dims_.size(); }
+  const std::string& name(std::size_t i) const;
+
+  Point sample(Rng& rng) const;
+
+  /// Normalized feature vector for the surrogate (same length as size()).
+  std::vector<double> to_features(const Point& p) const;
+
+  /// Throws std::invalid_argument when p is outside the space.
+  void validate(const Point& p) const;
+
+  /// Stable key for duplicate detection.
+  std::string key(const Point& p) const;
+
+  /// The paper's H_m: bs1 in {32,...,1024}, lr1 log-uniform in
+  /// (0.001, 0.1), n in {1,2,4,8} (Sec IV). Dimension order: bs1, lr1, n.
+  static ParamSpace paper_space();
+
+ private:
+  using Dim = std::variant<RealDim, IntDim, CatDim>;
+  std::vector<Dim> dims_;
+};
+
+}  // namespace agebo::bo

@@ -1,0 +1,47 @@
+// Minimal dense row-major matrix used by PCA and the classical ML module.
+// The nn module has its own Tensor type tuned for training; this one is a
+// plain numeric container for analysis code.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agebo {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Row view copied into a vector.
+  std::vector<double> row(std::size_t r) const;
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Column means.
+  std::vector<double> col_means() const;
+
+  /// Subtract per-column means in place; returns the means removed.
+  std::vector<double> center_columns();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace agebo

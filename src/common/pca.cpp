@@ -1,0 +1,130 @@
+#include "common/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace agebo {
+
+double PcaResult::conserved_variance() const {
+  return std::accumulate(explained_variance_ratio.begin(),
+                         explained_variance_ratio.end(), 0.0);
+}
+
+EigenResult jacobi_eigen_symmetric(Matrix a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  if (n != a.cols()) throw std::invalid_argument("jacobi: matrix not square");
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-22) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        // Stable computation of tan(theta) for the rotation angle.
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> evals(n);
+  for (std::size_t i = 0; i < n; ++i) evals[i] = a(i, i);
+  const auto order = argsort_desc(evals);
+
+  EigenResult out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values[i] = evals[order[i]];
+    for (std::size_t k = 0; k < n; ++k) out.vectors(i, k) = v(k, order[i]);
+  }
+  return out;
+}
+
+PcaResult pca(const Matrix& data, std::size_t n_components) {
+  if (data.rows() < 2) throw std::invalid_argument("pca: need >= 2 samples");
+  const std::size_t d = data.cols();
+  n_components = std::min(n_components, d);
+
+  Matrix centered = data;
+  centered.center_columns();
+
+  // Covariance = X^T X / (n - 1).
+  Matrix cov(d, d);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (std::size_t a = 0; a < d; ++a) {
+      const double xa = centered(i, a);
+      if (xa == 0.0) continue;
+      for (std::size_t b = a; b < d; ++b) cov(a, b) += xa * centered(i, b);
+    }
+  }
+  const double denom = static_cast<double>(data.rows() - 1);
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = a; b < d; ++b) {
+      cov(a, b) /= denom;
+      cov(b, a) = cov(a, b);
+    }
+  }
+
+  auto eig = jacobi_eigen_symmetric(cov);
+  double total = 0.0;
+  for (double ev : eig.values) total += std::max(ev, 0.0);
+
+  PcaResult out;
+  out.components = Matrix(n_components, d);
+  out.explained_variance.resize(n_components);
+  out.explained_variance_ratio.resize(n_components);
+  for (std::size_t c = 0; c < n_components; ++c) {
+    out.explained_variance[c] = std::max(eig.values[c], 0.0);
+    out.explained_variance_ratio[c] =
+        total > 0.0 ? out.explained_variance[c] / total : 0.0;
+    for (std::size_t k = 0; k < d; ++k) out.components(c, k) = eig.vectors(c, k);
+  }
+
+  out.projected = Matrix(data.rows(), n_components);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    for (std::size_t c = 0; c < n_components; ++c) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += centered(i, k) * out.components(c, k);
+      out.projected(i, c) = dot;
+    }
+  }
+  return out;
+}
+
+}  // namespace agebo

@@ -1,0 +1,41 @@
+// Principal component analysis used to reproduce Fig 7: the paper projects
+// the 37 architecture decisions and 3 data-parallel hyperparameters of the
+// top-1% configurations to two dimensions and reports >80% conserved
+// variance. Eigen-decomposition is done with the cyclic Jacobi method, which
+// is exact enough for the small covariance matrices involved (<= ~320 dims
+// after one-hot encoding).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace agebo {
+
+struct PcaResult {
+  /// Projected data, n_samples x n_components.
+  Matrix projected;
+  /// Component directions, n_components x n_features.
+  Matrix components;
+  /// Eigenvalues for the retained components, descending.
+  std::vector<double> explained_variance;
+  /// Fraction of total variance captured by each retained component.
+  std::vector<double> explained_variance_ratio;
+
+  /// Sum of the retained ratios (the paper's "conserved variance").
+  double conserved_variance() const;
+};
+
+/// Symmetric eigen-decomposition via cyclic Jacobi rotations.
+/// Returns eigenvalues (descending) and matching eigenvectors as rows.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // n x n, row i is the eigenvector for values[i]
+};
+EigenResult jacobi_eigen_symmetric(Matrix a, int max_sweeps = 100);
+
+/// Fit PCA on `data` (rows = samples) and project to n_components.
+PcaResult pca(const Matrix& data, std::size_t n_components);
+
+}  // namespace agebo

@@ -1,0 +1,113 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace agebo {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+double Rng::uniform(double lo, double hi) {
+  // 53-bit mantissa construction for a uniform double in [0, 1).
+  const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t r;
+  do {
+    r = (*this)();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("log_uniform: requires 0 < lo < hi");
+  }
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n - i) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = index(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace agebo

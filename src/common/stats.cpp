@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace agebo {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty sample");
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  return rs.stddev();
+}
+
+std::size_t argmax(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("argmax: empty sample");
+  return static_cast<std::size_t>(
+      std::distance(values.begin(), std::max_element(values.begin(), values.end())));
+}
+
+std::size_t argmin(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("argmin: empty sample");
+  return static_cast<std::size_t>(
+      std::distance(values.begin(), std::min_element(values.begin(), values.end())));
+}
+
+std::vector<std::size_t> argsort_desc(const std::vector<double>& values) {
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] > values[b];
+  });
+  return idx;
+}
+
+}  // namespace agebo

@@ -1,0 +1,47 @@
+// Small statistics helpers shared across the library: running moments,
+// quantiles, and simple vector reductions used by search analysis code
+// (Fig 5 / Fig 8 high-performer thresholds are 0.99-quantiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agebo {
+
+/// Numerically stable (Welford) running mean / variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated quantile of an unsorted sample; q in [0, 1].
+/// Throws on an empty sample.
+double quantile(std::vector<double> values, double q);
+
+double mean(const std::vector<double>& values);
+double stddev(const std::vector<double>& values);
+
+/// Index of the maximum element; first occurrence wins. Throws on empty.
+std::size_t argmax(const std::vector<double>& values);
+std::size_t argmin(const std::vector<double>& values);
+
+/// Indices that sort `values` descending (stable).
+std::vector<std::size_t> argsort_desc(const std::vector<double>& values);
+
+}  // namespace agebo

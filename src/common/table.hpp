@@ -1,0 +1,26 @@
+// ASCII table renderer used by bench binaries to print paper-style tables
+// (Table I, II, III) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agebo {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header rule and column padding.
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace agebo

@@ -1,0 +1,109 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace agebo::core {
+
+namespace {
+
+/// History sorted by completion time (it normally already is, but the
+/// analysis should not rely on executor ordering guarantees).
+std::vector<const EvalRecord*> by_time(const SearchResult& result) {
+  std::vector<const EvalRecord*> recs;
+  recs.reserve(result.history.size());
+  for (const auto& r : result.history) recs.push_back(&r);
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const EvalRecord* a, const EvalRecord* b) {
+                     return a->finish_time < b->finish_time;
+                   });
+  return recs;
+}
+
+}  // namespace
+
+std::vector<TimeSeriesPoint> best_so_far(const SearchResult& result) {
+  std::vector<TimeSeriesPoint> out;
+  double best = -std::numeric_limits<double>::infinity();
+  for (const EvalRecord* r : by_time(result)) {
+    if (r->objective > best) {
+      best = r->objective;
+      out.push_back({r->finish_time, best});
+    }
+  }
+  return out;
+}
+
+double best_at_time(const SearchResult& result, double t) {
+  double best = 0.0;
+  for (const auto& r : result.history) {
+    if (r.finish_time <= t && r.objective > best) best = r.objective;
+  }
+  return best;
+}
+
+double time_to_accuracy(const SearchResult& result, double target) {
+  double earliest = -1.0;
+  for (const auto& r : result.history) {
+    if (r.objective >= target &&
+        (earliest < 0.0 || r.finish_time < earliest)) {
+      earliest = r.finish_time;
+    }
+  }
+  return earliest;
+}
+
+std::vector<TimeSeriesPoint> unique_high_performers(const SearchResult& result,
+                                                    double threshold) {
+  std::vector<TimeSeriesPoint> out;
+  std::unordered_set<std::string> seen;
+  std::size_t count = 0;
+  for (const EvalRecord* r : by_time(result)) {
+    if (r->objective <= threshold) continue;
+    const auto key = nas::SearchSpace::key(r->config.genome);
+    if (seen.insert(key).second) {
+      ++count;
+      out.push_back({r->finish_time, static_cast<double>(count)});
+    }
+  }
+  return out;
+}
+
+double high_performer_threshold(const std::vector<const SearchResult*>& runs,
+                                double q) {
+  double threshold = std::numeric_limits<double>::infinity();
+  for (const SearchResult* run : runs) {
+    std::vector<double> acc;
+    acc.reserve(run->history.size());
+    for (const auto& r : run->history) acc.push_back(r.objective);
+    if (!acc.empty()) threshold = std::min(threshold, quantile(acc, q));
+  }
+  return threshold;
+}
+
+std::vector<std::size_t> top_k(const SearchResult& result, std::size_t k) {
+  std::vector<double> objectives;
+  objectives.reserve(result.history.size());
+  for (const auto& r : result.history) objectives.push_back(r.objective);
+  auto order = argsort_desc(objectives);
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+RunStats run_stats(const SearchResult& result) {
+  RunStats stats;
+  stats.n_evaluations = result.history.size();
+  RunningStats time_stats;
+  for (const auto& r : result.history) {
+    time_stats.add(r.train_seconds / 60.0);
+    stats.best_accuracy = std::max(stats.best_accuracy, r.objective);
+  }
+  stats.mean_train_minutes = time_stats.count() ? time_stats.mean() : 0.0;
+  stats.sd_train_minutes = time_stats.count() ? time_stats.stddev() : 0.0;
+  return stats;
+}
+
+}  // namespace agebo::core

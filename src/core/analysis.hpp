@@ -1,0 +1,53 @@
+// Trajectory analysis used by the figure benches:
+//  - best-so-far accuracy over time (Fig 3, 4, 6),
+//  - count of *unique* architectures above an accuracy threshold over time
+//    (Fig 5, 8), with the threshold computed as the paper does: the minimum
+//    across variants of each variant's 0.99 accuracy quantile,
+//  - top-k configurations (Table III),
+//  - statistics for Table I rows.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/search.hpp"
+
+namespace agebo::core {
+
+struct TimeSeriesPoint {
+  double time_seconds = 0.0;
+  double value = 0.0;
+};
+
+/// Best validation accuracy reached by each point in time.
+std::vector<TimeSeriesPoint> best_so_far(const SearchResult& result);
+
+/// Best accuracy at or before `t` (0 when no evaluation finished yet).
+double best_at_time(const SearchResult& result, double t);
+
+/// First time the trajectory reaches `target` accuracy; -1 when never.
+double time_to_accuracy(const SearchResult& result, double target);
+
+/// Cumulative count of unique architectures (by genome key) whose accuracy
+/// exceeds `threshold`, in completion-time order.
+std::vector<TimeSeriesPoint> unique_high_performers(const SearchResult& result,
+                                                    double threshold);
+
+/// The Fig 5/8 threshold: min over variants of each run's 0.99 quantile of
+/// validation accuracy.
+double high_performer_threshold(const std::vector<const SearchResult*>& runs,
+                                double q = 0.99);
+
+/// Indices of the top-k records by objective, descending.
+std::vector<std::size_t> top_k(const SearchResult& result, std::size_t k);
+
+struct RunStats {
+  std::size_t n_evaluations = 0;
+  double mean_train_minutes = 0.0;
+  double sd_train_minutes = 0.0;
+  double best_accuracy = 0.0;
+};
+RunStats run_stats(const SearchResult& result);
+
+}  // namespace agebo::core

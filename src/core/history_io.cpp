@@ -1,0 +1,100 @@
+#include "core/history_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::core {
+
+namespace {
+
+constexpr const char* kHeader =
+    "index,finish_time,objective,train_seconds,bs1,lr1,n,genome";
+
+std::string genome_field(const nas::Genome& g) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (i) os << '-';
+    os << g[i];
+  }
+  return os.str();
+}
+
+nas::Genome parse_genome(const std::string& field) {
+  nas::Genome g;
+  std::istringstream is(field);
+  std::string token;
+  while (std::getline(is, token, '-')) {
+    g.push_back(std::stoi(token));
+  }
+  return g;
+}
+
+}  // namespace
+
+void save_history(const SearchResult& result, std::ostream& os) {
+  os << kHeader << '\n';
+  // max_digits10 so doubles round-trip exactly.
+  os.precision(17);
+  for (const auto& rec : result.history) {
+    os << rec.index << ',' << rec.finish_time << ',' << rec.objective << ','
+       << rec.train_seconds << ',';
+    if (rec.config.hparams.size() == 3) {
+      os << rec.config.hparams[0] << ',' << rec.config.hparams[1] << ','
+         << rec.config.hparams[2];
+    } else {
+      os << ",,";
+    }
+    os << ',' << genome_field(rec.config.genome) << '\n';
+  }
+}
+
+void save_history_file(const SearchResult& result, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_history_file: cannot open " + path);
+  save_history(result, os);
+}
+
+std::vector<EvalRecord> load_history(std::istream& is,
+                                     const nas::SearchSpace& space) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("load_history: bad header");
+  }
+  std::vector<EvalRecord> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    EvalRecord rec;
+    auto next = [&]() -> std::string {
+      if (!std::getline(ls, cell, ',')) {
+        throw std::runtime_error("load_history: short row: " + line);
+      }
+      return cell;
+    };
+    rec.index = static_cast<std::size_t>(std::stoull(next()));
+    rec.finish_time = std::stod(next());
+    rec.objective = std::stod(next());
+    rec.train_seconds = std::stod(next());
+    const std::string bs = next();
+    const std::string lr = next();
+    const std::string n = next();
+    if (!bs.empty()) {
+      rec.config.hparams = {std::stod(bs), std::stod(lr), std::stod(n)};
+    }
+    rec.config.genome = parse_genome(next());
+    space.validate(rec.config.genome);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<EvalRecord> load_history_file(const std::string& path,
+                                          const nas::SearchSpace& space) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_history_file: cannot open " + path);
+  return load_history(is, space);
+}
+
+}  // namespace agebo::core

@@ -1,0 +1,29 @@
+// Search-history persistence: export a campaign's evaluation stream to CSV
+// (for plotting or post-hoc analysis, LCBench-style) and load it back —
+// which also enables warm-starting a new search from a previous run
+// (SearchConfig::warm_start), the paper's "reuse knowledge from previous
+// experimental runs" future-work item.
+//
+// CSV columns: index, finish_time, objective, train_seconds,
+//              bs1, lr1, n, genome ('-'-separated decisions).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/search.hpp"
+
+namespace agebo::core {
+
+void save_history(const SearchResult& result, std::ostream& os);
+void save_history_file(const SearchResult& result, const std::string& path);
+
+/// Loads evaluation records written by save_history. Genomes are validated
+/// against `space`; throws std::runtime_error on malformed rows.
+std::vector<EvalRecord> load_history(std::istream& is,
+                                     const nas::SearchSpace& space);
+std::vector<EvalRecord> load_history_file(const std::string& path,
+                                          const nas::SearchSpace& space);
+
+}  // namespace agebo::core

@@ -1,0 +1,72 @@
+#include "core/hp_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/analysis.hpp"
+
+namespace agebo::core {
+
+std::vector<MarginalBucket> hp_marginal(const SearchResult& result,
+                                        std::size_t dim) {
+  std::map<double, MarginalBucket> buckets;
+  for (const auto& rec : result.history) {
+    if (rec.config.hparams.size() <= dim) {
+      throw std::invalid_argument("hp_marginal: dimension out of range");
+    }
+    double key = rec.config.hparams[dim];
+    if (dim == 1) {
+      // Learning rate: bucket by decade third (…, 1e-3, 2.2e-3, 4.6e-3, …).
+      key = std::pow(10.0, std::round(std::log10(key) * 3.0) / 3.0);
+    }
+    auto& bucket = buckets[key];
+    if (bucket.count == 0) {
+      bucket.value = key;
+      bucket.best_objective = rec.objective;
+    }
+    bucket.mean_objective += rec.objective;
+    bucket.best_objective = std::max(bucket.best_objective, rec.objective);
+    ++bucket.count;
+  }
+  std::vector<MarginalBucket> out;
+  out.reserve(buckets.size());
+  for (auto& [key, bucket] : buckets) {
+    bucket.mean_objective /= static_cast<double>(bucket.count);
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+TopKSummary summarize_top_k(const SearchResult& result, std::size_t k) {
+  const auto top = top_k(result, k);
+  if (top.empty()) throw std::invalid_argument("summarize_top_k: empty history");
+
+  const std::size_t dims = result.history[top[0]].config.hparams.size();
+  TopKSummary summary;
+  summary.k = top.size();
+  summary.modal_values.resize(dims);
+
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::map<double, std::size_t> counts;
+    for (std::size_t idx : top) {
+      counts[result.history[idx].config.hparams[d]]++;
+    }
+    auto best = counts.begin();
+    for (auto it = counts.begin(); it != counts.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    summary.modal_values[d] = best->first;
+  }
+
+  if (dims > 1) {
+    double log_sum = 0.0;
+    for (std::size_t idx : top) {
+      log_sum += std::log(result.history[idx].config.hparams[1]);
+    }
+    summary.lr_geo_mean = std::exp(log_sum / static_cast<double>(top.size()));
+  }
+  return summary;
+}
+
+}  // namespace agebo::core

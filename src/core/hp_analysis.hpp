@@ -1,0 +1,41 @@
+// Hyperparameter marginal analysis over a search history: per-dimension
+// statistics of the top-k configurations (what Table III summarizes) and
+// simple marginal response curves — which value of each hyperparameter did
+// the well-performing evaluations use?
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/search.hpp"
+
+namespace agebo::core {
+
+struct MarginalBucket {
+  double value = 0.0;          ///< hyperparameter value (bucket key)
+  std::size_t count = 0;       ///< evaluations with this value
+  double mean_objective = 0.0;
+  double best_objective = 0.0;
+};
+
+/// Group history records by the value of hyperparameter dimension `dim`
+/// (exact match for categoricals / integers; log10-decade buckets for the
+/// learning rate, dim == 1). Buckets are sorted by value.
+std::vector<MarginalBucket> hp_marginal(const SearchResult& result,
+                                        std::size_t dim);
+
+struct TopKSummary {
+  /// Per-dimension value of the majority choice among the top-k records.
+  std::vector<double> modal_values;
+  /// Geometric mean of the learning rate among the top-k (dim 1).
+  double lr_geo_mean = 0.0;
+  std::size_t k = 0;
+};
+
+/// Summarize the hyperparameters of the top-k records (Table III style:
+/// modal batch size, modal n, and the lr cluster center).
+TopKSummary summarize_top_k(const SearchResult& result, std::size_t k);
+
+}  // namespace agebo::core

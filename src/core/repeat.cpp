@@ -1,0 +1,30 @@
+#include "core/repeat.hpp"
+
+#include <stdexcept>
+
+#include "core/analysis.hpp"
+
+namespace agebo::core {
+
+RepeatOutcome run_repeated(const CampaignFn& campaign,
+                           const std::vector<std::uint64_t>& seeds,
+                           double target_accuracy) {
+  if (seeds.empty()) throw std::invalid_argument("run_repeated: no seeds");
+  RepeatOutcome out;
+  for (std::uint64_t seed : seeds) {
+    SearchResult result = campaign(seed);
+    out.best_accuracy.add(result.best_objective);
+    out.n_evaluations.add(static_cast<double>(result.history.size()));
+    if (target_accuracy >= 0.0) {
+      const double t = time_to_accuracy(result, target_accuracy);
+      if (t >= 0.0) {
+        out.time_to_target.add(t);
+        ++out.reached_count;
+      }
+    }
+    out.runs.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace agebo::core

@@ -1,0 +1,33 @@
+// Multi-seed repetition harness: run the same campaign across seeds and
+// aggregate best accuracy / time-to-accuracy statistics. Table II's
+// "0.652 +/- 0.002" style numbers come from exactly this kind of
+// repetition; benches use it to report mean +/- sd instead of single draws.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/search.hpp"
+
+namespace agebo::core {
+
+struct RepeatOutcome {
+  std::vector<SearchResult> runs;
+  RunningStats best_accuracy;
+  RunningStats n_evaluations;
+  /// Time to reach `target_accuracy` per run; runs that never reach it are
+  /// excluded (reached_count tells how many did).
+  RunningStats time_to_target;
+  std::size_t reached_count = 0;
+};
+
+/// `factory(seed)` builds a fresh (evaluator, executor, config) and runs the
+/// search — the caller owns the wiring; this harness owns aggregation.
+using CampaignFn = std::function<SearchResult(std::uint64_t seed)>;
+
+RepeatOutcome run_repeated(const CampaignFn& campaign,
+                           const std::vector<std::uint64_t>& seeds,
+                           double target_accuracy = -1.0);
+
+}  // namespace agebo::core

@@ -1,0 +1,169 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agebo::core {
+
+AgeboSearch::AgeboSearch(const nas::SearchSpace& space,
+                         eval::Evaluator& evaluator, exec::Executor& executor,
+                         SearchConfig cfg)
+    : space_(&space),
+      evaluator_(&evaluator),
+      executor_(&executor),
+      cfg_(std::move(cfg)),
+      rng_(cfg_.seed) {
+  if (cfg_.population_size == 0 || cfg_.sample_size == 0) {
+    throw std::invalid_argument("SearchConfig: P and S must be positive");
+  }
+  if (cfg_.sample_size > cfg_.population_size) {
+    throw std::invalid_argument("SearchConfig: S > P");
+  }
+  if (cfg_.use_bo) {
+    if (cfg_.hp_space.size() == 0) {
+      throw std::invalid_argument("SearchConfig: use_bo without hp_space");
+    }
+    bo::BoConfig bo_cfg = cfg_.bo;
+    bo_cfg.seed = cfg_.seed * 31 + 7;
+    optimizer_.emplace(cfg_.hp_space, bo_cfg);
+  } else if (cfg_.fixed_hparams.empty()) {
+    throw std::invalid_argument("SearchConfig: fixed mode needs fixed_hparams");
+  }
+}
+
+void AgeboSearch::submit(eval::ModelConfig config) {
+  eval::Evaluator* evaluator = evaluator_;
+  const std::size_t width = cfg_.width_fn ? cfg_.width_fn(config) : 1;
+  const std::uint64_t id = executor_->submit(
+      [evaluator, config] { return evaluator->evaluate(config); }, width);
+  if (pending_.size() < id) pending_.resize(id);
+  pending_[id - 1] = std::move(config);
+}
+
+eval::ModelConfig AgeboSearch::make_child(const std::vector<bo::Point>& next,
+                                          std::size_t i) {
+  eval::ModelConfig child;
+  if (cfg_.random_search) {
+    child.genome = space_->random(rng_);
+    child.hparams = cfg_.use_bo ? next[i] : cfg_.fixed_hparams;
+    return child;
+  }
+  if (population_.size() >= cfg_.population_size) {
+    // Lines 16-18: sample S members, pick the best, mutate one decision.
+    const auto idx =
+        rng_.sample_without_replacement(population_.size(), cfg_.sample_size);
+    std::size_t best = idx[0];
+    for (std::size_t k : idx) {
+      if (population_[k].objective > population_[best].objective) best = k;
+    }
+    child.genome = space_->mutate(population_[best].genome, rng_);
+  } else {
+    // Line 20: random while the population is filling.
+    child.genome = space_->random(rng_);
+  }
+  child.hparams = cfg_.use_bo ? next[i] : cfg_.fixed_hparams;
+  return child;
+}
+
+SearchResult AgeboSearch::run() {
+  SearchResult result;
+
+  // Warm start: seed the population and BO surrogate with prior records.
+  if (!cfg_.warm_start.empty()) {
+    std::vector<bo::Point> prior_points;
+    std::vector<double> prior_objectives;
+    for (const auto& rec : cfg_.warm_start) {
+      space_->validate(rec.config.genome);
+      population_.push_back(Member{rec.config.genome, rec.objective});
+      while (population_.size() > cfg_.population_size) population_.pop_front();
+      if (cfg_.use_bo && rec.config.hparams.size() == cfg_.hp_space.size()) {
+        try {
+          cfg_.hp_space.validate(rec.config.hparams);
+          prior_points.push_back(rec.config.hparams);
+          prior_objectives.push_back(rec.objective);
+        } catch (const std::invalid_argument&) {
+          // Outside this search's (possibly frozen) space: population only.
+        }
+      }
+    }
+    if (!prior_points.empty()) optimizer_->tell(prior_points, prior_objectives);
+  }
+
+  // Initialization (lines 3-7): W submissions. Without a warm start these
+  // are random points; with a full warm-started population they are
+  // mutations of its best members (make_child handles both).
+  std::size_t n_init = cfg_.initial_submissions;
+  if (n_init == 0) n_init = executor_->num_workers();
+  std::vector<bo::Point> init_hp;
+  if (cfg_.use_bo) init_hp = optimizer_->ask(n_init);
+  for (std::size_t i = 0; i < n_init; ++i) {
+    submit(make_child(init_hp, i));
+  }
+
+  // Main loop (lines 8-25).
+  while (executor_->now() < cfg_.wall_time_seconds) {
+    auto finished = executor_->get_finished(/*block=*/true);
+    if (finished.empty()) break;  // nothing in flight: search exhausted
+
+    std::vector<bo::Point> told_points;
+    std::vector<double> told_objectives;
+    std::size_t n_new = 0;
+    for (const auto& f : finished) {
+      if (f.finish_time > cfg_.wall_time_seconds) continue;  // past budget
+      const eval::ModelConfig& config = pending_.at(f.id - 1);
+      EvalRecord rec;
+      rec.index = result.history.size();
+      rec.finish_time = f.finish_time;
+      rec.objective = f.output.failed ? 0.0 : f.output.objective;
+      rec.train_seconds = f.output.train_seconds;
+      rec.config = config;
+      result.history.push_back(rec);
+      if (cfg_.on_result) cfg_.on_result(result.history.back());
+
+      // Aging population: append, drop oldest beyond P (line 11). The
+      // kWorst ablation drops the lowest-objective member instead.
+      population_.push_back(Member{config.genome, rec.objective});
+      while (population_.size() > cfg_.population_size) {
+        if (cfg_.replacement == Replacement::kAging) {
+          population_.pop_front();
+        } else {
+          auto worst = population_.begin();
+          for (auto it = population_.begin(); it != population_.end(); ++it) {
+            if (it->objective < worst->objective) worst = it;
+          }
+          population_.erase(worst);
+        }
+      }
+
+      told_points.push_back(config.hparams);
+      told_objectives.push_back(rec.objective);
+      ++n_new;
+    }
+    if (executor_->now() >= cfg_.wall_time_seconds) break;
+    if (n_new == 0) continue;
+
+    // Lines 12-13: tell/ask |results| hyperparameter configurations.
+    std::vector<bo::Point> next;
+    if (cfg_.use_bo) {
+      optimizer_->tell(told_points, told_objectives);
+      next = optimizer_->ask(n_new);
+    }
+    // Lines 14-23: generate and submit |results| children.
+    for (std::size_t i = 0; i < n_new; ++i) submit(make_child(next, i));
+  }
+
+  result.utilization = executor_->utilization();
+  if (!result.history.empty()) {
+    result.best_index = 0;
+    for (std::size_t i = 1; i < result.history.size(); ++i) {
+      if (result.history[i].objective >
+          result.history[result.best_index].objective) {
+        result.best_index = i;
+      }
+    }
+    result.best_objective = result.history[result.best_index].objective;
+  }
+  return result;
+}
+
+}  // namespace agebo::core

@@ -1,0 +1,110 @@
+// Algorithm 1 of the paper: aging evolution (AgE) over the architecture
+// space, optionally joined with asynchronous Bayesian optimization (AgEBO)
+// over the data-parallel-training hyperparameters.
+//
+// The search runs as the manager of a manager-worker system: it submits
+// evaluations through a non-blocking Executor, collects finished results,
+// ages the population, tells the BO optimizer, and generates |results| new
+// (architecture, hyperparameter) pairs per iteration. AgE is the
+// use_bo=false degenerate case with fixed hyperparameters (the black lines
+// of Algorithm 1); AgEBO adds the blue lines. Partial variants
+// (AgEBO-8-LR, AgEBO-8-LR-BS) are expressed by freezing dimensions of the
+// hyperparameter space to single-value categoricals (see variants.hpp).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bo/optimizer.hpp"
+#include "eval/evaluation.hpp"
+#include "exec/executor.hpp"
+#include "nas/search_space.hpp"
+
+namespace agebo::core {
+
+/// One completed evaluation in completion order.
+struct EvalRecord {
+  std::size_t index = 0;
+  double finish_time = 0.0;     ///< executor seconds
+  double objective = 0.0;       ///< validation accuracy
+  double train_seconds = 0.0;
+  eval::ModelConfig config;
+};
+
+/// Population replacement policy. The paper uses aging (drop the oldest
+/// member, which is what regularizes the evolution); kWorst is the classic
+/// elitist alternative ablated in bench_ablations.
+enum class Replacement { kAging, kWorst };
+
+struct SearchConfig {
+  std::size_t population_size = 100;  ///< P
+  std::size_t sample_size = 10;       ///< S
+  Replacement replacement = Replacement::kAging;
+  /// Search wall-time budget in executor seconds (virtual in simulation).
+  double wall_time_seconds = 180.0 * 60.0;
+  /// Number of initial submissions (W workers each get one; defaults to
+  /// the executor's worker count when 0).
+  std::size_t initial_submissions = 0;
+  bool use_bo = false;
+  bo::ParamSpace hp_space;            ///< sampled/tuned when use_bo
+  bo::BoConfig bo;                    ///< kappa etc.
+  bo::Point fixed_hparams;            ///< used when !use_bo
+  /// Pure random search over H_a (children never mutate the population) —
+  /// a sanity baseline for the ablation benches.
+  bool random_search = false;
+  /// Number of workers one evaluation occupies (gang width) as a function
+  /// of its configuration; default 1 (the paper's single-node training).
+  /// The multinode extension maps n > 8 processes to ceil(n/8) nodes.
+  std::function<std::size_t(const eval::ModelConfig&)> width_fn;
+  /// Invoked on the manager thread for every completed evaluation, in
+  /// completion order — progress streaming for CLIs and dashboards.
+  std::function<void(const EvalRecord&)> on_result;
+  /// Prior evaluations (e.g. loaded via core::load_history from an earlier
+  /// run on a related dataset) used to seed the population and the BO
+  /// surrogate before any new evaluation — transfer/warm-start search, the
+  /// paper's future-work item (3). Records with hyperparameters outside
+  /// hp_space seed only the population.
+  std::vector<EvalRecord> warm_start;
+  std::uint64_t seed = 1;
+};
+
+struct SearchResult {
+  std::vector<EvalRecord> history;
+  double best_objective = 0.0;
+  std::size_t best_index = 0;  ///< into history
+  exec::Utilization utilization;
+
+  const EvalRecord& best() const { return history.at(best_index); }
+};
+
+class AgeboSearch {
+ public:
+  AgeboSearch(const nas::SearchSpace& space, eval::Evaluator& evaluator,
+              exec::Executor& executor, SearchConfig cfg);
+
+  /// Run until the wall-time budget is exhausted; returns the history.
+  SearchResult run();
+
+ private:
+  struct Member {
+    nas::Genome genome;
+    double objective;
+  };
+
+  eval::ModelConfig make_child(const std::vector<bo::Point>& next,
+                               std::size_t i);
+  void submit(eval::ModelConfig config);
+
+  const nas::SearchSpace* space_;
+  eval::Evaluator* evaluator_;
+  exec::Executor* executor_;
+  SearchConfig cfg_;
+  Rng rng_;
+  std::optional<bo::AskTellOptimizer> optimizer_;
+  std::deque<Member> population_;
+  std::vector<eval::ModelConfig> pending_;  // indexed by job id - 1
+};
+
+}  // namespace agebo::core

@@ -1,0 +1,113 @@
+#include "core/sha_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+
+namespace agebo::core {
+
+ShaJointSearch::ShaJointSearch(const nas::SearchSpace& space,
+                               eval::Evaluator& evaluator,
+                               exec::Executor& executor, ShaJointConfig cfg)
+    : space_(&space),
+      evaluator_(&evaluator),
+      executor_(&executor),
+      cfg_(std::move(cfg)),
+      rng_(cfg_.seed) {
+  if (cfg_.eta < 2) throw std::invalid_argument("ShaJointConfig: eta < 2");
+  if (cfg_.rungs == 0) throw std::invalid_argument("ShaJointConfig: zero rungs");
+  if (cfg_.bracket_size == 0) {
+    throw std::invalid_argument("ShaJointConfig: empty bracket");
+  }
+  if (cfg_.hp_space.size() == 0) cfg_.hp_space = bo::ParamSpace::paper_space();
+}
+
+SearchResult ShaJointSearch::run() {
+  SearchResult result;
+
+  while (executor_->now() < cfg_.wall_time_seconds) {
+    // Sample a fresh bracket from the joint space H_a x H_m.
+    std::vector<eval::ModelConfig> survivors;
+    survivors.reserve(cfg_.bracket_size);
+    for (std::size_t i = 0; i < cfg_.bracket_size; ++i) {
+      eval::ModelConfig config;
+      config.genome = space_->random(rng_);
+      config.hparams = cfg_.hp_space.sample(rng_);
+      survivors.push_back(std::move(config));
+    }
+
+    for (std::size_t rung = 0; rung < cfg_.rungs && !survivors.empty(); ++rung) {
+      const double fidelity =
+          std::pow(static_cast<double>(cfg_.eta),
+                   static_cast<double>(rung) - static_cast<double>(cfg_.rungs) + 1.0);
+      const bool full = rung + 1 == cfg_.rungs;
+
+      // Submit the whole rung...
+      std::unordered_map<std::uint64_t, std::size_t> job_to_config;
+      eval::Evaluator* evaluator = evaluator_;
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        const auto config = survivors[i];
+        const std::uint64_t id = executor_->submit([evaluator, config, fidelity] {
+          return evaluator->evaluate_at(config, fidelity);
+        });
+        job_to_config[id] = i;
+      }
+
+      // ... and BLOCK until every job in the rung finished (the barrier the
+      // paper criticizes: stragglers idle the rest of the machine).
+      std::vector<double> scores(survivors.size(), 0.0);
+      std::size_t collected = 0;
+      while (collected < survivors.size()) {
+        const auto finished = executor_->get_finished(true);
+        if (finished.empty()) break;  // executor drained unexpectedly
+        for (const auto& f : finished) {
+          const auto it = job_to_config.find(f.id);
+          if (it == job_to_config.end()) continue;
+          scores[it->second] = f.output.failed ? 0.0 : f.output.objective;
+          ++collected;
+          if (full && f.finish_time <= cfg_.wall_time_seconds) {
+            EvalRecord rec;
+            rec.index = result.history.size();
+            rec.finish_time = f.finish_time;
+            rec.objective = scores[it->second];
+            rec.train_seconds = f.output.train_seconds;
+            rec.config = survivors[it->second];
+            result.history.push_back(rec);
+          }
+        }
+      }
+      if (full) break;
+
+      // Promote the top 1/eta to the next rung.
+      const auto order = argsort_desc(scores);
+      const std::size_t keep =
+          std::max<std::size_t>(1, survivors.size() / cfg_.eta);
+      std::vector<eval::ModelConfig> next;
+      next.reserve(keep);
+      for (std::size_t i = 0; i < keep; ++i) {
+        next.push_back(std::move(survivors[order[i]]));
+      }
+      survivors = std::move(next);
+
+      if (executor_->now() >= cfg_.wall_time_seconds) break;
+    }
+  }
+
+  result.utilization = executor_->utilization();
+  if (!result.history.empty()) {
+    result.best_index = 0;
+    for (std::size_t i = 1; i < result.history.size(); ++i) {
+      if (result.history[i].objective >
+          result.history[result.best_index].objective) {
+        result.best_index = i;
+      }
+    }
+    result.best_objective = result.history[result.best_index].objective;
+  }
+  return result;
+}
+
+}  // namespace agebo::core

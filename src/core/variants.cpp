@@ -1,0 +1,85 @@
+#include "core/variants.hpp"
+
+#include <sstream>
+
+namespace agebo::core {
+
+SearchConfig paper_defaults(std::uint64_t seed) {
+  SearchConfig cfg;
+  cfg.population_size = 100;
+  cfg.sample_size = 10;
+  cfg.wall_time_seconds = 180.0 * 60.0;
+  cfg.bo.kappa = 0.001;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SearchConfig age_config(std::size_t n_procs, std::uint64_t seed) {
+  SearchConfig cfg = paper_defaults(seed);
+  cfg.use_bo = false;
+  cfg.fixed_hparams = eval::default_hparams(n_procs);
+  return cfg;
+}
+
+SearchConfig agebo_config(std::uint64_t seed, double kappa) {
+  SearchConfig cfg = paper_defaults(seed);
+  cfg.use_bo = true;
+  cfg.bo.kappa = kappa;
+  cfg.hp_space = bo::ParamSpace::paper_space();
+  return cfg;
+}
+
+SearchConfig agebo_8_lr_config(std::uint64_t seed) {
+  SearchConfig cfg = paper_defaults(seed);
+  cfg.use_bo = true;
+  cfg.hp_space = bo::ParamSpace{}
+                     .add_categorical("batch_size", {256})
+                     .add_real("learning_rate", 0.001, 0.1, /*log_scale=*/true)
+                     .add_categorical("n_processes", {8});
+  return cfg;
+}
+
+SearchConfig agebo_8_lr_bs_config(std::uint64_t seed) {
+  SearchConfig cfg = paper_defaults(seed);
+  cfg.use_bo = true;
+  cfg.hp_space = bo::ParamSpace{}
+                     .add_categorical("batch_size", {32, 64, 128, 256, 512, 1024})
+                     .add_real("learning_rate", 0.001, 0.1, /*log_scale=*/true)
+                     .add_categorical("n_processes", {8});
+  return cfg;
+}
+
+SearchConfig random_search_config(std::size_t n_procs, std::uint64_t seed) {
+  SearchConfig cfg = age_config(n_procs, seed);
+  cfg.random_search = true;
+  return cfg;
+}
+
+SearchConfig agebo_multinode_config(std::uint64_t seed,
+                                    std::size_t procs_per_node) {
+  SearchConfig cfg = paper_defaults(seed);
+  cfg.use_bo = true;
+  cfg.hp_space = bo::ParamSpace{}
+                     .add_categorical("batch_size", {32, 64, 128, 256, 512, 1024})
+                     .add_real("learning_rate", 0.001, 0.1, /*log_scale=*/true)
+                     .add_categorical("n_processes", {1, 2, 4, 8, 16, 32, 64});
+  cfg.width_fn = [procs_per_node](const eval::ModelConfig& config) {
+    const auto n = static_cast<std::size_t>(config.hparams.at(2));
+    return (n + procs_per_node - 1) / procs_per_node;
+  };
+  return cfg;
+}
+
+std::string variant_name(const SearchConfig& cfg) {
+  if (cfg.random_search) {
+    return "RS-" + std::to_string(static_cast<long>(cfg.fixed_hparams.at(2)));
+  }
+  if (!cfg.use_bo) {
+    std::ostringstream os;
+    os << "AgE-" << static_cast<long>(cfg.fixed_hparams.at(2));
+    return os.str();
+  }
+  return "AgEBO";
+}
+
+}  // namespace agebo::core

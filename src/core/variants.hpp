@@ -1,0 +1,36 @@
+// Named search configurations from the paper's experiments:
+//   AgE-n          — fixed (bs=256, lr=0.01, n) with linear scaling (Sec IV-A)
+//   AgEBO          — BO over the full H_m (bs1, lr1, n)
+//   AgEBO-8-LR     — n=8 and bs=256 fixed, lr tuned (Sec IV-B)
+//   AgEBO-8-LR-BS  — n=8 fixed, lr and bs tuned
+// Partial variants freeze dimensions by giving them single-value
+// categorical domains, so one search implementation covers all rows.
+#pragma once
+
+#include <string>
+
+#include "core/search.hpp"
+
+namespace agebo::core {
+
+/// P=100, S=10, 3-hour budget, default kappa 0.001 (Sec IV).
+SearchConfig paper_defaults(std::uint64_t seed = 1);
+
+SearchConfig age_config(std::size_t n_procs, std::uint64_t seed = 1);
+SearchConfig agebo_config(std::uint64_t seed = 1, double kappa = 0.001);
+SearchConfig agebo_8_lr_config(std::uint64_t seed = 1);
+SearchConfig agebo_8_lr_bs_config(std::uint64_t seed = 1);
+
+/// Pure random architecture search with fixed hyperparameters (baseline).
+SearchConfig random_search_config(std::size_t n_procs, std::uint64_t seed = 1);
+
+/// Multinode extension (the paper's future-work item 2): the number of
+/// processes ranges over {1..64}; evaluations with n > procs_per_node span
+/// ceil(n / procs_per_node) worker nodes (gang-scheduled in simulation).
+SearchConfig agebo_multinode_config(std::uint64_t seed = 1,
+                                    std::size_t procs_per_node = 8);
+
+/// Human label for plots/tables, e.g. "AgE-4" or "AgEBO".
+std::string variant_name(const SearchConfig& cfg);
+
+}  // namespace agebo::core

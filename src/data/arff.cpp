@@ -1,0 +1,198 @@
+#include "data/arff.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace agebo::data {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string strip_quotes(const std::string& s) {
+  if (s.size() >= 2 && ((s.front() == '\'' && s.back() == '\'') ||
+                        (s.front() == '"' && s.back() == '"'))) {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+struct Attribute {
+  std::string name;
+  bool nominal = false;
+  std::vector<std::string> values;  // nominal domain
+
+  int value_index(const std::string& v) const {
+    const auto it = std::find(values.begin(), values.end(), v);
+    if (it == values.end()) return -1;
+    return static_cast<int>(std::distance(values.begin(), it));
+  }
+};
+
+Attribute parse_attribute(const std::string& rest) {
+  // rest = "<name> <type>" where type is numeric/real/integer or {a,b,c}.
+  Attribute attr;
+  std::string body = trim(rest);
+  // Attribute names may be quoted and contain spaces.
+  std::size_t name_end;
+  if (!body.empty() && (body[0] == '\'' || body[0] == '"')) {
+    name_end = body.find(body[0], 1);
+    if (name_end == std::string::npos) {
+      throw std::runtime_error("read_arff: unterminated attribute name");
+    }
+    attr.name = body.substr(1, name_end - 1);
+    ++name_end;
+  } else {
+    name_end = body.find_first_of(" \t");
+    if (name_end == std::string::npos) {
+      throw std::runtime_error("read_arff: attribute without type: " + body);
+    }
+    attr.name = body.substr(0, name_end);
+  }
+  std::string type = trim(body.substr(name_end));
+  if (type.empty()) throw std::runtime_error("read_arff: missing type");
+
+  if (type[0] == '{') {
+    const auto close = type.find('}');
+    if (close == std::string::npos) {
+      throw std::runtime_error("read_arff: unterminated nominal domain");
+    }
+    attr.nominal = true;
+    std::istringstream vs(type.substr(1, close - 1));
+    std::string v;
+    while (std::getline(vs, v, ',')) {
+      attr.values.push_back(strip_quotes(trim(v)));
+    }
+    if (attr.values.empty()) {
+      throw std::runtime_error("read_arff: empty nominal domain");
+    }
+  } else {
+    const std::string t = lower(trim(type));
+    if (t != "numeric" && t != "real" && t != "integer") {
+      throw std::runtime_error("read_arff: unsupported type " + type);
+    }
+  }
+  return attr;
+}
+
+}  // namespace
+
+Dataset read_arff(std::istream& is, const ArffOptions& options) {
+  std::vector<Attribute> attrs;
+  std::string line;
+  bool in_data = false;
+
+  Dataset ds;
+  std::size_t class_index = 0;
+
+  while (std::getline(is, line)) {
+    line = trim(line);
+    if (line.empty() || line[0] == '%') continue;
+
+    if (!in_data && line[0] == '@') {
+      const auto space_pos = line.find_first_of(" \t");
+      const std::string keyword =
+          lower(space_pos == std::string::npos ? line : line.substr(0, space_pos));
+      if (keyword == "@relation") continue;
+      if (keyword == "@attribute") {
+        attrs.push_back(parse_attribute(line.substr(space_pos)));
+        continue;
+      }
+      if (keyword == "@data") {
+        if (attrs.size() < 2) {
+          throw std::runtime_error("read_arff: need >= 2 attributes");
+        }
+        // Resolve the class attribute.
+        class_index = attrs.size() - 1;
+        if (!options.class_attribute.empty()) {
+          bool found = false;
+          for (std::size_t i = 0; i < attrs.size(); ++i) {
+            if (attrs[i].name == options.class_attribute) {
+              class_index = i;
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            throw std::runtime_error("read_arff: class attribute not found: " +
+                                     options.class_attribute);
+          }
+        }
+        if (!attrs[class_index].nominal) {
+          throw std::runtime_error("read_arff: class attribute must be nominal");
+        }
+        ds.n_features = attrs.size() - 1;
+        ds.n_classes = attrs[class_index].values.size();
+        in_data = true;
+        continue;
+      }
+      throw std::runtime_error("read_arff: unknown directive " + line);
+    }
+
+    if (!in_data) {
+      throw std::runtime_error("read_arff: data before @data: " + line);
+    }
+
+    // Data row (comma separated; sparse ARFF not supported).
+    std::istringstream ls(line);
+    std::string cell;
+    std::size_t attr_idx = 0;
+    int label = -1;
+    std::vector<float> row;
+    row.reserve(ds.n_features);
+    while (std::getline(ls, cell, ',')) {
+      if (attr_idx >= attrs.size()) {
+        throw std::runtime_error("read_arff: too many columns: " + line);
+      }
+      cell = strip_quotes(trim(cell));
+      const Attribute& attr = attrs[attr_idx];
+      if (attr_idx == class_index) {
+        label = attr.value_index(cell);
+        if (label < 0) {
+          throw std::runtime_error("read_arff: unknown class value " + cell);
+        }
+      } else if (attr.nominal) {
+        const int v = cell == "?" ? 0 : attr.value_index(cell);
+        if (v < 0) {
+          throw std::runtime_error("read_arff: unknown nominal value " + cell);
+        }
+        row.push_back(static_cast<float>(v));
+      } else {
+        row.push_back(cell == "?" ? 0.0f : std::stof(cell));
+      }
+      ++attr_idx;
+    }
+    if (attr_idx != attrs.size() || label < 0) {
+      throw std::runtime_error("read_arff: short row: " + line);
+    }
+    ds.x.insert(ds.x.end(), row.begin(), row.end());
+    ds.y.push_back(label);
+    ++ds.n_rows;
+  }
+  if (!in_data) throw std::runtime_error("read_arff: no @data section");
+  ds.validate();
+  return ds;
+}
+
+Dataset read_arff_file(const std::string& path, const ArffOptions& options) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_arff_file: cannot open " + path);
+  return read_arff(is, options);
+}
+
+}  // namespace agebo::data

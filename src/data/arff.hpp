@@ -1,0 +1,23 @@
+// Minimal ARFF reader for the OpenML distribution format of the paper's
+// datasets (Covertype, Airlines, Albert, Dionis are all published as ARFF).
+// Supports NUMERIC/REAL/INTEGER attributes and one nominal attribute used
+// as the class label (by default the last attribute); other nominal
+// attributes are label-encoded to their value index. '?' values map to 0.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace agebo::data {
+
+struct ArffOptions {
+  /// Name of the class attribute; empty = the last attribute.
+  std::string class_attribute;
+};
+
+Dataset read_arff(std::istream& is, const ArffOptions& options = {});
+Dataset read_arff_file(const std::string& path, const ArffOptions& options = {});
+
+}  // namespace agebo::data

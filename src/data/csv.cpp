@@ -1,0 +1,67 @@
+#include "data/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::data {
+
+void write_csv(const Dataset& ds, std::ostream& os) {
+  for (std::size_t f = 0; f < ds.n_features; ++f) os << 'f' << f << ',';
+  os << "label\n";
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const float* row = ds.row(i);
+    for (std::size_t f = 0; f < ds.n_features; ++f) os << row[f] << ',';
+    os << ds.y[i] << '\n';
+  }
+}
+
+void write_csv_file(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(ds, os);
+}
+
+Dataset read_csv(std::istream& is, std::size_t n_classes_hint) {
+  Dataset ds;
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("read_csv: empty input");
+  // Count columns from the header.
+  std::size_t cols = 1;
+  for (char ch : line) {
+    if (ch == ',') ++cols;
+  }
+  if (cols < 2) throw std::runtime_error("read_csv: need >= 1 feature + label");
+  ds.n_features = cols - 1;
+
+  int max_label = -1;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    for (std::size_t c = 0; c < ds.n_features; ++c) {
+      if (!std::getline(ls, cell, ',')) {
+        throw std::runtime_error("read_csv: short row");
+      }
+      ds.x.push_back(std::stof(cell));
+    }
+    if (!std::getline(ls, cell, ',')) throw std::runtime_error("read_csv: missing label");
+    const int label = std::stoi(cell);
+    if (label < 0) throw std::runtime_error("read_csv: negative label");
+    max_label = std::max(max_label, label);
+    ds.y.push_back(label);
+    ++ds.n_rows;
+  }
+  ds.n_classes = std::max<std::size_t>(static_cast<std::size_t>(max_label) + 1,
+                                       n_classes_hint);
+  ds.validate();
+  return ds;
+}
+
+Dataset read_csv_file(const std::string& path, std::size_t n_classes_hint) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(is, n_classes_hint);
+}
+
+}  // namespace agebo::data

@@ -1,0 +1,22 @@
+// CSV persistence for datasets: last column is the integer class label,
+// preceding columns are float features. Used by examples to save/load
+// generated benchmark data and by users to bring their own tabular data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace agebo::data {
+
+/// Write `ds` as CSV with a header row ("f0,...,fN,label").
+void write_csv(const Dataset& ds, std::ostream& os);
+void write_csv_file(const Dataset& ds, const std::string& path);
+
+/// Read a dataset written by write_csv. `n_classes` of the result is
+/// max(label)+1 unless `n_classes_hint` is larger.
+Dataset read_csv(std::istream& is, std::size_t n_classes_hint = 0);
+Dataset read_csv_file(const std::string& path, std::size_t n_classes_hint = 0);
+
+}  // namespace agebo::data

@@ -1,0 +1,83 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace agebo::data {
+
+void Dataset::validate() const {
+  if (x.size() != n_rows * n_features) {
+    throw std::invalid_argument("Dataset: feature buffer size mismatch");
+  }
+  if (y.size() != n_rows) {
+    throw std::invalid_argument("Dataset: label count mismatch");
+  }
+  for (int label : y) {
+    if (label < 0 || static_cast<std::size_t>(label) >= n_classes) {
+      throw std::invalid_argument("Dataset: label out of range");
+    }
+  }
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  out.n_rows = rows.size();
+  out.n_features = n_features;
+  out.n_classes = n_classes;
+  out.name = name;
+  out.x.reserve(rows.size() * n_features);
+  out.y.reserve(rows.size());
+  for (std::size_t r : rows) {
+    if (r >= n_rows) throw std::out_of_range("Dataset::subset: row index");
+    out.x.insert(out.x.end(), row(r), row(r) + n_features);
+    out.y.push_back(y[r]);
+  }
+  return out;
+}
+
+TrainValidTest split(const Dataset& ds, const SplitFractions& f, Rng& rng) {
+  if (f.train <= 0 || f.valid <= 0 || f.test <= 0) {
+    throw std::invalid_argument("split: fractions must be positive");
+  }
+  std::vector<std::size_t> order(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) order[i] = i;
+  rng.shuffle(order);
+
+  const double total = f.train + f.valid + f.test;
+  const auto n_train = static_cast<std::size_t>(
+      static_cast<double>(ds.n_rows) * f.train / total);
+  const auto n_valid = static_cast<std::size_t>(
+      static_cast<double>(ds.n_rows) * f.valid / total);
+
+  TrainValidTest out;
+  out.train = ds.subset({order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_train)});
+  out.valid = ds.subset({order.begin() + static_cast<std::ptrdiff_t>(n_train),
+                         order.begin() + static_cast<std::ptrdiff_t>(n_train + n_valid)});
+  out.test = ds.subset({order.begin() + static_cast<std::ptrdiff_t>(n_train + n_valid),
+                        order.end()});
+  return out;
+}
+
+std::vector<Dataset> shard(const Dataset& ds, std::size_t n, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("shard: n must be >= 1");
+  if (n > ds.n_rows) throw std::invalid_argument("shard: more shards than rows");
+  std::vector<std::size_t> order(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) order[i] = i;
+  rng.shuffle(order);
+
+  std::vector<std::vector<std::size_t>> buckets(n);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    buckets[i % n].push_back(order[i]);
+  }
+  std::vector<Dataset> shards;
+  shards.reserve(n);
+  for (auto& bucket : buckets) shards.push_back(ds.subset(bucket));
+  return shards;
+}
+
+std::vector<std::size_t> class_counts(const Dataset& ds) {
+  std::vector<std::size_t> counts(ds.n_classes, 0);
+  for (int label : ds.y) counts[static_cast<std::size_t>(label)]++;
+  return counts;
+}
+
+}  // namespace agebo::data

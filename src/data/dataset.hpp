@@ -1,0 +1,60 @@
+// Tabular dataset container plus splitting/sharding utilities.
+//
+// The paper groups each OpenML dataset into 42% train / 25% validation /
+// 33% test (the Auto-PyTorch benchmark split) and shards the training set
+// into `n` mutually exclusive subsets for data-parallel training; both
+// operations live here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agebo::data {
+
+/// Dense tabular classification dataset. Features are row-major float32
+/// (n_rows x n_features); labels are class indices in [0, n_classes).
+struct Dataset {
+  std::size_t n_rows = 0;
+  std::size_t n_features = 0;
+  std::size_t n_classes = 0;
+  std::vector<float> x;  // n_rows * n_features
+  std::vector<int> y;    // n_rows
+  std::string name;
+
+  const float* row(std::size_t i) const { return x.data() + i * n_features; }
+
+  /// Structural sanity check; throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// Copy the given rows into a new dataset (order preserved).
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+};
+
+/// The paper's split proportions.
+struct SplitFractions {
+  double train = 0.42;
+  double valid = 0.25;
+  double test = 0.33;
+};
+
+struct TrainValidTest {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+/// Shuffle rows with `rng` and split into train/valid/test by fraction.
+TrainValidTest split(const Dataset& ds, const SplitFractions& f, Rng& rng);
+
+/// Split the training set into `n` mutually exclusive shards of near-equal
+/// size (round-robin over a shuffled order). Every row lands in exactly one
+/// shard — the data-parallel contract from Sec III-B.
+std::vector<Dataset> shard(const Dataset& ds, std::size_t n, Rng& rng);
+
+/// Per-class row counts (size n_classes).
+std::vector<std::size_t> class_counts(const Dataset& ds);
+
+}  // namespace agebo::data

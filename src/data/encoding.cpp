@@ -1,0 +1,113 @@
+#include "data/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::data {
+
+void OneHotEncoder::fit(const Dataset& ds,
+                        std::vector<std::size_t> categorical_columns) {
+  std::sort(categorical_columns.begin(), categorical_columns.end());
+  categorical_columns.erase(
+      std::unique(categorical_columns.begin(), categorical_columns.end()),
+      categorical_columns.end());
+  for (std::size_t c : categorical_columns) {
+    if (c >= ds.n_features) {
+      throw std::invalid_argument("OneHotEncoder: column out of range");
+    }
+  }
+  columns_ = std::move(categorical_columns);
+  cardinalities_.assign(columns_.size(), 0);
+  input_features_ = ds.n_features;
+
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const float* row = ds.row(i);
+    for (std::size_t k = 0; k < columns_.size(); ++k) {
+      const float v = row[columns_[k]];
+      if (v < 0.0f || v != std::floor(v)) {
+        throw std::invalid_argument(
+            "OneHotEncoder: categorical column holds non-category value");
+      }
+      cardinalities_[k] = std::max(cardinalities_[k],
+                                   static_cast<std::size_t>(v) + 1);
+    }
+  }
+  fitted_ = true;
+}
+
+std::size_t OneHotEncoder::output_features() const {
+  if (!fitted_) throw std::logic_error("OneHotEncoder: not fitted");
+  std::size_t n = input_features_ - columns_.size();
+  for (std::size_t card : cardinalities_) n += card;
+  return n;
+}
+
+Dataset OneHotEncoder::transform(const Dataset& ds) const {
+  if (!fitted_) throw std::logic_error("OneHotEncoder: not fitted");
+  if (ds.n_features != input_features_) {
+    throw std::invalid_argument("OneHotEncoder: feature count mismatch");
+  }
+  Dataset out;
+  out.name = ds.name;
+  out.n_rows = ds.n_rows;
+  out.n_classes = ds.n_classes;
+  out.n_features = output_features();
+  out.y = ds.y;
+  out.x.assign(out.n_rows * out.n_features, 0.0f);
+
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const float* src = ds.row(i);
+    float* dst = out.x.data() + i * out.n_features;
+    std::size_t pos = 0;
+    // Pass-through features first, original order.
+    for (std::size_t f = 0; f < ds.n_features; ++f) {
+      if (std::binary_search(columns_.begin(), columns_.end(), f)) continue;
+      dst[pos++] = src[f];
+    }
+    // Then the one-hot blocks, column order.
+    for (std::size_t k = 0; k < columns_.size(); ++k) {
+      const auto v = static_cast<std::size_t>(src[columns_[k]]);
+      if (v < cardinalities_[k]) dst[pos + v] = 1.0f;  // unseen -> zeros
+      pos += cardinalities_[k];
+    }
+  }
+  out.validate();
+  return out;
+}
+
+void MinMaxScaler::fit(const Dataset& ds) {
+  if (ds.n_rows == 0) throw std::invalid_argument("MinMaxScaler: empty");
+  mins_.assign(ds.n_features, 0.0f);
+  ranges_.assign(ds.n_features, 0.0f);
+  std::vector<float> maxs(ds.n_features);
+  for (std::size_t f = 0; f < ds.n_features; ++f) {
+    mins_[f] = ds.row(0)[f];
+    maxs[f] = ds.row(0)[f];
+  }
+  for (std::size_t i = 1; i < ds.n_rows; ++i) {
+    const float* row = ds.row(i);
+    for (std::size_t f = 0; f < ds.n_features; ++f) {
+      mins_[f] = std::min(mins_[f], row[f]);
+      maxs[f] = std::max(maxs[f], row[f]);
+    }
+  }
+  for (std::size_t f = 0; f < ds.n_features; ++f) {
+    ranges_[f] = maxs[f] - mins_[f];
+  }
+}
+
+void MinMaxScaler::transform(Dataset& ds) const {
+  if (!fitted()) throw std::logic_error("MinMaxScaler: not fitted");
+  if (ds.n_features != mins_.size()) {
+    throw std::invalid_argument("MinMaxScaler: feature count mismatch");
+  }
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    float* row = ds.x.data() + i * ds.n_features;
+    for (std::size_t f = 0; f < ds.n_features; ++f) {
+      row[f] = ranges_[f] > 0.0f ? (row[f] - mins_[f]) / ranges_[f] : 0.0f;
+    }
+  }
+}
+
+}  // namespace agebo::data

@@ -1,0 +1,47 @@
+// Tabular preprocessing beyond standardization: one-hot expansion of
+// integer-coded categorical columns (as produced by the ARFF reader) and
+// min-max scaling. Fitted on the training split, applied everywhere — the
+// usual pipeline ahead of MLP training on OpenML-style data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace agebo::data {
+
+/// Expands selected columns into one-hot indicator blocks; remaining
+/// columns pass through unchanged (in original order, pass-through first).
+class OneHotEncoder {
+ public:
+  /// `categorical_columns` lists feature indices holding category codes.
+  /// Cardinalities are learned from the fit dataset; unseen categories at
+  /// transform time map to an all-zeros block.
+  void fit(const Dataset& ds, std::vector<std::size_t> categorical_columns);
+
+  Dataset transform(const Dataset& ds) const;
+
+  bool fitted() const { return !cardinalities_.empty() || fitted_; }
+  std::size_t output_features() const;
+
+ private:
+  bool fitted_ = false;
+  std::size_t input_features_ = 0;
+  std::vector<std::size_t> columns_;        // sorted categorical columns
+  std::vector<std::size_t> cardinalities_;  // aligned with columns_
+};
+
+/// Per-feature min-max scaling to [0, 1]; constant features map to 0.
+class MinMaxScaler {
+ public:
+  void fit(const Dataset& ds);
+  void transform(Dataset& ds) const;
+  bool fitted() const { return !mins_.empty(); }
+
+ private:
+  std::vector<float> mins_;
+  std::vector<float> ranges_;
+};
+
+}  // namespace agebo::data

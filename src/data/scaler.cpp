@@ -1,0 +1,53 @@
+#include "data/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::data {
+
+void StandardScaler::fit(const Dataset& ds) {
+  if (ds.n_rows == 0) throw std::invalid_argument("StandardScaler::fit: empty dataset");
+  means_.assign(ds.n_features, 0.0f);
+  stds_.assign(ds.n_features, 0.0f);
+
+  std::vector<double> mean(ds.n_features, 0.0);
+  std::vector<double> m2(ds.n_features, 0.0);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const float* row = ds.row(i);
+    const double n = static_cast<double>(i + 1);
+    for (std::size_t f = 0; f < ds.n_features; ++f) {
+      const double delta = row[f] - mean[f];
+      mean[f] += delta / n;
+      m2[f] += delta * (row[f] - mean[f]);
+    }
+  }
+  const double denom = ds.n_rows > 1 ? static_cast<double>(ds.n_rows - 1) : 1.0;
+  for (std::size_t f = 0; f < ds.n_features; ++f) {
+    means_[f] = static_cast<float>(mean[f]);
+    stds_[f] = static_cast<float>(std::sqrt(m2[f] / denom));
+  }
+}
+
+void StandardScaler::transform(Dataset& ds) const {
+  if (!fitted()) throw std::logic_error("StandardScaler::transform before fit");
+  if (ds.n_features != means_.size()) {
+    throw std::invalid_argument("StandardScaler::transform: feature mismatch");
+  }
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    float* row = ds.x.data() + i * ds.n_features;
+    for (std::size_t f = 0; f < ds.n_features; ++f) {
+      row[f] -= means_[f];
+      if (stds_[f] > 1e-8f) row[f] /= stds_[f];
+    }
+  }
+}
+
+void standardize(TrainValidTest& splits) {
+  StandardScaler scaler;
+  scaler.fit(splits.train);
+  scaler.transform(splits.train);
+  scaler.transform(splits.valid);
+  scaler.transform(splits.test);
+}
+
+}  // namespace agebo::data

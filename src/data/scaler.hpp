@@ -1,0 +1,33 @@
+// Standardization (zero mean / unit variance per feature), fitted on the
+// training split and applied to validation/test — the usual tabular
+// preprocessing ahead of MLP training.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace agebo::data {
+
+class StandardScaler {
+ public:
+  /// Learn per-feature mean and stddev from `ds`.
+  void fit(const Dataset& ds);
+
+  /// Apply the learned transform in place. Requires fit() first and a
+  /// matching feature count. Features with ~zero variance are left centered.
+  void transform(Dataset& ds) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<float>& means() const { return means_; }
+  const std::vector<float>& stddevs() const { return stds_; }
+
+ private:
+  std::vector<float> means_;
+  std::vector<float> stds_;
+};
+
+/// Convenience: fit on train, transform train/valid/test in place.
+void standardize(TrainValidTest& splits);
+
+}  // namespace agebo::data

@@ -1,0 +1,163 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::data {
+
+Dataset make_classification(const SyntheticSpec& spec) {
+  if (spec.n_classes < 2) throw std::invalid_argument("make_classification: n_classes < 2");
+  if (spec.n_informative == 0 || spec.n_informative > spec.n_features) {
+    throw std::invalid_argument("make_classification: bad n_informative");
+  }
+  if (spec.label_noise < 0.0 || spec.label_noise >= 1.0) {
+    throw std::invalid_argument("make_classification: bad label_noise");
+  }
+  Rng rng(spec.seed);
+
+  // Class priors: geometric decay for imbalance > 1, then normalized.
+  std::vector<double> priors(spec.n_classes);
+  double cum = 0.0;
+  for (std::size_t c = 0; c < spec.n_classes; ++c) {
+    priors[c] = std::pow(1.0 / spec.imbalance, static_cast<double>(c));
+    cum += priors[c];
+  }
+  for (double& p : priors) p /= cum;
+  std::vector<double> cdf(spec.n_classes);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < spec.n_classes; ++c) {
+    acc += priors[c];
+    cdf[c] = acc;
+  }
+
+  // Centroids in latent space, scaled by class_sep.
+  const std::size_t k = spec.n_informative;
+  std::vector<double> centroids(spec.n_classes * k);
+  for (double& v : centroids) v = rng.normal(0.0, spec.class_sep);
+
+  // Random mixing matrix latent -> observed features.
+  std::vector<double> mix(spec.n_features * k);
+  for (double& v : mix) v = rng.normal(0.0, 1.0 / std::sqrt(static_cast<double>(k)));
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.n_rows = spec.n_rows;
+  ds.n_features = spec.n_features;
+  ds.n_classes = spec.n_classes;
+  ds.x.resize(spec.n_rows * spec.n_features);
+  ds.y.resize(spec.n_rows);
+
+  std::vector<double> latent(k);
+  for (std::size_t i = 0; i < spec.n_rows; ++i) {
+    const double u = rng.uniform();
+    std::size_t cls = 0;
+    while (cls + 1 < spec.n_classes && u > cdf[cls]) ++cls;
+
+    for (std::size_t j = 0; j < k; ++j) {
+      latent[j] = centroids[cls * k + j] + rng.normal(0.0, 1.0);
+    }
+    float* row = ds.x.data() + i * spec.n_features;
+    for (std::size_t f = 0; f < spec.n_features; ++f) {
+      double v = 0.0;
+      for (std::size_t j = 0; j < k; ++j) v += mix[f * k + j] * latent[j];
+      if (spec.nonlinear) {
+        // Mix of saturating and quadratic warps so the Bayes-optimal
+        // boundary is not linear; keeps MLP depth/width relevant.
+        switch (f % 3) {
+          case 0: v = std::tanh(v); break;
+          case 1: v = v + 0.25 * v * v; break;
+          default: break;
+        }
+      }
+      v += rng.normal(0.0, spec.feature_noise);
+      row[f] = static_cast<float>(v);
+    }
+    int label = static_cast<int>(cls);
+    if (spec.label_noise > 0.0 && rng.bernoulli(spec.label_noise)) {
+      label = static_cast<int>(rng.index(spec.n_classes));
+    }
+    ds.y[i] = label;
+  }
+  ds.validate();
+  return ds;
+}
+
+namespace {
+
+std::size_t scaled(std::size_t rows, double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("dataset scale must be in (0, 1]");
+  }
+  return std::max<std::size_t>(256, static_cast<std::size_t>(
+                                        static_cast<double>(rows) * scale));
+}
+
+}  // namespace
+
+SyntheticSpec covertype_spec(double scale, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "covertype";
+  s.n_rows = scaled(581'012, scale);
+  s.n_features = 54;
+  s.n_classes = 7;
+  s.n_informative = 18;
+  s.class_sep = 2.6;       // easiest task: paper val acc ~0.93
+  s.label_noise = 0.02;
+  s.feature_noise = 0.15;
+  s.imbalance = 1.6;       // Covertype is strongly imbalanced
+  s.seed = seed;
+  return s;
+}
+
+SyntheticSpec airlines_spec(double scale, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "airlines";
+  s.n_rows = scaled(539'383, scale);
+  s.n_features = 8;
+  s.n_classes = 2;
+  s.n_informative = 5;
+  s.class_sep = 0.55;      // hardest: paper val acc ~0.65
+  s.label_noise = 0.18;
+  s.feature_noise = 0.4;
+  s.imbalance = 1.2;
+  s.seed = seed + 1;
+  return s;
+}
+
+SyntheticSpec albert_spec(double scale, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "albert";
+  s.n_rows = scaled(425'240, scale);
+  s.n_features = 79;
+  s.n_classes = 2;
+  s.n_informative = 24;
+  s.class_sep = 0.6;       // paper val acc ~0.66
+  s.label_noise = 0.2;
+  s.feature_noise = 0.3;
+  s.imbalance = 1.0;
+  s.seed = seed + 2;
+  return s;
+}
+
+SyntheticSpec dionis_spec(double scale, std::uint64_t seed) {
+  SyntheticSpec s;
+  s.name = "dionis";
+  s.n_rows = scaled(416'188, scale);
+  s.n_features = 61;
+  s.n_classes = 355;
+  s.n_informative = 30;
+  s.class_sep = 3.2;       // many classes but separable: paper val acc ~0.90
+  s.label_noise = 0.03;
+  s.feature_noise = 0.2;
+  s.imbalance = 1.02;
+  s.seed = seed + 3;
+  return s;
+}
+
+std::vector<SyntheticSpec> paper_dataset_specs(double scale, std::uint64_t seed) {
+  return {covertype_spec(scale, seed), airlines_spec(scale, seed),
+          albert_spec(scale, seed), dionis_spec(scale, seed)};
+}
+
+}  // namespace agebo::data

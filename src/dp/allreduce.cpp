@@ -1,0 +1,58 @@
+#include "dp/allreduce.hpp"
+
+#include <stdexcept>
+
+namespace agebo::dp {
+
+namespace {
+
+void check(const std::vector<std::vector<float>*>& buffers) {
+  if (buffers.empty()) throw std::invalid_argument("allreduce: no buffers");
+  for (const auto* b : buffers) {
+    if (b == nullptr) throw std::invalid_argument("allreduce: null buffer");
+    if (b->size() != buffers[0]->size()) {
+      throw std::invalid_argument("allreduce: size mismatch");
+    }
+  }
+}
+
+void broadcast_from_zero(std::vector<std::vector<float>*>& buffers) {
+  for (std::size_t r = 1; r < buffers.size(); ++r) *buffers[r] = *buffers[0];
+}
+
+}  // namespace
+
+void allreduce_average(std::vector<std::vector<float>*>& buffers,
+                       AllreduceStrategy strategy) {
+  check(buffers);
+  const std::size_t n = buffers.size();
+  if (n == 1) return;
+  const std::size_t len = buffers[0]->size();
+
+  if (strategy == AllreduceStrategy::kFlat) {
+    auto& acc = *buffers[0];
+    for (std::size_t r = 1; r < n; ++r) {
+      const auto& src = *buffers[r];
+      for (std::size_t i = 0; i < len; ++i) acc[i] += src[i];
+    }
+    const float inv = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < len; ++i) acc[i] *= inv;
+    broadcast_from_zero(buffers);
+    return;
+  }
+
+  // Tree reduction: at stride s, buffer r absorbs buffer r+s.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    for (std::size_t r = 0; r + stride < n; r += 2 * stride) {
+      auto& dst = *buffers[r];
+      const auto& src = *buffers[r + stride];
+      for (std::size_t i = 0; i < len; ++i) dst[i] += src[i];
+    }
+  }
+  auto& acc = *buffers[0];
+  const float inv = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < len; ++i) acc[i] *= inv;
+  broadcast_from_zero(buffers);
+}
+
+}  // namespace agebo::dp

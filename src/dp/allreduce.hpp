@@ -1,0 +1,24 @@
+// Gradient allreduce for synchronous data-parallel training (the Horovod
+// role in the paper). Every participating buffer ends up holding the
+// element-wise average of all buffers. Two strategies:
+//  - kFlat: rank-0 accumulates everything then broadcasts (O(n) depth).
+//  - kTree: pairwise binary reduction then broadcast down (O(log n) depth),
+//    the shape used by real allreduce implementations.
+// Both produce bit-identical results for power-of-two counts is NOT
+// guaranteed (fp addition order differs); tests compare within tolerance
+// and the trainer picks one strategy per run, so replicas stay lockstep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agebo::dp {
+
+enum class AllreduceStrategy { kFlat, kTree };
+
+/// Average `buffers` element-wise; all buffers receive the result.
+/// All buffers must be non-null and equally sized.
+void allreduce_average(std::vector<std::vector<float>*>& buffers,
+                       AllreduceStrategy strategy = AllreduceStrategy::kFlat);
+
+}  // namespace agebo::dp

@@ -1,0 +1,174 @@
+#include "dp/data_parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "dp/thread_team.hpp"
+#include "nn/loss.hpp"
+#include "nn/schedule.hpp"
+
+namespace agebo::dp {
+
+LinearScaling linear_scaling(const DataParallelConfig& cfg) {
+  return {static_cast<double>(cfg.n_procs) * cfg.lr1, cfg.n_procs * cfg.bs1};
+}
+
+struct DataParallelTrainer::Impl {
+  nn::GraphSpec spec;
+  std::vector<std::unique_ptr<nn::GraphNet>> replicas;
+  std::vector<std::unique_ptr<nn::Adam>> optimizers;
+  std::vector<std::vector<nn::ParamRef>> params;  // [replica][block]
+  std::unique_ptr<ThreadTeam> team;
+};
+
+DataParallelTrainer::DataParallelTrainer(nn::GraphSpec spec,
+                                         DataParallelConfig cfg)
+    : impl_(std::make_unique<Impl>()), cfg_(cfg) {
+  if (cfg_.n_procs == 0) throw std::invalid_argument("DataParallelTrainer: n_procs == 0");
+  if (cfg_.bs1 == 0) throw std::invalid_argument("DataParallelTrainer: bs1 == 0");
+  if (cfg_.lr1 <= 0.0) throw std::invalid_argument("DataParallelTrainer: lr1 <= 0");
+  spec.validate();
+  impl_->spec = std::move(spec);
+  impl_->team = std::make_unique<ThreadTeam>(cfg_.n_procs);
+}
+
+DataParallelTrainer::~DataParallelTrainer() = default;
+
+nn::GraphNet& DataParallelTrainer::model() {
+  if (impl_->replicas.empty()) {
+    throw std::logic_error("DataParallelTrainer::model before fit");
+  }
+  return *impl_->replicas[0];
+}
+
+float DataParallelTrainer::max_replica_divergence() const {
+  if (impl_->replicas.size() < 2) return 0.0f;
+  float worst = 0.0f;
+  const auto& base = impl_->params[0];
+  for (std::size_t r = 1; r < impl_->params.size(); ++r) {
+    for (std::size_t b = 0; b < base.size(); ++b) {
+      const auto& v0 = *base[b].values;
+      const auto& vr = *impl_->params[r][b].values;
+      for (std::size_t i = 0; i < v0.size(); ++i) {
+        worst = std::max(worst, std::abs(v0[i] - vr[i]));
+      }
+    }
+  }
+  return worst;
+}
+
+DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
+                                            const data::Dataset& valid_set) {
+  const std::size_t n = cfg_.n_procs;
+  const auto scaled = linear_scaling(cfg_);
+
+  // Fresh, *identical* replicas: same seed => same initialization, matching
+  // Horovod's initial broadcast.
+  impl_->replicas.clear();
+  impl_->optimizers.clear();
+  impl_->params.clear();
+  for (std::size_t r = 0; r < n; ++r) {
+    Rng init_rng(cfg_.seed * 0x100000001b3ULL + 17);
+    impl_->replicas.push_back(
+        std::make_unique<nn::GraphNet>(impl_->spec, init_rng));
+    impl_->params.push_back(impl_->replicas.back()->params());
+    impl_->optimizers.push_back(std::make_unique<nn::Adam>(
+        impl_->params.back(), nn::AdamConfig{scaled.lr_n, 0.9, 0.999, 1e-8}));
+  }
+
+  Rng shard_rng(cfg_.seed + 101);
+  auto shards = data::shard(train_set, n, shard_rng);
+
+  std::size_t steps_per_epoch = shards[0].n_rows / cfg_.bs1;
+  for (const auto& s : shards) {
+    steps_per_epoch = std::min(steps_per_epoch, s.n_rows / cfg_.bs1);
+  }
+  if (steps_per_epoch == 0) steps_per_epoch = 1;  // tiny-shard fallback
+
+  // Per-replica shuffle state (data order may differ; weights may not).
+  std::vector<Rng> shuffle_rngs;
+  std::vector<std::vector<std::size_t>> orders(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    shuffle_rngs.emplace_back(cfg_.seed + 1000 + r);
+    orders[r].resize(shards[r].n_rows);
+    for (std::size_t i = 0; i < shards[r].n_rows; ++i) orders[r][i] = i;
+  }
+
+  nn::GradualWarmup warmup(cfg_.lr1, scaled.lr_n, cfg_.warmup_epochs);
+  nn::ReduceLROnPlateau plateau(cfg_.plateau_patience, cfg_.plateau_factor);
+
+  std::vector<nn::Tensor> xs(n);
+  std::vector<std::vector<int>> ys(n);
+  std::vector<nn::Tensor> dlogits(n);
+  std::vector<double> step_losses(n, 0.0);
+
+  DataParallelResult result;
+  double post_warmup_lr = scaled.lr_n;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const double lr = (epoch < cfg_.warmup_epochs && n > 1)
+                          ? warmup.lr_for_epoch(epoch)
+                          : post_warmup_lr;
+    for (auto& opt : impl_->optimizers) opt->set_learning_rate(lr);
+
+    for (std::size_t r = 0; r < n; ++r) shuffle_rngs[r].shuffle(orders[r]);
+
+    double loss_sum = 0.0;
+    for (std::size_t step = 0; step < steps_per_epoch; ++step) {
+      impl_->team->run([&](std::size_t r) {
+        const std::size_t begin = step * cfg_.bs1;
+        const std::size_t end = std::min(begin + cfg_.bs1, shards[r].n_rows);
+        nn::batch_from(shards[r], orders[r], begin, end, xs[r], ys[r]);
+        const nn::Tensor& logits = impl_->replicas[r]->forward(xs[r]);
+        impl_->replicas[r]->zero_grad();
+        step_losses[r] = nn::softmax_cross_entropy(logits, ys[r], dlogits[r]);
+        impl_->replicas[r]->backward(dlogits[r]);
+      });
+
+      // Allreduce every parameter block's gradient across replicas.
+      if (n > 1) {
+        const std::size_t blocks = impl_->params[0].size();
+        for (std::size_t b = 0; b < blocks; ++b) {
+          std::vector<std::vector<float>*> buffers(n);
+          for (std::size_t r = 0; r < n; ++r) {
+            buffers[r] = impl_->params[r][b].grads;
+          }
+          allreduce_average(buffers, cfg_.allreduce);
+        }
+      }
+
+      impl_->team->run([&](std::size_t r) { impl_->optimizers[r]->step(); });
+
+      for (std::size_t r = 0; r < n; ++r) loss_sum += step_losses[r];
+      ++result.global_steps;
+    }
+
+    const double valid_acc = nn::evaluate_accuracy(*impl_->replicas[0], valid_set);
+    if (epoch >= cfg_.warmup_epochs || n == 1) {
+      post_warmup_lr = plateau.update(valid_acc, lr);
+    }
+
+    nn::EpochStats stats;
+    stats.train_loss = loss_sum / static_cast<double>(steps_per_epoch * n);
+    stats.valid_accuracy = valid_acc;
+    stats.learning_rate = lr;
+    result.epochs.push_back(stats);
+    result.best_valid_accuracy = std::max(result.best_valid_accuracy, valid_acc);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (!result.epochs.empty()) {
+    result.final_valid_accuracy = result.epochs.back().valid_accuracy;
+  }
+  const double samples = static_cast<double>(result.global_steps) *
+                         static_cast<double>(cfg_.bs1 * n);
+  result.samples_per_second =
+      result.wall_seconds > 0.0 ? samples / result.wall_seconds : 0.0;
+  return result;
+}
+
+}  // namespace agebo::dp

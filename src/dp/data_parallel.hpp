@@ -1,0 +1,81 @@
+// Synchronous data-parallel training (Sec III-B): the training set is split
+// into `n` mutually exclusive shards; `n` replicas of the same architecture
+// each train on their own shard; per step the replica gradients are
+// allreduce-averaged so every replica applies an identical update and the
+// weights stay in lockstep — exactly the Horovod execution model, realized
+// with threads instead of MPI ranks (see DESIGN.md §2).
+//
+// The linear scaling rule (Eq. 2) is applied here: effective learning rate
+// n·lr1, effective global batch n·bs1 (each replica consumes a local batch
+// of bs1). Gradual warmup ramps from lr1 to n·lr1 across the first 5 epochs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dp/allreduce.hpp"
+#include "nn/graph_net.hpp"
+#include "nn/trainer.hpp"
+
+namespace agebo::dp {
+
+/// The three tunable hyperparameters of data-parallel training (H_m), plus
+/// fixed training-recipe settings.
+struct DataParallelConfig {
+  std::size_t n_procs = 1;  ///< n — number of parallel processes
+  double lr1 = 0.01;        ///< single-process learning rate
+  std::size_t bs1 = 256;    ///< single-process (local) batch size
+  std::size_t epochs = 20;
+  std::size_t warmup_epochs = 5;
+  std::size_t plateau_patience = 5;
+  double plateau_factor = 0.5;
+  AllreduceStrategy allreduce = AllreduceStrategy::kFlat;
+  std::uint64_t seed = 7;
+};
+
+/// Eq. 2: lr_n = n * lr1, bs_n = n * bs1.
+struct LinearScaling {
+  double lr_n;
+  std::size_t bs_n;
+};
+LinearScaling linear_scaling(const DataParallelConfig& cfg);
+
+struct DataParallelResult {
+  std::vector<nn::EpochStats> epochs;
+  double best_valid_accuracy = 0.0;
+  double final_valid_accuracy = 0.0;
+  double wall_seconds = 0.0;
+  std::size_t global_steps = 0;
+  double samples_per_second = 0.0;
+};
+
+class DataParallelTrainer {
+ public:
+  DataParallelTrainer(nn::GraphSpec spec, DataParallelConfig cfg);
+  ~DataParallelTrainer();
+
+  DataParallelTrainer(const DataParallelTrainer&) = delete;
+  DataParallelTrainer& operator=(const DataParallelTrainer&) = delete;
+
+  /// Run the full training loop; replicas are freshly initialized each call.
+  DataParallelResult fit(const data::Dataset& train_set,
+                         const data::Dataset& valid_set);
+
+  /// Replica 0's network (the synchronized model) after fit().
+  nn::GraphNet& model();
+
+  /// Max |w_r - w_0| across replicas — 0 means perfect lockstep. Exposed
+  /// for tests asserting the allreduce keeps replicas synchronized.
+  float max_replica_divergence() const;
+
+  const DataParallelConfig& config() const { return cfg_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  DataParallelConfig cfg_;
+};
+
+}  // namespace agebo::dp

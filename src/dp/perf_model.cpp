@@ -1,0 +1,71 @@
+#include "dp/perf_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::dp {
+
+namespace {
+
+double allreduce_seconds(const PerfModelParams& model, std::size_t n_procs,
+                         std::size_t n_params) {
+  if (n_procs <= 1) return 0.0;
+  const double levels = std::ceil(std::log2(static_cast<double>(n_procs)));
+  const double bytes = static_cast<double>(n_params) * 4.0;  // float32
+  return levels * (model.allreduce_alpha + bytes / model.allreduce_beta);
+}
+
+}  // namespace
+
+double predict_step_seconds(const PerfModelParams& model, std::size_t n_procs,
+                            std::size_t local_batch, std::size_t n_params) {
+  if (n_procs == 0 || local_batch == 0 || n_params == 0) {
+    throw std::invalid_argument("predict_step_seconds: zero argument");
+  }
+  // Each replica computes its local batch concurrently, so per-step compute
+  // is the single-replica cost of `local_batch` samples.
+  const double compute = model.compute_per_sample_param *
+                         static_cast<double>(local_batch) *
+                         static_cast<double>(n_params);
+  return compute + allreduce_seconds(model, n_procs, n_params) +
+         model.step_overhead;
+}
+
+double predict_training_seconds(const PerfModelParams& model,
+                                std::size_t n_procs, std::size_t local_batch,
+                                std::size_t n_params, std::size_t train_rows,
+                                std::size_t epochs) {
+  if (train_rows == 0 || epochs == 0) {
+    throw std::invalid_argument("predict_training_seconds: zero argument");
+  }
+  // Steps per epoch: shard rows / local batch (synchronous lockstep).
+  const std::size_t shard_rows = train_rows / n_procs;
+  const std::size_t steps = std::max<std::size_t>(1, shard_rows / local_batch);
+  return static_cast<double>(steps * epochs) *
+         predict_step_seconds(model, n_procs, local_batch, n_params);
+}
+
+double predict_speedup(const PerfModelParams& model, std::size_t n_procs,
+                       std::size_t local_batch, std::size_t n_params,
+                       std::size_t train_rows) {
+  const double t1 = predict_training_seconds(model, 1, local_batch, n_params,
+                                             train_rows, 1);
+  const double tn = predict_training_seconds(model, n_procs, local_batch,
+                                             n_params, train_rows, 1);
+  return t1 / tn;
+}
+
+PerfModelParams fit_compute_rate(PerfModelParams model,
+                                 double measured_step_seconds,
+                                 std::size_t local_batch,
+                                 std::size_t n_params) {
+  if (measured_step_seconds <= model.step_overhead) {
+    throw std::invalid_argument("fit_compute_rate: measurement below overhead");
+  }
+  model.compute_per_sample_param =
+      (measured_step_seconds - model.step_overhead) /
+      (static_cast<double>(local_batch) * static_cast<double>(n_params));
+  return model;
+}
+
+}  // namespace agebo::dp

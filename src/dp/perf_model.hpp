@@ -1,0 +1,50 @@
+// Analytic step-time model for synchronous data-parallel training:
+//
+//   t_step = t_compute(local_batch, params) / n_effective
+//          + t_allreduce(params, n)
+//          + t_overhead
+//
+// with t_allreduce following the latency-bandwidth (alpha-beta) model of a
+// tree reduction: ceil(log2 n) * (alpha + bytes / beta). This is the model
+// behind the calibrated Table I speedup lookup in eval::dp_speedup; the
+// fit_throughput() helper calibrates its constants against measured step
+// times from the real DataParallelTrainer (bench_ablations / tests compare
+// the model's scaling predictions with reality).
+#pragma once
+
+#include <cstddef>
+
+namespace agebo::dp {
+
+struct PerfModelParams {
+  /// Seconds per (sample x parameter) of forward+backward compute.
+  double compute_per_sample_param = 2.0e-9;
+  /// Allreduce latency per tree level (seconds).
+  double allreduce_alpha = 5.0e-6;
+  /// Allreduce bandwidth (bytes per second).
+  double allreduce_beta = 8.0e9;
+  /// Fixed per-step overhead (batching, scheduling).
+  double step_overhead = 2.0e-5;
+};
+
+/// Predicted wall seconds for one synchronous data-parallel step.
+double predict_step_seconds(const PerfModelParams& model, std::size_t n_procs,
+                            std::size_t local_batch, std::size_t n_params);
+
+/// Predicted wall seconds for a full training run.
+double predict_training_seconds(const PerfModelParams& model,
+                                std::size_t n_procs, std::size_t local_batch,
+                                std::size_t n_params, std::size_t train_rows,
+                                std::size_t epochs);
+
+/// Predicted speedup of n processes over 1 under the linear scaling rule
+/// (local batch fixed, global batch grows with n).
+double predict_speedup(const PerfModelParams& model, std::size_t n_procs,
+                       std::size_t local_batch, std::size_t n_params,
+                       std::size_t train_rows);
+
+/// Calibrate compute_per_sample_param from one measured step time at n=1.
+PerfModelParams fit_compute_rate(PerfModelParams model, double measured_step_seconds,
+                                 std::size_t local_batch, std::size_t n_params);
+
+}  // namespace agebo::dp

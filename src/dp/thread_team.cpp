@@ -1,0 +1,79 @@
+#include "dp/thread_team.hpp"
+
+#include <stdexcept>
+
+namespace agebo::dp {
+
+ThreadTeam::ThreadTeam(std::size_t size) : size_(size) {
+  if (size == 0) throw std::invalid_argument("ThreadTeam: zero size");
+  threads_.reserve(size - 1);
+  for (std::size_t rank = 1; rank < size; ++rank) {
+    threads_.emplace_back([this, rank] { worker_loop(rank); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadTeam::run(const std::function<void(std::size_t)>& fn) {
+  if (size_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    pending_ = size_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  // Rank 0 participates on the calling thread.
+  std::exception_ptr local_error;
+  try {
+    fn(0);
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (local_error) std::rethrow_exception(local_error);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadTeam::worker_loop(std::size_t rank) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(rank);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace agebo::dp

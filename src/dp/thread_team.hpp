@@ -1,0 +1,49 @@
+// A persistent team of worker threads executing the same callable with
+// their rank, SPMD-style (the thread analogue of an MPI communicator).
+// run() is a collective: it returns after every rank finished. Creating
+// threads once per trainer instead of once per step keeps step overhead
+// negligible for the small models in the search space.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agebo::dp {
+
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(std::size_t size);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Execute fn(rank) on every rank concurrently; rank 0 runs on the
+  /// calling thread. Rethrows the first worker exception after the
+  /// collective completes.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t rank);
+
+  std::size_t size_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace agebo::dp

@@ -1,0 +1,28 @@
+#include "eval/evaluation.hpp"
+
+#include <stdexcept>
+
+namespace agebo::eval {
+
+dp::DataParallelConfig to_dp_config(const bo::Point& hparams,
+                                    std::size_t epochs, std::uint64_t seed) {
+  if (hparams.size() != 3) {
+    throw std::invalid_argument("to_dp_config: expected (bs1, lr1, n)");
+  }
+  dp::DataParallelConfig cfg;
+  cfg.bs1 = static_cast<std::size_t>(hparams[0]);
+  cfg.lr1 = hparams[1];
+  cfg.n_procs = static_cast<std::size_t>(hparams[2]);
+  cfg.epochs = epochs;
+  cfg.seed = seed;
+  if (cfg.bs1 == 0 || cfg.n_procs == 0 || cfg.lr1 <= 0.0) {
+    throw std::invalid_argument("to_dp_config: invalid hyperparameters");
+  }
+  return cfg;
+}
+
+bo::Point default_hparams(std::size_t n_procs) {
+  return {256.0, 0.01, static_cast<double>(n_procs)};
+}
+
+}  // namespace agebo::eval

@@ -1,0 +1,50 @@
+// Evaluation contract between the search algorithms (src/core) and the two
+// evaluation backends: real data-parallel training (training_eval) and the
+// calibrated analytic response surface (surrogate). See DESIGN.md §2 for
+// why both exist.
+#pragma once
+
+#include <cstddef>
+
+#include "bo/param_space.hpp"
+#include "dp/data_parallel.hpp"
+#include "exec/executor.hpp"
+#include "nas/search_space.hpp"
+
+namespace agebo::eval {
+
+/// One candidate: an architecture genome h_a plus the data-parallel
+/// training hyperparameters h_m = (bs1, lr1, n) in ParamSpace::paper_space()
+/// dimension order.
+struct ModelConfig {
+  nas::Genome genome;
+  bo::Point hparams;
+};
+
+/// Decode h_m into a DataParallelConfig (Eq. 2 is applied inside the
+/// trainer). `hparams` must be in paper_space() order: bs1, lr1, n.
+dp::DataParallelConfig to_dp_config(const bo::Point& hparams,
+                                    std::size_t epochs = 20,
+                                    std::uint64_t seed = 7);
+
+/// The paper's fixed AgE defaults: bs1=256, lr1=0.01, n given.
+bo::Point default_hparams(std::size_t n_procs);
+
+/// Backend-agnostic evaluator. Implementations must be safe to call from
+/// multiple worker threads concurrently (const access to shared state).
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  virtual exec::EvalOutput evaluate(const ModelConfig& config) = 0;
+
+  /// Multi-fidelity evaluation: train for `fidelity` (0, 1] of the full
+  /// epoch budget. Used by successive-halving searchers (the BOHB-style
+  /// comparator); the default ignores the knob and runs at full fidelity.
+  virtual exec::EvalOutput evaluate_at(const ModelConfig& config,
+                                       double fidelity) {
+    (void)fidelity;
+    return evaluate(config);
+  }
+};
+
+}  // namespace agebo::eval

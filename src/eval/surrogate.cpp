@@ -1,0 +1,371 @@
+#include "eval/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace agebo::eval {
+
+namespace {
+
+constexpr double kMinutes = 60.0;
+
+/// FNV-1a over the config so noise is a deterministic function of the
+/// evaluated point (plus the profile seed).
+std::uint64_t config_hash(const ModelConfig& cfg, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (int g : cfg.genome) mix(static_cast<std::uint64_t>(g) + 0x9e37);
+  for (double p : cfg.hparams) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(p));
+    std::memcpy(&bits, &p, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+double dp_speedup(double n_procs) {
+  if (n_procs < 1.0) throw std::invalid_argument("dp_speedup: n < 1");
+  // Piecewise-linear in (log2 n, log2 speedup) through the Table I anchors.
+  static constexpr double kLogN[] = {0.0, 1.0, 2.0, 3.0};
+  static constexpr double kLogS[] = {0.0, 1.566, 2.302, 3.056};
+  const double x = std::log2(n_procs);
+  if (x >= kLogN[3]) return std::exp2(kLogS[3] + 0.75 * (x - kLogN[3]));
+  std::size_t i = 0;
+  while (i + 2 < 4 && x > kLogN[i + 1]) ++i;
+  const double t = (x - kLogN[i]) / (kLogN[i + 1] - kLogN[i]);
+  return std::exp2(kLogS[i] + t * (kLogS[i + 1] - kLogS[i]));
+}
+
+DatasetProfile covertype_profile() {
+  DatasetProfile p;
+  p.name = "covertype";
+  p.max_acc = 0.942;
+  p.arch_gap_scale = 0.80;
+  p.arch_tau = 0.87;
+  p.arch_gap_cap = 0.08;
+  p.opt_lr_eff = 0.0014;
+  p.lr_quad = 0.003;
+  p.lr_tol = 1.5;
+  p.lr_cliff = 0.22;
+  p.opt_bs_eff = 256;
+  p.bs_quad = 0.0012;
+  p.bs_tol = 2.0;
+  p.bs_cliff = 0.002;
+  p.scaling_limit = 1;
+  p.n_cliff = 0.0015;
+  p.n_bonus = 0.0;
+  p.p_floor = 0.03;
+  p.p_range = 0.28;
+  p.p_gap_scale = 0.0010;
+  p.stable_sd = 0.0025;
+  p.unstable_base = 0.02;
+  p.unstable_coeff = 0.3;
+  p.noise_sd = 0.002;
+  p.base_minutes = 26.5;
+  p.time_noise_sd = 0.10;
+  p.seed = 0xC0FE;
+  return p;
+}
+
+DatasetProfile airlines_profile() {
+  DatasetProfile p;
+  p.name = "airlines";
+  p.max_acc = 0.6495;
+  p.arch_gap_scale = 0.60;
+  p.arch_tau = 0.87;
+  p.arch_gap_cap = 0.02;
+  p.opt_lr_eff = 0.003;
+  p.lr_quad = 0.0006;
+  p.lr_tol = 1.3;
+  p.lr_cliff = 0.10;
+  p.opt_bs_eff = 128;
+  p.bs_quad = 0.0004;
+  p.bs_tol = 2.0;
+  p.bs_cliff = 0.003;
+  p.scaling_limit = 2;
+  p.n_cliff = 0.0015;
+  p.n_bonus = 0.0008;
+  p.p_floor = 0.03;
+  p.p_range = 0.28;
+  p.p_gap_scale = 0.0010;
+  p.stable_sd = 0.0015;
+  p.unstable_base = 0.007;
+  p.unstable_coeff = 0.1;
+  p.noise_sd = 0.002;
+  p.base_minutes = 14.0;
+  p.time_noise_sd = 0.10;
+  p.seed = 0xA1B;
+  return p;
+}
+
+DatasetProfile albert_profile() {
+  DatasetProfile p;
+  p.name = "albert";
+  p.max_acc = 0.6635;
+  p.arch_gap_scale = 0.55;
+  p.arch_tau = 0.87;
+  p.arch_gap_cap = 0.045;
+  p.opt_lr_eff = 0.0044;
+  p.lr_quad = 0.0006;
+  p.lr_tol = 1.3;
+  p.lr_cliff = 0.12;
+  p.opt_bs_eff = 128;
+  p.bs_quad = 0.0004;
+  p.bs_tol = 2.0;
+  p.bs_cliff = 0.003;
+  p.scaling_limit = 2;
+  p.n_cliff = 0.0015;
+  p.n_bonus = 0.0008;
+  p.p_floor = 0.03;
+  p.p_range = 0.28;
+  p.p_gap_scale = 0.0010;
+  p.stable_sd = 0.0018;
+  p.unstable_base = 0.008;
+  p.unstable_coeff = 0.12;
+  p.noise_sd = 0.002;
+  p.base_minutes = 18.0;
+  p.time_noise_sd = 0.10;
+  p.seed = 0xA7BE;
+  return p;
+}
+
+DatasetProfile dionis_profile() {
+  DatasetProfile p;
+  p.name = "dionis";
+  p.max_acc = 0.905;
+  p.arch_gap_scale = 3.00;
+  p.arch_tau = 0.70;
+  p.arch_gap_cap = 0.15;
+  p.opt_lr_eff = 0.0048;
+  p.lr_quad = 0.0008;
+  p.lr_tol = 1.3;
+  p.lr_cliff = 0.20;
+  p.opt_bs_eff = 1024;
+  p.bs_quad = 0.0005;
+  p.bs_tol = 2.0;
+  p.bs_cliff = 0.004;
+  p.scaling_limit = 4;
+  p.n_cliff = 0.002;
+  p.n_bonus = 0.0012;
+  p.p_floor = 0.03;
+  p.p_range = 0.28;
+  p.p_gap_scale = 0.0010;
+  p.stable_sd = 0.003;
+  p.unstable_base = 0.025;
+  p.unstable_coeff = 0.4;
+  p.noise_sd = 0.002;
+  p.base_minutes = 24.0;
+  p.time_noise_sd = 0.10;
+  p.seed = 0xD105;
+  return p;
+}
+
+std::vector<DatasetProfile> paper_profiles() {
+  return {covertype_profile(), airlines_profile(), albert_profile(),
+          dionis_profile()};
+}
+
+DatasetProfile profile_by_name(const std::string& name) {
+  for (auto& p : paper_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("profile_by_name: unknown dataset " + name);
+}
+
+SurrogateEvaluator::SurrogateEvaluator(const nas::SearchSpace& space,
+                                       DatasetProfile profile)
+    : space_(&space), profile_(std::move(profile)) {
+  Rng rng(profile_.seed * 0x9E3779B97F4A7C15ULL + 1);
+  const std::size_t n = space.n_decisions();
+
+  double var_sum = 0.0;
+  main_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t arity = space.arity(i);
+    // Variable-node op decisions (arity > 2) matter more than skip nodes.
+    const double w = arity > 2 ? 1.0 : 0.35;
+    main_[i].resize(arity);
+    double mean = 0.0;
+    for (std::size_t v = 0; v < arity; ++v) {
+      double c = rng.normal(0.0, w);
+      if (arity > 2 && v == 0) c -= 0.5 * w;  // identity op: mild capacity loss
+      if (arity == 2 && v == 1) c += 0.15;    // skips mildly help on average
+      main_[i][v] = c;
+      mean += c;
+    }
+    mean /= static_cast<double>(arity);
+    double var = 0.0;
+    for (double& c : main_[i]) {
+      c -= mean;  // center so the table contributes zero-mean score
+      var += c * c;
+    }
+    var_sum += var / static_cast<double>(arity);
+  }
+
+  // Pairwise interactions make the landscape non-separable so greedy
+  // per-decision optimization cannot trivially solve it. Their share of the
+  // total score variance (~50%) is what keeps thousands of evaluations from
+  // saturating the landscape, matching the paper's still-rising Fig 3
+  // trajectories at 180 minutes.
+  const std::size_t n_pairs = std::min<std::size_t>(40, n * (n - 1) / 2);
+  for (std::size_t pidx = 0; pidx < n_pairs; ++pidx) {
+    Interaction inter;
+    inter.a = rng.index(n);
+    do {
+      inter.b = rng.index(n);
+    } while (inter.b == inter.a);
+    const std::size_t cells = space.arity(inter.a) * space.arity(inter.b);
+    inter.table.resize(cells);
+    double mean = 0.0;
+    for (double& c : inter.table) {
+      c = rng.normal(0.0, 0.55);
+      mean += c;
+    }
+    mean /= static_cast<double>(cells);
+    double var = 0.0;
+    for (double& c : inter.table) {
+      c -= mean;
+      var += c * c;
+    }
+    var_sum += var / static_cast<double>(cells);
+    interactions_.push_back(std::move(inter));
+  }
+  score_scale_ = std::sqrt(std::max(var_sum, 1e-12));
+}
+
+double SurrogateEvaluator::score_z(const nas::Genome& g) const {
+  space_->validate(g);
+  double s = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    s += main_[i][static_cast<std::size_t>(g[i])];
+  }
+  for (const auto& inter : interactions_) {
+    const auto va = static_cast<std::size_t>(g[inter.a]);
+    const auto vb = static_cast<std::size_t>(g[inter.b]);
+    s += inter.table[va * space_->arity(inter.b) + vb];
+  }
+  return s / score_scale_;
+}
+
+double SurrogateEvaluator::quality(const nas::Genome& g) const {
+  // Logistic squash of the standardized score: random genomes spread over
+  // (0,1), top genomes approach 1.
+  return 1.0 / (1.0 + std::exp(-1.2 * score_z(g)));
+}
+
+double SurrogateEvaluator::hparam_gap(double bs1, double lr1, double n) const {
+  const DatasetProfile& p = profile_;
+  const double lr_eff = n * lr1;
+  const double bs_eff = n * bs1;
+
+  const double d = std::log10(lr_eff / p.opt_lr_eff);
+  double gap = p.lr_quad * d * d;
+  const double d_excess = std::max(0.0, std::abs(d) - p.lr_tol);
+  gap += p.lr_cliff * d_excess * d_excess;
+
+  const double e = std::log2(bs_eff / p.opt_bs_eff);
+  gap += p.bs_quad * e * e;
+  const double e_excess = std::max(0.0, std::abs(e) - p.bs_tol);
+  gap += p.bs_cliff * e_excess * e_excess;
+
+  const auto limit = static_cast<double>(p.scaling_limit);
+  if (n > limit) {
+    const double excess = std::log2(n / limit);
+    gap += p.n_cliff * excess * excess;
+  }
+  gap -= p.n_bonus * std::log2(std::min(n, limit));
+  return gap;
+}
+
+double SurrogateEvaluator::arch_cost_factor(const nas::Genome& g) const {
+  // Cost proxy: total dense units relative to the space's expected total,
+  // including the skip-connection projection layers.
+  const auto spec = space_->to_graph_spec(g, 54, 7);
+  double units = 0.0;
+  std::size_t n_skip_slots = space_->n_decisions() - space_->n_variable_nodes();
+  for (const auto& node : spec.nodes) {
+    if (!node.is_identity) units += static_cast<double>(node.units);
+    units += 8.0 * static_cast<double>(node.skips.size());  // projections
+  }
+  const double expected =
+      static_cast<double>(space_->n_variable_nodes()) * 56.0 * (30.0 / 31.0) +
+      0.5 * 8.0 * static_cast<double>(n_skip_slots);
+  return 0.25 + 0.75 * units / expected;
+}
+
+double SurrogateEvaluator::mean_accuracy(const ModelConfig& config) const {
+  if (config.hparams.size() != 3) {
+    throw std::invalid_argument("SurrogateEvaluator: hparams must be (bs1,lr1,n)");
+  }
+  const double z = score_z(config.genome);
+  const double arch_gap = std::min(
+      profile_.arch_gap_cap,
+      profile_.arch_gap_scale * std::exp(-z / profile_.arch_tau));
+  const double gap = hparam_gap(config.hparams[0], config.hparams[1],
+                                config.hparams[2]);
+  return profile_.max_acc - arch_gap - gap;
+}
+
+double SurrogateEvaluator::mean_train_seconds(const ModelConfig& config) const {
+  const double n = config.hparams[2];
+  const double bs1 = config.hparams[0];
+  const double cost = arch_cost_factor(config.genome);
+  const double minutes = profile_.base_minutes * cost /
+                         (dp_speedup(n) * std::pow(bs1 / 256.0, 0.35));
+  return minutes * kMinutes;
+}
+
+exec::EvalOutput SurrogateEvaluator::evaluate_at(const ModelConfig& config,
+                                                  double fidelity) {
+  if (!(fidelity > 0.0) || fidelity > 1.0) {
+    throw std::invalid_argument("evaluate_at: fidelity must be in (0, 1]");
+  }
+  exec::EvalOutput out = evaluate(config);
+  if (fidelity >= 1.0) return out;
+  // Learning-curve shortfall plus fidelity-dependent ranking noise, seeded
+  // from (config, fidelity) so repeats are reproducible.
+  Rng noise(config_hash(config, profile_.seed) ^
+            static_cast<std::uint64_t>(fidelity * 1e9));
+  const double lc_gap = 0.06 * std::pow(1.0 - fidelity, 1.4);
+  const double rank_noise =
+      noise.normal(0.0, 2.0 * profile_.noise_sd * (1.0 - fidelity));
+  out.objective = std::clamp(out.objective - lc_gap + rank_noise, 0.0, 1.0);
+  out.train_seconds *= fidelity;
+  return out;
+}
+
+exec::EvalOutput SurrogateEvaluator::evaluate(const ModelConfig& config) {
+  Rng noise(config_hash(config, profile_.seed));
+  exec::EvalOutput out;
+  // Training-stability mixture (see DatasetProfile): the run either
+  // converges to its potential or underperforms substantially, with the
+  // stability probability decaying in the hyperparameter mismatch.
+  const double hp_gap = std::max(
+      0.0, hparam_gap(config.hparams[0], config.hparams[1], config.hparams[2]));
+  const double p_stable =
+      profile_.p_floor + profile_.p_range * std::exp(-hp_gap / profile_.p_gap_scale);
+  double shortfall;
+  if (noise.bernoulli(p_stable)) {
+    shortfall = std::abs(noise.normal(0.0, profile_.stable_sd));
+  } else {
+    const double mu_u =
+        profile_.unstable_base + profile_.unstable_coeff * std::sqrt(hp_gap);
+    shortfall = std::abs(noise.normal(mu_u, 0.4 * mu_u));
+  }
+  const double acc = mean_accuracy(config) - shortfall +
+                     noise.normal(0.0, profile_.noise_sd);
+  out.objective = std::clamp(acc, 0.0, 1.0);
+  out.train_seconds = mean_train_seconds(config) *
+                      std::exp(noise.normal(0.0, profile_.time_noise_sd));
+  return out;
+}
+
+}  // namespace agebo::eval

@@ -1,0 +1,156 @@
+// Calibrated analytic performance model used for paper-scale experiments
+// (the NAS-bench role). Maps (architecture genome, data-parallel
+// hyperparameters) -> (validation accuracy, training time) for each of the
+// four benchmark datasets without burning node-hours.
+//
+// Accuracy model (all terms in accuracy units):
+//   acc = max_acc
+//       - arch_range * (1 - quality(genome))               architecture
+//       - lr_quad * d^2 - lr_cliff * max(0, |d| - lr_tol)^2  d = log10(lr_eff/opt_lr_eff)
+//       - bs_quad * e^2 - bs_cliff * max(0, |e| - bs_tol)^2  e = log2(bs_eff/opt_bs_eff)
+//       - n_cliff * log2(n / scaling_limit)^2   (only when n > scaling_limit)
+//       + n_bonus * log2(min(n, scaling_limit))
+//       + noise
+// with lr_eff = n*lr1 and bs_eff = n*bs1 (Eq. 2). The plateau-plus-cliff
+// form reflects the linear-scaling-rule physics the paper reports: accuracy
+// is flat near the optimum and collapses past the dataset's scaling limit
+// (Table I: AgE-8 loses accuracy on Covertype while AgE-2/4 do not).
+// n_bonus encodes the mild preference for parallelism up to the limit that
+// makes Table III's per-dataset optima (Covertype n=1, Airlines/Albert n=2,
+// Dionis n=4) unique rather than time-only ties.
+//
+// quality() is a seeded per-dataset response over the 37 decisions:
+// per-decision contribution tables plus pairwise interactions, squashed to
+// [0,1] — smooth enough for mutation hill-climbing, rugged enough that
+// search is non-trivial.
+//
+// Time model (calibrated to Table I: 26.54 / 8.97 / 5.38 / 3.19 minutes on
+// Covertype for n = 1/2/4/8 under the linear scaling rule):
+//   t = base_minutes * arch_cost / (speedup(n) * (bs1/256)^0.35)
+// where speedup interpolates the measured lookup {1:1.00, 2:2.96, 4:4.93,
+// 8:8.32} (superlinear at n=2 because the global batch doubles as well).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/evaluation.hpp"
+#include "nas/search_space.hpp"
+
+namespace agebo::eval {
+
+struct DatasetProfile {
+  std::string name;
+  double max_acc;        ///< ceiling at perfect arch + tuned hyperparameters
+  /// Architecture gap = min(arch_gap_cap, arch_gap_scale * exp(-z /
+  /// arch_tau)), where z is the genome's standardized landscape score. The
+  /// exponential tail keeps the top of the landscape spread out: search
+  /// keeps finding small improvements for thousands of evaluations (Fig 3's
+  /// still-rising trajectories) instead of saturating at max_acc. The cap
+  /// bounds how badly a random fully connected net can do on tabular data —
+  /// without it, early random-architecture evaluations would swamp the BO's
+  /// view of the hyperparameters (Fig 3's dots all sit within ~0.1 of the
+  /// best on the real datasets).
+  double arch_gap_scale;
+  double arch_tau;
+  double arch_gap_cap;
+
+  double opt_lr_eff;     ///< optimal effective learning rate (n * lr1)
+  double lr_quad;        ///< gentle quadratic pull toward opt_lr_eff
+  double lr_tol;         ///< plateau half-width, decades
+  double lr_cliff;       ///< penalty coefficient past the plateau
+
+  double opt_bs_eff;     ///< optimal effective batch (n * bs1)
+  double bs_quad;
+  double bs_tol;         ///< plateau half-width, doublings
+  double bs_cliff;
+
+  std::size_t scaling_limit;  ///< largest n with no parallelism penalty
+  double n_cliff;        ///< quadratic penalty past the limit (per log2^2)
+  double n_bonus;        ///< benefit per doubling up to the limit
+
+  /// Training-stability mixture: a run either converges ("stable", reaching
+  /// its potential minus a small |N(0, stable_sd)|) or underperforms by
+  /// |N(mu_u, 0.4 mu_u)| with mu_u = unstable_base + unstable_coeff *
+  /// sqrt(hp gap). The stability probability decays with hyperparameter
+  /// mismatch: p = p_floor + p_range * exp(-hp gap / p_gap_scale).
+  /// This is the mechanism behind Fig 5/8: with tuned hyperparameters
+  /// ~20% of evaluations train to potential, with default ones only a few
+  /// percent do — so AgEBO accumulates high performers at 5-10x the rate of
+  /// AgE-n while the best-so-far ceilings stay close (Table I).
+  double p_floor;
+  double p_range;
+  double p_gap_scale;
+  double stable_sd;
+  double unstable_base;
+  double unstable_coeff;
+
+  double noise_sd;       ///< residual symmetric evaluation noise
+  double base_minutes;   ///< mean train time at n=1, bs1=256, 20 epochs
+  double time_noise_sd;  ///< lognormal sigma on the time
+
+  std::uint64_t seed;    ///< seeds the quality tables
+};
+
+/// Calibrated profiles for the paper's four datasets, in paper order
+/// {covertype, airlines, albert, dionis}.
+DatasetProfile covertype_profile();
+DatasetProfile airlines_profile();
+DatasetProfile albert_profile();
+DatasetProfile dionis_profile();
+std::vector<DatasetProfile> paper_profiles();
+DatasetProfile profile_by_name(const std::string& name);
+
+/// Interpolated parallel speedup lookup calibrated to Table I.
+double dp_speedup(double n_procs);
+
+class SurrogateEvaluator final : public Evaluator {
+ public:
+  SurrogateEvaluator(const nas::SearchSpace& space, DatasetProfile profile);
+
+  /// Deterministic per-config: the noise stream is seeded from a hash of
+  /// the config, so re-evaluating the same point reproduces the result.
+  exec::EvalOutput evaluate(const ModelConfig& config) override;
+
+  /// Partial-budget training (successive halving): accuracy follows a
+  /// learning-curve model acc(f) = acc(1) - lc_gap * (1-f)^1.4, time scales
+  /// linearly with f, and low fidelity adds ranking noise — reproducing the
+  /// "poor relative ranking between small and extensive budget" issue the
+  /// paper cites for multi-fidelity methods.
+  exec::EvalOutput evaluate_at(const ModelConfig& config,
+                               double fidelity) override;
+
+  /// Architecture quality in [0,1]; exposed for calibration and tests.
+  double quality(const nas::Genome& g) const;
+
+  /// Standardized landscape score (z) of a genome; quality and the
+  /// accuracy's architecture term are both monotone in it.
+  double score_z(const nas::Genome& g) const;
+
+  /// Noise-free accuracy for a config (tests / calibration).
+  double mean_accuracy(const ModelConfig& config) const;
+  /// Noise-free training time in seconds.
+  double mean_train_seconds(const ModelConfig& config) const;
+
+  const DatasetProfile& profile() const { return profile_; }
+
+ private:
+  double hparam_gap(double bs1, double lr1, double n) const;
+  double arch_cost_factor(const nas::Genome& g) const;
+
+  const nas::SearchSpace* space_;
+  DatasetProfile profile_;
+  // Per-decision contribution tables: main_[i][v].
+  std::vector<std::vector<double>> main_;
+  // Pairwise interactions: (a, b, table[v_a * arity(b) + v_b]).
+  struct Interaction {
+    std::size_t a;
+    std::size_t b;
+    std::vector<double> table;
+  };
+  std::vector<Interaction> interactions_;
+  double score_scale_ = 1.0;
+};
+
+}  // namespace agebo::eval

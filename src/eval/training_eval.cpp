@@ -1,0 +1,53 @@
+#include "eval/training_eval.hpp"
+
+#include <stdexcept>
+
+#include "dp/data_parallel.hpp"
+
+namespace agebo::eval {
+
+TrainingEvaluator::TrainingEvaluator(const data::Dataset& train,
+                                     const data::Dataset& valid,
+                                     TrainingEvalConfig cfg)
+    : train_(&train), valid_(&valid), cfg_(cfg) {
+  if (train.n_rows == 0 || valid.n_rows == 0) {
+    throw std::invalid_argument("TrainingEvaluator: empty split");
+  }
+  if (train.n_features != valid.n_features ||
+      train.n_classes != valid.n_classes) {
+    throw std::invalid_argument("TrainingEvaluator: split shape mismatch");
+  }
+}
+
+exec::EvalOutput TrainingEvaluator::evaluate(const ModelConfig& config) {
+  exec::EvalOutput out;
+  train_model(config, &out);
+  return out;
+}
+
+std::unique_ptr<nn::GraphNet> TrainingEvaluator::train_model(
+    const ModelConfig& config, exec::EvalOutput* out) const {
+  const auto spec =
+      space_.to_graph_spec(config.genome, train_->n_features, train_->n_classes);
+  auto dp_cfg = to_dp_config(config.hparams, cfg_.epochs, cfg_.seed);
+
+  dp::DataParallelTrainer trainer(spec, dp_cfg);
+  const auto result = trainer.fit(*train_, *valid_);
+  if (out != nullptr) {
+    out->objective = result.best_valid_accuracy;
+    out->train_seconds = result.wall_seconds;
+  }
+
+  // Move the trained replica-0 network out by copy-constructing a fresh
+  // GraphNet and copying parameters.
+  Rng rng(cfg_.seed);
+  auto net = std::make_unique<nn::GraphNet>(spec, rng);
+  auto dst = net->params();
+  auto src = trainer.model().params();
+  for (std::size_t b = 0; b < dst.size(); ++b) {
+    *dst[b].values = *src[b].values;
+  }
+  return net;
+}
+
+}  // namespace agebo::eval

@@ -1,0 +1,43 @@
+// Evaluator that really trains the architecture with data-parallel training
+// on a tabular dataset — the paper's evaluation path, used by examples,
+// integration tests, and the Table II accuracy/inference measurements.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "eval/evaluation.hpp"
+
+namespace agebo::eval {
+
+struct TrainingEvalConfig {
+  std::size_t epochs = 20;
+  std::uint64_t seed = 7;
+};
+
+class TrainingEvaluator final : public Evaluator {
+ public:
+  /// Keeps references; `train` and `valid` must outlive the evaluator.
+  TrainingEvaluator(const data::Dataset& train, const data::Dataset& valid,
+                    TrainingEvalConfig cfg = {});
+
+  /// Trains a fresh network from config.genome with the data-parallel
+  /// settings in config.hparams; returns the best validation accuracy over
+  /// the run and the measured wall time. Thread-safe: all shared state is
+  /// read-only.
+  exec::EvalOutput evaluate(const ModelConfig& config) override;
+
+  /// Train and hand back the fitted network (for final-model evaluation).
+  std::unique_ptr<nn::GraphNet> train_model(const ModelConfig& config,
+                                            exec::EvalOutput* out = nullptr) const;
+
+  const nas::SearchSpace& space() const { return space_; }
+
+ private:
+  const data::Dataset* train_;
+  const data::Dataset* valid_;
+  TrainingEvalConfig cfg_;
+  nas::SearchSpace space_;
+};
+
+}  // namespace agebo::eval

@@ -1,0 +1,85 @@
+// Manager-worker execution substrate (the Balsam role in Fig 2).
+//
+// The search process submits architecture evaluations through a
+// non-blocking `submit` and collects completed ones through `get_finished`
+// — exactly the submit_evaluation / get_finished_evaluations interface of
+// Algorithm 1. Two implementations exist:
+//
+//  - LiveExecutor: a thread pool of W workers that really runs the
+//    evaluation closures; `now()` is wall-clock time.
+//  - SimulatedExecutor: an event-driven simulator of a W-worker cluster
+//    driven by a virtual clock; each evaluation's *reported* training time
+//    becomes its simulated duration. This reproduces the paper's
+//    129-node / 3-hour Theta campaigns in milliseconds (DESIGN.md §2).
+//
+// Search code is written once against Executor and runs on either.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace agebo::exec {
+
+/// What one architecture evaluation produces.
+struct EvalOutput {
+  /// Validation accuracy (the search objective).
+  double objective = 0.0;
+  /// Training wall time in seconds. The simulator uses this as the job's
+  /// duration; the live executor overwrites it with measured time if the
+  /// evaluator left it at zero.
+  double train_seconds = 0.0;
+  /// True when the evaluation failed (counted as objective 0).
+  bool failed = false;
+};
+
+using EvalFn = std::function<EvalOutput()>;
+
+struct Finished {
+  std::uint64_t id = 0;
+  EvalOutput output;
+  /// Executor time (seconds since start) at which the job completed.
+  double finish_time = 0.0;
+};
+
+struct Utilization {
+  double busy_worker_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  std::size_t workers = 0;
+  /// busy / (elapsed * workers); the paper reports ~94% (Sec IV-C).
+  double fraction() const {
+    const double denom = elapsed_seconds * static_cast<double>(workers);
+    return denom > 0.0 ? busy_worker_seconds / denom : 0.0;
+  }
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Non-blocking job submission; returns the job id.
+  virtual std::uint64_t submit(EvalFn fn) = 0;
+
+  /// Submission occupying `width` workers at once (gang scheduling), for
+  /// evaluations whose data-parallel training spans multiple nodes — the
+  /// paper's multinode future-work item. The default treats width as 1;
+  /// SimulatedExecutor implements true gang scheduling.
+  virtual std::uint64_t submit(EvalFn fn, std::size_t width) {
+    (void)width;
+    return submit(std::move(fn));
+  }
+
+  /// Completed jobs since the last call. When `block` is true and jobs are
+  /// in flight, waits until at least one completes (in the simulator this
+  /// advances the virtual clock). Returns empty when nothing is in flight.
+  virtual std::vector<Finished> get_finished(bool block = true) = 0;
+
+  /// Seconds since executor start: wall time (live) or virtual time (sim).
+  virtual double now() const = 0;
+
+  virtual std::size_t num_workers() const = 0;
+  virtual std::size_t num_in_flight() const = 0;
+  virtual Utilization utilization() const = 0;
+};
+
+}  // namespace agebo::exec

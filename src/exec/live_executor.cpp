@@ -1,0 +1,66 @@
+#include "exec/live_executor.hpp"
+
+namespace agebo::exec {
+
+LiveExecutor::LiveExecutor(std::size_t n_workers)
+    : pool_(n_workers), start_(std::chrono::steady_clock::now()) {}
+
+double LiveExecutor::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::uint64_t LiveExecutor::submit(EvalFn fn) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    ++in_flight_;
+  }
+  pool_.enqueue([this, id, fn = std::move(fn)] {
+    const double t0 = now();
+    EvalOutput out;
+    try {
+      out = fn();
+    } catch (...) {
+      out.failed = true;
+      out.objective = 0.0;
+    }
+    const double t1 = now();
+    if (out.train_seconds <= 0.0) out.train_seconds = t1 - t0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_.push_back(Finished{id, out, t1});
+      busy_seconds_ += t1 - t0;
+      --in_flight_;
+    }
+    cv_.notify_all();
+  });
+  return id;
+}
+
+std::vector<Finished> LiveExecutor::get_finished(bool block) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (block) {
+    cv_.wait(lock, [this] { return !finished_.empty() || in_flight_ == 0; });
+  }
+  std::vector<Finished> out;
+  out.swap(finished_);
+  return out;
+}
+
+std::size_t LiveExecutor::num_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+Utilization LiveExecutor::utilization() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Utilization u;
+  u.busy_worker_seconds = busy_seconds_;
+  u.elapsed_seconds = now();
+  u.workers = pool_.size();
+  return u;
+}
+
+}  // namespace agebo::exec

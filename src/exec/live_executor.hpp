@@ -1,0 +1,37 @@
+// Executor backed by a real thread pool; evaluations actually run. Used by
+// examples and integration tests to drive the full training path.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "exec/executor.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace agebo::exec {
+
+class LiveExecutor final : public Executor {
+ public:
+  explicit LiveExecutor(std::size_t n_workers);
+
+  std::uint64_t submit(EvalFn fn) override;
+  std::vector<Finished> get_finished(bool block = true) override;
+  double now() const override;
+  std::size_t num_workers() const override { return pool_.size(); }
+  std::size_t num_in_flight() const override;
+  Utilization utilization() const override;
+
+ private:
+  ThreadPool pool_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Finished> finished_;
+  std::uint64_t next_id_ = 1;
+  std::size_t in_flight_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace agebo::exec

@@ -1,0 +1,47 @@
+#include "exec/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace agebo::exec {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw std::logic_error("ThreadPool: enqueue after stop");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace agebo::exec

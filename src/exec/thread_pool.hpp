@@ -1,0 +1,37 @@
+// Fixed-size thread pool with a shared task queue. Tasks are opaque
+// void() closures; completion reporting is the caller's concern
+// (LiveExecutor wraps tasks to push results into its finished queue).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agebo::exec {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void enqueue(std::function<void()> task);
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace agebo::exec

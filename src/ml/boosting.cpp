@@ -1,0 +1,125 @@
+#include "ml/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::ml {
+
+GradientBoostingClassifier::GradientBoostingClassifier(BoostingConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+void GradientBoostingClassifier::fit(const data::Dataset& ds) {
+  if (ds.n_rows == 0) throw std::invalid_argument("GradientBoosting: empty");
+  n_classes_ = ds.n_classes;
+  trees_.clear();
+
+  // Base score: class log-priors.
+  const auto counts = data::class_counts(ds);
+  base_score_.assign(n_classes_, 0.0);
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    const double p = std::max(1e-9, static_cast<double>(counts[c]) /
+                                        static_cast<double>(ds.n_rows));
+    base_score_[c] = std::log(p);
+  }
+
+  // Running raw scores per sample.
+  std::vector<double> scores(ds.n_rows * n_classes_);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      scores[i * n_classes_ + c] = base_score_[c];
+    }
+  }
+
+  Rng rng(cfg_.seed);
+  std::vector<double> residual(ds.n_rows);
+  std::vector<double> probs(n_classes_);
+
+  for (std::size_t round = 0; round < cfg_.n_rounds; ++round) {
+    // Row subsample for this round.
+    std::vector<std::size_t> rows;
+    if (cfg_.subsample < 1.0) {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(cfg_.subsample * static_cast<double>(ds.n_rows)));
+      rows = rng.sample_without_replacement(ds.n_rows, k);
+    } else {
+      rows.resize(ds.n_rows);
+      for (std::size_t i = 0; i < ds.n_rows; ++i) rows[i] = i;
+    }
+
+    std::vector<DecisionTree> round_trees(n_classes_);
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      // Residual = one_hot - softmax(scores), computed lazily per row.
+      for (std::size_t i = 0; i < ds.n_rows; ++i) {
+        const double* s = scores.data() + i * n_classes_;
+        double mx = s[0];
+        for (std::size_t k = 1; k < n_classes_; ++k) mx = std::max(mx, s[k]);
+        double z = 0.0;
+        for (std::size_t k = 0; k < n_classes_; ++k) z += std::exp(s[k] - mx);
+        const double p = std::exp(s[c] - mx) / z;
+        residual[i] = (static_cast<std::size_t>(ds.y[i]) == c ? 1.0 : 0.0) - p;
+      }
+      Rng tree_rng = rng.split();
+      round_trees[c].fit_regression(ds.x.data(), ds.n_rows, ds.n_features,
+                                    residual, cfg_.tree, tree_rng, &rows);
+    }
+    // Update scores with shrinkage.
+    for (std::size_t i = 0; i < ds.n_rows; ++i) {
+      const float* row = ds.row(i);
+      for (std::size_t c = 0; c < n_classes_; ++c) {
+        scores[i * n_classes_ + c] +=
+            cfg_.learning_rate * round_trees[c].predict_value(row);
+      }
+    }
+    trees_.push_back(std::move(round_trees));
+    (void)probs;
+  }
+}
+
+void GradientBoostingClassifier::scores_for_row(const float* row,
+                                                std::vector<double>& scores) const {
+  scores = base_score_;
+  for (const auto& round : trees_) {
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      scores[c] += cfg_.learning_rate * round[c].predict_value(row);
+    }
+  }
+}
+
+std::vector<double> GradientBoostingClassifier::predict_proba_row(const float* row) const {
+  if (trees_.empty() && base_score_.empty()) {
+    throw std::logic_error("GradientBoosting: not fitted");
+  }
+  std::vector<double> scores;
+  scores_for_row(row, scores);
+  double mx = scores[0];
+  for (double s : scores) mx = std::max(mx, s);
+  double z = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - mx);
+    z += s;
+  }
+  for (double& s : scores) s /= z;
+  return scores;
+}
+
+std::vector<int> GradientBoostingClassifier::predict(const data::Dataset& ds) const {
+  std::vector<int> out(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const auto proba = predict_proba_row(ds.row(i));
+    out[i] = static_cast<int>(std::distance(
+        proba.begin(), std::max_element(proba.begin(), proba.end())));
+  }
+  return out;
+}
+
+double GradientBoostingClassifier::accuracy(const data::Dataset& ds) const {
+  const auto preds = predict(ds);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    if (preds[i] == ds.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
+}
+
+}  // namespace agebo::ml

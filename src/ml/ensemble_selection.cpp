@@ -1,0 +1,108 @@
+#include "ml/ensemble_selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agebo::ml {
+
+namespace {
+
+double blended_accuracy(const std::vector<CandidatePredictions>& candidates,
+                        const std::vector<std::size_t>& counts,
+                        std::size_t total, const std::vector<int>& labels) {
+  const std::size_t n_rows = labels.size();
+  const std::size_t n_classes = candidates[0].n_classes;
+  std::size_t correct = 0;
+  std::vector<double> blend(n_classes);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    std::fill(blend.begin(), blend.end(), 0.0);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] == 0) continue;
+      const double w = static_cast<double>(counts[c]) / static_cast<double>(total);
+      const double* row = candidates[c].proba.data() + r * n_classes;
+      for (std::size_t k = 0; k < n_classes; ++k) blend[k] += w * row[k];
+    }
+    const auto best = std::distance(
+        blend.begin(), std::max_element(blend.begin(), blend.end()));
+    if (static_cast<int>(best) == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n_rows);
+}
+
+}  // namespace
+
+EnsembleSelectionResult select_ensemble(
+    const std::vector<CandidatePredictions>& candidates,
+    const std::vector<int>& labels, const EnsembleSelectionConfig& cfg) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("select_ensemble: no candidates");
+  }
+  const std::size_t n_rows = labels.size();
+  const std::size_t n_classes = candidates[0].n_classes;
+  for (const auto& c : candidates) {
+    if (c.n_rows != n_rows || c.n_classes != n_classes ||
+        c.proba.size() != n_rows * n_classes) {
+      throw std::invalid_argument("select_ensemble: candidate shape mismatch");
+    }
+  }
+  if (cfg.rounds == 0) throw std::invalid_argument("select_ensemble: zero rounds");
+
+  EnsembleSelectionResult result;
+  result.counts.assign(candidates.size(), 0);
+  std::size_t total = 0;
+  double best_acc = -1.0;
+
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    std::size_t best_candidate = candidates.size();
+    double round_best = best_acc;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      ++result.counts[c];
+      const double acc = blended_accuracy(candidates, result.counts, total + 1,
+                                          labels);
+      --result.counts[c];
+      if (acc > round_best) {
+        round_best = acc;
+        best_candidate = c;
+      }
+    }
+    if (best_candidate == candidates.size()) {
+      if (cfg.allow_no_improvement_stop) break;
+      // Re-add the current best blend's strongest member to keep going.
+      best_candidate = static_cast<std::size_t>(std::distance(
+          result.counts.begin(),
+          std::max_element(result.counts.begin(), result.counts.end())));
+    }
+    ++result.counts[best_candidate];
+    ++total;
+    best_acc = blended_accuracy(candidates, result.counts, total, labels);
+    ++result.rounds_used;
+  }
+
+  result.weights.assign(candidates.size(), 0.0);
+  if (total > 0) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      result.weights[c] =
+          static_cast<double>(result.counts[c]) / static_cast<double>(total);
+    }
+  }
+  result.validation_accuracy = std::max(best_acc, 0.0);
+  return result;
+}
+
+std::vector<double> blend_row(const std::vector<CandidatePredictions>& candidates,
+                              const std::vector<double>& weights,
+                              std::size_t row) {
+  if (candidates.empty() || weights.size() != candidates.size()) {
+    throw std::invalid_argument("blend_row: shape mismatch");
+  }
+  const std::size_t n_classes = candidates[0].n_classes;
+  std::vector<double> blend(n_classes, 0.0);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (weights[c] == 0.0) continue;
+    const double* r = candidates[c].proba.data() + row * n_classes;
+    for (std::size_t k = 0; k < n_classes; ++k) blend[k] += weights[c] * r[k];
+  }
+  return blend;
+}
+
+}  // namespace agebo::ml

@@ -1,0 +1,51 @@
+// Greedy weighted ensemble selection (Caruana et al.) — the strategy
+// AutoGluon uses as its final combiner: starting from an empty ensemble,
+// repeatedly add (with replacement) the base model whose inclusion most
+// improves validation accuracy of the weighted probability average. Models
+// can be selected multiple times, which realizes fractional weights.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace agebo::ml {
+
+/// Validation predictions of one candidate model: row-major
+/// n_rows x n_classes probabilities.
+struct CandidatePredictions {
+  std::vector<double> proba;
+  std::size_t n_rows = 0;
+  std::size_t n_classes = 0;
+};
+
+struct EnsembleSelectionConfig {
+  /// Greedy rounds (= total selections, counting repeats).
+  std::size_t rounds = 20;
+  /// Stop early when a round cannot improve accuracy.
+  bool allow_no_improvement_stop = true;
+};
+
+struct EnsembleSelectionResult {
+  /// Normalized weight per candidate (sums to 1 over selected ones).
+  std::vector<double> weights;
+  /// Selection counts per candidate.
+  std::vector<std::size_t> counts;
+  double validation_accuracy = 0.0;
+  std::size_t rounds_used = 0;
+};
+
+/// Select weights over `candidates` maximizing accuracy against `labels`.
+/// All candidates must share n_rows == labels.size() and n_classes.
+EnsembleSelectionResult select_ensemble(
+    const std::vector<CandidatePredictions>& candidates,
+    const std::vector<int>& labels, const EnsembleSelectionConfig& cfg = {});
+
+/// Weighted probability average for one row across candidates.
+std::vector<double> blend_row(const std::vector<CandidatePredictions>& candidates,
+                              const std::vector<double>& weights,
+                              std::size_t row);
+
+}  // namespace agebo::ml

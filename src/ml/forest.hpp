@@ -1,0 +1,73 @@
+// Random forests and extremely randomized trees (ExtraTrees).
+//
+// The regressor additionally exposes per-tree predictions: the BO module
+// uses the across-tree mean and standard deviation as the surrogate's
+// mu/sigma in the UCB acquisition function (Sec III-C), exactly like
+// scikit-optimize's RandomForest base estimator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "ml/tree.hpp"
+
+namespace agebo::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 100;
+  TreeConfig tree;
+  /// Bootstrap-resample rows per tree (false for ExtraTrees).
+  bool bootstrap = true;
+  std::uint64_t seed = 1;
+};
+
+/// Convenience presets.
+ForestConfig random_forest_defaults(std::size_t n_trees = 100);
+ForestConfig extra_trees_defaults(std::size_t n_trees = 100);
+
+class RandomForestClassifier {
+ public:
+  explicit RandomForestClassifier(ForestConfig cfg = random_forest_defaults());
+
+  void fit(const data::Dataset& ds);
+
+  /// Soft-vote probabilities for one row; size n_classes.
+  std::vector<double> predict_proba_row(const float* row) const;
+  std::vector<int> predict(const data::Dataset& ds) const;
+  double accuracy(const data::Dataset& ds) const;
+
+  std::size_t n_trees() const { return trees_.size(); }
+  std::size_t n_classes() const { return n_classes_; }
+
+ private:
+  ForestConfig cfg_;
+  std::vector<DecisionTree> trees_;
+  std::size_t n_classes_ = 0;
+  std::size_t n_features_ = 0;
+};
+
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(ForestConfig cfg = random_forest_defaults());
+
+  /// x: row-major n x d feature matrix.
+  void fit(const std::vector<float>& x, std::size_t n, std::size_t d,
+           const std::vector<double>& y);
+
+  double predict_row(const float* row) const;
+  /// Mean and across-tree standard deviation for one row.
+  void predict_with_uncertainty(const float* row, double& mean,
+                                double& stddev) const;
+
+  std::size_t n_trees() const { return trees_.size(); }
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  ForestConfig cfg_;
+  std::vector<DecisionTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace agebo::ml

@@ -1,0 +1,78 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::ml {
+
+KnnClassifier::KnnClassifier(KnnConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.k == 0) throw std::invalid_argument("KnnClassifier: k == 0");
+}
+
+void KnnClassifier::fit(const data::Dataset& ds) {
+  if (ds.n_rows == 0) throw std::invalid_argument("KnnClassifier: empty");
+  if (cfg_.max_reference_rows > 0 && ds.n_rows > cfg_.max_reference_rows) {
+    Rng rng(cfg_.seed);
+    auto rows = rng.sample_without_replacement(ds.n_rows, cfg_.max_reference_rows);
+    ref_ = ds.subset(rows);
+  } else {
+    ref_ = ds;
+  }
+}
+
+std::vector<double> KnnClassifier::predict_proba_row(const float* row) const {
+  if (ref_.n_rows == 0) throw std::logic_error("KnnClassifier: not fitted");
+  const std::size_t k = std::min(cfg_.k, ref_.n_rows);
+
+  // Max-heap of the k smallest distances as (distance, label) pairs.
+  std::vector<std::pair<float, int>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < ref_.n_rows; ++i) {
+    const float* r = ref_.row(i);
+    float dist = 0.0f;
+    for (std::size_t f = 0; f < ref_.n_features; ++f) {
+      const float diff = row[f] - r[f];
+      dist += diff * diff;
+    }
+    if (heap.size() < k) {
+      heap.emplace_back(dist, ref_.y[i]);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist, ref_.y[i]};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+
+  std::vector<double> proba(ref_.n_classes, 0.0);
+  double total = 0.0;
+  for (const auto& [dist, label] : heap) {
+    const double w = 1.0 / (1.0 + std::sqrt(static_cast<double>(dist)));
+    proba[static_cast<std::size_t>(label)] += w;
+    total += w;
+  }
+  for (double& p : proba) p /= total;
+  return proba;
+}
+
+std::vector<int> KnnClassifier::predict(const data::Dataset& ds) const {
+  std::vector<int> out(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const auto proba = predict_proba_row(ds.row(i));
+    out[i] = static_cast<int>(std::distance(
+        proba.begin(), std::max_element(proba.begin(), proba.end())));
+  }
+  return out;
+}
+
+double KnnClassifier::accuracy(const data::Dataset& ds) const {
+  const auto preds = predict(ds);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    if (preds[i] == ds.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
+}
+
+}  // namespace agebo::ml

@@ -1,0 +1,40 @@
+// Brute-force k-nearest-neighbours classifier (one of AutoGluon's base
+// learners). Deliberately exact: its O(n_ref · d) per-query cost is part of
+// what Table II measures — stacked ensembles containing kNN pay heavily at
+// inference time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace agebo::ml {
+
+struct KnnConfig {
+  std::size_t k = 15;
+  /// Cap on stored reference rows (random subsample); 0 = keep all.
+  std::size_t max_reference_rows = 0;
+  std::uint64_t seed = 5;
+};
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(KnnConfig cfg = {});
+
+  void fit(const data::Dataset& ds);
+
+  /// Distance-weighted vote probabilities; size n_classes.
+  std::vector<double> predict_proba_row(const float* row) const;
+  std::vector<int> predict(const data::Dataset& ds) const;
+  double accuracy(const data::Dataset& ds) const;
+
+  std::size_t n_reference_rows() const { return ref_.n_rows; }
+
+ private:
+  KnnConfig cfg_;
+  data::Dataset ref_;
+};
+
+}  // namespace agebo::ml

@@ -1,0 +1,103 @@
+#include "ml/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::ml {
+
+LogisticRegression::LogisticRegression(LogisticConfig cfg) : cfg_(std::move(cfg)) {}
+
+void LogisticRegression::fit(const data::Dataset& ds) {
+  if (ds.n_rows == 0) throw std::invalid_argument("LogisticRegression: empty");
+  n_features_ = ds.n_features;
+  n_classes_ = ds.n_classes;
+  w_.assign(n_classes_ * n_features_, 0.0);
+  b_.assign(n_classes_, 0.0);
+
+  Rng rng(cfg_.seed);
+  std::vector<std::size_t> order(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) order[i] = i;
+
+  std::vector<double> probs(n_classes_);
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < ds.n_rows; start += cfg_.batch_size) {
+      const std::size_t end = std::min(start + cfg_.batch_size, ds.n_rows);
+      const double scale = cfg_.lr / static_cast<double>(end - start);
+      // Accumulate the gradient over the minibatch, then apply once.
+      std::vector<double> gw(w_.size(), 0.0);
+      std::vector<double> gb(b_.size(), 0.0);
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const std::size_t i = order[idx];
+        const float* row = ds.row(i);
+        double mx = -1e300;
+        for (std::size_t c = 0; c < n_classes_; ++c) {
+          double s = b_[c];
+          const double* wc = w_.data() + c * n_features_;
+          for (std::size_t f = 0; f < n_features_; ++f) s += wc[f] * row[f];
+          probs[c] = s;
+          mx = std::max(mx, s);
+        }
+        double z = 0.0;
+        for (double& p : probs) {
+          p = std::exp(p - mx);
+          z += p;
+        }
+        for (double& p : probs) p /= z;
+        for (std::size_t c = 0; c < n_classes_; ++c) {
+          const double grad =
+              probs[c] - (static_cast<std::size_t>(ds.y[i]) == c ? 1.0 : 0.0);
+          double* gwc = gw.data() + c * n_features_;
+          for (std::size_t f = 0; f < n_features_; ++f) gwc[f] += grad * row[f];
+          gb[c] += grad;
+        }
+      }
+      for (std::size_t j = 0; j < w_.size(); ++j) {
+        w_[j] -= scale * (gw[j] + cfg_.l2 * w_[j]);
+      }
+      for (std::size_t c = 0; c < n_classes_; ++c) b_[c] -= scale * gb[c];
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba_row(const float* row) const {
+  if (w_.empty()) throw std::logic_error("LogisticRegression: not fitted");
+  std::vector<double> probs(n_classes_);
+  double mx = -1e300;
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    double s = b_[c];
+    const double* wc = w_.data() + c * n_features_;
+    for (std::size_t f = 0; f < n_features_; ++f) s += wc[f] * row[f];
+    probs[c] = s;
+    mx = std::max(mx, s);
+  }
+  double z = 0.0;
+  for (double& p : probs) {
+    p = std::exp(p - mx);
+    z += p;
+  }
+  for (double& p : probs) p /= z;
+  return probs;
+}
+
+std::vector<int> LogisticRegression::predict(const data::Dataset& ds) const {
+  std::vector<int> out(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const auto proba = predict_proba_row(ds.row(i));
+    out[i] = static_cast<int>(std::distance(
+        proba.begin(), std::max_element(proba.begin(), proba.end())));
+  }
+  return out;
+}
+
+double LogisticRegression::accuracy(const data::Dataset& ds) const {
+  const auto preds = predict(ds);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    if (preds[i] == ds.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
+}
+
+}  // namespace agebo::ml

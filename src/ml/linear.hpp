@@ -1,0 +1,40 @@
+// Multinomial logistic regression trained with minibatch SGD. Serves as the
+// stacking ensemble's meta-learner — the final combiner over base-model
+// probability features.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace agebo::ml {
+
+struct LogisticConfig {
+  double lr = 0.1;
+  std::size_t epochs = 30;
+  std::size_t batch_size = 256;
+  double l2 = 1e-4;
+  std::uint64_t seed = 11;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticConfig cfg = {});
+
+  void fit(const data::Dataset& ds);
+
+  std::vector<double> predict_proba_row(const float* row) const;
+  std::vector<int> predict(const data::Dataset& ds) const;
+  double accuracy(const data::Dataset& ds) const;
+
+ private:
+  LogisticConfig cfg_;
+  std::size_t n_features_ = 0;
+  std::size_t n_classes_ = 0;
+  std::vector<double> w_;  // n_classes x n_features
+  std::vector<double> b_;  // n_classes
+};
+
+}  // namespace agebo::ml

@@ -1,0 +1,105 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n_classes)
+    : n_(n_classes), counts_(n_classes * n_classes, 0) {
+  if (n_classes < 2) throw std::invalid_argument("ConfusionMatrix: < 2 classes");
+}
+
+void ConfusionMatrix::add(int truth, int prediction) {
+  if (truth < 0 || prediction < 0 || static_cast<std::size_t>(truth) >= n_ ||
+      static_cast<std::size_t>(prediction) >= n_) {
+    throw std::invalid_argument("ConfusionMatrix::add: label out of range");
+  }
+  counts_[static_cast<std::size_t>(truth) * n_ +
+          static_cast<std::size_t>(prediction)]++;
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t prediction) const {
+  if (truth >= n_ || prediction >= n_) {
+    throw std::out_of_range("ConfusionMatrix::count");
+  }
+  return counts_[truth * n_ + prediction];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < n_; ++i) diag += counts_[i * n_ + i];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double recall_sum = 0.0;
+  std::size_t supported = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t support = 0;
+    for (std::size_t j = 0; j < n_; ++j) support += counts_[i * n_ + j];
+    if (support == 0) continue;
+    recall_sum += static_cast<double>(counts_[i * n_ + i]) /
+                  static_cast<double>(support);
+    ++supported;
+  }
+  return supported > 0 ? recall_sum / static_cast<double>(supported) : 0.0;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double f1_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t support = 0;    // row sum: true class i
+    std::size_t predicted = 0;  // column sum: predicted class i
+    for (std::size_t j = 0; j < n_; ++j) {
+      support += counts_[i * n_ + j];
+      predicted += counts_[j * n_ + i];
+    }
+    if (support == 0 && predicted == 0) continue;  // class absent entirely
+    const double tp = static_cast<double>(counts_[i * n_ + i]);
+    const double precision =
+        predicted > 0 ? tp / static_cast<double>(predicted) : 0.0;
+    const double recall = support > 0 ? tp / static_cast<double>(support) : 0.0;
+    const double f1 = (precision + recall) > 0.0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
+    f1_sum += f1;
+    ++counted;
+  }
+  return counted > 0 ? f1_sum / static_cast<double>(counted) : 0.0;
+}
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& truth,
+                                 const std::vector<int>& predictions,
+                                 std::size_t n_classes) {
+  if (truth.size() != predictions.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  ConfusionMatrix cm(n_classes);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    cm.add(truth[i], predictions[i]);
+  }
+  return cm;
+}
+
+double log_loss(const std::vector<int>& truth,
+                const std::vector<double>& proba, std::size_t n_classes) {
+  if (truth.empty() || proba.size() != truth.size() * n_classes) {
+    throw std::invalid_argument("log_loss: shape mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto label = static_cast<std::size_t>(truth[i]);
+    if (label >= n_classes) throw std::invalid_argument("log_loss: bad label");
+    const double p = std::clamp(proba[i * n_classes + label], 1e-15, 1.0);
+    sum -= std::log(p);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+}  // namespace agebo::ml

@@ -1,0 +1,46 @@
+// Classification metrics beyond plain accuracy: confusion matrix, balanced
+// accuracy, macro-F1, and log-loss. Tabular benchmarks (Covertype's class
+// imbalance, Dionis's 355 classes) need more than top-1 accuracy to judge a
+// model; these match the standard definitions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agebo::ml {
+
+/// counts(i, j) = number of samples with true class i predicted as j.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n_classes);
+
+  void add(int truth, int prediction);
+
+  std::size_t n_classes() const { return n_; }
+  std::size_t count(std::size_t truth, std::size_t prediction) const;
+  std::size_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Mean per-class recall — robust to class imbalance.
+  double balanced_accuracy() const;
+  /// Unweighted mean of per-class F1 scores (classes with no support and
+  /// no predictions contribute F1 = 0 only if predicted; else skipped).
+  double macro_f1() const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // n x n
+};
+
+/// Build a confusion matrix from label vectors.
+ConfusionMatrix confusion_matrix(const std::vector<int>& truth,
+                                 const std::vector<int>& predictions,
+                                 std::size_t n_classes);
+
+/// Mean negative log-likelihood of the true class; probabilities are
+/// clipped to [1e-15, 1]. `proba` is row-major n x n_classes.
+double log_loss(const std::vector<int>& truth,
+                const std::vector<double>& proba, std::size_t n_classes);
+
+}  // namespace agebo::ml

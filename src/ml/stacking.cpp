@@ -1,0 +1,153 @@
+#include "ml/stacking.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agebo::ml {
+
+StackingEnsemble::StackingEnsemble(std::vector<ClassifierFactory> factories,
+                                   StackingConfig cfg)
+    : factories_(std::move(factories)), cfg_(cfg), meta_(cfg_.meta) {
+  if (factories_.empty()) throw std::invalid_argument("StackingEnsemble: no bases");
+  if (cfg_.n_folds < 2) throw std::invalid_argument("StackingEnsemble: n_folds < 2");
+}
+
+void StackingEnsemble::fit(const data::Dataset& ds) {
+  if (ds.n_rows < cfg_.n_folds) {
+    throw std::invalid_argument("StackingEnsemble: fewer rows than folds");
+  }
+  n_classes_ = ds.n_classes;
+  names_.clear();
+  fold_models_.clear();
+
+  // Fold assignment.
+  Rng rng(cfg_.seed);
+  std::vector<std::size_t> order(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::size_t> fold_of(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    fold_of[order[i]] = i % cfg_.n_folds;
+  }
+  std::vector<std::vector<std::size_t>> train_rows(cfg_.n_folds);
+  std::vector<std::vector<std::size_t>> holdout_rows(cfg_.n_folds);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    for (std::size_t f = 0; f < cfg_.n_folds; ++f) {
+      (fold_of[i] == f ? holdout_rows[f] : train_rows[f]).push_back(i);
+    }
+  }
+
+  // Out-of-fold probability features for the meta-learner.
+  const std::size_t n_bases = factories_.size();
+  data::Dataset meta_ds;
+  meta_ds.n_rows = ds.n_rows;
+  meta_ds.n_features = n_bases * n_classes_;
+  meta_ds.n_classes = n_classes_;
+  meta_ds.name = ds.name + "-meta";
+  meta_ds.x.assign(meta_ds.n_rows * meta_ds.n_features, 0.0f);
+  meta_ds.y = ds.y;
+
+  for (std::size_t b = 0; b < n_bases; ++b) {
+    std::vector<std::unique_ptr<BaseClassifier>> folds;
+    folds.reserve(cfg_.n_folds);
+    for (std::size_t f = 0; f < cfg_.n_folds; ++f) {
+      auto model = factories_[b]();
+      const auto fold_train = ds.subset(train_rows[f]);
+      model->fit(fold_train);
+      for (std::size_t r : holdout_rows[f]) {
+        const auto proba = model->predict_proba_row(ds.row(r));
+        float* dst = meta_ds.x.data() + r * meta_ds.n_features + b * n_classes_;
+        for (std::size_t c = 0; c < n_classes_; ++c) {
+          dst[c] = static_cast<float>(proba[c]);
+        }
+      }
+      folds.push_back(std::move(model));
+    }
+    names_.push_back(folds.front()->name());
+    fold_models_.push_back(std::move(folds));
+  }
+
+  if (cfg_.meta_learner == MetaLearner::kLogistic) {
+    weights_.clear();
+    meta_ = LogisticRegression(cfg_.meta);
+    meta_.fit(meta_ds);
+  } else {
+    // Greedy weighted ensemble selection over the OOF base probabilities.
+    std::vector<CandidatePredictions> candidates(n_bases);
+    for (std::size_t b = 0; b < n_bases; ++b) {
+      candidates[b].n_rows = ds.n_rows;
+      candidates[b].n_classes = n_classes_;
+      candidates[b].proba.resize(ds.n_rows * n_classes_);
+      for (std::size_t r = 0; r < ds.n_rows; ++r) {
+        const float* src =
+            meta_ds.x.data() + r * meta_ds.n_features + b * n_classes_;
+        for (std::size_t c = 0; c < n_classes_; ++c) {
+          candidates[b].proba[r * n_classes_ + c] = src[c];
+        }
+      }
+    }
+    const auto selection = select_ensemble(candidates, ds.y, cfg_.selection);
+    weights_ = selection.weights;
+  }
+}
+
+std::vector<double> StackingEnsemble::base_proba(std::size_t base,
+                                                 const float* row) const {
+  std::vector<double> avg(n_classes_, 0.0);
+  for (const auto& model : fold_models_[base]) {
+    const auto proba = model->predict_proba_row(row);
+    for (std::size_t c = 0; c < n_classes_; ++c) avg[c] += proba[c];
+  }
+  for (double& p : avg) p /= static_cast<double>(fold_models_[base].size());
+  return avg;
+}
+
+std::vector<double> StackingEnsemble::predict_proba_row(const float* row) const {
+  if (fold_models_.empty()) throw std::logic_error("StackingEnsemble: not fitted");
+  if (cfg_.meta_learner == MetaLearner::kGreedyWeights) {
+    std::vector<double> blend(n_classes_, 0.0);
+    for (std::size_t b = 0; b < fold_models_.size(); ++b) {
+      if (weights_[b] == 0.0) continue;
+      const auto proba = base_proba(b, row);
+      for (std::size_t c = 0; c < n_classes_; ++c) {
+        blend[c] += weights_[b] * proba[c];
+      }
+    }
+    return blend;
+  }
+  std::vector<float> meta_row(fold_models_.size() * n_classes_);
+  for (std::size_t b = 0; b < fold_models_.size(); ++b) {
+    const auto proba = base_proba(b, row);
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      meta_row[b * n_classes_ + c] = static_cast<float>(proba[c]);
+    }
+  }
+  return meta_.predict_proba_row(meta_row.data());
+}
+
+std::vector<int> StackingEnsemble::predict(const data::Dataset& ds) const {
+  std::vector<int> out(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const auto proba = predict_proba_row(ds.row(i));
+    out[i] = static_cast<int>(std::distance(
+        proba.begin(), std::max_element(proba.begin(), proba.end())));
+  }
+  return out;
+}
+
+double StackingEnsemble::accuracy(const data::Dataset& ds) const {
+  const auto preds = predict(ds);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    if (preds[i] == ds.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
+}
+
+std::size_t StackingEnsemble::n_models() const {
+  std::size_t n = 0;
+  for (const auto& folds : fold_models_) n += folds.size();
+  return n;
+}
+
+}  // namespace agebo::ml

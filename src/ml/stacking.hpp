@@ -1,0 +1,96 @@
+// Multi-layer stacking ensemble in the AutoGluon style: every base learner
+// is k-fold bagged (all fold models are kept and averaged at inference) and
+// a meta-learner is trained on out-of-fold probability features. This is the
+// structure responsible for AutoGluon's inference cost in Table II — a
+// prediction must run every fold model of every base learner plus the meta
+// model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "ml/ensemble_selection.hpp"
+#include "ml/linear.hpp"
+
+namespace agebo::ml {
+
+/// Type-erased classifier used as a stacking base learner.
+class BaseClassifier {
+ public:
+  virtual ~BaseClassifier() = default;
+  virtual void fit(const data::Dataset& ds) = 0;
+  virtual std::vector<double> predict_proba_row(const float* row) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Adapter over any model with fit(Dataset) + predict_proba_row(row).
+template <typename Model>
+class ClassifierAdapter final : public BaseClassifier {
+ public:
+  ClassifierAdapter(Model model, std::string name)
+      : model_(std::move(model)), name_(std::move(name)) {}
+
+  void fit(const data::Dataset& ds) override { model_.fit(ds); }
+  std::vector<double> predict_proba_row(const float* row) const override {
+    return model_.predict_proba_row(row);
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  Model model_;
+  std::string name_;
+};
+
+/// Factory producing a fresh unfitted base learner; stacking needs one
+/// instance per fold plus one trained on all data.
+using ClassifierFactory = std::function<std::unique_ptr<BaseClassifier>()>;
+
+/// Final combiner over the out-of-fold base probabilities: a logistic
+/// meta-learner, or greedy weighted ensemble selection (Caruana) — the
+/// combiner AutoGluon uses.
+enum class MetaLearner { kLogistic, kGreedyWeights };
+
+struct StackingConfig {
+  std::size_t n_folds = 5;
+  MetaLearner meta_learner = MetaLearner::kLogistic;
+  LogisticConfig meta;
+  EnsembleSelectionConfig selection;
+  std::uint64_t seed = 13;
+};
+
+class StackingEnsemble {
+ public:
+  StackingEnsemble(std::vector<ClassifierFactory> factories, StackingConfig cfg);
+
+  void fit(const data::Dataset& ds);
+
+  std::vector<double> predict_proba_row(const float* row) const;
+  std::vector<int> predict(const data::Dataset& ds) const;
+  double accuracy(const data::Dataset& ds) const;
+
+  /// Total fitted models across all base learners and folds (meta excluded).
+  std::size_t n_models() const;
+  const std::vector<std::string>& base_names() const { return names_; }
+
+  /// Per-base weights when meta_learner == kGreedyWeights (empty otherwise).
+  const std::vector<double>& base_weights() const { return weights_; }
+
+ private:
+  /// Averaged fold-model probabilities for one base learner.
+  std::vector<double> base_proba(std::size_t base, const float* row) const;
+
+  std::vector<ClassifierFactory> factories_;
+  StackingConfig cfg_;
+  std::size_t n_classes_ = 0;
+  std::vector<std::string> names_;
+  // fold_models_[base][fold]
+  std::vector<std::vector<std::unique_ptr<BaseClassifier>>> fold_models_;
+  LogisticRegression meta_;
+  std::vector<double> weights_;  // greedy-selection combiner
+};
+
+}  // namespace agebo::ml

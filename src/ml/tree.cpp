@@ -1,0 +1,308 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace agebo::ml {
+
+struct DecisionTree::BuildContext {
+  const float* x;
+  std::size_t d;
+  const std::vector<double>* yr;       // regression targets
+  const std::vector<int>* yc;          // classification labels
+  std::size_t n_classes;
+  const TreeConfig* cfg;
+  Rng* rng;
+  DecisionTree* tree;
+};
+
+namespace {
+
+/// Criterion accumulators. For regression: sum/sumsq. For classification:
+/// class histogram. Impurity = variance*n (SSE) or gini*n respectively so
+/// that split gain is additive.
+struct Accum {
+  // regression
+  double sum = 0.0;
+  double sumsq = 0.0;
+  // classification
+  std::vector<double> hist;
+  double n = 0.0;
+
+  void init_classes(std::size_t k) { hist.assign(k, 0.0); }
+
+  void add_reg(double y) {
+    sum += y;
+    sumsq += y * y;
+    n += 1.0;
+  }
+  void remove_reg(double y) {
+    sum -= y;
+    sumsq -= y * y;
+    n -= 1.0;
+  }
+  void add_cls(int c) {
+    hist[static_cast<std::size_t>(c)] += 1.0;
+    n += 1.0;
+  }
+  void remove_cls(int c) {
+    hist[static_cast<std::size_t>(c)] -= 1.0;
+    n -= 1.0;
+  }
+
+  double impurity_reg() const {
+    if (n <= 0.0) return 0.0;
+    return sumsq - sum * sum / n;  // SSE
+  }
+  double impurity_cls() const {
+    if (n <= 0.0) return 0.0;
+    double sq = 0.0;
+    for (double h : hist) sq += h * h;
+    return n - sq / n;  // n * gini
+  }
+};
+
+}  // namespace
+
+int DecisionTree::build(BuildContext& ctx, std::vector<std::size_t>& rows,
+                        std::size_t depth) {
+  const bool classify = ctx.yc != nullptr;
+  const TreeConfig& cfg = *ctx.cfg;
+
+  Accum total;
+  if (classify) total.init_classes(ctx.n_classes);
+  for (std::size_t r : rows) {
+    if (classify) {
+      total.add_cls((*ctx.yc)[r]);
+    } else {
+      total.add_reg((*ctx.yr)[r]);
+    }
+  }
+  const double node_impurity = classify ? total.impurity_cls() : total.impurity_reg();
+
+  auto make_leaf = [&]() -> int {
+    Node leaf;
+    if (classify) {
+      std::vector<double> dist(ctx.n_classes, 0.0);
+      for (std::size_t c = 0; c < ctx.n_classes; ++c) {
+        dist[c] = total.hist[c] / total.n;
+      }
+      leaf.dist_index = static_cast<int>(distributions_.size());
+      distributions_.push_back(std::move(dist));
+      // Leaf value doubles as the majority class for convenience.
+      leaf.leaf_value = static_cast<double>(
+          std::distance(total.hist.begin(),
+                        std::max_element(total.hist.begin(), total.hist.end())));
+    } else {
+      leaf.leaf_value = total.sum / total.n;
+    }
+    nodes_.push_back(leaf);
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (rows.size() < cfg.min_samples_split || depth >= cfg.max_depth ||
+      node_impurity <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Choose candidate features.
+  std::size_t n_feat = cfg.max_features == 0
+                           ? ctx.d
+                           : std::min(cfg.max_features, ctx.d);
+  std::vector<std::size_t> features =
+      n_feat == ctx.d ? std::vector<std::size_t>{}
+                      : ctx.rng->sample_without_replacement(ctx.d, n_feat);
+  if (features.empty()) {
+    features.resize(ctx.d);
+    for (std::size_t f = 0; f < ctx.d; ++f) features[f] = f;
+  }
+
+  double best_gain = 1e-10;
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+
+  std::vector<float> values(rows.size());
+  for (std::size_t f : features) {
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      values[i] = ctx.x[rows[i] * ctx.d + f];
+      lo = std::min(lo, values[i]);
+      hi = std::max(hi, values[i]);
+    }
+    if (!(hi > lo)) continue;
+
+    std::vector<float> thresholds;
+    if (cfg.random_thresholds) {
+      thresholds.push_back(
+          static_cast<float>(ctx.rng->uniform(lo, hi)));
+    } else if (cfg.n_thresholds > 0 && rows.size() > cfg.n_thresholds) {
+      // Quantile candidates over a sorted copy.
+      std::vector<float> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      thresholds.reserve(cfg.n_thresholds);
+      for (std::size_t t = 1; t <= cfg.n_thresholds; ++t) {
+        const std::size_t idx =
+            t * sorted.size() / (cfg.n_thresholds + 1);
+        const float thr = sorted[std::min(idx, sorted.size() - 1)];
+        if (thresholds.empty() || thr != thresholds.back()) {
+          thresholds.push_back(thr);
+        }
+      }
+    } else {
+      std::vector<float> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      thresholds.reserve(sorted.size());
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        thresholds.push_back(0.5f * (sorted[i] + sorted[i + 1]));
+      }
+    }
+
+    for (float thr : thresholds) {
+      Accum left;
+      Accum right = total;
+      if (classify) left.init_classes(ctx.n_classes);
+      // Single scan partition statistics.
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (values[i] <= thr) {
+          if (classify) {
+            left.add_cls((*ctx.yc)[rows[i]]);
+            right.remove_cls((*ctx.yc)[rows[i]]);
+          } else {
+            left.add_reg((*ctx.yr)[rows[i]]);
+            right.remove_reg((*ctx.yr)[rows[i]]);
+          }
+        }
+      }
+      if (left.n < static_cast<double>(cfg.min_samples_leaf) ||
+          right.n < static_cast<double>(cfg.min_samples_leaf)) {
+        continue;
+      }
+      const double child_impurity =
+          classify ? left.impurity_cls() + right.impurity_cls()
+                   : left.impurity_reg() + right.impurity_reg();
+      const double gain = node_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    if (ctx.x[r * ctx.d + static_cast<std::size_t>(best_feature)] <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+  rows.clear();
+  rows.shrink_to_fit();
+
+  // Reserve this node's slot before recursing so children land after it.
+  nodes_.emplace_back();
+  const int me = static_cast<int>(nodes_.size() - 1);
+  const int left = build(ctx, left_rows, depth + 1);
+  const int right = build(ctx, right_rows, depth + 1);
+  nodes_[static_cast<std::size_t>(me)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(me)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(me)].left = left;
+  nodes_[static_cast<std::size_t>(me)].right = right;
+  return me;
+}
+
+void DecisionTree::fit_regression(const float* x, std::size_t n, std::size_t d,
+                                  const std::vector<double>& y,
+                                  const TreeConfig& cfg, Rng& rng,
+                                  const std::vector<std::size_t>* row_subset) {
+  if (y.size() != n) throw std::invalid_argument("fit_regression: size");
+  if (n == 0) throw std::invalid_argument("fit_regression: empty");
+  nodes_.clear();
+  distributions_.clear();
+  n_features_ = d;
+  n_classes_ = 0;
+  BuildContext ctx{x, d, &y, nullptr, 0, &cfg, &rng, this};
+  std::vector<std::size_t> rows;
+  if (row_subset != nullptr) {
+    rows = *row_subset;
+  } else {
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  }
+  build(ctx, rows, 0);
+}
+
+void DecisionTree::fit_classification(const float* x, std::size_t n,
+                                      std::size_t d, const std::vector<int>& y,
+                                      std::size_t n_classes,
+                                      const TreeConfig& cfg, Rng& rng,
+                                      const std::vector<std::size_t>* row_subset) {
+  if (y.size() != n) throw std::invalid_argument("fit_classification: size");
+  if (n == 0 || n_classes < 2) {
+    throw std::invalid_argument("fit_classification: bad input");
+  }
+  nodes_.clear();
+  distributions_.clear();
+  n_features_ = d;
+  n_classes_ = n_classes;
+  BuildContext ctx{x, d, nullptr, &y, n_classes, &cfg, &rng, this};
+  std::vector<std::size_t> rows;
+  if (row_subset != nullptr) {
+    rows = *row_subset;
+  } else {
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  }
+  build(ctx, rows, 0);
+}
+
+const DecisionTree::Node& DecisionTree::descend(const float* row) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::size_t i = 0;
+  while (nodes_[i].left >= 0) {
+    const auto& node = nodes_[i];
+    i = static_cast<std::size_t>(
+        row[node.feature] <= node.threshold ? node.left : node.right);
+  }
+  return nodes_[i];
+}
+
+double DecisionTree::predict_value(const float* row) const {
+  return descend(row).leaf_value;
+}
+
+const std::vector<double>& DecisionTree::predict_distribution(const float* row) const {
+  const Node& leaf = descend(row);
+  if (leaf.dist_index < 0) {
+    throw std::logic_error("predict_distribution on a regression tree");
+  }
+  return distributions_[static_cast<std::size_t>(leaf.dist_index)];
+}
+
+std::size_t DecisionTree::depth() const {
+  // Depth via iterative traversal of the flat layout.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    auto [i, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    if (nodes_[i].left >= 0) {
+      stack.push_back({static_cast<std::size_t>(nodes_[i].left), d + 1});
+      stack.push_back({static_cast<std::size_t>(nodes_[i].right), d + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace agebo::ml

@@ -1,0 +1,74 @@
+// CART decision trees. One implementation serves three consumers:
+//  - classification trees inside RandomForest/ExtraTrees (gini impurity),
+//  - regression trees inside GradientBoosting (MSE criterion),
+//  - regression trees inside the BO random-forest surrogate.
+//
+// Split search scans candidate thresholds per feature; for efficiency with
+// large node sizes the candidates are subsampled quantiles rather than all
+// midpoints, which is the standard histogram-style approximation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agebo::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Features examined per split; 0 = all features.
+  std::size_t max_features = 0;
+  /// Candidate thresholds per feature; 0 = all midpoints (exact CART).
+  std::size_t n_thresholds = 32;
+  /// ExtraTrees mode: one uniformly random threshold per feature.
+  bool random_thresholds = false;
+};
+
+/// Flat-array binary tree. Internal node: feature/threshold/left/right.
+/// Leaf: left == -1, payload in `leaf_value` (regression) or
+/// `leaf_distribution` (classification probabilities).
+class DecisionTree {
+ public:
+  /// Fit a regression tree on rows of x (row-major, n x d) against y.
+  void fit_regression(const float* x, std::size_t n, std::size_t d,
+                      const std::vector<double>& y, const TreeConfig& cfg,
+                      Rng& rng, const std::vector<std::size_t>* row_subset = nullptr);
+
+  /// Fit a classification tree; y holds class ids < n_classes.
+  void fit_classification(const float* x, std::size_t n, std::size_t d,
+                          const std::vector<int>& y, std::size_t n_classes,
+                          const TreeConfig& cfg, Rng& rng,
+                          const std::vector<std::size_t>* row_subset = nullptr);
+
+  double predict_value(const float* row) const;
+  /// Class distribution at the reached leaf (classification trees only).
+  const std::vector<double>& predict_distribution(const float* row) const;
+
+  std::size_t n_nodes() const { return nodes_.size(); }
+  std::size_t depth() const;
+  bool is_classification() const { return n_classes_ > 0; }
+
+ private:
+  struct Node {
+    int feature = -1;
+    float threshold = 0.0f;
+    int left = -1;   // -1 => leaf
+    int right = -1;
+    double leaf_value = 0.0;
+    int dist_index = -1;  // into distributions_ for classification leaves
+  };
+
+  struct BuildContext;
+  int build(BuildContext& ctx, std::vector<std::size_t>& rows, std::size_t depth);
+  const Node& descend(const float* row) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<double>> distributions_;
+  std::size_t n_features_ = 0;
+  std::size_t n_classes_ = 0;  // 0 for regression
+};
+
+}  // namespace agebo::ml

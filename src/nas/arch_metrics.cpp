@@ -1,0 +1,79 @@
+#include "nas/arch_metrics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "nn/graph_net.hpp"
+
+namespace agebo::nas {
+
+ArchStats arch_stats(const SearchSpace& space, const Genome& g,
+                     std::size_t input_dim, std::size_t n_classes) {
+  const auto spec = space.to_graph_spec(g, input_dim, n_classes);
+  ArchStats stats;
+  for (const auto& node : spec.nodes) {
+    if (node.is_identity) {
+      ++stats.n_identity_nodes;
+    } else {
+      ++stats.n_dense_nodes;
+      stats.total_units += node.units;
+      stats.max_width = std::max(stats.max_width, node.units);
+    }
+    stats.n_skips += node.skips.size();
+  }
+  stats.n_skips += spec.output_skips.size();
+
+  Rng rng(0);
+  nn::GraphNet net(spec, rng);
+  stats.n_params = net.num_params();
+  return stats;
+}
+
+std::size_t hamming(const Genome& a, const Genome& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("hamming: length");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+PopulationDiversity population_diversity(const std::vector<Genome>& genomes) {
+  PopulationDiversity out;
+  if (genomes.empty()) return out;
+  const std::size_t dims = genomes[0].size();
+
+  std::set<std::string> unique;
+  for (const auto& g : genomes) unique.insert(SearchSpace::key(g));
+  out.n_unique = unique.size();
+
+  if (genomes.size() >= 2) {
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      for (std::size_t j = i + 1; j < genomes.size(); ++j) {
+        sum += static_cast<double>(hamming(genomes[i], genomes[j]));
+        ++pairs;
+      }
+    }
+    out.mean_hamming = sum / static_cast<double>(pairs);
+  }
+
+  std::size_t fixed = 0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    bool unanimous = true;
+    for (const auto& g : genomes) {
+      if (g[d] != genomes[0][d]) {
+        unanimous = false;
+        break;
+      }
+    }
+    if (unanimous) ++fixed;
+  }
+  out.fixed_fraction =
+      dims > 0 ? static_cast<double>(fixed) / static_cast<double>(dims) : 0.0;
+  return out;
+}
+
+}  // namespace agebo::nas

@@ -1,0 +1,41 @@
+// Architecture and population statistics: structural properties of a single
+// genome (depth, widths, skip density, parameter count) and diversity
+// measures over a set of genomes. Used to study how the aging population
+// evolves (bench_ablations' aging-vs-elitist comparison) and to summarize
+// discovered models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nas/search_space.hpp"
+
+namespace agebo::nas {
+
+struct ArchStats {
+  std::size_t n_dense_nodes = 0;     ///< non-identity variable nodes
+  std::size_t n_identity_nodes = 0;
+  std::size_t n_skips = 0;           ///< active skip connections (incl. output)
+  std::size_t total_units = 0;       ///< sum of dense widths
+  std::size_t max_width = 0;
+  /// Trainable parameters for a given problem shape.
+  std::size_t n_params = 0;
+};
+
+ArchStats arch_stats(const SearchSpace& space, const Genome& g,
+                     std::size_t input_dim, std::size_t n_classes);
+
+/// Hamming distance between two genomes (number of differing decisions).
+std::size_t hamming(const Genome& a, const Genome& b);
+
+struct PopulationDiversity {
+  std::size_t n_unique = 0;
+  /// Mean pairwise Hamming distance (0 when fewer than two genomes).
+  double mean_hamming = 0.0;
+  /// Fraction of decisions where the population is unanimous.
+  double fixed_fraction = 0.0;
+};
+
+PopulationDiversity population_diversity(const std::vector<Genome>& genomes);
+
+}  // namespace agebo::nas

@@ -1,0 +1,168 @@
+#include "nas/search_space.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::nas {
+
+SearchSpace::SearchSpace(SpaceConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.n_variable_nodes == 0) {
+    throw std::invalid_argument("SearchSpace: zero variable nodes");
+  }
+  if (cfg_.units.empty() || cfg_.activations.empty()) {
+    throw std::invalid_argument("SearchSpace: empty op lists");
+  }
+  const std::size_t ops = n_ops();
+  offsets_.reserve(cfg_.n_variable_nodes + 1);
+  for (std::size_t j = 1; j <= cfg_.n_variable_nodes; ++j) {
+    offsets_.push_back(arities_.size());
+    arities_.push_back(ops);
+    for (std::size_t s = 0; s < skip_slots_for_node(j); ++s) arities_.push_back(2);
+  }
+  offsets_.push_back(arities_.size());
+  // Output node skips: to N_{m-1}, N_{m-2}, N_{m-3} (bounded by existing
+  // non-consecutive predecessors of the base N_m).
+  const std::size_t out_slots =
+      std::min(cfg_.max_skips, cfg_.n_variable_nodes);
+  for (std::size_t s = 0; s < out_slots; ++s) arities_.push_back(2);
+}
+
+std::size_t SearchSpace::n_ops() const {
+  return cfg_.units.size() * cfg_.activations.size() + 1;  // + identity
+}
+
+std::size_t SearchSpace::skip_slots_for_node(std::size_t j) const {
+  // Variable node j's base is node j-1; non-consecutive predecessors are
+  // node ids 0..j-2, so j-1 candidates, capped at max_skips.
+  return std::min(cfg_.max_skips, j - 1);
+}
+
+std::size_t SearchSpace::op_index(std::size_t j) const { return offsets_[j - 1]; }
+
+double SearchSpace::log10_size() const {
+  double lg = 0.0;
+  for (std::size_t a : arities_) lg += std::log10(static_cast<double>(a));
+  return lg;
+}
+
+Genome SearchSpace::random(Rng& rng) const {
+  Genome g(arities_.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<int>(rng.index(arities_[i]));
+  }
+  return g;
+}
+
+Genome SearchSpace::mutate(const Genome& parent, Rng& rng) const {
+  validate(parent);
+  Genome child = parent;
+  const std::size_t i = rng.index(child.size());
+  // Resample excluding the current value: draw from arity-1 and shift.
+  const auto current = static_cast<std::size_t>(child[i]);
+  std::size_t nv = rng.index(arities_[i] - 1);
+  if (nv >= current) ++nv;
+  child[i] = static_cast<int>(nv);
+  return child;
+}
+
+void SearchSpace::validate(const Genome& g) const {
+  if (g.size() != arities_.size()) {
+    throw std::invalid_argument("Genome: wrong length");
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g[i] < 0 || static_cast<std::size_t>(g[i]) >= arities_[i]) {
+      throw std::invalid_argument("Genome: decision out of range");
+    }
+  }
+}
+
+nn::GraphSpec SearchSpace::to_graph_spec(const Genome& g, std::size_t input_dim,
+                                         std::size_t n_classes) const {
+  validate(g);
+  nn::GraphSpec spec;
+  spec.input_dim = input_dim;
+  spec.output_dim = n_classes;
+  spec.nodes.resize(cfg_.n_variable_nodes);
+
+  const std::size_t n_acts = cfg_.activations.size();
+  for (std::size_t j = 1; j <= cfg_.n_variable_nodes; ++j) {
+    nn::NodeSpec& node = spec.nodes[j - 1];
+    const int op = g[op_index(j)];
+    if (op == 0) {
+      node.is_identity = true;
+    } else {
+      const auto dense = static_cast<std::size_t>(op - 1);
+      node.units = cfg_.units[dense / n_acts];
+      node.act = cfg_.activations[dense % n_acts];
+    }
+    // Skip slot s connects to node id (j-2-s); slot order is
+    // nearest-predecessor first, matching SC_{k-1}, SC_{k-2}, SC_{k-3}.
+    const std::size_t slots = skip_slots_for_node(j);
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (g[op_index(j) + 1 + s] == 1) {
+        node.skips.push_back(j - 2 - s);
+      }
+    }
+  }
+
+  const std::size_t out_begin = offsets_.back();
+  const std::size_t out_slots = arities_.size() - out_begin;
+  for (std::size_t s = 0; s < out_slots; ++s) {
+    if (g[out_begin + s] == 1) {
+      spec.output_skips.push_back(cfg_.n_variable_nodes - 1 - s);
+    }
+  }
+  return spec;
+}
+
+std::vector<double> SearchSpace::one_hot(const Genome& g) const {
+  validate(g);
+  std::vector<double> out;
+  out.reserve(one_hot_dim());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (std::size_t v = 0; v < arities_[i]; ++v) {
+      out.push_back(v == static_cast<std::size_t>(g[i]) ? 1.0 : 0.0);
+    }
+  }
+  return out;
+}
+
+std::size_t SearchSpace::one_hot_dim() const {
+  std::size_t n = 0;
+  for (std::size_t a : arities_) n += a;
+  return n;
+}
+
+std::string SearchSpace::key(const Genome& g) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (i) os << ',';
+    os << g[i];
+  }
+  return os.str();
+}
+
+std::string SearchSpace::describe(const Genome& g) const {
+  // Decode to a spec with placeholder dims for a readable dump.
+  const auto spec = to_graph_spec(g, 1, 2);
+  std::ostringstream os;
+  os << "genome[" << g.size() << "]: " << key(g) << '\n';
+  for (std::size_t k = 0; k < spec.nodes.size(); ++k) {
+    const auto& node = spec.nodes[k];
+    os << "  N" << (k + 1) << ": ";
+    if (node.is_identity) {
+      os << "identity";
+    } else {
+      os << "Dense(" << node.units << ", " << nn::to_string(node.act) << ")";
+    }
+    for (std::size_t s : node.skips) os << " <-N" << s;
+    os << '\n';
+  }
+  os << "  Out:";
+  for (std::size_t s : spec.output_skips) os << " <-N" << s;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace agebo::nas

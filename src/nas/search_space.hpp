@@ -1,0 +1,89 @@
+// The paper's neural architecture search space for tabular data (Sec III-A).
+//
+// With the default configuration there are 37 categorical decision
+// variables: 10 variable nodes (31 dense-layer types each: 6 unit counts x
+// 5 activations, plus identity) and 27 skip-connection nodes (zero /
+// identity each). For a pair of consecutive variable nodes N_k, N_{k+1},
+// skip-connection nodes allow connections from the three previous
+// non-consecutive nodes N_{k-1}, N_{k-2}, N_{k-3} (node 0 is the input);
+// the output node also has three. Total size 31^10 * 2^27 ≈ 1.1e23.
+//
+// A Genome is the flat decision vector; this class owns the encoding, random
+// sampling, mutation, and decoding into an nn::GraphSpec.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/graph_net.hpp"
+
+namespace agebo::nas {
+
+/// Flat vector of categorical decisions; decision i takes values in
+/// [0, arity(i)).
+using Genome = std::vector<int>;
+
+struct SpaceConfig {
+  std::size_t n_variable_nodes = 10;
+  std::vector<std::size_t> units = {16, 32, 48, 64, 80, 96};
+  std::vector<nn::Activation> activations = {
+      nn::Activation::kIdentity, nn::Activation::kSwish, nn::Activation::kRelu,
+      nn::Activation::kTanh, nn::Activation::kSigmoid};
+  /// Skip-connection nodes per target (to the 3 previous non-consecutive
+  /// predecessors).
+  std::size_t max_skips = 3;
+};
+
+class SearchSpace {
+ public:
+  explicit SearchSpace(SpaceConfig cfg = {});
+
+  std::size_t n_decisions() const { return arities_.size(); }
+  /// Number of choices for decision i (31 for variable nodes, 2 for skips).
+  std::size_t arity(std::size_t i) const { return arities_[i]; }
+  std::size_t n_variable_nodes() const { return cfg_.n_variable_nodes; }
+  /// Number of dense-layer op choices per variable node (incl. identity).
+  std::size_t n_ops() const;
+
+  /// log10 of the total number of architectures.
+  double log10_size() const;
+
+  Genome random(Rng& rng) const;
+
+  /// AgE mutation: pick one decision uniformly, resample excluding the
+  /// current value (Sec III-C).
+  Genome mutate(const Genome& parent, Rng& rng) const;
+
+  /// Decode to a concrete network spec for a given tabular problem.
+  nn::GraphSpec to_graph_spec(const Genome& g, std::size_t input_dim,
+                              std::size_t n_classes) const;
+
+  /// One-hot encoding of all decisions (for the Fig 7 PCA).
+  std::vector<double> one_hot(const Genome& g) const;
+  std::size_t one_hot_dim() const;
+
+  /// Stable string key for uniqueness counting (Fig 5).
+  static std::string key(const Genome& g);
+
+  /// Throws std::invalid_argument when g is not a valid point.
+  void validate(const Genome& g) const;
+
+  std::string describe(const Genome& g) const;
+
+ private:
+  /// Number of skip slots for variable node j (1-based).
+  std::size_t skip_slots_for_node(std::size_t j) const;
+  /// Decision index of variable node j's op.
+  std::size_t op_index(std::size_t j) const;
+
+  SpaceConfig cfg_;
+  std::vector<std::size_t> arities_;
+  /// offsets_[j] = first decision index for variable node j (1-based),
+  /// offsets_.back() = first output-skip decision.
+  std::vector<std::size_t> offsets_;
+};
+
+}  // namespace agebo::nas

@@ -1,0 +1,28 @@
+// The five activation functions of the paper's dense-layer search space
+// (Sec III-A): {Identity, Swish, ReLU, Tanh, Sigmoid}.
+#pragma once
+
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace agebo::nn {
+
+enum class Activation { kIdentity, kSwish, kRelu, kTanh, kSigmoid };
+
+inline constexpr int kNumActivations = 5;
+
+std::string to_string(Activation a);
+Activation activation_from_index(int i);
+
+/// out[i] = f(z[i]).
+void apply_activation(Activation a, const Tensor& z, Tensor& out);
+
+/// grad[i] *= f'(z[i]) where z is the pre-activation input.
+/// (Swish/sigmoid derivatives are computed from z directly.)
+void apply_activation_grad(Activation a, const Tensor& z, Tensor& grad);
+
+float activate_scalar(Activation a, float z);
+float activate_grad_scalar(Activation a, float z);
+
+}  // namespace agebo::nn

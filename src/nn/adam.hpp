@@ -1,0 +1,45 @@
+// Adam optimizer (Kingma & Ba) over a set of ParamRef blocks — the paper's
+// training optimizer (Sec IV). The learning rate is mutable between steps so
+// schedules (warmup, reduce-on-plateau) can drive it.
+#pragma once
+
+#include <vector>
+
+#include "nn/dense.hpp"
+
+namespace agebo::nn {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// Decoupled weight decay (AdamW); 0 disables.
+  double weight_decay = 0.0;
+};
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm. No-op (returns the norm) when already within
+/// bounds or max_norm <= 0.
+double clip_gradients(const std::vector<ParamRef>& params, double max_norm);
+
+class Adam {
+ public:
+  Adam(std::vector<ParamRef> params, AdamConfig cfg);
+
+  /// Apply one update from the currently accumulated gradients.
+  void step();
+
+  double learning_rate() const { return cfg_.lr; }
+  void set_learning_rate(double lr) { cfg_.lr = lr; }
+  long step_count() const { return t_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  AdamConfig cfg_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace agebo::nn

@@ -1,0 +1,54 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agebo::nn {
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, bool use_bias, Rng& rng)
+    : in_(in), out_(out), use_bias_(use_bias), w_(in, out), gw_(in, out) {
+  if (in == 0 || out == 0) throw std::invalid_argument("DenseLayer: zero dim");
+  const float limit = std::sqrt(6.0f / static_cast<float>(in));
+  for (auto& v : w_.v) v = static_cast<float>(rng.uniform(-limit, limit));
+  if (use_bias_) {
+    b_.assign(out, 0.0f);
+    gb_.assign(out, 0.0f);
+  }
+}
+
+void DenseLayer::forward(const Tensor& x, Tensor& z) {
+  if (x.cols != in_) throw std::invalid_argument("DenseLayer::forward: dim");
+  cached_x_ = x;
+  matmul(x, w_, z);
+  if (use_bias_) add_bias(z, b_);
+}
+
+void DenseLayer::backward(const Tensor& dz, Tensor& dx) {
+  if (dz.cols != out_ || dz.rows != cached_x_.rows) {
+    throw std::invalid_argument("DenseLayer::backward: shape");
+  }
+  // dW += x^T dz ; db += colsum(dz); dx = dz W^T.
+  Tensor gw_batch;
+  matmul_at(cached_x_, dz, gw_batch);
+  add_inplace(gw_, gw_batch);
+  if (use_bias_) col_sums(dz, gb_);
+  matmul_bt(dz, w_, dx);
+}
+
+void DenseLayer::zero_grad() {
+  gw_.v.assign(gw_.v.size(), 0.0f);
+  gb_.assign(gb_.size(), 0.0f);
+}
+
+std::vector<ParamRef> DenseLayer::params() {
+  std::vector<ParamRef> out;
+  out.push_back({&w_.v, &gw_.v});
+  if (use_bias_) out.push_back({&b_, &gb_});
+  return out;
+}
+
+std::size_t DenseLayer::num_params() const {
+  return w_.v.size() + b_.size();
+}
+
+}  // namespace agebo::nn

@@ -1,0 +1,53 @@
+// Fully connected layer with cached forward state for backprop. Also used
+// (bias-less) as the linear projection on skip connections (Sec III-A).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace agebo::nn {
+
+/// Mutable view over one parameter block and its gradient; the data-parallel
+/// trainer allreduces over these without knowing the layer structure.
+struct ParamRef {
+  std::vector<float>* values;
+  std::vector<float>* grads;
+};
+
+class DenseLayer {
+ public:
+  /// He-uniform initialization sized for `in` fan-in.
+  DenseLayer(std::size_t in, std::size_t out, bool use_bias, Rng& rng);
+
+  std::size_t in_dim() const { return in_; }
+  std::size_t out_dim() const { return out_; }
+
+  /// z = x W (+ b). Caches x for backward.
+  void forward(const Tensor& x, Tensor& z);
+
+  /// Given dL/dz, accumulate dL/dW and dL/db, and produce dL/dx.
+  /// Must follow a forward() on the same batch.
+  void backward(const Tensor& dz, Tensor& dx);
+
+  void zero_grad();
+  std::vector<ParamRef> params();
+  std::size_t num_params() const;
+
+  const Tensor& weights() const { return w_; }
+  Tensor& weights() { return w_; }
+  const std::vector<float>& bias() const { return b_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  bool use_bias_;
+  Tensor w_;                   // in x out
+  std::vector<float> b_;       // out (empty when !use_bias_)
+  Tensor gw_;                  // same shape as w_
+  std::vector<float> gb_;
+  Tensor cached_x_;            // input from the last forward
+};
+
+}  // namespace agebo::nn

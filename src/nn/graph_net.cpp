@@ -1,0 +1,247 @@
+#include "nn/graph_net.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::nn {
+
+void GraphSpec::validate() const {
+  if (input_dim == 0 || output_dim == 0) {
+    throw std::invalid_argument("GraphSpec: zero input/output dim");
+  }
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    for (std::size_t s : nodes[k].skips) {
+      // Target node id is k+1 (1-based); source must be strictly earlier
+      // than the base node k, i.e. a *non-consecutive* predecessor.
+      if (s >= k) {
+        throw std::invalid_argument("GraphSpec: skip source not earlier than base");
+      }
+    }
+    if (!nodes[k].is_identity && nodes[k].units == 0) {
+      throw std::invalid_argument("GraphSpec: zero-width dense node");
+    }
+  }
+  for (std::size_t s : output_skips) {
+    if (s >= nodes.size()) {
+      throw std::invalid_argument("GraphSpec: output skip source out of range");
+    }
+  }
+}
+
+GraphNet::Combine GraphNet::make_combine(const std::vector<std::size_t>& skips,
+                                         std::size_t base_dim, Rng& rng) {
+  Combine c;
+  for (std::size_t src : skips) {
+    SkipEdge edge{src, std::nullopt};
+    if (dims_[src] != base_dim) {
+      edge.proj.emplace(dims_[src], base_dim, /*use_bias=*/false, rng);
+    }
+    c.edges.push_back(std::move(edge));
+  }
+  return c;
+}
+
+GraphNet::GraphNet(GraphSpec spec, Rng& rng) : spec_(std::move(spec)) {
+  spec_.validate();
+  const std::size_t m = spec_.nodes.size();
+  dims_.resize(m + 1);
+  dims_[0] = spec_.input_dim;
+
+  node_dense_.resize(m);
+  node_combine_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const NodeSpec& ns = spec_.nodes[k];
+    // Base into node k+1 is the output of node k (id k in dims_).
+    node_combine_[k] = make_combine(ns.skips, dims_[k], rng);
+    if (ns.is_identity) {
+      dims_[k + 1] = dims_[k];
+    } else {
+      node_dense_[k].emplace(dims_[k], ns.units, /*use_bias=*/true, rng);
+      dims_[k + 1] = ns.units;
+    }
+  }
+  output_combine_ = make_combine(spec_.output_skips, dims_[m], rng);
+  output_dense_ = std::make_unique<DenseLayer>(dims_[m], spec_.output_dim,
+                                               /*use_bias=*/true, rng);
+
+  outs_.resize(m + 1);
+  pre_act_.resize(m);
+}
+
+void GraphNet::combine_forward(Combine& c, const Tensor& base,
+                               const std::vector<Tensor>& outs,
+                               Tensor& combined) {
+  c.sum_pre_relu = base;
+  for (auto& edge : c.edges) {
+    if (edge.proj.has_value()) {
+      Tensor projected;
+      edge.proj->forward(outs[edge.src], projected);
+      add_inplace(c.sum_pre_relu, projected);
+    } else {
+      add_inplace(c.sum_pre_relu, outs[edge.src]);
+    }
+  }
+  apply_activation(Activation::kRelu, c.sum_pre_relu, combined);
+}
+
+void GraphNet::combine_backward(Combine& c, const Tensor& d_combined,
+                                std::vector<Tensor>& grad_outs,
+                                std::size_t base_id) {
+  Tensor d_sum = d_combined;
+  apply_activation_grad(Activation::kRelu, c.sum_pre_relu, d_sum);
+  add_inplace(grad_outs[base_id], d_sum);
+  for (auto& edge : c.edges) {
+    if (edge.proj.has_value()) {
+      Tensor dx;
+      edge.proj->backward(d_sum, dx);
+      add_inplace(grad_outs[edge.src], dx);
+    } else {
+      add_inplace(grad_outs[edge.src], d_sum);
+    }
+  }
+}
+
+const Tensor& GraphNet::forward(const Tensor& x) {
+  if (x.cols != spec_.input_dim) throw std::invalid_argument("GraphNet::forward: dim");
+  const std::size_t m = spec_.nodes.size();
+  outs_[0] = x;
+
+  for (std::size_t k = 0; k < m; ++k) {
+    Tensor node_input;
+    if (node_combine_[k].active()) {
+      combine_forward(node_combine_[k], outs_[k], outs_, node_input);
+    } else {
+      node_input = outs_[k];
+    }
+    if (spec_.nodes[k].is_identity) {
+      outs_[k + 1] = std::move(node_input);
+    } else {
+      node_dense_[k]->forward(node_input, pre_act_[k]);
+      apply_activation(spec_.nodes[k].act, pre_act_[k], outs_[k + 1]);
+    }
+  }
+
+  Tensor readout_input;
+  if (output_combine_.active()) {
+    combine_forward(output_combine_, outs_[m], outs_, readout_input);
+  } else {
+    readout_input = outs_[m];
+  }
+  output_dense_->forward(readout_input, logits_);
+  return logits_;
+}
+
+void GraphNet::backward(const Tensor& dlogits) {
+  const std::size_t m = spec_.nodes.size();
+  std::vector<Tensor> grad_outs(m + 1);
+  for (std::size_t k = 0; k <= m; ++k) {
+    grad_outs[k] = Tensor(outs_[k].rows, outs_[k].cols, 0.0f);
+  }
+
+  Tensor d_readout_input;
+  output_dense_->backward(dlogits, d_readout_input);
+  if (output_combine_.active()) {
+    combine_backward(output_combine_, d_readout_input, grad_outs, m);
+  } else {
+    add_inplace(grad_outs[m], d_readout_input);
+  }
+
+  for (std::size_t k = m; k-- > 0;) {
+    Tensor d_node_input;
+    if (spec_.nodes[k].is_identity) {
+      d_node_input = grad_outs[k + 1];
+    } else {
+      Tensor dz = grad_outs[k + 1];
+      apply_activation_grad(spec_.nodes[k].act, pre_act_[k], dz);
+      node_dense_[k]->backward(dz, d_node_input);
+    }
+    if (node_combine_[k].active()) {
+      combine_backward(node_combine_[k], d_node_input, grad_outs, k);
+    } else {
+      add_inplace(grad_outs[k], d_node_input);
+    }
+  }
+}
+
+void GraphNet::zero_grad() {
+  for (auto& d : node_dense_) {
+    if (d.has_value()) d->zero_grad();
+  }
+  auto zero_combine = [](Combine& c) {
+    for (auto& e : c.edges) {
+      if (e.proj.has_value()) e.proj->zero_grad();
+    }
+  };
+  for (auto& c : node_combine_) zero_combine(c);
+  zero_combine(output_combine_);
+  output_dense_->zero_grad();
+}
+
+std::vector<ParamRef> GraphNet::params() {
+  std::vector<ParamRef> out;
+  auto append = [&out](std::vector<ParamRef> refs) {
+    out.insert(out.end(), refs.begin(), refs.end());
+  };
+  auto append_combine = [&](Combine& c) {
+    for (auto& e : c.edges) {
+      if (e.proj.has_value()) append(e.proj->params());
+    }
+  };
+  for (std::size_t k = 0; k < node_dense_.size(); ++k) {
+    append_combine(node_combine_[k]);
+    if (node_dense_[k].has_value()) append(node_dense_[k]->params());
+  }
+  append_combine(output_combine_);
+  append(output_dense_->params());
+  return out;
+}
+
+std::size_t GraphNet::num_params() const {
+  std::size_t n = 0;
+  auto count_combine = [&n](const Combine& c) {
+    for (const auto& e : c.edges) {
+      if (e.proj.has_value()) n += e.proj->num_params();
+    }
+  };
+  for (std::size_t k = 0; k < node_dense_.size(); ++k) {
+    count_combine(node_combine_[k]);
+    if (node_dense_[k].has_value()) n += node_dense_[k]->num_params();
+  }
+  count_combine(output_combine_);
+  n += output_dense_->num_params();
+  return n;
+}
+
+std::string GraphNet::describe() const {
+  std::ostringstream os;
+  os << "Input(" << spec_.input_dim << ")\n";
+  for (std::size_t k = 0; k < spec_.nodes.size(); ++k) {
+    const NodeSpec& ns = spec_.nodes[k];
+    os << "N" << (k + 1) << ": ";
+    if (ns.is_identity) {
+      os << "Identity";
+    } else {
+      os << "Dense(" << ns.units << ", " << to_string(ns.act) << ")";
+    }
+    if (!ns.skips.empty()) {
+      os << "  <- skips from {";
+      for (std::size_t i = 0; i < ns.skips.size(); ++i) {
+        os << (i ? ", " : "") << "N" << ns.skips[i];
+      }
+      os << "} (proj+sum+relu)";
+    }
+    os << '\n';
+  }
+  os << "Output: Dense(" << spec_.output_dim << ", softmax)";
+  if (!spec_.output_skips.empty()) {
+    os << "  <- skips from {";
+    for (std::size_t i = 0; i < spec_.output_skips.size(); ++i) {
+      os << (i ? ", " : "") << "N" << spec_.output_skips[i];
+    }
+    os << "}";
+  }
+  os << "\nparameters: " << num_params() << '\n';
+  return os.str();
+}
+
+}  // namespace agebo::nn

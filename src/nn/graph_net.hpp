@@ -1,0 +1,109 @@
+// The fully connected network-with-skip-connections family of Sec III-A.
+//
+// A GraphSpec describes one concrete architecture: a chain of variable
+// nodes (each a Dense(units, activation) op or the identity op) plus skip
+// connections into later nodes. Following the paper, the input of node
+// N_{k+1} is the output of N_k; when skip-connection nodes choose
+// `identity`, the outputs of earlier nodes are passed through a linear
+// projection (to match widths), element-wise summed with N_k's output, and
+// the sum is passed through ReLU before feeding N_{k+1}. The output node is
+// a Dense(n_classes) readout that can itself receive three skips.
+//
+// The NAS module (src/nas) turns a 37-decision genome into a GraphSpec;
+// this file owns only the numerical network.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/tensor.hpp"
+
+namespace agebo::nn {
+
+/// One variable node of the chain.
+struct NodeSpec {
+  /// True for the identity op (the 31st layer type): pass input through.
+  bool is_identity = false;
+  std::size_t units = 16;
+  Activation act = Activation::kRelu;
+  /// Earlier nodes skip-connected into this node's input combination.
+  /// Node id 0 is the network input; id k is variable node k (1-based).
+  std::vector<std::size_t> skips;
+};
+
+struct GraphSpec {
+  std::size_t input_dim = 0;
+  std::size_t output_dim = 0;  // number of classes (logit width)
+  std::vector<NodeSpec> nodes;
+  /// Skips into the output node (same id convention).
+  std::vector<std::size_t> output_skips;
+
+  /// Throws std::invalid_argument when a skip references a node that is not
+  /// strictly earlier than its target or ids are out of range.
+  void validate() const;
+};
+
+class GraphNet {
+ public:
+  GraphNet(GraphSpec spec, Rng& rng);
+
+  const GraphSpec& spec() const { return spec_; }
+
+  /// Forward pass; returns logits (batch x output_dim). Caches
+  /// intermediate state for a following backward().
+  const Tensor& forward(const Tensor& x);
+
+  /// Backward from dL/dlogits; accumulates parameter gradients.
+  void backward(const Tensor& dlogits);
+
+  void zero_grad();
+  std::vector<ParamRef> params();
+  std::size_t num_params() const;
+
+  /// Human-readable structure dump (quickstart prints one; cf. Fig 1).
+  std::string describe() const;
+
+ private:
+  struct SkipEdge {
+    std::size_t src;
+    /// Projection when source width != base width; nullopt for identity map.
+    std::optional<DenseLayer> proj;
+  };
+  /// Runtime state for the input-combination of one target (node or output).
+  struct Combine {
+    std::vector<SkipEdge> edges;
+    bool active() const { return !edges.empty(); }
+    Tensor sum_pre_relu;  // forward cache
+  };
+
+  /// Build the combine struct for `skips` targeting a base of width
+  /// `base_dim`, given per-node output widths.
+  Combine make_combine(const std::vector<std::size_t>& skips,
+                       std::size_t base_dim, Rng& rng);
+  /// Forward the combination: base + sum of (projected) skip sources,
+  /// then ReLU. `outs` holds node outputs; result written to `combined`.
+  void combine_forward(Combine& c, const Tensor& base,
+                       const std::vector<Tensor>& outs, Tensor& combined);
+  /// Backward through a combination; adds source grads into `grad_outs`.
+  void combine_backward(Combine& c, const Tensor& d_combined,
+                        std::vector<Tensor>& grad_outs, std::size_t base_id);
+
+  GraphSpec spec_;
+  std::vector<std::size_t> dims_;  // dims_[k] = width of node k output (0 = input)
+  std::vector<std::optional<DenseLayer>> node_dense_;  // per variable node
+  std::vector<Combine> node_combine_;                  // per variable node
+  Combine output_combine_;
+  std::unique_ptr<DenseLayer> output_dense_;
+
+  // Forward caches.
+  std::vector<Tensor> outs_;      // node outputs, outs_[0] = input
+  std::vector<Tensor> pre_act_;   // dense pre-activations per node
+  Tensor logits_;
+};
+
+}  // namespace agebo::nn

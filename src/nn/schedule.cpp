@@ -1,0 +1,48 @@
+#include "nn/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agebo::nn {
+
+GradualWarmup::GradualWarmup(double base_lr, double target_lr,
+                             std::size_t warmup_epochs)
+    : base_lr_(base_lr), target_lr_(target_lr), warmup_epochs_(warmup_epochs) {
+  if (base_lr <= 0.0 || target_lr <= 0.0) {
+    throw std::invalid_argument("GradualWarmup: non-positive lr");
+  }
+}
+
+double GradualWarmup::lr_for_epoch(std::size_t epoch) const {
+  if (warmup_epochs_ == 0 || epoch >= warmup_epochs_) return target_lr_;
+  // Epoch 0 starts at base_lr; epoch warmup_epochs_ reaches target.
+  const double frac =
+      static_cast<double>(epoch) / static_cast<double>(warmup_epochs_);
+  return base_lr_ + frac * (target_lr_ - base_lr_);
+}
+
+ReduceLROnPlateau::ReduceLROnPlateau(std::size_t patience, double factor,
+                                     double min_delta, double min_lr)
+    : patience_(patience), factor_(factor), min_delta_(min_delta), min_lr_(min_lr) {
+  if (factor <= 0.0 || factor >= 1.0) {
+    throw std::invalid_argument("ReduceLROnPlateau: factor must be in (0,1)");
+  }
+  if (patience == 0) throw std::invalid_argument("ReduceLROnPlateau: zero patience");
+}
+
+double ReduceLROnPlateau::update(double metric, double current_lr) {
+  if (metric > best_ + min_delta_) {
+    best_ = metric;
+    epochs_since_best_ = 0;
+    return current_lr;
+  }
+  ++epochs_since_best_;
+  if (epochs_since_best_ >= patience_) {
+    epochs_since_best_ = 0;
+    ++reductions_;
+    return std::max(current_lr * factor_, min_lr_);
+  }
+  return current_lr;
+}
+
+}  // namespace agebo::nn

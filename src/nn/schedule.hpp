@@ -1,0 +1,52 @@
+// Learning-rate schedules from the paper's training recipe (Sec IV):
+// - GradualWarmup (Goyal et al.): ramp linearly from the single-process
+//   learning rate to the scaled target over the first 5 epochs, which is
+//   what makes the linear scaling rule stable at larger n.
+// - ReduceLROnPlateau: multiply the LR by `factor` when the monitored
+//   validation metric has not improved for `patience` epochs.
+#pragma once
+
+#include <cstddef>
+
+namespace agebo::nn {
+
+class GradualWarmup {
+ public:
+  /// Ramps from `base_lr` to `target_lr` across `warmup_epochs` epochs,
+  /// then holds `target_lr`.
+  GradualWarmup(double base_lr, double target_lr, std::size_t warmup_epochs);
+
+  /// Learning rate for a given 0-based epoch.
+  double lr_for_epoch(std::size_t epoch) const;
+
+  std::size_t warmup_epochs() const { return warmup_epochs_; }
+
+ private:
+  double base_lr_;
+  double target_lr_;
+  std::size_t warmup_epochs_;
+};
+
+class ReduceLROnPlateau {
+ public:
+  /// Monitors a maximized metric (validation accuracy). When no epoch in the
+  /// last `patience` beats the best seen (by > min_delta), scale the LR.
+  ReduceLROnPlateau(std::size_t patience, double factor = 0.5,
+                    double min_delta = 1e-4, double min_lr = 1e-6);
+
+  /// Feed the epoch-end metric; returns the new LR given `current_lr`.
+  double update(double metric, double current_lr);
+
+  std::size_t num_reductions() const { return reductions_; }
+
+ private:
+  std::size_t patience_;
+  double factor_;
+  double min_delta_;
+  double min_lr_;
+  double best_ = -1e300;
+  std::size_t epochs_since_best_ = 0;
+  std::size_t reductions_ = 0;
+};
+
+}  // namespace agebo::nn

@@ -1,0 +1,142 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::nn {
+
+namespace {
+
+constexpr const char* kMagic = "agebo-graphnet";
+
+std::string activation_token(Activation a) { return to_string(a); }
+
+Activation activation_from_token(const std::string& token) {
+  for (int i = 0; i < kNumActivations; ++i) {
+    const auto act = activation_from_index(i);
+    if (to_string(act) == token) return act;
+  }
+  throw std::runtime_error("load_graphnet: unknown activation " + token);
+}
+
+void expect_token(std::istream& is, const std::string& want) {
+  std::string got;
+  if (!(is >> got) || got != want) {
+    throw std::runtime_error("load_graphnet: expected '" + want + "', got '" +
+                             got + "'");
+  }
+}
+
+}  // namespace
+
+void save_graphnet(GraphNet& net, std::ostream& os) {
+  const GraphSpec& spec = net.spec();
+  os << kMagic << " v1\n";
+  os << "input " << spec.input_dim << " output " << spec.output_dim << '\n';
+  os << "nodes " << spec.nodes.size() << '\n';
+  for (const auto& node : spec.nodes) {
+    os << "node ";
+    if (node.is_identity) {
+      os << "identity";
+    } else {
+      os << "dense " << node.units << ' ' << activation_token(node.act);
+    }
+    os << " skips " << node.skips.size();
+    for (std::size_t s : node.skips) os << ' ' << s;
+    os << '\n';
+  }
+  os << "output_skips " << spec.output_skips.size();
+  for (std::size_t s : spec.output_skips) os << ' ' << s;
+  os << '\n';
+
+  auto params = net.params();
+  os << "params " << params.size() << '\n';
+  os.precision(9);
+  for (const auto& block : params) {
+    os << "block " << block.values->size() << '\n';
+    for (std::size_t i = 0; i < block.values->size(); ++i) {
+      os << (*block.values)[i] << (i + 1 == block.values->size() ? '\n' : ' ');
+    }
+  }
+}
+
+void save_graphnet_file(GraphNet& net, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_graphnet_file: cannot open " + path);
+  save_graphnet(net, os);
+}
+
+std::unique_ptr<GraphNet> load_graphnet(std::istream& is) {
+  std::string magic;
+  std::string version;
+  if (!(is >> magic >> version) || magic != kMagic || version != "v1") {
+    throw std::runtime_error("load_graphnet: bad header");
+  }
+
+  GraphSpec spec;
+  expect_token(is, "input");
+  is >> spec.input_dim;
+  expect_token(is, "output");
+  is >> spec.output_dim;
+
+  expect_token(is, "nodes");
+  std::size_t m = 0;
+  is >> m;
+  spec.nodes.resize(m);
+  for (auto& node : spec.nodes) {
+    expect_token(is, "node");
+    std::string kind;
+    is >> kind;
+    if (kind == "identity") {
+      node.is_identity = true;
+    } else if (kind == "dense") {
+      std::string act;
+      is >> node.units >> act;
+      node.act = activation_from_token(act);
+    } else {
+      throw std::runtime_error("load_graphnet: unknown node kind " + kind);
+    }
+    expect_token(is, "skips");
+    std::size_t k = 0;
+    is >> k;
+    node.skips.resize(k);
+    for (auto& s : node.skips) is >> s;
+  }
+  expect_token(is, "output_skips");
+  std::size_t k = 0;
+  is >> k;
+  spec.output_skips.resize(k);
+  for (auto& s : spec.output_skips) is >> s;
+  if (!is) throw std::runtime_error("load_graphnet: truncated spec");
+
+  Rng rng(0);  // weights are overwritten below
+  auto net = std::make_unique<GraphNet>(spec, rng);
+  auto params = net->params();
+
+  expect_token(is, "params");
+  std::size_t n_blocks = 0;
+  is >> n_blocks;
+  if (n_blocks != params.size()) {
+    throw std::runtime_error("load_graphnet: parameter block count mismatch");
+  }
+  for (auto& block : params) {
+    expect_token(is, "block");
+    std::size_t len = 0;
+    is >> len;
+    if (len != block.values->size()) {
+      throw std::runtime_error("load_graphnet: parameter block size mismatch");
+    }
+    for (auto& v : *block.values) is >> v;
+  }
+  if (!is) throw std::runtime_error("load_graphnet: truncated parameters");
+  return net;
+}
+
+std::unique_ptr<GraphNet> load_graphnet_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_graphnet_file: cannot open " + path);
+  return load_graphnet(is);
+}
+
+}  // namespace agebo::nn

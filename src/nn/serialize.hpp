@@ -1,0 +1,31 @@
+// Model persistence: save/load a trained GraphNet (spec + weights) to a
+// self-describing text format, so a search's winning model can be deployed
+// or re-evaluated later without retraining.
+//
+// Format (line oriented):
+//   agebo-graphnet v1
+//   input <dim> output <dim>
+//   nodes <m>
+//   node <identity|dense> [units act] skips <k> [ids...]   (x m)
+//   output_skips <k> [ids...]
+//   params <n_blocks>
+//   block <len> followed by <len> whitespace-separated floats
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "nn/graph_net.hpp"
+
+namespace agebo::nn {
+
+void save_graphnet(GraphNet& net, std::ostream& os);
+void save_graphnet_file(GraphNet& net, const std::string& path);
+
+/// Reconstructs the network (spec + weights). Throws std::runtime_error on
+/// malformed input or parameter-shape mismatch.
+std::unique_ptr<GraphNet> load_graphnet(std::istream& is);
+std::unique_ptr<GraphNet> load_graphnet_file(const std::string& path);
+
+}  // namespace agebo::nn

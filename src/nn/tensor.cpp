@@ -1,0 +1,80 @@
+#include "nn/tensor.hpp"
+
+#include <stdexcept>
+
+namespace agebo::nn {
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.cols != b.rows) throw std::invalid_argument("matmul: inner dims");
+  out.rows = a.rows;
+  out.cols = b.cols;
+  out.v.assign(out.rows * out.cols, 0.0f);
+  // i-k-j loop order: unit-stride inner loop over both b and out rows.
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t k = 0; k < a.cols; ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.cols != b.cols) throw std::invalid_argument("matmul_bt: inner dims");
+  out.rows = a.rows;
+  out.cols = b.rows;
+  out.v.assign(out.rows * out.cols, 0.0f);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t j = 0; j < b.rows; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols; ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.rows != b.rows) throw std::invalid_argument("matmul_at: inner dims");
+  out.rows = a.cols;
+  out.cols = b.cols;
+  out.v.assign(out.rows * out.cols, 0.0f);
+  for (std::size_t k = 0; k < a.rows; ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void add_bias(Tensor& out, const std::vector<float>& bias) {
+  if (bias.size() != out.cols) throw std::invalid_argument("add_bias: size");
+  for (std::size_t i = 0; i < out.rows; ++i) {
+    float* row = out.row(i);
+    for (std::size_t j = 0; j < out.cols; ++j) row[j] += bias[j];
+  }
+}
+
+void add_inplace(Tensor& out, const Tensor& src) {
+  if (!out.same_shape(src)) throw std::invalid_argument("add_inplace: shape");
+  for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] += src.v[i];
+}
+
+void col_sums(const Tensor& t, std::vector<float>& out) {
+  if (out.size() != t.cols) throw std::invalid_argument("col_sums: size");
+  for (std::size_t i = 0; i < t.rows; ++i) {
+    const float* row = t.row(i);
+    for (std::size_t j = 0; j < t.cols; ++j) out[j] += row[j];
+  }
+}
+
+}  // namespace agebo::nn

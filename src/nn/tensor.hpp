@@ -1,0 +1,46 @@
+// 2-D float tensor (row-major) with the handful of BLAS-like kernels the
+// MLP training path needs. Kept deliberately small: matmul variants, bias
+// broadcast, and element-wise combinations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agebo::nn {
+
+struct Tensor {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<float> v;
+
+  Tensor() = default;
+  Tensor(std::size_t r, std::size_t c, float fill = 0.0f)
+      : rows(r), cols(c), v(r * c, fill) {}
+
+  float& at(std::size_t r, std::size_t c) { return v[r * cols + c]; }
+  float at(std::size_t r, std::size_t c) const { return v[r * cols + c]; }
+  float* row(std::size_t r) { return v.data() + r * cols; }
+  const float* row(std::size_t r) const { return v.data() + r * cols; }
+  std::size_t size() const { return v.size(); }
+  bool same_shape(const Tensor& o) const {
+    return rows == o.rows && cols == o.cols;
+  }
+};
+
+/// out = a * b            (a: m x k, b: k x n)
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+/// out = a * b^T          (a: m x k, b: n x k)
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
+/// out = a^T * b          (a: k x m, b: k x n)
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Add row-vector bias (size = out.cols) to every row.
+void add_bias(Tensor& out, const std::vector<float>& bias);
+
+/// out += src (shapes must match).
+void add_inplace(Tensor& out, const Tensor& src);
+
+/// Column sums of `t` accumulated into `out` (out.size() == t.cols).
+void col_sums(const Tensor& t, std::vector<float>& out);
+
+}  // namespace agebo::nn

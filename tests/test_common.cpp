@@ -1,0 +1,262 @@
+// Unit tests for src/common: RNG, statistics, matrix, PCA, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/matrix.hpp"
+#include "common/pca.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace agebo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, LogUniformStaysInRangeAndSpansDecades) {
+  Rng rng(6);
+  int low_decade = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.log_uniform(0.001, 0.1);
+    EXPECT_GE(v, 0.001);
+    EXPECT_LT(v, 0.1);
+    if (v < 0.01) ++low_decade;
+  }
+  // Log-uniform: each decade should receive about half the mass.
+  EXPECT_GT(low_decade, 800);
+  EXPECT_LT(low_decade, 1200);
+}
+
+TEST(Rng, LogUniformRejectsNonPositive) {
+  Rng rng(6);
+  EXPECT_THROW(rng.log_uniform(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.log_uniform(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(9);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(10);
+  std::vector<std::size_t> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_NEAR(stats.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(11);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal();
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Quantile, EndpointsAndMedian) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(ArgHelpers, ArgmaxArgminArgsort) {
+  std::vector<double> v{1.0, 9.0, 3.0, 9.0};
+  EXPECT_EQ(argmax(v), 1u);  // first max wins
+  EXPECT_EQ(argmin(v), 0u);
+  const auto order = argsort_desc(v);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order.back(), 0u);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  int k = 1;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = k++;
+  }
+  const Matrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), a(1, 2));
+
+  const Matrix prod = a.multiply(at);  // 2x2
+  EXPECT_DOUBLE_EQ(prod(0, 0), 1 + 4 + 9);
+  EXPECT_DOUBLE_EQ(prod(0, 1), 4 + 10 + 18);
+}
+
+TEST(Matrix, CenterColumnsRemovesMeans) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = 10;
+  m(1, 1) = 20;
+  m(2, 1) = 30;
+  const auto means = m.center_columns();
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+  const auto after = m.col_means();
+  EXPECT_NEAR(after[0], 0.0, 1e-12);
+  EXPECT_NEAR(after[1], 0.0, 1e-12);
+}
+
+TEST(Jacobi, DiagonalizesKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  const auto eig = jacobi_eigen_symmetric(m);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-9);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points along the (1, 1) direction with small orthogonal noise.
+  Rng rng(12);
+  Matrix data(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double t = rng.normal(0.0, 3.0);
+    const double noise = rng.normal(0.0, 0.1);
+    data(i, 0) = t + noise;
+    data(i, 1) = t - noise;
+  }
+  const auto result = pca(data, 2);
+  EXPECT_GT(result.explained_variance_ratio[0], 0.95);
+  EXPECT_NEAR(result.conserved_variance(), 1.0, 1e-9);
+  // First component aligns with (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(result.components(0, 0)), std::sqrt(0.5), 0.05);
+}
+
+TEST(Pca, ProjectionPreservesSampleCount) {
+  Rng rng(13);
+  Matrix data(50, 5);
+  for (auto& v : data.data()) v = rng.normal();
+  const auto result = pca(data, 2);
+  EXPECT_EQ(result.projected.rows(), 50u);
+  EXPECT_EQ(result.projected.cols(), 2u);
+  EXPECT_EQ(result.components.rows(), 2u);
+  EXPECT_EQ(result.components.cols(), 5u);
+}
+
+TEST(Pca, RejectsTooFewSamples) {
+  Matrix data(1, 3);
+  EXPECT_THROW(pca(data, 2), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22.5"});
+  const auto s = table.to_string();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha "), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongColumnCount) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, FormatsDoubles) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace agebo

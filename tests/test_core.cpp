@@ -1,0 +1,308 @@
+// Unit tests for src/core: Algorithm 1 mechanics (population aging, parent
+// selection, BO coupling), the paper's named variants, and the trajectory
+// analysis helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/analysis.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "eval/surrogate.hpp"
+#include "exec/sim_executor.hpp"
+
+namespace agebo::core {
+namespace {
+
+/// Evaluator with a transparent objective: accuracy = fraction of decisions
+/// set to their max value; fixed 10-second duration. Lets tests verify the
+/// evolutionary mechanics exactly.
+class CountingEvaluator final : public eval::Evaluator {
+ public:
+  explicit CountingEvaluator(const nas::SearchSpace& space) : space_(&space) {}
+
+  exec::EvalOutput evaluate(const eval::ModelConfig& config) override {
+    double score = 0.0;
+    for (std::size_t i = 0; i < config.genome.size(); ++i) {
+      score += static_cast<double>(config.genome[i]) /
+               static_cast<double>(space_->arity(i) - 1);
+    }
+    exec::EvalOutput out;
+    out.objective = score / static_cast<double>(config.genome.size());
+    out.train_seconds = 10.0;
+    ++n_calls_;
+    return out;
+  }
+
+  int n_calls() const { return n_calls_; }
+
+ private:
+  const nas::SearchSpace* space_;
+  int n_calls_ = 0;
+};
+
+nas::SpaceConfig tiny_space_config() {
+  nas::SpaceConfig cfg;
+  cfg.n_variable_nodes = 4;
+  cfg.max_skips = 2;
+  return cfg;
+}
+
+SearchConfig tiny_age_config(std::uint64_t seed = 1) {
+  SearchConfig cfg = age_config(1, seed);
+  cfg.population_size = 10;
+  cfg.sample_size = 3;
+  cfg.wall_time_seconds = 600.0;  // 60 rounds of 10s evals
+  return cfg;
+}
+
+TEST(AgeboSearch, RunsToWallTimeAndRecordsHistory) {
+  nas::SearchSpace space(tiny_space_config());
+  CountingEvaluator evaluator(space);
+  exec::SimulatedExecutor executor(8);
+  AgeboSearch search(space, evaluator, executor, tiny_age_config());
+  const auto result = search.run();
+
+  // 8 workers, 10s evals, 600s budget -> a few hundred evaluations.
+  EXPECT_GT(result.history.size(), 100u);
+  EXPECT_EQ(static_cast<int>(result.history.size() + executor.num_in_flight()),
+            evaluator.n_calls());
+  for (const auto& rec : result.history) {
+    EXPECT_LE(rec.finish_time, 600.0);
+    EXPECT_GE(rec.objective, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result.best_objective, result.best().objective);
+}
+
+TEST(AgeboSearch, EvolutionImprovesOverRandom) {
+  nas::SearchSpace space(tiny_space_config());
+  CountingEvaluator evaluator(space);
+  exec::SimulatedExecutor executor(8);
+  AgeboSearch search(space, evaluator, executor, tiny_age_config(7));
+  const auto result = search.run();
+
+  // Mean objective of the last 30 evaluations must beat the first 30
+  // (random phase) on this fully separable landscape.
+  const auto& h = result.history;
+  ASSERT_GT(h.size(), 80u);
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    early += h[i].objective;
+    late += h[h.size() - 1 - i].objective;
+  }
+  EXPECT_GT(late, early + 1.0);  // sum over 30: clear improvement
+}
+
+TEST(AgeboSearch, FixedModeUsesGivenHparams) {
+  nas::SearchSpace space(tiny_space_config());
+  CountingEvaluator evaluator(space);
+  exec::SimulatedExecutor executor(4);
+  auto cfg = tiny_age_config();
+  cfg.fixed_hparams = {64.0, 0.05, 2.0};
+  cfg.wall_time_seconds = 100.0;
+  AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  for (const auto& rec : result.history) {
+    EXPECT_EQ(rec.config.hparams, (bo::Point{64.0, 0.05, 2.0}));
+  }
+}
+
+TEST(AgeboSearch, BoModeProducesValidHparams) {
+  nas::SearchSpace space(tiny_space_config());
+  CountingEvaluator evaluator(space);
+  exec::SimulatedExecutor executor(4);
+  auto cfg = agebo_config(3);
+  cfg.population_size = 10;
+  cfg.sample_size = 3;
+  cfg.wall_time_seconds = 300.0;
+  AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  const auto hp_space = bo::ParamSpace::paper_space();
+  for (const auto& rec : result.history) {
+    EXPECT_NO_THROW(hp_space.validate(rec.config.hparams));
+  }
+}
+
+TEST(AgeboSearch, DeterministicGivenSeed) {
+  nas::SearchSpace space(tiny_space_config());
+  auto run_once = [&] {
+    CountingEvaluator evaluator(space);
+    exec::SimulatedExecutor executor(4);
+    auto cfg = tiny_age_config(11);
+    cfg.wall_time_seconds = 200.0;
+    AgeboSearch search(space, evaluator, executor, cfg);
+    return search.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].config.genome, b.history[i].config.genome);
+    EXPECT_DOUBLE_EQ(a.history[i].objective, b.history[i].objective);
+  }
+}
+
+TEST(AgeboSearch, RejectsInvalidConfigs) {
+  nas::SearchSpace space(tiny_space_config());
+  CountingEvaluator evaluator(space);
+  exec::SimulatedExecutor executor(2);
+
+  SearchConfig cfg;
+  cfg.population_size = 0;
+  cfg.fixed_hparams = eval::default_hparams(1);
+  EXPECT_THROW(AgeboSearch(space, evaluator, executor, cfg), std::invalid_argument);
+
+  cfg = SearchConfig{};
+  cfg.sample_size = 200;
+  cfg.fixed_hparams = eval::default_hparams(1);
+  EXPECT_THROW(AgeboSearch(space, evaluator, executor, cfg), std::invalid_argument);
+
+  cfg = SearchConfig{};
+  cfg.use_bo = true;  // no hp_space
+  EXPECT_THROW(AgeboSearch(space, evaluator, executor, cfg), std::invalid_argument);
+
+  cfg = SearchConfig{};  // fixed mode without fixed_hparams
+  EXPECT_THROW(AgeboSearch(space, evaluator, executor, cfg), std::invalid_argument);
+}
+
+TEST(Variants, PaperDefaultsMatchSectionFour) {
+  const auto cfg = paper_defaults();
+  EXPECT_EQ(cfg.population_size, 100u);
+  EXPECT_EQ(cfg.sample_size, 10u);
+  EXPECT_DOUBLE_EQ(cfg.wall_time_seconds, 180.0 * 60.0);
+  EXPECT_DOUBLE_EQ(cfg.bo.kappa, 0.001);
+}
+
+TEST(Variants, AgeConfigFixesScaledDefaults) {
+  const auto cfg = age_config(4);
+  EXPECT_FALSE(cfg.use_bo);
+  EXPECT_EQ(cfg.fixed_hparams, (bo::Point{256.0, 0.01, 4.0}));
+  EXPECT_EQ(variant_name(cfg), "AgE-4");
+}
+
+TEST(Variants, PartialVariantsFreezeDimensions) {
+  const auto lr_only = agebo_8_lr_config();
+  EXPECT_TRUE(lr_only.use_bo);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto p = lr_only.hp_space.sample(rng);
+    EXPECT_DOUBLE_EQ(p[0], 256.0);
+    EXPECT_DOUBLE_EQ(p[2], 8.0);
+  }
+  const auto lr_bs = agebo_8_lr_bs_config();
+  std::set<double> batch_sizes;
+  for (int i = 0; i < 50; ++i) {
+    batch_sizes.insert(lr_bs.hp_space.sample(rng)[0]);
+  }
+  EXPECT_GT(batch_sizes.size(), 2u);  // bs really varies
+}
+
+TEST(Variants, AgeboNameAndKappa) {
+  const auto cfg = agebo_config(1, 19.6);
+  EXPECT_EQ(variant_name(cfg), "AgEBO");
+  EXPECT_DOUBLE_EQ(cfg.bo.kappa, 19.6);
+}
+
+SearchResult synthetic_result() {
+  SearchResult r;
+  const auto add = [&r](double t, double obj, int tag) {
+    EvalRecord rec;
+    rec.index = r.history.size();
+    rec.finish_time = t;
+    rec.objective = obj;
+    rec.train_seconds = 5.0;
+    rec.config.genome = nas::Genome(8, tag);
+    r.history.push_back(rec);
+  };
+  add(10, 0.5, 0);
+  add(20, 0.8, 1);
+  add(30, 0.7, 2);
+  add(40, 0.9, 3);
+  add(50, 0.9, 3);  // duplicate genome
+  add(60, 0.85, 4);
+  r.best_index = 3;
+  r.best_objective = 0.9;
+  return r;
+}
+
+TEST(Analysis, BestSoFarIsMonotone) {
+  const auto r = synthetic_result();
+  const auto series = best_so_far(r);
+  ASSERT_EQ(series.size(), 3u);  // 0.5 -> 0.8 -> 0.9
+  EXPECT_DOUBLE_EQ(series[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(series[1].value, 0.8);
+  EXPECT_DOUBLE_EQ(series[2].value, 0.9);
+  EXPECT_DOUBLE_EQ(series[2].time_seconds, 40.0);
+}
+
+TEST(Analysis, BestAtTimeInterpolatesHistory) {
+  const auto r = synthetic_result();
+  EXPECT_DOUBLE_EQ(best_at_time(r, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(best_at_time(r, 25.0), 0.8);
+  EXPECT_DOUBLE_EQ(best_at_time(r, 100.0), 0.9);
+}
+
+TEST(Analysis, TimeToAccuracy) {
+  const auto r = synthetic_result();
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.8), 20.0);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.9), 40.0);
+  EXPECT_DOUBLE_EQ(time_to_accuracy(r, 0.99), -1.0);
+}
+
+TEST(Analysis, UniqueHighPerformersDeduplicates) {
+  const auto r = synthetic_result();
+  const auto series = unique_high_performers(r, 0.75);
+  // Above 0.75: records at t=20 (0.8), 40 (0.9), 50 (dup genome), 60 (0.85).
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.back().value, 3.0);
+  EXPECT_DOUBLE_EQ(series.back().time_seconds, 60.0);
+}
+
+TEST(Analysis, ThresholdIsMinOfQuantiles) {
+  const auto a = synthetic_result();
+  SearchResult b = synthetic_result();
+  for (auto& rec : b.history) rec.objective -= 0.3;
+  const double threshold = high_performer_threshold({&a, &b});
+  // b's 0.99-quantile is lower, so it sets the threshold.
+  EXPECT_LT(threshold, 0.61);
+  EXPECT_GT(threshold, 0.3);
+}
+
+TEST(Analysis, TopKOrdersByObjective) {
+  const auto r = synthetic_result();
+  const auto top = top_k(r, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.history[top[0]].objective, 0.9);
+  EXPECT_DOUBLE_EQ(r.history[2].objective, 0.7);
+  EXPECT_DOUBLE_EQ(r.history[top[2]].objective, 0.85);
+}
+
+TEST(Analysis, RunStatsAggregates) {
+  const auto r = synthetic_result();
+  const auto stats = run_stats(r);
+  EXPECT_EQ(stats.n_evaluations, 6u);
+  EXPECT_NEAR(stats.mean_train_minutes, 5.0 / 60.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.best_accuracy, 0.9);
+}
+
+TEST(Replacement, WorstPolicyKeepsBestMembers) {
+  // With remove-worst replacement and a separable landscape, the search
+  // should do at least as well as aging on the same budget.
+  nas::SearchSpace space(tiny_space_config());
+  auto run_policy = [&](Replacement policy) {
+    CountingEvaluator evaluator(space);
+    exec::SimulatedExecutor executor(8);
+    auto cfg = tiny_age_config(21);
+    cfg.replacement = policy;
+    AgeboSearch search(space, evaluator, executor, cfg);
+    return search.run().best_objective;
+  };
+  const double aging = run_policy(Replacement::kAging);
+  const double worst = run_policy(Replacement::kWorst);
+  EXPECT_GT(aging, 0.6);
+  EXPECT_GT(worst, 0.6);
+}
+
+}  // namespace
+}  // namespace agebo::core

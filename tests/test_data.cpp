@@ -1,0 +1,258 @@
+// Unit tests for src/data: dataset container, splits, sharding, synthetic
+// generators, CSV round trip, and standardization.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "data/csv.hpp"
+#include "data/dataset.hpp"
+#include "data/scaler.hpp"
+#include "data/synthetic.hpp"
+
+namespace agebo::data {
+namespace {
+
+Dataset tiny_dataset() {
+  SyntheticSpec spec;
+  spec.n_rows = 300;
+  spec.n_features = 6;
+  spec.n_classes = 3;
+  spec.n_informative = 4;
+  spec.class_sep = 2.0;
+  spec.seed = 5;
+  return make_classification(spec);
+}
+
+TEST(Dataset, ValidateAcceptsConsistent) {
+  const auto ds = tiny_dataset();
+  EXPECT_NO_THROW(ds.validate());
+  EXPECT_EQ(ds.n_rows, 300u);
+  EXPECT_EQ(ds.x.size(), 300u * 6u);
+}
+
+TEST(Dataset, ValidateRejectsBadLabel) {
+  auto ds = tiny_dataset();
+  ds.y[0] = 99;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsSizeMismatch) {
+  auto ds = tiny_dataset();
+  ds.x.pop_back();
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRowsInOrder) {
+  const auto ds = tiny_dataset();
+  const auto sub = ds.subset({5, 2, 7});
+  EXPECT_EQ(sub.n_rows, 3u);
+  EXPECT_EQ(sub.y[0], ds.y[5]);
+  EXPECT_EQ(sub.y[1], ds.y[2]);
+  for (std::size_t f = 0; f < ds.n_features; ++f) {
+    EXPECT_FLOAT_EQ(sub.row(2)[f], ds.row(7)[f]);
+  }
+}
+
+TEST(Dataset, SubsetRejectsOutOfRange) {
+  const auto ds = tiny_dataset();
+  EXPECT_THROW(ds.subset({ds.n_rows}), std::out_of_range);
+}
+
+TEST(Split, PaperFractionsPartitionAllRows) {
+  const auto ds = tiny_dataset();
+  Rng rng(1);
+  const auto splits = split(ds, SplitFractions{}, rng);
+  EXPECT_EQ(splits.train.n_rows + splits.valid.n_rows + splits.test.n_rows,
+            ds.n_rows);
+  // 42 / 25 / 33 within rounding.
+  EXPECT_NEAR(static_cast<double>(splits.train.n_rows) / ds.n_rows, 0.42, 0.01);
+  EXPECT_NEAR(static_cast<double>(splits.valid.n_rows) / ds.n_rows, 0.25, 0.01);
+}
+
+TEST(Split, DeterministicGivenSeed) {
+  const auto ds = tiny_dataset();
+  Rng rng1(9);
+  Rng rng2(9);
+  const auto a = split(ds, SplitFractions{}, rng1);
+  const auto b = split(ds, SplitFractions{}, rng2);
+  EXPECT_EQ(a.train.y, b.train.y);
+  EXPECT_EQ(a.test.y, b.test.y);
+}
+
+TEST(Shard, MutuallyExclusiveAndExhaustive) {
+  const auto ds = tiny_dataset();
+  Rng rng(2);
+  const auto shards = shard(ds, 4, rng);
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.n_rows;
+  EXPECT_EQ(total, ds.n_rows);
+  // Near-equal shard sizes.
+  for (const auto& s : shards) {
+    EXPECT_NEAR(static_cast<double>(s.n_rows), ds.n_rows / 4.0, 1.0);
+  }
+}
+
+TEST(Shard, SingleShardIsWholeDatasetPermutation) {
+  const auto ds = tiny_dataset();
+  Rng rng(3);
+  const auto shards = shard(ds, 1, rng);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].n_rows, ds.n_rows);
+  auto a = shards[0].y;
+  auto b = ds.y;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shard, RejectsBadCounts) {
+  const auto ds = tiny_dataset();
+  Rng rng(4);
+  EXPECT_THROW(shard(ds, 0, rng), std::invalid_argument);
+  EXPECT_THROW(shard(ds, ds.n_rows + 1, rng), std::invalid_argument);
+}
+
+TEST(ClassCounts, SumsToRows) {
+  const auto ds = tiny_dataset();
+  const auto counts = class_counts(ds);
+  EXPECT_EQ(counts.size(), ds.n_classes);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}),
+            ds.n_rows);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.n_rows = 100;
+  spec.seed = 77;
+  const auto a = make_classification(spec);
+  const auto b = make_classification(spec);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.n_rows = 100;
+  spec.seed = 1;
+  const auto a = make_classification(spec);
+  spec.seed = 2;
+  const auto b = make_classification(spec);
+  EXPECT_NE(a.x, b.x);
+}
+
+TEST(Synthetic, ImbalanceSkewsClassPriors) {
+  SyntheticSpec spec;
+  spec.n_rows = 4000;
+  spec.n_classes = 4;
+  spec.imbalance = 2.0;
+  spec.seed = 3;
+  const auto ds = make_classification(spec);
+  const auto counts = class_counts(ds);
+  EXPECT_GT(counts[0], counts[3] * 2);
+}
+
+TEST(Synthetic, RejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.n_classes = 1;
+  EXPECT_THROW(make_classification(spec), std::invalid_argument);
+  spec = SyntheticSpec{};
+  spec.n_informative = spec.n_features + 1;
+  EXPECT_THROW(make_classification(spec), std::invalid_argument);
+  spec = SyntheticSpec{};
+  spec.label_noise = 1.0;
+  EXPECT_THROW(make_classification(spec), std::invalid_argument);
+}
+
+TEST(Synthetic, PaperSpecsMatchDatasetShapes) {
+  const auto specs = paper_dataset_specs(0.01);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "covertype");
+  EXPECT_EQ(specs[0].n_features, 54u);
+  EXPECT_EQ(specs[0].n_classes, 7u);
+  EXPECT_EQ(specs[1].name, "airlines");
+  EXPECT_EQ(specs[1].n_features, 8u);
+  EXPECT_EQ(specs[1].n_classes, 2u);
+  EXPECT_EQ(specs[2].name, "albert");
+  EXPECT_EQ(specs[2].n_features, 79u);
+  EXPECT_EQ(specs[3].name, "dionis");
+  EXPECT_EQ(specs[3].n_classes, 355u);
+}
+
+TEST(Synthetic, ScaleShrinksRowCount) {
+  const auto full = covertype_spec(1.0);
+  const auto small = covertype_spec(0.01);
+  EXPECT_EQ(full.n_rows, 581012u);
+  EXPECT_NEAR(static_cast<double>(small.n_rows), 5810.0, 2.0);
+  EXPECT_THROW(covertype_spec(0.0), std::invalid_argument);
+  EXPECT_THROW(covertype_spec(1.5), std::invalid_argument);
+}
+
+TEST(Csv, RoundTripPreservesData) {
+  const auto ds = tiny_dataset();
+  std::stringstream ss;
+  write_csv(ds, ss);
+  const auto back = read_csv(ss);
+  EXPECT_EQ(back.n_rows, ds.n_rows);
+  EXPECT_EQ(back.n_features, ds.n_features);
+  EXPECT_EQ(back.y, ds.y);
+  for (std::size_t i = 0; i < ds.x.size(); ++i) {
+    EXPECT_NEAR(back.x[i], ds.x[i], 1e-4);
+  }
+}
+
+TEST(Csv, ClassCountHintRaisesClasses) {
+  const auto ds = tiny_dataset();
+  std::stringstream ss;
+  write_csv(ds, ss);
+  const auto back = read_csv(ss, 10);
+  EXPECT_EQ(back.n_classes, 10u);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  std::stringstream ss;
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(Scaler, ProducesZeroMeanUnitVariance) {
+  auto ds = tiny_dataset();
+  StandardScaler scaler;
+  scaler.fit(ds);
+  scaler.transform(ds);
+  for (std::size_t f = 0; f < ds.n_features; ++f) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < ds.n_rows; ++i) mean += ds.row(i)[f];
+    mean /= static_cast<double>(ds.n_rows);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+  }
+}
+
+TEST(Scaler, TransformBeforeFitThrows) {
+  auto ds = tiny_dataset();
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(ds), std::logic_error);
+}
+
+TEST(Scaler, FeatureMismatchThrows) {
+  auto ds = tiny_dataset();
+  StandardScaler scaler;
+  scaler.fit(ds);
+  auto other = ds;
+  other.n_features = 3;
+  other.x.resize(other.n_rows * 3);
+  EXPECT_THROW(scaler.transform(other), std::invalid_argument);
+}
+
+TEST(Scaler, StandardizeAppliesTrainStatsToAllSplits) {
+  const auto ds = tiny_dataset();
+  Rng rng(6);
+  auto splits = split(ds, SplitFractions{}, rng);
+  const float before = splits.test.row(0)[0];
+  standardize(splits);
+  EXPECT_NE(splits.test.row(0)[0], before);
+}
+
+}  // namespace
+}  // namespace agebo::data

@@ -1,0 +1,316 @@
+// Unit tests for src/dp: allreduce correctness, thread team semantics, and
+// the data-parallel trainer's core invariants (lockstep replicas, gradient
+// averaging equivalence, linear scaling rule).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "dp/allreduce.hpp"
+#include "dp/data_parallel.hpp"
+#include "dp/thread_team.hpp"
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+namespace agebo::dp {
+namespace {
+
+TEST(Allreduce, FlatAveragesAllBuffers) {
+  std::vector<std::vector<float>> bufs = {{1, 2}, {3, 4}, {5, 6}};
+  std::vector<std::vector<float>*> ptrs = {&bufs[0], &bufs[1], &bufs[2]};
+  allreduce_average(ptrs, AllreduceStrategy::kFlat);
+  for (const auto& b : bufs) {
+    EXPECT_FLOAT_EQ(b[0], 3.0f);
+    EXPECT_FLOAT_EQ(b[1], 4.0f);
+  }
+}
+
+class AllreduceParam
+    : public ::testing::TestWithParam<std::tuple<AllreduceStrategy, int>> {};
+
+TEST_P(AllreduceParam, MatchesSequentialMean) {
+  const auto [strategy, n] = GetParam();
+  Rng rng(42 + n);
+  std::vector<std::vector<float>> bufs(n, std::vector<float>(257));
+  std::vector<double> expected(257, 0.0);
+  for (auto& b : bufs) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = static_cast<float>(rng.normal());
+      expected[i] += b[i];
+    }
+  }
+  for (auto& e : expected) e /= n;
+  std::vector<std::vector<float>*> ptrs;
+  for (auto& b : bufs) ptrs.push_back(&b);
+  allreduce_average(ptrs, strategy);
+  for (const auto& b : bufs) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      EXPECT_NEAR(b[i], expected[i], 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndSizes, AllreduceParam,
+    ::testing::Combine(::testing::Values(AllreduceStrategy::kFlat,
+                                         AllreduceStrategy::kTree),
+                       ::testing::Values(1, 2, 3, 4, 5, 8)));
+
+TEST(Allreduce, RejectsMismatchedSizes) {
+  std::vector<float> a = {1, 2};
+  std::vector<float> b = {1};
+  std::vector<std::vector<float>*> ptrs = {&a, &b};
+  EXPECT_THROW(allreduce_average(ptrs), std::invalid_argument);
+}
+
+TEST(Allreduce, RejectsEmptyAndNull) {
+  std::vector<std::vector<float>*> none;
+  EXPECT_THROW(allreduce_average(none), std::invalid_argument);
+  std::vector<float> a = {1};
+  std::vector<std::vector<float>*> with_null = {&a, nullptr};
+  EXPECT_THROW(allreduce_average(with_null), std::invalid_argument);
+}
+
+TEST(ThreadTeam, RunsEveryRankExactlyOnce) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(4);
+  team.run([&](std::size_t rank) { hits[rank]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, CollectiveIsReusable) {
+  ThreadTeam team(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    team.run([&](std::size_t) { counter++; });
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadTeam, PropagatesWorkerException) {
+  ThreadTeam team(3);
+  EXPECT_THROW(team.run([](std::size_t rank) {
+                 if (rank == 2) throw std::runtime_error("rank 2 failed");
+               }),
+               std::runtime_error);
+  // Team remains usable after an exception.
+  std::atomic<int> counter{0};
+  team.run([&](std::size_t) { counter++; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadTeam, SingleRankRunsInline) {
+  ThreadTeam team(1);
+  int hits = 0;
+  team.run([&](std::size_t rank) {
+    EXPECT_EQ(rank, 0u);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadTeam, RejectsZeroSize) {
+  EXPECT_THROW(ThreadTeam(0), std::invalid_argument);
+}
+
+TEST(LinearScaling, FollowsEquationTwo) {
+  DataParallelConfig cfg;
+  cfg.n_procs = 4;
+  cfg.lr1 = 0.01;
+  cfg.bs1 = 256;
+  const auto scaled = linear_scaling(cfg);
+  EXPECT_DOUBLE_EQ(scaled.lr_n, 0.04);
+  EXPECT_EQ(scaled.bs_n, 1024u);
+}
+
+data::Dataset dp_dataset(std::size_t rows = 800) {
+  data::SyntheticSpec spec;
+  spec.n_rows = rows;
+  spec.n_features = 10;
+  spec.n_classes = 3;
+  spec.n_informative = 6;
+  spec.class_sep = 2.5;
+  spec.seed = 31;
+  return data::make_classification(spec);
+}
+
+nn::GraphSpec dp_net_spec() {
+  nn::GraphSpec spec;
+  spec.input_dim = 10;
+  spec.output_dim = 3;
+  nn::NodeSpec n1;
+  n1.units = 12;
+  n1.act = nn::Activation::kRelu;
+  nn::NodeSpec n2;
+  n2.units = 8;
+  n2.act = nn::Activation::kTanh;
+  n2.skips = {0};
+  spec.nodes = {n1, n2};
+  return spec;
+}
+
+TEST(DataParallel, ReplicasStayInLockstep) {
+  const auto ds = dp_dataset();
+  Rng split_rng(1);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  DataParallelConfig cfg;
+  cfg.n_procs = 4;
+  cfg.lr1 = 0.005;
+  cfg.bs1 = 32;
+  cfg.epochs = 3;
+  DataParallelTrainer trainer(dp_net_spec(), cfg);
+  const auto result = trainer.fit(splits.train, splits.valid);
+  EXPECT_GT(result.global_steps, 0u);
+  // Identical averaged gradients + identical Adam state => bitwise lockstep.
+  EXPECT_EQ(trainer.max_replica_divergence(), 0.0f);
+}
+
+TEST(DataParallel, LockstepHoldsForTreeAllreduce) {
+  const auto ds = dp_dataset(400);
+  Rng split_rng(2);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  DataParallelConfig cfg;
+  cfg.n_procs = 3;  // non-power-of-two exercises the ragged tree
+  cfg.lr1 = 0.005;
+  cfg.bs1 = 16;
+  cfg.epochs = 2;
+  cfg.allreduce = AllreduceStrategy::kTree;
+  DataParallelTrainer trainer(dp_net_spec(), cfg);
+  trainer.fit(splits.train, splits.valid);
+  EXPECT_EQ(trainer.max_replica_divergence(), 0.0f);
+}
+
+TEST(DataParallel, LearnsWithMultipleProcs) {
+  const auto ds = dp_dataset(1200);
+  Rng split_rng(3);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  DataParallelConfig cfg;
+  cfg.n_procs = 2;
+  cfg.lr1 = 0.005;
+  cfg.bs1 = 32;
+  cfg.epochs = 10;
+  DataParallelTrainer trainer(dp_net_spec(), cfg);
+  const auto result = trainer.fit(splits.train, splits.valid);
+  EXPECT_GT(result.best_valid_accuracy, 0.80);
+}
+
+TEST(DataParallel, SingleProcMatchesAccuracyBand) {
+  // n=1 should behave like plain training: same data, same recipe.
+  const auto ds = dp_dataset(1200);
+  Rng split_rng(4);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  DataParallelConfig cfg;
+  cfg.n_procs = 1;
+  cfg.lr1 = 0.005;
+  cfg.bs1 = 32;
+  cfg.epochs = 10;
+  DataParallelTrainer trainer(dp_net_spec(), cfg);
+  const auto result = trainer.fit(splits.train, splits.valid);
+  EXPECT_GT(result.best_valid_accuracy, 0.80);
+  EXPECT_DOUBLE_EQ(result.epochs.front().learning_rate, 0.005);
+}
+
+TEST(DataParallel, WarmupRampsTowardScaledLr) {
+  const auto ds = dp_dataset(600);
+  Rng split_rng(5);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  DataParallelConfig cfg;
+  cfg.n_procs = 4;
+  cfg.lr1 = 0.002;
+  cfg.bs1 = 16;
+  cfg.epochs = 7;
+  cfg.warmup_epochs = 5;
+  DataParallelTrainer trainer(dp_net_spec(), cfg);
+  const auto result = trainer.fit(splits.train, splits.valid);
+  EXPECT_NEAR(result.epochs[0].learning_rate, 0.002, 1e-12);
+  // Epoch 5 reaches the scaled rate n * lr1 = 0.008.
+  EXPECT_NEAR(result.epochs[5].learning_rate, 0.008, 1e-12);
+}
+
+TEST(DataParallel, GradAveragingMatchesSingleLargeBatch) {
+  // One data-parallel step with n shards of local batch b must produce the
+  // same gradient as one sequential step over the union batch of n*b rows
+  // (identical weights, fp tolerance).
+  const std::size_t n = 2;
+  const auto ds = dp_dataset(64);
+
+  // Build two identical nets.
+  Rng rng_a(77);
+  Rng rng_b(77);
+  nn::GraphNet net_a(dp_net_spec(), rng_a);
+  nn::GraphNet net_b(dp_net_spec(), rng_b);
+
+  // Union batch: rows 0..31; shard 0 = 0..15, shard 1 = 16..31.
+  std::vector<std::size_t> order(32);
+  for (std::size_t i = 0; i < 32; ++i) order[i] = i;
+  nn::Tensor x_union;
+  std::vector<int> y_union;
+  nn::batch_from(ds, order, 0, 32, x_union, y_union);
+
+  // Sequential: full batch through net_a.
+  const nn::Tensor& logits = net_a.forward(x_union);
+  net_a.zero_grad();
+  nn::Tensor dl;
+  nn::softmax_cross_entropy(logits, y_union, dl);
+  net_a.backward(dl);
+
+  // Data-parallel: per-shard grads through net_b, averaged.
+  std::vector<std::vector<float>> shard_grads;
+  for (std::size_t r = 0; r < n; ++r) {
+    nn::Tensor x;
+    std::vector<int> y;
+    nn::batch_from(ds, order, r * 16, (r + 1) * 16, x, y);
+    const nn::Tensor& lg = net_b.forward(x);
+    net_b.zero_grad();
+    nn::Tensor d;
+    nn::softmax_cross_entropy(lg, y, d);
+    net_b.backward(d);
+    // Flatten this replica's grads.
+    std::vector<float> flat;
+    for (auto& block : net_b.params()) {
+      flat.insert(flat.end(), block.grads->begin(), block.grads->end());
+    }
+    shard_grads.push_back(std::move(flat));
+  }
+  std::vector<float> averaged(shard_grads[0].size());
+  for (std::size_t i = 0; i < averaged.size(); ++i) {
+    averaged[i] = 0.5f * (shard_grads[0][i] + shard_grads[1][i]);
+  }
+
+  std::vector<float> sequential;
+  for (auto& block : net_a.params()) {
+    sequential.insert(sequential.end(), block.grads->begin(),
+                      block.grads->end());
+  }
+  ASSERT_EQ(sequential.size(), averaged.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_NEAR(sequential[i], averaged[i], 1e-4);
+  }
+}
+
+TEST(DataParallel, RejectsInvalidConfig) {
+  DataParallelConfig cfg;
+  cfg.n_procs = 0;
+  EXPECT_THROW(DataParallelTrainer(dp_net_spec(), cfg), std::invalid_argument);
+  cfg = DataParallelConfig{};
+  cfg.bs1 = 0;
+  EXPECT_THROW(DataParallelTrainer(dp_net_spec(), cfg), std::invalid_argument);
+  cfg = DataParallelConfig{};
+  cfg.lr1 = -1.0;
+  EXPECT_THROW(DataParallelTrainer(dp_net_spec(), cfg), std::invalid_argument);
+}
+
+TEST(DataParallel, ModelBeforeFitThrows) {
+  DataParallelConfig cfg;
+  DataParallelTrainer trainer(dp_net_spec(), cfg);
+  EXPECT_THROW(trainer.model(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace agebo::dp

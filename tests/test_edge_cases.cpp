@@ -1,0 +1,314 @@
+// Edge-case coverage across modules: degenerate shapes, boundary
+// configurations, and less-traveled code paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "bo/optimizer.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "data/arff.hpp"
+#include "data/csv.hpp"
+#include "data/synthetic.hpp"
+#include "eval/surrogate.hpp"
+#include "exec/sim_executor.hpp"
+#include "nas/search_space.hpp"
+#include "nn/graph_net.hpp"
+#include "nn/loss.hpp"
+
+namespace agebo {
+namespace {
+
+// --------------------------------------------------------------------------
+// GraphNet structural edge cases.
+
+TEST(GraphNetEdge, AllIdentityChainWithSkips) {
+  // Identity nodes preserve width, so the skips need no projections; the
+  // network degenerates to input -> relu-combined sums -> readout.
+  nn::GraphSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 2;
+  for (int i = 0; i < 4; ++i) {
+    nn::NodeSpec node;
+    node.is_identity = true;
+    spec.nodes.push_back(node);
+  }
+  spec.nodes[2].skips = {0};
+  spec.nodes[3].skips = {0, 1};
+  spec.output_skips = {1, 2};
+  Rng rng(1);
+  nn::GraphNet net(spec, rng);
+  // Only the readout has parameters: identity skips are width-preserving.
+  EXPECT_EQ(net.num_params(), 6u * 2u + 2u);
+
+  nn::Tensor x(3, 6, 0.5f);
+  const auto& logits = net.forward(x);
+  EXPECT_EQ(logits.cols, 2u);
+
+  net.zero_grad();
+  nn::Tensor dl;
+  nn::softmax_cross_entropy(logits, {0, 1, 0}, dl);
+  EXPECT_NO_THROW(net.backward(dl));
+}
+
+TEST(GraphNetEdge, SingleRowBatch) {
+  nn::GraphSpec spec;
+  spec.input_dim = 3;
+  spec.output_dim = 2;
+  nn::NodeSpec node;
+  node.units = 4;
+  spec.nodes = {node};
+  Rng rng(2);
+  nn::GraphNet net(spec, rng);
+  nn::Tensor x(1, 3, 1.0f);
+  const auto& logits = net.forward(x);
+  EXPECT_EQ(logits.rows, 1u);
+  nn::Tensor dl;
+  nn::softmax_cross_entropy(logits, {1}, dl);
+  EXPECT_NO_THROW(net.backward(dl));
+}
+
+TEST(GraphNetEdge, WrongInputWidthThrows) {
+  nn::GraphSpec spec;
+  spec.input_dim = 3;
+  spec.output_dim = 2;
+  Rng rng(3);
+  nn::GraphNet net(spec, rng);
+  nn::Tensor x(2, 4, 0.0f);
+  EXPECT_THROW(net.forward(x), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Search-space boundaries.
+
+TEST(SearchSpaceEdge, MaximalGenomeDecodes) {
+  nas::SearchSpace space;
+  nas::Genome g(space.n_decisions());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<int>(space.arity(i)) - 1;
+  }
+  const auto spec = space.to_graph_spec(g, 54, 7);
+  EXPECT_NO_THROW(spec.validate());
+  // Every node is Dense(96, sigmoid) with all skips active.
+  for (const auto& node : spec.nodes) {
+    EXPECT_FALSE(node.is_identity);
+    EXPECT_EQ(node.units, 96u);
+  }
+  EXPECT_EQ(spec.output_skips.size(), 3u);
+  Rng rng(4);
+  nn::GraphNet net(spec, rng);
+  EXPECT_GT(net.num_params(), 40000u);
+}
+
+TEST(SearchSpaceEdge, SingleNodeSpace) {
+  nas::SpaceConfig cfg;
+  cfg.n_variable_nodes = 1;
+  nas::SearchSpace space(cfg);
+  // One op decision; no skip slots anywhere except output min(3,1)=1.
+  EXPECT_EQ(space.n_decisions(), 2u);
+  Rng rng(5);
+  const auto g = space.random(rng);
+  EXPECT_NO_THROW(space.to_graph_spec(g, 5, 2).validate());
+}
+
+// --------------------------------------------------------------------------
+// BO boundaries.
+
+TEST(BoEdge, AskZeroReturnsEmpty) {
+  auto space = bo::ParamSpace::paper_space();
+  bo::AskTellOptimizer opt(space, bo::BoConfig{});
+  EXPECT_TRUE(opt.ask(0).empty());
+  // Also after the surrogate takes over.
+  Rng rng(6);
+  std::vector<bo::Point> pts;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back(space.sample(rng));
+    ys.push_back(0.5);
+  }
+  opt.tell(pts, ys);
+  EXPECT_TRUE(opt.ask(0).empty());
+}
+
+TEST(BoEdge, ExhaustedCategoricalSpaceStillAsks) {
+  bo::ParamSpace space;
+  space.add_categorical("only", {1, 2});
+  bo::BoConfig cfg;
+  cfg.n_initial_random = 1;
+  bo::AskTellOptimizer opt(space, cfg);
+  opt.tell({{1}, {2}}, {0.1, 0.2});
+  // Everything evaluated: acquire falls back to a random sample.
+  const auto batch = opt.ask(2);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(BoEdge, ConstantObjectiveDoesNotBreakSurrogate) {
+  auto space = bo::ParamSpace::paper_space();
+  bo::AskTellOptimizer opt(space, bo::BoConfig{});
+  Rng rng(7);
+  std::vector<bo::Point> pts;
+  std::vector<double> ys;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back(space.sample(rng));
+    ys.push_back(0.777);  // zero variance
+  }
+  opt.tell(pts, ys);
+  EXPECT_EQ(opt.ask(4).size(), 4u);
+}
+
+// --------------------------------------------------------------------------
+// Executor boundaries.
+
+TEST(SimExecutorEdge, ManyMoreJobsThanWorkersAllComplete) {
+  exec::SimulatedExecutor sim(3);
+  for (int i = 0; i < 50; ++i) {
+    sim.submit([] { return exec::EvalOutput{0.5, 1.0, false}; });
+  }
+  std::size_t total = 0;
+  double last_finish = 0.0;
+  while (true) {
+    const auto batch = sim.get_finished(true);
+    if (batch.empty()) break;
+    total += batch.size();
+    for (const auto& f : batch) {
+      EXPECT_GE(f.finish_time, last_finish);
+    }
+    last_finish = batch.back().finish_time;
+  }
+  EXPECT_EQ(total, 50u);
+  // 50 jobs of 1s on 3 workers: makespan ceil(50/3) = 17s.
+  EXPECT_NEAR(sim.now(), 17.0, 1e-9);
+}
+
+TEST(SimExecutorEdge, GangWiderThanFreeWorkersWaitsForAll) {
+  exec::SimulatedExecutor sim(3);
+  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; });  // 1 worker
+  sim.submit([] { return exec::EvalOutput{0.5, 4.0, false}; }, 3);  // all 3
+  // The wide job cannot start until the 10s job frees its worker.
+  std::vector<exec::Finished> all;
+  while (true) {
+    auto b = sim.get_finished(true);
+    if (b.empty()) break;
+    all.insert(all.end(), b.begin(), b.end());
+  }
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0].finish_time, 10.0);
+  EXPECT_DOUBLE_EQ(all[1].finish_time, 14.0);
+}
+
+// --------------------------------------------------------------------------
+// Search boundaries.
+
+class TrivialEvaluator final : public eval::Evaluator {
+ public:
+  exec::EvalOutput evaluate(const eval::ModelConfig&) override {
+    return exec::EvalOutput{0.5, 2.0, false};
+  }
+};
+
+TEST(SearchEdge, ZeroBudgetProducesEmptyHistory) {
+  nas::SearchSpace space;
+  TrivialEvaluator evaluator;
+  exec::SimulatedExecutor executor(4);
+  auto cfg = core::age_config(1, 9);
+  cfg.wall_time_seconds = 0.0;
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  EXPECT_TRUE(result.history.empty());
+  EXPECT_DOUBLE_EQ(result.best_objective, 0.0);
+}
+
+TEST(SearchEdge, ExplicitInitialSubmissionsRespected) {
+  nas::SearchSpace space;
+  TrivialEvaluator evaluator;
+  exec::SimulatedExecutor executor(16);
+  auto cfg = core::age_config(1, 10);
+  cfg.initial_submissions = 3;
+  cfg.wall_time_seconds = 3.0;  // one 2s wave only
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  EXPECT_EQ(result.history.size(), 3u);
+}
+
+TEST(SearchEdge, FailingEvaluatorYieldsZeroObjectives) {
+  class Failing final : public eval::Evaluator {
+   public:
+    exec::EvalOutput evaluate(const eval::ModelConfig&) override {
+      throw std::runtime_error("training diverged");
+    }
+  };
+  nas::SearchSpace space;
+  Failing evaluator;
+  exec::SimulatedExecutor executor(2);
+  auto cfg = core::age_config(1, 11);
+  cfg.wall_time_seconds = 10.0;
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  EXPECT_GT(result.history.size(), 0u);
+  for (const auto& rec : result.history) {
+    EXPECT_DOUBLE_EQ(rec.objective, 0.0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Data boundaries.
+
+TEST(DataEdge, ArffNominalFeaturesOnly) {
+  const char* arff =
+      "@relation r\n"
+      "@attribute color {red, green, blue}\n"
+      "@attribute size {s, m}\n"
+      "@attribute class {a, b}\n"
+      "@data\n"
+      "red, m, a\n"
+      "blue, s, b\n";
+  std::stringstream ss(arff);
+  const auto ds = data::read_arff(ss);
+  EXPECT_EQ(ds.n_features, 2u);
+  EXPECT_FLOAT_EQ(ds.row(0)[0], 0.0f);  // red
+  EXPECT_FLOAT_EQ(ds.row(1)[0], 2.0f);  // blue
+  EXPECT_FLOAT_EQ(ds.row(0)[1], 1.0f);  // m
+}
+
+TEST(DataEdge, CsvRejectsNegativeLabel) {
+  std::stringstream ss("f0,label\n1.0,-1\n");
+  EXPECT_THROW(data::read_csv(ss), std::runtime_error);
+}
+
+TEST(DataEdge, MinimumRowFloorInScaledSpecs) {
+  // Even a microscopic scale keeps at least 256 rows.
+  const auto spec = data::airlines_spec(1e-9);
+  EXPECT_GE(spec.n_rows, 256u);
+}
+
+// --------------------------------------------------------------------------
+// Surrogate determinism across instances.
+
+TEST(SurrogateEdge, TwoInstancesSameProfileAgree) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator a(space, eval::albert_profile());
+  eval::SurrogateEvaluator b(space, eval::albert_profile());
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) {
+    eval::ModelConfig config{space.random(rng),
+                             bo::ParamSpace::paper_space().sample(rng)};
+    EXPECT_DOUBLE_EQ(a.evaluate(config).objective,
+                     b.evaluate(config).objective);
+    EXPECT_DOUBLE_EQ(a.score_z(config.genome), b.score_z(config.genome));
+  }
+}
+
+TEST(SurrogateEdge, DifferentDatasetsDisagree) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator cov(space, eval::covertype_profile());
+  eval::SurrogateEvaluator dio(space, eval::dionis_profile());
+  Rng rng(13);
+  const auto g = space.random(rng);
+  // Different seeds -> different landscapes: the same genome scores
+  // differently (Fig 7's "each data set requires different values").
+  EXPECT_NE(cov.score_z(g), dio.score_z(g));
+}
+
+}  // namespace
+}  // namespace agebo

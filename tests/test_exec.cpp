@@ -1,0 +1,185 @@
+// Unit tests for src/exec: thread pool, live executor, and the event-driven
+// cluster simulator (queueing semantics, virtual clock, utilization).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "exec/live_executor.hpp"
+#include "exec/sim_executor.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace agebo::exec {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.enqueue([&counter] { counter++; });
+  }
+  // Destructor drains the queue.
+  while (counter.load() < 100) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(LiveExecutor, RunsJobsAndCollectsResults) {
+  LiveExecutor executor(2);
+  const auto id1 = executor.submit([] {
+    EvalOutput out;
+    out.objective = 0.5;
+    return out;
+  });
+  const auto id2 = executor.submit([] {
+    EvalOutput out;
+    out.objective = 0.7;
+    return out;
+  });
+  std::vector<Finished> all;
+  while (all.size() < 2) {
+    auto batch = executor.get_finished(true);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(all.size(), 2u);
+  double sum = 0.0;
+  for (const auto& f : all) {
+    EXPECT_TRUE(f.id == id1 || f.id == id2);
+    sum += f.output.objective;
+  }
+  EXPECT_NEAR(sum, 1.2, 1e-12);
+}
+
+TEST(LiveExecutor, ExceptionBecomesFailedResult) {
+  LiveExecutor executor(1);
+  executor.submit([]() -> EvalOutput { throw std::runtime_error("boom"); });
+  auto finished = executor.get_finished(true);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_TRUE(finished[0].output.failed);
+  EXPECT_DOUBLE_EQ(finished[0].output.objective, 0.0);
+}
+
+TEST(LiveExecutor, GetFinishedEmptyWhenIdle) {
+  LiveExecutor executor(1);
+  EXPECT_TRUE(executor.get_finished(true).empty());
+  EXPECT_EQ(executor.num_in_flight(), 0u);
+}
+
+TEST(LiveExecutor, MeasuresTrainSecondsWhenUnset) {
+  LiveExecutor executor(1);
+  executor.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return EvalOutput{0.9, 0.0, false};
+  });
+  auto finished = executor.get_finished(true);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_GE(finished[0].output.train_seconds, 0.02);
+}
+
+TEST(SimExecutor, SingleJobAdvancesClockToDuration) {
+  SimulatedExecutor sim(4);
+  sim.submit([] { return EvalOutput{0.8, 100.0, false}; });
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  auto finished = sim.get_finished(true);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_DOUBLE_EQ(finished[0].finish_time, 100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimExecutor, ParallelJobsShareWorkers) {
+  // 2 workers, 3 jobs of 10s: third queues behind the first free worker.
+  SimulatedExecutor sim(2);
+  for (int i = 0; i < 3; ++i) {
+    sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
+  }
+  auto first = sim.get_finished(true);
+  EXPECT_EQ(first.size(), 2u);  // both 10s jobs finish together
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  auto second = sim.get_finished(true);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_DOUBLE_EQ(second[0].finish_time, 20.0);
+}
+
+TEST(SimExecutor, JobsSubmittedLaterStartAtCurrentClock) {
+  SimulatedExecutor sim(1);
+  sim.submit([] { return EvalOutput{0.5, 5.0, false}; });
+  sim.get_finished(true);  // clock -> 5
+  sim.submit([] { return EvalOutput{0.5, 7.0, false}; });
+  auto finished = sim.get_finished(true);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_DOUBLE_EQ(finished[0].finish_time, 12.0);
+}
+
+TEST(SimExecutor, NonBlockingReturnsEmptyBeforeCompletion) {
+  SimulatedExecutor sim(1);
+  sim.submit([] { return EvalOutput{0.5, 50.0, false}; });
+  EXPECT_TRUE(sim.get_finished(false).empty());
+  EXPECT_EQ(sim.num_in_flight(), 1u);
+}
+
+TEST(SimExecutor, DeterministicTieBreakById) {
+  SimulatedExecutor sim(4);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(sim.submit([] { return EvalOutput{0.5, 10.0, false}; }));
+  }
+  auto finished = sim.get_finished(true);
+  ASSERT_EQ(finished.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(finished[i].id, ids[i]);
+}
+
+TEST(SimExecutor, FailedEvalReported) {
+  SimulatedExecutor sim(1);
+  sim.submit([]() -> EvalOutput { throw std::runtime_error("x"); });
+  auto finished = sim.get_finished(true);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_TRUE(finished[0].output.failed);
+}
+
+TEST(SimExecutor, UtilizationFullWhenSaturated) {
+  SimulatedExecutor sim(2);
+  for (int i = 0; i < 4; ++i) {
+    sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
+  }
+  while (!sim.get_finished(true).empty()) {
+  }
+  const auto u = sim.utilization();
+  EXPECT_EQ(u.workers, 2u);
+  EXPECT_NEAR(u.fraction(), 1.0, 1e-9);
+}
+
+TEST(SimExecutor, OverheadLowersUtilization) {
+  // 10s jobs with 2.5s launch overhead: utilization 10 / 12.5 = 80%.
+  SimulatedExecutor sim(1, 2.5);
+  for (int i = 0; i < 4; ++i) {
+    sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
+  }
+  while (!sim.get_finished(true).empty()) {
+  }
+  EXPECT_NEAR(sim.utilization().fraction(), 0.8, 1e-9);
+}
+
+TEST(SimExecutor, ZeroDurationClampedToEpsilon) {
+  SimulatedExecutor sim(1);
+  sim.submit([] { return EvalOutput{0.5, 0.0, false}; });
+  auto finished = sim.get_finished(true);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_GT(finished[0].finish_time, 0.0);
+}
+
+TEST(SimExecutor, RejectsBadConstruction) {
+  EXPECT_THROW(SimulatedExecutor(0), std::invalid_argument);
+  EXPECT_THROW(SimulatedExecutor(1, -1.0), std::invalid_argument);
+}
+
+TEST(Utilization, FractionHandlesZeroElapsed) {
+  Utilization u;
+  EXPECT_DOUBLE_EQ(u.fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace agebo::exec

@@ -1,0 +1,274 @@
+// Tests for the extension features: model serialization, history CSV
+// round trip, warm-started search, random-search baseline, gang-width
+// scheduling, and the repetition harness.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/analysis.hpp"
+#include "core/history_io.hpp"
+#include "core/repeat.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "eval/surrogate.hpp"
+#include "exec/sim_executor.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+
+namespace agebo {
+namespace {
+
+// --------------------------------------------------------------------------
+// GraphNet serialization.
+
+nn::GraphSpec serialize_spec() {
+  nn::GraphSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 3;
+  nn::NodeSpec n1;
+  n1.units = 8;
+  n1.act = nn::Activation::kSwish;
+  nn::NodeSpec n2;
+  n2.is_identity = true;
+  nn::NodeSpec n3;
+  n3.units = 5;
+  n3.act = nn::Activation::kTanh;
+  n3.skips = {0, 1};
+  spec.nodes = {n1, n2, n3};
+  spec.output_skips = {2};
+  return spec;
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  Rng rng(3);
+  nn::GraphNet original(serialize_spec(), rng);
+
+  std::stringstream ss;
+  nn::save_graphnet(original, ss);
+  auto restored = nn::load_graphnet(ss);
+
+  nn::Tensor x(5, 6);
+  Rng data_rng(4);
+  for (auto& v : x.v) v = static_cast<float>(data_rng.normal());
+  const nn::Tensor a = original.forward(x);
+  const nn::Tensor& b = restored->forward(x);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.v.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.v[i], b.v[i]);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesSpec) {
+  Rng rng(5);
+  nn::GraphNet original(serialize_spec(), rng);
+  std::stringstream ss;
+  nn::save_graphnet(original, ss);
+  auto restored = nn::load_graphnet(ss);
+  const auto& spec = restored->spec();
+  EXPECT_EQ(spec.nodes.size(), 3u);
+  EXPECT_TRUE(spec.nodes[1].is_identity);
+  EXPECT_EQ(spec.nodes[2].skips, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(spec.output_skips, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(restored->num_params(), original.num_params());
+}
+
+TEST(Serialize, RejectsCorruptedInput) {
+  std::stringstream bad("not-a-model v1\n");
+  EXPECT_THROW(nn::load_graphnet(bad), std::runtime_error);
+
+  Rng rng(6);
+  nn::GraphNet original(serialize_spec(), rng);
+  std::stringstream ss;
+  nn::save_graphnet(original, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // truncate
+  std::stringstream truncated(text);
+  EXPECT_THROW(nn::load_graphnet(truncated), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// History CSV round trip + warm start.
+
+core::SearchResult tiny_campaign(std::uint64_t seed, double minutes = 30.0,
+                                 std::vector<core::EvalRecord> warm = {}) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+  exec::SimulatedExecutor executor(16);
+  auto cfg = core::agebo_config(seed);
+  cfg.population_size = 20;
+  cfg.sample_size = 5;
+  cfg.wall_time_seconds = minutes * 60.0;
+  cfg.warm_start = std::move(warm);
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  return search.run();
+}
+
+TEST(HistoryIo, CsvRoundTrip) {
+  nas::SearchSpace space;
+  const auto result = tiny_campaign(9);
+  ASSERT_GT(result.history.size(), 5u);
+
+  std::stringstream ss;
+  core::save_history(result, ss);
+  const auto loaded = core::load_history(ss, space);
+  ASSERT_EQ(loaded.size(), result.history.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].config.genome, result.history[i].config.genome);
+    EXPECT_NEAR(loaded[i].objective, result.history[i].objective, 1e-9);
+    EXPECT_NEAR(loaded[i].finish_time, result.history[i].finish_time, 1e-6);
+    EXPECT_EQ(loaded[i].config.hparams, result.history[i].config.hparams);
+  }
+}
+
+TEST(HistoryIo, RejectsBadHeader) {
+  nas::SearchSpace space;
+  std::stringstream ss("wrong,header\n1,2\n");
+  EXPECT_THROW(core::load_history(ss, space), std::runtime_error);
+}
+
+TEST(WarmStart, SeedsPopulationAndImprovesEarlyPhase) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+
+  // A first campaign produces prior knowledge.
+  const auto first = tiny_campaign(10, 45.0);
+  std::stringstream ss;
+  core::save_history(first, ss);
+  const auto prior = core::load_history(ss, space);
+
+  // Cold vs warm second campaign. What warm start guarantees is the
+  // *quality of the earliest evaluations*: they mutate an already-good
+  // population with BO-exploited hyperparameters, instead of sampling
+  // random genomes with random hyperparameters. (Final best over a short
+  // horizon can still favor cold runs, which accidentally explore fast
+  // high-throughput configurations — the same effect the paper notes for
+  // AgEBO's first 30 minutes in Fig 4.)
+  const auto cold = tiny_campaign(11, 60.0);
+  const auto warm = tiny_campaign(11, 60.0, prior);
+  auto early_mean = [](const core::SearchResult& r, std::size_t k) {
+    double sum = 0.0;
+    k = std::min(k, r.history.size());
+    for (std::size_t i = 0; i < k; ++i) sum += r.history[i].objective;
+    return sum / static_cast<double>(k);
+  };
+  EXPECT_GT(early_mean(warm, 10), early_mean(cold, 10) + 0.01);
+}
+
+TEST(WarmStart, RecordsOutsideFrozenSpaceOnlySeedPopulation) {
+  // Warm records with n=4 hyperparameters fed into an AgEBO-8-LR search
+  // (n frozen to 8) must not crash; genomes still seed the population.
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+  exec::SimulatedExecutor executor(8);
+
+  core::EvalRecord rec;
+  Rng rng(12);
+  rec.config.genome = space.random(rng);
+  rec.config.hparams = {256.0, 0.01, 4.0};
+  rec.objective = 0.9;
+
+  auto cfg = core::agebo_8_lr_config(13);
+  cfg.population_size = 5;
+  cfg.sample_size = 2;
+  cfg.wall_time_seconds = 600.0;
+  cfg.warm_start = {rec};
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  EXPECT_NO_THROW(search.run());
+}
+
+// --------------------------------------------------------------------------
+// Random-search baseline.
+
+TEST(RandomSearch, NeverMutatesAndUnderperformsAgE) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+
+  auto run = [&](core::SearchConfig cfg) {
+    exec::SimulatedExecutor executor(32);
+    cfg.wall_time_seconds = 120.0 * 60.0;
+    core::AgeboSearch search(space, evaluator, executor, cfg);
+    return search.run();
+  };
+  const auto rs = run(core::random_search_config(4, 21));
+  const auto age = run(core::age_config(4, 21));
+  EXPECT_EQ(core::variant_name(core::random_search_config(4, 21)), "RS-4");
+  // Evolution should beat pure random sampling given the same budget.
+  EXPECT_GT(age.best_objective, rs.best_objective);
+}
+
+// --------------------------------------------------------------------------
+// Gang-width scheduling.
+
+TEST(GangScheduling, WideJobOccupiesMultipleWorkers) {
+  exec::SimulatedExecutor sim(4);
+  // A width-4 job and then a width-1 job: the narrow one must wait.
+  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; }, 4);
+  sim.submit([] { return exec::EvalOutput{0.5, 5.0, false}; }, 1);
+  auto first = sim.get_finished(true);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first[0].finish_time, 10.0);  // the wide job
+  auto second = sim.get_finished(true);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_DOUBLE_EQ(second[0].finish_time, 15.0);  // waited for the gang
+}
+
+TEST(GangScheduling, WidthOneMatchesPlainSubmit) {
+  exec::SimulatedExecutor a(3);
+  exec::SimulatedExecutor b(3);
+  for (int i = 0; i < 5; ++i) {
+    a.submit([] { return exec::EvalOutput{0.5, 7.0, false}; });
+    b.submit([] { return exec::EvalOutput{0.5, 7.0, false}; }, 1);
+  }
+  while (true) {
+    auto fa = a.get_finished(true);
+    auto fb = b.get_finished(true);
+    ASSERT_EQ(fa.size(), fb.size());
+    if (fa.empty()) break;
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fa[i].finish_time, fb[i].finish_time);
+    }
+  }
+}
+
+TEST(GangScheduling, RejectsBadWidth) {
+  exec::SimulatedExecutor sim(2);
+  auto job = [] { return exec::EvalOutput{0.5, 1.0, false}; };
+  EXPECT_THROW(sim.submit(job, 0), std::invalid_argument);
+  EXPECT_THROW(sim.submit(job, 3), std::invalid_argument);
+}
+
+TEST(GangScheduling, MultinodeConfigWidthFn) {
+  const auto cfg = core::agebo_multinode_config(1, 8);
+  ASSERT_TRUE(static_cast<bool>(cfg.width_fn));
+  eval::ModelConfig mc;
+  mc.hparams = {256.0, 0.01, 8.0};
+  EXPECT_EQ(cfg.width_fn(mc), 1u);
+  mc.hparams[2] = 16.0;
+  EXPECT_EQ(cfg.width_fn(mc), 2u);
+  mc.hparams[2] = 64.0;
+  EXPECT_EQ(cfg.width_fn(mc), 8u);
+}
+
+// --------------------------------------------------------------------------
+// Repetition harness.
+
+TEST(Repeat, AggregatesAcrossSeeds) {
+  nas::SearchSpace space;
+  const auto outcome = core::run_repeated(
+      [&](std::uint64_t seed) { return tiny_campaign(seed, 20.0); },
+      {1, 2, 3}, /*target_accuracy=*/0.5);
+  EXPECT_EQ(outcome.runs.size(), 3u);
+  EXPECT_EQ(outcome.best_accuracy.count(), 3u);
+  EXPECT_GT(outcome.best_accuracy.mean(), 0.7);
+  EXPECT_EQ(outcome.reached_count, 3u);  // 0.5 is easy to reach
+  EXPECT_GT(outcome.time_to_target.mean(), 0.0);
+}
+
+TEST(Repeat, RejectsEmptySeedList) {
+  EXPECT_THROW(core::run_repeated([](std::uint64_t) { return core::SearchResult{}; },
+                                  {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agebo

@@ -1,0 +1,304 @@
+// Tests for the fourth extension wave: greedy ensemble selection (alone and
+// as the stacking combiner), architecture/population metrics, one-hot /
+// min-max encoders, and the data-parallel performance model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/encoding.hpp"
+#include "data/synthetic.hpp"
+#include "dp/perf_model.hpp"
+#include "ml/ensemble_selection.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/stacking.hpp"
+#include "nas/arch_metrics.hpp"
+
+namespace agebo {
+namespace {
+
+// --------------------------------------------------------------------------
+// Ensemble selection.
+
+ml::CandidatePredictions constant_predictor(std::size_t rows,
+                                            std::size_t classes,
+                                            std::size_t predicted) {
+  ml::CandidatePredictions c;
+  c.n_rows = rows;
+  c.n_classes = classes;
+  c.proba.assign(rows * classes, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) c.proba[r * classes + predicted] = 1.0;
+  return c;
+}
+
+TEST(EnsembleSelection, PicksTheAccurateCandidate) {
+  // Labels alternate 0/1; candidate 0 always says 0 (50%), candidate 1
+  // matches the labels exactly (100%).
+  const std::size_t rows = 20;
+  std::vector<int> labels(rows);
+  ml::CandidatePredictions oracle;
+  oracle.n_rows = rows;
+  oracle.n_classes = 2;
+  oracle.proba.assign(rows * 2, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    labels[r] = static_cast<int>(r % 2);
+    oracle.proba[r * 2 + labels[r]] = 1.0;
+  }
+  const auto result = ml::select_ensemble(
+      {constant_predictor(rows, 2, 0), oracle}, labels);
+  EXPECT_DOUBLE_EQ(result.validation_accuracy, 1.0);
+  EXPECT_GT(result.weights[1], result.weights[0]);
+  EXPECT_DOUBLE_EQ(result.weights[0] + result.weights[1], 1.0);
+}
+
+TEST(EnsembleSelection, BlendBeatsBothWhenComplementary) {
+  // Candidate A perfect on even rows, candidate B perfect on odd rows, both
+  // mildly confident elsewhere: the 50/50 blend is perfect.
+  const std::size_t rows = 12;
+  std::vector<int> labels(rows);
+  ml::CandidatePredictions a;
+  ml::CandidatePredictions b;
+  for (auto* c : {&a, &b}) {
+    c->n_rows = rows;
+    c->n_classes = 2;
+    c->proba.assign(rows * 2, 0.5);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    labels[r] = static_cast<int>(r % 2);
+    if (r % 2 == 0) {
+      a.proba[r * 2 + 0] = 0.9;
+      a.proba[r * 2 + 1] = 0.1;
+      b.proba[r * 2 + 0] = 0.45;
+      b.proba[r * 2 + 1] = 0.55;  // wrong, low margin
+    } else {
+      b.proba[r * 2 + 1] = 0.9;
+      b.proba[r * 2 + 0] = 0.1;
+      a.proba[r * 2 + 1] = 0.45;
+      a.proba[r * 2 + 0] = 0.55;  // wrong, low margin
+    }
+  }
+  const auto result = ml::select_ensemble({a, b}, labels);
+  EXPECT_DOUBLE_EQ(result.validation_accuracy, 1.0);
+  EXPECT_GT(result.weights[0], 0.0);
+  EXPECT_GT(result.weights[1], 0.0);
+}
+
+TEST(EnsembleSelection, RejectsBadShapes) {
+  std::vector<int> labels = {0, 1};
+  EXPECT_THROW(ml::select_ensemble({}, labels), std::invalid_argument);
+  auto c = constant_predictor(3, 2, 0);  // 3 rows vs 2 labels
+  EXPECT_THROW(ml::select_ensemble({c}, labels), std::invalid_argument);
+}
+
+TEST(EnsembleSelection, BlendRowWeightsApplied) {
+  auto a = constant_predictor(1, 2, 0);
+  auto b = constant_predictor(1, 2, 1);
+  const auto blend = ml::blend_row({a, b}, {0.25, 0.75}, 0);
+  EXPECT_DOUBLE_EQ(blend[0], 0.25);
+  EXPECT_DOUBLE_EQ(blend[1], 0.75);
+}
+
+TEST(StackingGreedy, GreedyCombinerWorksEndToEnd) {
+  data::SyntheticSpec spec;
+  spec.n_rows = 600;
+  spec.n_features = 8;
+  spec.n_classes = 3;
+  spec.n_informative = 5;
+  spec.class_sep = 2.0;
+  spec.seed = 51;
+  const auto ds = data::make_classification(spec);
+
+  std::vector<ml::ClassifierFactory> factories;
+  factories.push_back([] {
+    return std::make_unique<ml::ClassifierAdapter<ml::RandomForestClassifier>>(
+        ml::RandomForestClassifier(ml::random_forest_defaults(10)), "rf");
+  });
+  factories.push_back([] {
+    ml::KnnConfig kc;
+    kc.k = 7;
+    return std::make_unique<ml::ClassifierAdapter<ml::KnnClassifier>>(
+        ml::KnnClassifier(kc), "knn");
+  });
+  ml::StackingConfig cfg;
+  cfg.n_folds = 3;
+  cfg.meta_learner = ml::MetaLearner::kGreedyWeights;
+  ml::StackingEnsemble stack(std::move(factories), cfg);
+  stack.fit(ds);
+
+  ASSERT_EQ(stack.base_weights().size(), 2u);
+  double weight_sum = 0.0;
+  for (double w : stack.base_weights()) weight_sum += w;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_GT(stack.accuracy(ds), 0.8);
+}
+
+// --------------------------------------------------------------------------
+// Architecture metrics.
+
+TEST(ArchMetrics, CountsStructure) {
+  nas::SearchSpace space;
+  nas::Genome g(space.n_decisions(), 0);
+  g[0] = 6;   // N1: Dense(32, identity-act)
+  g[1] = 1;   // N2: Dense(16, identity-act)
+  g[2] = 1;   // N2 skip from input
+  const auto stats = nas::arch_stats(space, g, 10, 3);
+  EXPECT_EQ(stats.n_dense_nodes, 2u);
+  EXPECT_EQ(stats.n_identity_nodes, 8u);
+  EXPECT_EQ(stats.n_skips, 1u);
+  EXPECT_EQ(stats.total_units, 48u);
+  EXPECT_EQ(stats.max_width, 32u);
+  EXPECT_GT(stats.n_params, 0u);
+}
+
+TEST(ArchMetrics, HammingDistance) {
+  EXPECT_EQ(nas::hamming({1, 2, 3}, {1, 2, 3}), 0u);
+  EXPECT_EQ(nas::hamming({1, 2, 3}, {0, 2, 4}), 2u);
+  EXPECT_THROW(nas::hamming({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(ArchMetrics, DiversityOfIdenticalPopulationIsZero) {
+  nas::SearchSpace space;
+  Rng rng(3);
+  const auto g = space.random(rng);
+  const auto div = nas::population_diversity({g, g, g});
+  EXPECT_EQ(div.n_unique, 1u);
+  EXPECT_DOUBLE_EQ(div.mean_hamming, 0.0);
+  EXPECT_DOUBLE_EQ(div.fixed_fraction, 1.0);
+}
+
+TEST(ArchMetrics, RandomPopulationIsDiverse) {
+  nas::SearchSpace space;
+  Rng rng(4);
+  std::vector<nas::Genome> genomes;
+  for (int i = 0; i < 12; ++i) genomes.push_back(space.random(rng));
+  const auto div = nas::population_diversity(genomes);
+  EXPECT_EQ(div.n_unique, 12u);
+  EXPECT_GT(div.mean_hamming, 15.0);  // 37 decisions, mostly differing
+  EXPECT_LT(div.fixed_fraction, 0.2);
+}
+
+// --------------------------------------------------------------------------
+// Encoders.
+
+TEST(OneHot, ExpandsCategoricalColumns) {
+  data::Dataset ds;
+  ds.n_rows = 3;
+  ds.n_features = 3;
+  ds.n_classes = 2;
+  // col 1 is categorical with values {0,1,2}; cols 0 and 2 numeric.
+  ds.x = {0.5f, 0.0f, 7.0f, 1.5f, 2.0f, 8.0f, 2.5f, 1.0f, 9.0f};
+  ds.y = {0, 1, 0};
+
+  data::OneHotEncoder encoder;
+  encoder.fit(ds, {1});
+  EXPECT_EQ(encoder.output_features(), 2u + 3u);
+  const auto out = encoder.transform(ds);
+  EXPECT_EQ(out.n_features, 5u);
+  // Row 0: passthrough 0.5, 7.0; one-hot for category 0.
+  EXPECT_FLOAT_EQ(out.row(0)[0], 0.5f);
+  EXPECT_FLOAT_EQ(out.row(0)[1], 7.0f);
+  EXPECT_FLOAT_EQ(out.row(0)[2], 1.0f);
+  EXPECT_FLOAT_EQ(out.row(0)[3], 0.0f);
+  // Row 1: category 2 -> last slot.
+  EXPECT_FLOAT_EQ(out.row(1)[4], 1.0f);
+}
+
+TEST(OneHot, UnseenCategoryMapsToZeros) {
+  data::Dataset train;
+  train.n_rows = 2;
+  train.n_features = 1;
+  train.n_classes = 2;
+  train.x = {0.0f, 1.0f};
+  train.y = {0, 1};
+  data::OneHotEncoder encoder;
+  encoder.fit(train, {0});
+
+  data::Dataset test = train;
+  test.x = {2.0f, 0.0f};  // category 2 unseen
+  const auto out = encoder.transform(test);
+  EXPECT_FLOAT_EQ(out.row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(out.row(0)[1], 0.0f);
+  EXPECT_FLOAT_EQ(out.row(1)[0], 1.0f);
+}
+
+TEST(OneHot, RejectsNonCategoricalValues) {
+  data::Dataset ds;
+  ds.n_rows = 1;
+  ds.n_features = 1;
+  ds.n_classes = 2;
+  ds.x = {0.5f};
+  ds.y = {0};
+  data::OneHotEncoder encoder;
+  EXPECT_THROW(encoder.fit(ds, {0}), std::invalid_argument);
+  EXPECT_THROW(encoder.fit(ds, {3}), std::invalid_argument);
+}
+
+TEST(MinMax, ScalesToUnitInterval) {
+  data::Dataset ds;
+  ds.n_rows = 3;
+  ds.n_features = 2;
+  ds.n_classes = 2;
+  ds.x = {0.0f, 5.0f, 10.0f, 5.0f, 20.0f, 5.0f};  // col 1 constant
+  ds.y = {0, 1, 0};
+  data::MinMaxScaler scaler;
+  scaler.fit(ds);
+  scaler.transform(ds);
+  EXPECT_FLOAT_EQ(ds.row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(ds.row(1)[0], 0.5f);
+  EXPECT_FLOAT_EQ(ds.row(2)[0], 1.0f);
+  EXPECT_FLOAT_EQ(ds.row(0)[1], 0.0f);  // constant feature -> 0
+}
+
+TEST(MinMax, TransformBeforeFitThrows) {
+  data::Dataset ds;
+  data::MinMaxScaler scaler;
+  EXPECT_THROW(scaler.transform(ds), std::logic_error);
+}
+
+// --------------------------------------------------------------------------
+// Performance model.
+
+TEST(PerfModel, ComputeDominatedRegimeScalesLinearly) {
+  dp::PerfModelParams model;
+  model.allreduce_alpha = 0.0;
+  model.allreduce_beta = 1e18;  // free communication
+  model.step_overhead = 0.0;
+  // With free allreduce and fixed local batch, per-step time is constant in
+  // n, so epoch time (shard/bs steps) drops linearly -> speedup == n.
+  EXPECT_NEAR(dp::predict_speedup(model, 4, 64, 10000, 64 * 64), 4.0, 1e-9);
+}
+
+TEST(PerfModel, CommunicationBoundsSpeedup) {
+  dp::PerfModelParams model;
+  model.compute_per_sample_param = 1e-12;  // nearly free compute
+  model.allreduce_alpha = 1e-3;            // expensive latency
+  const double s8 = dp::predict_speedup(model, 8, 64, 100000, 64 * 64);
+  EXPECT_LT(s8, 4.0);  // communication overhead eats the parallelism
+}
+
+TEST(PerfModel, StepTimeMonotoneInBatchAndParams) {
+  dp::PerfModelParams model;
+  const double small = dp::predict_step_seconds(model, 2, 64, 10000);
+  const double big_batch = dp::predict_step_seconds(model, 2, 256, 10000);
+  const double big_net = dp::predict_step_seconds(model, 2, 64, 100000);
+  EXPECT_LT(small, big_batch);
+  EXPECT_LT(small, big_net);
+}
+
+TEST(PerfModel, FitComputeRateRecoversMeasurement) {
+  dp::PerfModelParams model;
+  const auto fitted = dp::fit_compute_rate(model, 0.01, 128, 50000);
+  const double predicted = dp::predict_step_seconds(fitted, 1, 128, 50000);
+  EXPECT_NEAR(predicted, 0.01, 1e-9);
+}
+
+TEST(PerfModel, RejectsBadInput) {
+  dp::PerfModelParams model;
+  EXPECT_THROW(dp::predict_step_seconds(model, 0, 64, 100), std::invalid_argument);
+  EXPECT_THROW(dp::predict_training_seconds(model, 1, 64, 100, 0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(dp::fit_compute_rate(model, 1e-9, 64, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agebo

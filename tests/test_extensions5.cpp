@@ -1,0 +1,183 @@
+// Tests for the fifth extension wave: progress callbacks, file-based
+// persistence round trips, live-executor utilization, and trainer
+// regularization knobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "core/history_io.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "data/csv.hpp"
+#include "data/synthetic.hpp"
+#include "eval/surrogate.hpp"
+#include "exec/live_executor.hpp"
+#include "exec/sim_executor.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace agebo {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("agebo_test_") + name))
+      .string();
+}
+
+TEST(Callback, OnResultSeesEveryRecordInOrder) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+  exec::SimulatedExecutor executor(8);
+  auto cfg = core::age_config(4, 3);
+  cfg.wall_time_seconds = 40.0 * 60.0;
+
+  std::size_t calls = 0;
+  std::size_t last_index = 0;
+  bool ordered = true;
+  cfg.on_result = [&](const core::EvalRecord& rec) {
+    if (calls > 0 && rec.index != last_index + 1) ordered = false;
+    last_index = rec.index;
+    ++calls;
+  };
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  EXPECT_EQ(calls, result.history.size());
+  EXPECT_TRUE(ordered);
+}
+
+TEST(FilePersistence, GraphNetFileRoundTrip) {
+  nn::GraphSpec spec;
+  spec.input_dim = 4;
+  spec.output_dim = 2;
+  nn::NodeSpec node;
+  node.units = 6;
+  spec.nodes = {node};
+  Rng rng(1);
+  nn::GraphNet net(spec, rng);
+
+  const auto path = temp_path("model.txt");
+  nn::save_graphnet_file(net, path);
+  auto restored = nn::load_graphnet_file(path);
+  EXPECT_EQ(restored->num_params(), net.num_params());
+  std::remove(path.c_str());
+
+  EXPECT_THROW(nn::load_graphnet_file("/nonexistent/model.txt"),
+               std::runtime_error);
+}
+
+TEST(FilePersistence, HistoryFileRoundTrip) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+  exec::SimulatedExecutor executor(8);
+  auto cfg = core::age_config(8, 5);
+  cfg.wall_time_seconds = 20.0 * 60.0;
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+
+  const auto path = temp_path("history.csv");
+  core::save_history_file(result, path);
+  const auto loaded = core::load_history_file(path, space);
+  EXPECT_EQ(loaded.size(), result.history.size());
+  std::remove(path.c_str());
+
+  EXPECT_THROW(core::load_history_file("/nonexistent/history.csv", space),
+               std::runtime_error);
+}
+
+TEST(FilePersistence, CsvDatasetFileRoundTrip) {
+  data::SyntheticSpec spec;
+  spec.n_rows = 50;
+  spec.seed = 9;
+  const auto ds = data::make_classification(spec);
+  const auto path = temp_path("data.csv");
+  data::write_csv_file(ds, path);
+  const auto back = data::read_csv_file(path);
+  EXPECT_EQ(back.n_rows, ds.n_rows);
+  EXPECT_EQ(back.y, ds.y);
+  std::remove(path.c_str());
+}
+
+TEST(LiveExecutorStats, UtilizationTracksBusyTime) {
+  exec::LiveExecutor executor(2);
+  for (int i = 0; i < 4; ++i) {
+    executor.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return exec::EvalOutput{0.5, 0.0, false};
+    });
+  }
+  std::size_t got = 0;
+  while (got < 4) got += executor.get_finished(true).size();
+  const auto u = executor.utilization();
+  EXPECT_EQ(u.workers, 2u);
+  EXPECT_GT(u.busy_worker_seconds, 0.07);  // ~4 x 20 ms
+  EXPECT_GT(u.fraction(), 0.3);
+  EXPECT_LE(u.fraction(), 1.05);
+}
+
+TEST(TrainerRegularization, WeightDecayShrinksWeightNorm) {
+  data::SyntheticSpec spec;
+  spec.n_rows = 300;
+  spec.seed = 21;
+  const auto ds = data::make_classification(spec);
+  Rng split_rng(2);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  auto weight_norm_after = [&](double weight_decay) {
+    nn::GraphSpec gspec;
+    gspec.input_dim = ds.n_features;
+    gspec.output_dim = ds.n_classes;
+    nn::NodeSpec node;
+    node.units = 16;
+    gspec.nodes = {node};
+    Rng net_rng(3);
+    nn::GraphNet net(gspec, net_rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 10;
+    cfg.batch_size = 32;
+    cfg.lr = 0.01;
+    cfg.weight_decay = weight_decay;
+    nn::train(net, splits.train, splits.valid, cfg);
+    double norm = 0.0;
+    for (auto& block : net.params()) {
+      for (float v : *block.values) norm += static_cast<double>(v) * v;
+    }
+    return norm;
+  };
+  EXPECT_LT(weight_norm_after(0.05), weight_norm_after(0.0));
+}
+
+TEST(TrainerRegularization, GradClipKeepsTrainingStable) {
+  data::SyntheticSpec spec;
+  spec.n_rows = 300;
+  spec.seed = 22;
+  const auto ds = data::make_classification(spec);
+  Rng split_rng(4);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  nn::GraphSpec gspec;
+  gspec.input_dim = ds.n_features;
+  gspec.output_dim = ds.n_classes;
+  nn::NodeSpec node;
+  node.units = 16;
+  gspec.nodes = {node};
+  Rng net_rng(5);
+  nn::GraphNet net(gspec, net_rng);
+  nn::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 32;
+  cfg.lr = 0.05;  // aggressive
+  cfg.grad_clip_norm = 1.0;
+  const auto result = nn::train(net, splits.train, splits.valid, cfg);
+  EXPECT_GT(result.best_valid_accuracy, 0.5);
+  for (const auto& epoch : result.epochs) {
+    EXPECT_TRUE(std::isfinite(epoch.train_loss));
+  }
+}
+
+}  // namespace
+}  // namespace agebo

@@ -1,0 +1,170 @@
+// Integration tests spanning modules: full simulated campaigns against the
+// calibrated surrogate (the paper's headline orderings), and a live
+// end-to-end AgEBO search with real data-parallel training.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "data/scaler.hpp"
+#include "data/synthetic.hpp"
+#include "eval/surrogate.hpp"
+#include "eval/training_eval.hpp"
+#include "exec/live_executor.hpp"
+#include "exec/sim_executor.hpp"
+
+namespace agebo {
+namespace {
+
+core::SearchResult run_sim(const nas::SearchSpace& space,
+                           core::SearchConfig cfg, const std::string& dataset,
+                           double minutes = 180.0, std::size_t workers = 128) {
+  eval::SurrogateEvaluator evaluator(space, eval::profile_by_name(dataset));
+  exec::SimulatedExecutor executor(workers, 90.0);
+  cfg.wall_time_seconds = minutes * 60.0;
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  return search.run();
+}
+
+TEST(SimCampaign, TableOneShape) {
+  // The Table I orderings: evaluation counts increase with n, mean training
+  // time decreases with n, and AgE-8 loses accuracy versus AgE-2/AgE-4.
+  nas::SearchSpace space;
+  std::vector<core::RunStats> stats;
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    stats.push_back(core::run_stats(run_sim(space, core::age_config(n, 500 + n),
+                                            "covertype")));
+  }
+  EXPECT_LT(stats[0].n_evaluations, stats[1].n_evaluations);
+  EXPECT_LT(stats[1].n_evaluations, stats[2].n_evaluations);
+  EXPECT_LT(stats[2].n_evaluations, stats[3].n_evaluations);
+
+  EXPECT_GT(stats[0].mean_train_minutes, stats[1].mean_train_minutes);
+  EXPECT_GT(stats[1].mean_train_minutes, stats[2].mean_train_minutes);
+  EXPECT_GT(stats[2].mean_train_minutes, stats[3].mean_train_minutes);
+  // Absolute anchors within a tolerant band of Table I.
+  EXPECT_NEAR(stats[0].mean_train_minutes, 26.5, 4.0);
+  EXPECT_NEAR(stats[3].mean_train_minutes, 3.2, 1.0);
+
+  // AgE-8 pays the linear-scaling-limit penalty.
+  EXPECT_LT(stats[3].best_accuracy, stats[1].best_accuracy - 0.01);
+  EXPECT_LT(stats[3].best_accuracy, stats[2].best_accuracy - 0.01);
+}
+
+TEST(SimCampaign, AgeboBeatsAgeEightOnCovertype) {
+  // Fig 4's headline: joint tuning beats static n=8 scaling.
+  nas::SearchSpace space;
+  const auto age8 = run_sim(space, core::age_config(8, 600), "covertype");
+  const auto agebo = run_sim(space, core::agebo_config(601), "covertype");
+  EXPECT_GT(agebo.best_objective, age8.best_objective + 0.01);
+}
+
+TEST(SimCampaign, AgeboBeatsAgeOneEverywhereFaster) {
+  // Fig 6's headline on two datasets: AgEBO reaches AgE-1's final best in a
+  // fraction of the wall time.
+  nas::SearchSpace space;
+  for (const std::string dataset : {"covertype", "dionis"}) {
+    const auto age1 = run_sim(space, core::age_config(1, 700), dataset);
+    const auto agebo = run_sim(space, core::agebo_config(701), dataset);
+    EXPECT_GE(agebo.best_objective, age1.best_objective - 0.002) << dataset;
+    // AgEBO reaches AgE-1's final level well before the end of the run
+    // (the paper sees it in 11-36 min; seeds put ours within ~0.9 of the
+    // budget at worst).
+    const double t = core::time_to_accuracy(agebo, age1.best_objective - 0.002);
+    ASSERT_GE(t, 0.0) << dataset;
+    EXPECT_LT(t, 0.9 * 180.0 * 60.0) << dataset;
+  }
+}
+
+TEST(SimCampaign, KappaExploitationWins) {
+  // Fig 8's headline: kappa = 0.001 accumulates more high performers than
+  // kappa = 19.6.
+  nas::SearchSpace space;
+  const auto exploit = run_sim(space, core::agebo_config(800, 0.001), "covertype", 90.0);
+  const auto explore = run_sim(space, core::agebo_config(800, 19.6), "covertype", 90.0);
+  const double threshold = core::high_performer_threshold({&exploit, &explore});
+  const auto exploit_series = core::unique_high_performers(exploit, threshold);
+  const auto explore_series = core::unique_high_performers(explore, threshold);
+  EXPECT_GT(exploit_series.size(), 2 * explore_series.size());
+}
+
+TEST(SimCampaign, UtilizationInPaperBand) {
+  nas::SearchSpace space;
+  const auto result = run_sim(space, core::age_config(1, 900), "covertype");
+  // Paper reports ~94%; the simulated launch overhead lands nearby.
+  EXPECT_GT(result.utilization.fraction(), 0.85);
+  EXPECT_LE(result.utilization.fraction(), 1.0);
+}
+
+TEST(SimCampaign, TableThreeCovertypeOptimum) {
+  // AgEBO's top models on Covertype should use n = 1 and bs1 = 256
+  // (Table III's cluster).
+  nas::SearchSpace space;
+  const auto result = run_sim(space, core::agebo_config(701), "covertype");
+  const auto top = core::top_k(result, 5);
+  int n_one = 0;
+  for (std::size_t idx : top) {
+    if (result.history[idx].config.hparams[2] == 1.0) ++n_one;
+  }
+  EXPECT_GE(n_one, 3);
+}
+
+TEST(LiveSearch, EndToEndAgeboOnRealTraining) {
+  auto spec = data::covertype_spec(0.002, 31);
+  const auto dataset = data::make_classification(spec);
+  Rng split_rng(1);
+  auto splits = data::split(dataset, data::SplitFractions{}, split_rng);
+  data::standardize(splits);
+
+  eval::TrainingEvalConfig ec;
+  ec.epochs = 3;
+  eval::TrainingEvaluator evaluator(splits.train, splits.valid, ec);
+  exec::LiveExecutor executor(4);
+
+  nas::SearchSpace space;
+  core::SearchConfig cfg = core::agebo_config(5);
+  cfg.population_size = 6;
+  cfg.sample_size = 2;
+  cfg.wall_time_seconds = 8.0;
+  cfg.hp_space = bo::ParamSpace{}
+                     .add_categorical("batch_size", {64, 128})
+                     .add_real("learning_rate", 0.001, 0.1, true)
+                     .add_categorical("n_processes", {1, 2});
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+
+  EXPECT_GT(result.history.size(), 4u);
+  EXPECT_GT(result.best_objective, 0.3);
+  for (const auto& rec : result.history) {
+    EXPECT_GT(rec.train_seconds, 0.0);
+  }
+}
+
+TEST(LiveSearch, AgeOnLiveExecutorMatchesSimSemantics) {
+  // The same search code runs against both executors (the Executor
+  // interface contract); a tiny AgE run should complete and improve.
+  auto spec = data::airlines_spec(0.002, 32);
+  const auto dataset = data::make_classification(spec);
+  Rng split_rng(2);
+  auto splits = data::split(dataset, data::SplitFractions{}, split_rng);
+  data::standardize(splits);
+
+  eval::TrainingEvalConfig ec;
+  ec.epochs = 2;
+  eval::TrainingEvaluator evaluator(splits.train, splits.valid, ec);
+  exec::LiveExecutor executor(2);
+
+  nas::SearchSpace space;
+  auto cfg = core::age_config(1, 6);
+  cfg.population_size = 4;
+  cfg.sample_size = 2;
+  cfg.fixed_hparams = {128.0, 0.01, 1.0};
+  cfg.wall_time_seconds = 6.0;
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+  EXPECT_GT(result.history.size(), 2u);
+  EXPECT_GT(result.best_objective, 0.5);  // binary task
+}
+
+}  // namespace
+}  // namespace agebo

@@ -1,0 +1,368 @@
+// Unit tests for src/ml: decision trees (classification + regression),
+// random forest / extra-trees, gradient boosting, kNN, logistic regression,
+// and the stacking ensemble.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "ml/boosting.hpp"
+#include "ml/forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/stacking.hpp"
+#include "ml/tree.hpp"
+
+namespace agebo::ml {
+namespace {
+
+data::Dataset easy_dataset(std::size_t rows = 600, std::uint64_t seed = 17) {
+  data::SyntheticSpec spec;
+  spec.n_rows = rows;
+  spec.n_features = 8;
+  spec.n_classes = 3;
+  spec.n_informative = 5;
+  spec.class_sep = 2.5;
+  spec.label_noise = 0.02;
+  spec.seed = seed;
+  return data::make_classification(spec);
+}
+
+TEST(DecisionTree, ClassifiesAxisAlignedSplit) {
+  // y = x0 > 0.
+  std::vector<float> x;
+  std::vector<int> y;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    x.push_back(v);
+    y.push_back(v > 0.0f ? 1 : 0);
+  }
+  DecisionTree tree;
+  TreeConfig cfg;
+  Rng tree_rng(2);
+  tree.fit_classification(x.data(), 200, 1, y, 2, cfg, tree_rng);
+  float probe_lo = -0.5f;
+  float probe_hi = 0.5f;
+  EXPECT_GT(tree.predict_distribution(&probe_lo)[0], 0.9);
+  EXPECT_GT(tree.predict_distribution(&probe_hi)[1], 0.9);
+}
+
+TEST(DecisionTree, RegressionFitsStepFunction) {
+  std::vector<float> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const float v = static_cast<float>(rng.uniform(0.0, 1.0));
+    x.push_back(v);
+    y.push_back(v > 0.5f ? 10.0 : -10.0);
+  }
+  DecisionTree tree;
+  TreeConfig cfg;
+  Rng tree_rng(4);
+  tree.fit_regression(x.data(), 300, 1, y, cfg, tree_rng);
+  float lo = 0.2f;
+  float hi = 0.8f;
+  EXPECT_NEAR(tree.predict_value(&lo), -10.0, 0.5);
+  EXPECT_NEAR(tree.predict_value(&hi), 10.0, 0.5);
+}
+
+TEST(DecisionTree, MaxDepthBoundsDepth) {
+  const auto ds = easy_dataset();
+  DecisionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 3;
+  Rng rng(5);
+  tree.fit_classification(ds.x.data(), ds.n_rows, ds.n_features, ds.y,
+                          ds.n_classes, cfg, rng);
+  EXPECT_LE(tree.depth(), 4u);  // root at depth 1
+}
+
+TEST(DecisionTree, PureNodeBecomesLeaf) {
+  std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  std::vector<int> y = {1, 1, 1};
+  DecisionTree tree;
+  TreeConfig cfg;
+  Rng rng(6);
+  tree.fit_classification(x.data(), 3, 1, y, 2, cfg, rng);
+  EXPECT_EQ(tree.n_nodes(), 1u);
+}
+
+TEST(DecisionTree, RowSubsetRestrictsTraining) {
+  std::vector<float> x = {0.0f, 1.0f, 2.0f, 3.0f};
+  std::vector<double> y = {5.0, 5.0, -7.0, -7.0};
+  std::vector<std::size_t> subset = {0, 1};  // only the 5.0 targets
+  DecisionTree tree;
+  TreeConfig cfg;
+  Rng rng(7);
+  tree.fit_regression(x.data(), 4, 1, y, cfg, rng, &subset);
+  float probe = 3.0f;
+  EXPECT_NEAR(tree.predict_value(&probe), 5.0, 1e-9);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  float probe = 0.0f;
+  EXPECT_THROW(tree.predict_value(&probe), std::logic_error);
+}
+
+TEST(DecisionTree, DistributionOnRegressionTreeThrows) {
+  std::vector<float> x = {0.0f, 1.0f};
+  std::vector<double> y = {0.0, 1.0};
+  DecisionTree tree;
+  TreeConfig cfg;
+  Rng rng(8);
+  tree.fit_regression(x.data(), 2, 1, y, cfg, rng);
+  float probe = 0.5f;
+  EXPECT_THROW(tree.predict_distribution(&probe), std::logic_error);
+}
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  auto ds = easy_dataset(800, 23);
+  Rng split_rng(9);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  RandomForestClassifier forest(random_forest_defaults(40));
+  forest.fit(splits.train);
+  const double forest_acc = forest.accuracy(splits.test);
+  EXPECT_GT(forest_acc, 0.8);
+
+  DecisionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 4;
+  Rng rng(10);
+  tree.fit_classification(splits.train.x.data(), splits.train.n_rows,
+                          splits.train.n_features, splits.train.y,
+                          splits.train.n_classes, cfg, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < splits.test.n_rows; ++i) {
+    const auto& dist = tree.predict_distribution(splits.test.row(i));
+    const auto pred = std::distance(
+        dist.begin(), std::max_element(dist.begin(), dist.end()));
+    if (pred == splits.test.y[i]) ++correct;
+  }
+  const double tree_acc =
+      static_cast<double>(correct) / static_cast<double>(splits.test.n_rows);
+  EXPECT_GE(forest_acc, tree_acc - 0.02);
+}
+
+TEST(RandomForest, ProbabilitiesSumToOne) {
+  const auto ds = easy_dataset(300);
+  RandomForestClassifier forest(random_forest_defaults(10));
+  forest.fit(ds);
+  const auto proba = forest.predict_proba_row(ds.row(0));
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RandomForestRegressor, UncertaintyShrinksWithAgreement) {
+  // Constant target -> every tree predicts the same -> zero stddev.
+  std::vector<float> x(100);
+  std::vector<double> y(100, 4.2);
+  Rng rng(11);
+  for (auto& v : x) v = static_cast<float>(rng.uniform());
+  RandomForestRegressor reg(random_forest_defaults(20));
+  reg.fit(x, 100, 1, y);
+  double mean = 0.0;
+  double sd = 1.0;
+  float probe = 0.5f;
+  reg.predict_with_uncertainty(&probe, mean, sd);
+  EXPECT_NEAR(mean, 4.2, 1e-6);
+  EXPECT_NEAR(sd, 0.0, 1e-6);
+}
+
+TEST(RandomForestRegressor, LearnsLinearTrend) {
+  std::vector<float> x;
+  std::vector<double> y;
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.0, 1.0);
+    x.push_back(static_cast<float>(v));
+    y.push_back(3.0 * v);
+  }
+  RandomForestRegressor reg(random_forest_defaults(30));
+  reg.fit(x, 500, 1, y);
+  float lo = 0.1f;
+  float hi = 0.9f;
+  EXPECT_LT(reg.predict_row(&lo), reg.predict_row(&hi));
+  EXPECT_NEAR(reg.predict_row(&hi), 2.7, 0.4);
+}
+
+TEST(ExtraTrees, FitsAndPredicts) {
+  const auto ds = easy_dataset(500, 29);
+  RandomForestClassifier et(extra_trees_defaults(20));
+  et.fit(ds);
+  EXPECT_GT(et.accuracy(ds), 0.8);  // training accuracy
+}
+
+TEST(Boosting, ImprovesOverRounds) {
+  auto ds = easy_dataset(700, 31);
+  Rng split_rng(13);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  BoostingConfig few;
+  few.n_rounds = 2;
+  GradientBoostingClassifier weak(few);
+  weak.fit(splits.train);
+
+  BoostingConfig many;
+  many.n_rounds = 30;
+  GradientBoostingClassifier strong(many);
+  strong.fit(splits.train);
+
+  EXPECT_GT(strong.accuracy(splits.valid), weak.accuracy(splits.valid) - 0.01);
+  EXPECT_GT(strong.accuracy(splits.valid), 0.75);
+}
+
+TEST(Boosting, ProbabilitiesNormalized) {
+  const auto ds = easy_dataset(200);
+  BoostingConfig cfg;
+  cfg.n_rounds = 5;
+  GradientBoostingClassifier model(cfg);
+  model.fit(ds);
+  const auto proba = model.predict_proba_row(ds.row(3));
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Knn, NearestNeighborWinsOnSeparatedClusters) {
+  data::Dataset ds;
+  ds.n_rows = 4;
+  ds.n_features = 1;
+  ds.n_classes = 2;
+  ds.x = {0.0f, 0.1f, 10.0f, 10.1f};
+  ds.y = {0, 0, 1, 1};
+  KnnConfig cfg;
+  cfg.k = 2;
+  KnnClassifier knn(cfg);
+  knn.fit(ds);
+  float near0 = 0.05f;
+  float near1 = 10.05f;
+  EXPECT_GT(knn.predict_proba_row(&near0)[0], 0.9);
+  EXPECT_GT(knn.predict_proba_row(&near1)[1], 0.9);
+}
+
+TEST(Knn, ReferenceSubsamplingCapsMemory) {
+  const auto ds = easy_dataset(500);
+  KnnConfig cfg;
+  cfg.max_reference_rows = 100;
+  KnnClassifier knn(cfg);
+  knn.fit(ds);
+  EXPECT_EQ(knn.n_reference_rows(), 100u);
+}
+
+TEST(Knn, AccuracyReasonableOnEasyData) {
+  auto ds = easy_dataset(800, 37);
+  Rng split_rng(14);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+  KnnClassifier knn;
+  knn.fit(splits.train);
+  EXPECT_GT(knn.accuracy(splits.test), 0.7);
+}
+
+TEST(Knn, RejectsZeroK) {
+  KnnConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW(KnnClassifier{cfg}, std::invalid_argument);
+}
+
+TEST(Logistic, SeparatesLinearProblem) {
+  data::SyntheticSpec spec;
+  spec.n_rows = 500;
+  spec.n_features = 6;
+  spec.n_classes = 2;
+  spec.n_informative = 4;
+  spec.class_sep = 2.0;
+  spec.nonlinear = false;
+  spec.seed = 41;
+  const auto ds = data::make_classification(spec);
+  LogisticRegression model;
+  model.fit(ds);
+  EXPECT_GT(model.accuracy(ds), 0.85);
+}
+
+TEST(Logistic, PredictBeforeFitThrows) {
+  LogisticRegression model;
+  float probe = 0.0f;
+  EXPECT_THROW(model.predict_proba_row(&probe), std::logic_error);
+}
+
+TEST(Stacking, BeatsOrMatchesWorstBaseModel) {
+  auto ds = easy_dataset(900, 43);
+  Rng split_rng(15);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  std::vector<ClassifierFactory> factories;
+  factories.push_back([] {
+    return std::make_unique<ClassifierAdapter<RandomForestClassifier>>(
+        RandomForestClassifier(random_forest_defaults(20)), "rf");
+  });
+  factories.push_back([] {
+    KnnConfig kc;
+    kc.k = 9;
+    return std::make_unique<ClassifierAdapter<KnnClassifier>>(
+        KnnClassifier(kc), "knn");
+  });
+  StackingConfig cfg;
+  cfg.n_folds = 3;
+  StackingEnsemble stack(std::move(factories), cfg);
+  stack.fit(splits.train);
+
+  RandomForestClassifier rf_alone(random_forest_defaults(20));
+  rf_alone.fit(splits.train);
+  KnnConfig kc;
+  kc.k = 9;
+  KnnClassifier knn_alone(kc);
+  knn_alone.fit(splits.train);
+  const double worst = std::min(rf_alone.accuracy(splits.test),
+                                knn_alone.accuracy(splits.test));
+  EXPECT_GE(stack.accuracy(splits.test), worst - 0.03);
+}
+
+TEST(Stacking, KeepsAllFoldModels) {
+  const auto ds = easy_dataset(300);
+  std::vector<ClassifierFactory> factories;
+  factories.push_back([] {
+    return std::make_unique<ClassifierAdapter<RandomForestClassifier>>(
+        RandomForestClassifier(random_forest_defaults(5)), "rf");
+  });
+  StackingConfig cfg;
+  cfg.n_folds = 4;
+  StackingEnsemble stack(std::move(factories), cfg);
+  stack.fit(ds);
+  EXPECT_EQ(stack.n_models(), 4u);  // 1 base x 4 folds
+  EXPECT_EQ(stack.base_names(), std::vector<std::string>{"rf"});
+}
+
+TEST(Stacking, RejectsDegenerateConfigs) {
+  std::vector<ClassifierFactory> empty;
+  StackingConfig cfg;
+  EXPECT_THROW(StackingEnsemble(std::move(empty), cfg), std::invalid_argument);
+
+  std::vector<ClassifierFactory> one;
+  one.push_back([] {
+    return std::make_unique<ClassifierAdapter<LogisticRegression>>(
+        LogisticRegression{}, "lr");
+  });
+  cfg.n_folds = 1;
+  EXPECT_THROW(StackingEnsemble(std::move(one), cfg), std::invalid_argument);
+}
+
+TEST(Stacking, PredictBeforeFitThrows) {
+  std::vector<ClassifierFactory> one;
+  one.push_back([] {
+    return std::make_unique<ClassifierAdapter<LogisticRegression>>(
+        LogisticRegression{}, "lr");
+  });
+  StackingEnsemble stack(std::move(one), StackingConfig{});
+  float probe = 0.0f;
+  EXPECT_THROW(stack.predict_proba_row(&probe), std::logic_error);
+}
+
+}  // namespace
+}  // namespace agebo::ml

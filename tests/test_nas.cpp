@@ -1,0 +1,232 @@
+// Unit tests for src/nas: search-space structure (the paper's 37-decision
+// space), genome sampling/mutation, decoding to GraphSpec, and encodings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nas/search_space.hpp"
+#include "nn/graph_net.hpp"
+
+namespace agebo::nas {
+namespace {
+
+TEST(SearchSpace, PaperDefaultsHave37Decisions) {
+  SearchSpace space;
+  EXPECT_EQ(space.n_decisions(), 37u);
+  EXPECT_EQ(space.n_variable_nodes(), 10u);
+  EXPECT_EQ(space.n_ops(), 31u);  // 6 units x 5 activations + identity
+}
+
+TEST(SearchSpace, ArityLayoutMatchesPaper) {
+  // 10 op decisions of arity 31, 27 skip decisions of arity 2.
+  SearchSpace space;
+  std::size_t ops = 0;
+  std::size_t skips = 0;
+  for (std::size_t i = 0; i < space.n_decisions(); ++i) {
+    if (space.arity(i) == 31) {
+      ++ops;
+    } else if (space.arity(i) == 2) {
+      ++skips;
+    } else {
+      FAIL() << "unexpected arity " << space.arity(i);
+    }
+  }
+  EXPECT_EQ(ops, 10u);
+  EXPECT_EQ(skips, 27u);
+}
+
+TEST(SearchSpace, SizeMatchesPaperFormula) {
+  // |H_a| = 31^10 * 2^27 ~ 1.1e23.
+  SearchSpace space;
+  EXPECT_NEAR(space.log10_size(), 10.0 * std::log10(31.0) + 27.0 * std::log10(2.0),
+              1e-9);
+  EXPECT_NEAR(space.log10_size(), 23.04, 0.05);
+}
+
+TEST(SearchSpace, RandomGenomesValidAndDiverse) {
+  SearchSpace space;
+  Rng rng(1);
+  std::set<std::string> keys;
+  for (int i = 0; i < 50; ++i) {
+    const auto g = space.random(rng);
+    EXPECT_NO_THROW(space.validate(g));
+    keys.insert(SearchSpace::key(g));
+  }
+  EXPECT_EQ(keys.size(), 50u);  // collisions in 1e23 space are a bug
+}
+
+TEST(SearchSpace, MutationChangesExactlyOneDecision) {
+  SearchSpace space;
+  Rng rng(2);
+  const auto parent = space.random(rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto child = space.mutate(parent, rng);
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < parent.size(); ++i) {
+      if (parent[i] != child[i]) {
+        ++diffs;
+        // The new value must differ (resampled excluding current).
+        EXPECT_NE(child[i], parent[i]);
+        EXPECT_LT(static_cast<std::size_t>(child[i]), space.arity(i));
+      }
+    }
+    EXPECT_EQ(diffs, 1u);
+  }
+}
+
+TEST(SearchSpace, MutationRejectsInvalidParent) {
+  SearchSpace space;
+  Rng rng(3);
+  Genome bad(37, 99);
+  EXPECT_THROW(space.mutate(bad, rng), std::invalid_argument);
+  Genome short_genome(5, 0);
+  EXPECT_THROW(space.mutate(short_genome, rng), std::invalid_argument);
+}
+
+TEST(SearchSpace, DecodeIdentityOp) {
+  SearchSpace space;
+  Genome g(37, 0);  // all identity ops, no skips
+  const auto spec = space.to_graph_spec(g, 54, 7);
+  EXPECT_EQ(spec.nodes.size(), 10u);
+  for (const auto& node : spec.nodes) {
+    EXPECT_TRUE(node.is_identity);
+    EXPECT_TRUE(node.skips.empty());
+  }
+  EXPECT_TRUE(spec.output_skips.empty());
+  EXPECT_EQ(spec.input_dim, 54u);
+  EXPECT_EQ(spec.output_dim, 7u);
+}
+
+TEST(SearchSpace, DecodeOpTable) {
+  // Op 1 = units[0]=16, act[0]=identity; op 2 = 16/swish; op 6 = 32/identity.
+  SearchSpace space;
+  Genome g(37, 0);
+  g[0] = 1;
+  auto spec = space.to_graph_spec(g, 10, 2);
+  EXPECT_FALSE(spec.nodes[0].is_identity);
+  EXPECT_EQ(spec.nodes[0].units, 16u);
+  EXPECT_EQ(spec.nodes[0].act, nn::Activation::kIdentity);
+
+  g[0] = 2;
+  spec = space.to_graph_spec(g, 10, 2);
+  EXPECT_EQ(spec.nodes[0].act, nn::Activation::kSwish);
+
+  g[0] = 6;
+  spec = space.to_graph_spec(g, 10, 2);
+  EXPECT_EQ(spec.nodes[0].units, 32u);
+  EXPECT_EQ(spec.nodes[0].act, nn::Activation::kIdentity);
+
+  g[0] = 30;  // last op: units 96, sigmoid
+  spec = space.to_graph_spec(g, 10, 2);
+  EXPECT_EQ(spec.nodes[0].units, 96u);
+  EXPECT_EQ(spec.nodes[0].act, nn::Activation::kSigmoid);
+}
+
+TEST(SearchSpace, SkipSlotsTargetNonConsecutivePredecessors) {
+  // Variable node 2's only skip slot connects to node 0 (the input);
+  // node 4's slots connect to nodes 2, 1, 0 (nearest first).
+  SearchSpace space;
+  Genome g(37, 0);
+  // Decision layout: [op1][op2 sc][op3 sc sc][op4 sc sc sc]...
+  g[2] = 1;  // node 2's single skip
+  g[6] = 1;  // node 4's first skip slot (decision after op4 at index... )
+  const auto spec = space.to_graph_spec(g, 10, 2);
+  EXPECT_EQ(spec.nodes[1].skips, (std::vector<std::size_t>{0}));
+  // Index math: op1=0, op2=1, sc=2, op3=3, sc=4, sc=5, op4=6 -> g[6] is
+  // op4 itself, not a skip. Fix: set op4's first skip at index 7.
+  Genome g2(37, 0);
+  g2[7] = 1;
+  const auto spec2 = space.to_graph_spec(g2, 10, 2);
+  EXPECT_EQ(spec2.nodes[3].skips, (std::vector<std::size_t>{2}));
+  Genome g3(37, 0);
+  g3[9] = 1;  // op4's third slot -> node 0
+  const auto spec3 = space.to_graph_spec(g3, 10, 2);
+  EXPECT_EQ(spec3.nodes[3].skips, (std::vector<std::size_t>{0}));
+}
+
+TEST(SearchSpace, OutputSkipsDecoded) {
+  SearchSpace space;
+  Genome g(37, 0);
+  g[34] = 1;  // first output skip -> N9
+  g[36] = 1;  // third output skip -> N7
+  const auto spec = space.to_graph_spec(g, 10, 2);
+  EXPECT_EQ(spec.output_skips, (std::vector<std::size_t>{9, 7}));
+}
+
+TEST(SearchSpace, DecodedSpecsBuildValidNetworks) {
+  SearchSpace space;
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const auto g = space.random(rng);
+    const auto spec = space.to_graph_spec(g, 54, 7);
+    EXPECT_NO_THROW(spec.validate());
+    Rng net_rng(5);
+    nn::GraphNet net(spec, net_rng);
+    nn::Tensor x(3, 54);
+    for (auto& v : x.v) v = 0.1f;
+    const auto& logits = net.forward(x);
+    EXPECT_EQ(logits.cols, 7u);
+    for (float v : logits.v) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(SearchSpace, OneHotEncoding) {
+  SearchSpace space;
+  Rng rng(6);
+  const auto g = space.random(rng);
+  const auto oh = space.one_hot(g);
+  EXPECT_EQ(oh.size(), space.one_hot_dim());
+  EXPECT_EQ(oh.size(), 10u * 31u + 27u * 2u);
+  double sum = 0.0;
+  for (double v : oh) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 37.0);  // one hot bit per decision
+}
+
+TEST(SearchSpace, KeyIsStableAndDistinct) {
+  SearchSpace space;
+  Rng rng(7);
+  const auto a = space.random(rng);
+  const auto b = space.random(rng);
+  EXPECT_EQ(SearchSpace::key(a), SearchSpace::key(a));
+  EXPECT_NE(SearchSpace::key(a), SearchSpace::key(b));
+}
+
+TEST(SearchSpace, CustomConfigSmallerSpace) {
+  SpaceConfig cfg;
+  cfg.n_variable_nodes = 3;
+  cfg.max_skips = 2;
+  SearchSpace space(cfg);
+  // ops: 3; skips: node2 -> 1, node3 -> 2, output -> min(2,3)=2. Total 8.
+  EXPECT_EQ(space.n_decisions(), 3u + 1u + 2u + 2u);
+}
+
+TEST(SearchSpace, ZeroSkipConfig) {
+  SpaceConfig cfg;
+  cfg.n_variable_nodes = 4;
+  cfg.max_skips = 0;
+  SearchSpace space(cfg);
+  EXPECT_EQ(space.n_decisions(), 4u);
+}
+
+TEST(SearchSpace, DescribeContainsNodes) {
+  SearchSpace space;
+  Rng rng(8);
+  const auto g = space.random(rng);
+  const auto desc = space.describe(g);
+  EXPECT_NE(desc.find("N1:"), std::string::npos);
+  EXPECT_NE(desc.find("N10:"), std::string::npos);
+  EXPECT_NE(desc.find("Out:"), std::string::npos);
+}
+
+TEST(SearchSpace, RejectsDegenerateConfigs) {
+  SpaceConfig cfg;
+  cfg.n_variable_nodes = 0;
+  EXPECT_THROW(SearchSpace{cfg}, std::invalid_argument);
+  cfg = SpaceConfig{};
+  cfg.units.clear();
+  EXPECT_THROW(SearchSpace{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agebo::nas

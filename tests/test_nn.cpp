@@ -1,0 +1,526 @@
+// Unit tests for src/nn: tensor kernels, activations, dense layer,
+// graph network forward/backward (with numerical gradient checks), loss,
+// Adam, schedules, and the trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/activation.hpp"
+#include "nn/adam.hpp"
+#include "nn/dense.hpp"
+#include "nn/graph_net.hpp"
+#include "nn/loss.hpp"
+#include "nn/schedule.hpp"
+#include "nn/tensor.hpp"
+#include "nn/trainer.hpp"
+
+namespace agebo::nn {
+namespace {
+
+TEST(Tensor, MatmulKnownValues) {
+  Tensor a(2, 3);
+  Tensor b(3, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a.v[i] = static_cast<float>(i + 1);
+    b.v[i] = static_cast<float>(i + 1);
+  }
+  Tensor out;
+  matmul(a, b, out);
+  // [[1,2,3],[4,5,6]] * [[1,2],[3,4],[5,6]] = [[22,28],[49,64]]
+  EXPECT_FLOAT_EQ(out.at(0, 0), 22.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 28.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 49.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 64.0f);
+}
+
+TEST(Tensor, MatmulTransposeVariantsAgree) {
+  Rng rng(1);
+  Tensor a(4, 5);
+  Tensor b(5, 3);
+  for (auto& v : a.v) v = static_cast<float>(rng.normal());
+  for (auto& v : b.v) v = static_cast<float>(rng.normal());
+
+  Tensor ref;
+  matmul(a, b, ref);
+
+  // a * b == a * (b^T)^T via matmul_bt with bt = b^T.
+  Tensor bt(3, 5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) bt.at(c, r) = b.at(r, c);
+  }
+  Tensor out_bt;
+  matmul_bt(a, bt, out_bt);
+  ASSERT_TRUE(ref.same_shape(out_bt));
+  for (std::size_t i = 0; i < ref.v.size(); ++i) {
+    EXPECT_NEAR(ref.v[i], out_bt.v[i], 1e-5);
+  }
+
+  // a * b == (a^T)^T * b via matmul_at with at = a^T.
+  Tensor at(5, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) at.at(c, r) = a.at(r, c);
+  }
+  Tensor out_at;
+  matmul_at(at, b, out_at);
+  ASSERT_TRUE(ref.same_shape(out_at));
+  for (std::size_t i = 0; i < ref.v.size(); ++i) {
+    EXPECT_NEAR(ref.v[i], out_at.v[i], 1e-5);
+  }
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(2, 3);
+  Tensor b(2, 3);
+  Tensor out;
+  EXPECT_THROW(matmul(a, b, out), std::invalid_argument);
+  EXPECT_THROW(add_inplace(a, Tensor(3, 2)), std::invalid_argument);
+}
+
+TEST(Tensor, AddBiasBroadcasts) {
+  Tensor t(2, 3, 1.0f);
+  add_bias(t, {1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 4.0f);
+}
+
+class ActivationTest : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationTest, DerivativeMatchesFiniteDifference) {
+  const Activation act = GetParam();
+  const float eps = 1e-3f;
+  for (float z : {-2.0f, -0.5f, 0.1f, 0.7f, 2.5f}) {
+    const float analytic = activate_grad_scalar(act, z);
+    const float numeric =
+        (activate_scalar(act, z + eps) - activate_scalar(act, z - eps)) /
+        (2.0f * eps);
+    EXPECT_NEAR(analytic, numeric, 2e-3) << to_string(act) << " at z=" << z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationTest,
+                         ::testing::Values(Activation::kIdentity,
+                                           Activation::kSwish,
+                                           Activation::kRelu,
+                                           Activation::kTanh,
+                                           Activation::kSigmoid),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Activation, ReluClampsNegative) {
+  EXPECT_FLOAT_EQ(activate_scalar(Activation::kRelu, -3.0f), 0.0f);
+  EXPECT_FLOAT_EQ(activate_scalar(Activation::kRelu, 3.0f), 3.0f);
+}
+
+TEST(Activation, IndexRoundTrip) {
+  for (int i = 0; i < kNumActivations; ++i) {
+    EXPECT_EQ(static_cast<int>(activation_from_index(i)), i);
+  }
+  EXPECT_THROW(activation_from_index(kNumActivations), std::out_of_range);
+}
+
+TEST(Dense, ForwardComputesAffine) {
+  Rng rng(2);
+  DenseLayer layer(2, 2, true, rng);
+  // Overwrite weights for a known result.
+  layer.weights().at(0, 0) = 1.0f;
+  layer.weights().at(0, 1) = 2.0f;
+  layer.weights().at(1, 0) = 3.0f;
+  layer.weights().at(1, 1) = 4.0f;
+  Tensor x(1, 2);
+  x.v = {1.0f, 2.0f};
+  Tensor z;
+  layer.forward(x, z);
+  EXPECT_FLOAT_EQ(z.at(0, 0), 7.0f);   // 1*1 + 2*3
+  EXPECT_FLOAT_EQ(z.at(0, 1), 10.0f);  // 1*2 + 2*4
+}
+
+TEST(Dense, BackwardGradCheck) {
+  Rng rng(3);
+  DenseLayer layer(3, 2, true, rng);
+  Tensor x(4, 3);
+  for (auto& v : x.v) v = static_cast<float>(rng.normal());
+
+  // Loss = sum(z); dL/dz = ones.
+  Tensor z;
+  layer.forward(x, z);
+  layer.zero_grad();
+  Tensor dz(4, 2, 1.0f);
+  Tensor dx;
+  layer.backward(dz, dx);
+
+  // Numerical check on one weight entry.
+  auto params = layer.params();
+  const float eps = 1e-3f;
+  auto loss_at = [&]() {
+    Tensor zz;
+    layer.forward(x, zz);
+    float s = 0.0f;
+    for (float v : zz.v) s += v;
+    return s;
+  };
+  for (std::size_t trial = 0; trial < 4; ++trial) {
+    auto& w = (*params[0].values)[trial];
+    const float orig = w;
+    w = orig + eps;
+    const float up = loss_at();
+    w = orig - eps;
+    const float down = loss_at();
+    w = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR((*params[0].grads)[trial], numeric, 2e-2);
+  }
+}
+
+GraphSpec small_spec(bool with_skips) {
+  GraphSpec spec;
+  spec.input_dim = 5;
+  spec.output_dim = 3;
+  NodeSpec n1;
+  n1.units = 8;
+  n1.act = Activation::kTanh;
+  NodeSpec n2;
+  n2.units = 6;
+  n2.act = Activation::kSwish;
+  NodeSpec n3;
+  n3.units = 4;
+  n3.act = Activation::kRelu;
+  if (with_skips) {
+    n3.skips = {0, 1};        // input and N1 into N3's combine
+  }
+  spec.nodes = {n1, n2, n3};
+  if (with_skips) spec.output_skips = {1, 2};
+  return spec;
+}
+
+TEST(GraphSpec, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(small_spec(true).validate());
+}
+
+TEST(GraphSpec, ValidateRejectsForwardSkip) {
+  auto spec = small_spec(false);
+  spec.nodes[0].skips = {0};  // node 1's base is node 0; no earlier node
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(GraphSpec, ValidateRejectsOutOfRangeOutputSkip) {
+  auto spec = small_spec(false);
+  spec.output_skips = {3};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(GraphNet, ForwardShapeAndDeterminism) {
+  Rng rng1(4);
+  Rng rng2(4);
+  GraphNet a(small_spec(true), rng1);
+  GraphNet b(small_spec(true), rng2);
+  Tensor x(7, 5);
+  Rng data_rng(5);
+  for (auto& v : x.v) v = static_cast<float>(data_rng.normal());
+  const Tensor& la = a.forward(x);
+  const Tensor& lb = b.forward(x);
+  EXPECT_EQ(la.rows, 7u);
+  EXPECT_EQ(la.cols, 3u);
+  EXPECT_EQ(la.v, lb.v);  // same seed -> identical nets
+}
+
+TEST(GraphNet, IdentityNodePassesThrough) {
+  GraphSpec spec;
+  spec.input_dim = 4;
+  spec.output_dim = 2;
+  NodeSpec id_node;
+  id_node.is_identity = true;
+  spec.nodes = {id_node};
+  Rng rng(6);
+  GraphNet net(spec, rng);
+  // Only parameters should be the output dense (4 -> 2 plus bias).
+  EXPECT_EQ(net.num_params(), 4u * 2u + 2u);
+}
+
+TEST(GraphNet, SkipProjectionOnlyWhenWidthsDiffer) {
+  // N1 width 8, input width 5: skip from input to N2 needs a projection
+  // into width-8 base. Same-width skips add no parameters.
+  GraphSpec spec;
+  spec.input_dim = 5;
+  spec.output_dim = 2;
+  NodeSpec n1;
+  n1.units = 8;
+  NodeSpec n2;
+  n2.units = 8;
+  n2.skips = {0};  // input (5) into base width 8 -> projection 5x8
+  spec.nodes = {n1, n2};
+  Rng rng(7);
+  GraphNet net(spec, rng);
+  const std::size_t expected = (5 * 8 + 8)      // N1 dense
+                               + 5 * 8          // projection (no bias)
+                               + (8 * 8 + 8)    // N2 dense
+                               + (8 * 2 + 2);   // output dense
+  EXPECT_EQ(net.num_params(), expected);
+}
+
+/// Full-network gradient check through skips, projections, and softmax CE.
+TEST(GraphNet, EndToEndGradCheck) {
+  Rng rng(8);
+  GraphNet net(small_spec(true), rng);
+  Rng data_rng(9);
+  Tensor x(6, 5);
+  for (auto& v : x.v) v = static_cast<float>(data_rng.normal());
+  std::vector<int> y = {0, 1, 2, 0, 1, 2};
+
+  auto loss_fn = [&]() {
+    const Tensor& logits = net.forward(x);
+    Tensor dl;
+    return softmax_cross_entropy(logits, y, dl);
+  };
+
+  const Tensor& logits = net.forward(x);
+  net.zero_grad();
+  Tensor dlogits;
+  softmax_cross_entropy(logits, y, dlogits);
+  net.backward(dlogits);
+
+  auto params = net.params();
+  const float eps = 1e-2f;
+  std::size_t checked = 0;
+  Rng pick(10);
+  for (auto& block : params) {
+    // Check two random entries per block.
+    for (int t = 0; t < 2 && !block.values->empty(); ++t) {
+      const std::size_t i = pick.index(block.values->size());
+      float& w = (*block.values)[i];
+      const float orig = w;
+      w = orig + eps;
+      const double up = loss_fn();
+      w = orig - eps;
+      const double down = loss_fn();
+      w = orig;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR((*block.grads)[i], numeric, 5e-3)
+          << "param block entry " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 10u);
+}
+
+TEST(GraphNet, DescribeMentionsStructure) {
+  Rng rng(11);
+  GraphNet net(small_spec(true), rng);
+  const auto desc = net.describe();
+  EXPECT_NE(desc.find("Dense(8, tanh)"), std::string::npos);
+  EXPECT_NE(desc.find("skips"), std::string::npos);
+  EXPECT_NE(desc.find("softmax"), std::string::npos);
+}
+
+TEST(Loss, SoftmaxRowsSumToOne) {
+  Tensor logits(3, 4);
+  Rng rng(12);
+  for (auto& v : logits.v) v = static_cast<float>(rng.normal(0.0, 3.0));
+  Tensor probs;
+  softmax(logits, probs);
+  for (std::size_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 4; ++c) sum += probs.at(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(Loss, CrossEntropyOfPerfectPredictionIsSmall) {
+  Tensor logits(2, 3, 0.0f);
+  logits.at(0, 1) = 20.0f;
+  logits.at(1, 2) = 20.0f;
+  Tensor dl;
+  const double loss = softmax_cross_entropy(logits, {1, 2}, dl);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  // Softmax CE gradient rows sum to zero (probs sum 1, one-hot sums 1).
+  Tensor logits(4, 5);
+  Rng rng(13);
+  for (auto& v : logits.v) v = static_cast<float>(rng.normal());
+  Tensor dl;
+  softmax_cross_entropy(logits, {0, 1, 2, 3}, dl);
+  for (std::size_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) sum += dl.at(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-6);
+  }
+}
+
+TEST(Loss, AccuracyCountsArgmaxMatches) {
+  Tensor logits(3, 2, 0.0f);
+  logits.at(0, 0) = 1.0f;  // pred 0
+  logits.at(1, 1) = 1.0f;  // pred 1
+  logits.at(2, 0) = 1.0f;  // pred 0
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+  EXPECT_EQ(predict_classes(logits), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Loss, RejectsLabelOutOfRange) {
+  Tensor logits(1, 2, 0.0f);
+  Tensor dl;
+  EXPECT_THROW(softmax_cross_entropy(logits, {5}, dl), std::invalid_argument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by feeding grad = 2(w - 3).
+  std::vector<float> w = {0.0f};
+  std::vector<float> g = {0.0f};
+  Adam opt({ParamRef{&w, &g}}, AdamConfig{0.1, 0.9, 0.999, 1e-8});
+  for (int i = 0; i < 500; ++i) {
+    g[0] = 2.0f * (w[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(w[0], 3.0f, 1e-2);
+}
+
+TEST(Adam, LearningRateMutable) {
+  std::vector<float> w = {0.0f};
+  std::vector<float> g = {1.0f};
+  Adam opt({ParamRef{&w, &g}}, AdamConfig{});
+  opt.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+  opt.step();
+  EXPECT_LT(w[0], 0.0f);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(Warmup, RampsLinearlyToTarget) {
+  GradualWarmup warmup(0.01, 0.08, 5);
+  EXPECT_DOUBLE_EQ(warmup.lr_for_epoch(0), 0.01);
+  EXPECT_NEAR(warmup.lr_for_epoch(1), 0.01 + 0.2 * 0.07, 1e-12);
+  EXPECT_DOUBLE_EQ(warmup.lr_for_epoch(5), 0.08);
+  EXPECT_DOUBLE_EQ(warmup.lr_for_epoch(100), 0.08);
+}
+
+TEST(Warmup, ZeroEpochsHoldsTarget) {
+  GradualWarmup warmup(0.01, 0.08, 0);
+  EXPECT_DOUBLE_EQ(warmup.lr_for_epoch(0), 0.08);
+}
+
+TEST(Plateau, ReducesAfterPatienceStagnantEpochs) {
+  ReduceLROnPlateau plateau(3, 0.5);
+  double lr = 0.1;
+  lr = plateau.update(0.80, lr);  // new best
+  EXPECT_DOUBLE_EQ(lr, 0.1);
+  lr = plateau.update(0.80, lr);  // stagnant 1
+  lr = plateau.update(0.79, lr);  // stagnant 2
+  lr = plateau.update(0.80, lr);  // stagnant 3 -> reduce
+  EXPECT_DOUBLE_EQ(lr, 0.05);
+  EXPECT_EQ(plateau.num_reductions(), 1u);
+}
+
+TEST(Plateau, ImprovementResetsCounter) {
+  ReduceLROnPlateau plateau(2, 0.5);
+  double lr = 0.1;
+  lr = plateau.update(0.5, lr);
+  lr = plateau.update(0.4, lr);   // stagnant 1
+  lr = plateau.update(0.6, lr);   // improvement resets
+  lr = plateau.update(0.55, lr);  // stagnant 1
+  EXPECT_DOUBLE_EQ(lr, 0.1);
+}
+
+TEST(Plateau, RespectsMinLr) {
+  ReduceLROnPlateau plateau(1, 0.5, 1e-4, 0.01);
+  double lr = 0.02;
+  lr = plateau.update(0.5, lr);
+  lr = plateau.update(0.4, lr);
+  lr = plateau.update(0.4, lr);
+  lr = plateau.update(0.4, lr);
+  EXPECT_GE(lr, 0.01);
+}
+
+TEST(Trainer, LearnsSeparableProblem) {
+  data::SyntheticSpec spec;
+  spec.n_rows = 600;
+  spec.n_features = 8;
+  spec.n_classes = 3;
+  spec.n_informative = 6;
+  spec.class_sep = 3.0;
+  spec.label_noise = 0.0;
+  spec.seed = 99;
+  const auto ds = data::make_classification(spec);
+  Rng split_rng(1);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  GraphSpec gspec;
+  gspec.input_dim = 8;
+  gspec.output_dim = 3;
+  NodeSpec n1;
+  n1.units = 16;
+  n1.act = Activation::kRelu;
+  gspec.nodes = {n1};
+  Rng net_rng(2);
+  GraphNet net(gspec, net_rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.batch_size = 32;
+  cfg.lr = 0.01;
+  const auto result = train(net, splits.train, splits.valid, cfg);
+  EXPECT_GT(result.best_valid_accuracy, 0.85);
+  EXPECT_EQ(result.epochs.size(), 15u);
+  // Loss should drop substantially from first to last epoch.
+  EXPECT_LT(result.epochs.back().train_loss,
+            result.epochs.front().train_loss * 0.8);
+}
+
+TEST(Trainer, WarmupAffectsEarlyEpochLr) {
+  data::SyntheticSpec spec;
+  spec.n_rows = 200;
+  spec.seed = 4;
+  const auto ds = data::make_classification(spec);
+  Rng split_rng(5);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  GraphSpec gspec;
+  gspec.input_dim = ds.n_features;
+  gspec.output_dim = ds.n_classes;
+  NodeSpec n1;
+  n1.units = 8;
+  gspec.nodes = {n1};
+  Rng net_rng(6);
+  GraphNet net(gspec, net_rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 7;
+  cfg.lr = 0.08;
+  cfg.warmup_div = 8.0;
+  cfg.warmup_epochs = 5;
+  cfg.batch_size = 32;
+  const auto result = train(net, splits.train, splits.valid, cfg);
+  EXPECT_NEAR(result.epochs[0].learning_rate, 0.01, 1e-9);
+  EXPECT_NEAR(result.epochs[5].learning_rate, 0.08, 1e-9);
+}
+
+TEST(Trainer, RejectsBadConfig) {
+  data::Dataset ds;
+  ds.n_rows = 0;
+  GraphSpec gspec;
+  gspec.input_dim = 2;
+  gspec.output_dim = 2;
+  Rng rng(1);
+  GraphNet net(gspec, rng);
+  TrainConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(train(net, ds, ds, cfg), std::invalid_argument);
+}
+
+TEST(Trainer, BatchFromExtractsRows) {
+  data::Dataset ds;
+  ds.n_rows = 3;
+  ds.n_features = 2;
+  ds.n_classes = 2;
+  ds.x = {1, 2, 3, 4, 5, 6};
+  ds.y = {0, 1, 0};
+  Tensor x;
+  std::vector<int> y;
+  batch_from(ds, {2, 0, 1}, 0, 2, x, y);
+  EXPECT_EQ(x.rows, 2u);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 5.0f);  // row 2 first
+  EXPECT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(x.at(1, 1), 2.0f);  // row 0 second
+}
+
+}  // namespace
+}  // namespace agebo::nn

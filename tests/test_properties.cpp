@@ -1,0 +1,270 @@
+// Property-based tests: invariants that must hold across randomized inputs,
+// swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "bo/param_space.hpp"
+#include "common/pca.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "data/synthetic.hpp"
+#include "dp/allreduce.hpp"
+#include "eval/surrogate.hpp"
+#include "nas/search_space.hpp"
+#include "nn/graph_net.hpp"
+#include "nn/loss.hpp"
+
+namespace agebo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: any random genome decodes to a network whose forward pass is
+// finite and whose backward pass produces finite gradients.
+class GenomeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GenomeProperty, DecodeTrainStepIsFinite) {
+  nas::SearchSpace space;
+  Rng rng(GetParam());
+  const auto g = space.random(rng);
+  const auto spec = space.to_graph_spec(g, 20, 5);
+  Rng net_rng(GetParam() + 1);
+  nn::GraphNet net(spec, net_rng);
+
+  nn::Tensor x(8, 20);
+  std::vector<int> y(8);
+  for (auto& v : x.v) v = static_cast<float>(rng.normal());
+  for (auto& label : y) label = static_cast<int>(rng.index(5));
+
+  const nn::Tensor& logits = net.forward(x);
+  for (float v : logits.v) ASSERT_TRUE(std::isfinite(v));
+
+  net.zero_grad();
+  nn::Tensor dl;
+  const double loss = nn::softmax_cross_entropy(logits, y, dl);
+  ASSERT_TRUE(std::isfinite(loss));
+  net.backward(dl);
+  for (auto& block : net.params()) {
+    for (float gr : *block.grads) ASSERT_TRUE(std::isfinite(gr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenomeProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// ---------------------------------------------------------------------------
+// Property: mutation chains always stay inside the space, and the op table
+// decode/encode layout never drifts.
+class MutationChainProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationChainProperty, StaysValidForLongChains) {
+  nas::SearchSpace space;
+  Rng rng(GetParam());
+  auto g = space.random(rng);
+  for (int step = 0; step < 200; ++step) {
+    g = space.mutate(g, rng);
+  }
+  EXPECT_NO_THROW(space.validate(g));
+  EXPECT_NO_THROW(space.to_graph_spec(g, 54, 7).validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationChainProperty,
+                         ::testing::Values(3, 17, 91, 123, 999));
+
+// ---------------------------------------------------------------------------
+// Property: allreduce over any replica count preserves the buffer mean.
+class AllreduceProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, dp::AllreduceStrategy>> {};
+
+TEST_P(AllreduceProperty, PreservesGlobalMean) {
+  const auto [n, strategy] = GetParam();
+  Rng rng(n * 31 + 7);
+  std::vector<std::vector<float>> bufs(n, std::vector<float>(101));
+  double total = 0.0;
+  for (auto& b : bufs) {
+    for (auto& v : b) {
+      v = static_cast<float>(rng.normal(0.0, 10.0));
+      total += v;
+    }
+  }
+  std::vector<std::vector<float>*> ptrs;
+  for (auto& b : bufs) ptrs.push_back(&b);
+  dp::allreduce_average(ptrs, strategy);
+
+  double after = 0.0;
+  for (const auto& b : bufs) {
+    for (float v : b) after += v;
+  }
+  EXPECT_NEAR(after, total, 1e-2 * std::abs(total) + 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndStrategies, AllreduceProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 7, 8, 16),
+                       ::testing::Values(dp::AllreduceStrategy::kFlat,
+                                         dp::AllreduceStrategy::kTree)));
+
+// ---------------------------------------------------------------------------
+// Property: the surrogate's accuracy response is bounded and its time
+// response is positive for arbitrary valid configs, on every dataset.
+class SurrogateProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SurrogateProperty, ResponsesBoundedForRandomConfigs) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space,
+                                     eval::profile_by_name(GetParam()));
+  auto hp_space = bo::ParamSpace::paper_space();
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    eval::ModelConfig cfg{space.random(rng), hp_space.sample(rng)};
+    const auto out = evaluator.evaluate(cfg);
+    EXPECT_GE(out.objective, 0.0);
+    EXPECT_LE(out.objective, 1.0);
+    EXPECT_GT(out.train_seconds, 0.0);
+    EXPECT_LT(out.train_seconds, 3600.0 * 10);
+    EXPECT_LE(evaluator.mean_accuracy(cfg), evaluator.profile().max_acc + 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SurrogateProperty,
+                         ::testing::Values("covertype", "airlines", "albert",
+                                           "dionis"));
+
+// ---------------------------------------------------------------------------
+// Property: quantile() is monotone in q and bounded by min/max.
+class QuantileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileProperty, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> sample(50);
+  for (auto& v : sample) v = rng.normal(0.0, 5.0);
+  double prev = -1e300;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double val = quantile(sample, q);
+    EXPECT_GE(val, prev);
+    prev = val;
+  }
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0),
+                   *std::min_element(sample.begin(), sample.end()));
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0),
+                   *std::max_element(sample.begin(), sample.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Property: PCA explained-variance ratios are non-negative, descending, and
+// sum to <= 1 for random data of any shape.
+class PcaProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PcaProperty, VarianceRatiosWellFormed) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 131 + cols);
+  Matrix data(rows, cols);
+  for (auto& v : data.data()) v = rng.normal();
+  const auto result = pca(data, 2);
+  double prev = 1e300;
+  double sum = 0.0;
+  for (double r : result.explained_variance_ratio) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, prev);
+    prev = r;
+    sum += r;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PcaProperty,
+                         ::testing::Combine(::testing::Values(10, 40, 100),
+                                            ::testing::Values(2, 5, 12)));
+
+// ---------------------------------------------------------------------------
+// Property: softmax cross-entropy gradient matches finite differences for
+// random logits (multiple class counts).
+class LossProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LossProperty, GradientMatchesFiniteDifference) {
+  const std::size_t classes = GetParam();
+  Rng rng(classes * 7 + 1);
+  nn::Tensor logits(4, classes);
+  for (auto& v : logits.v) v = static_cast<float>(rng.normal());
+  std::vector<int> y(4);
+  for (auto& label : y) label = static_cast<int>(rng.index(classes));
+
+  nn::Tensor dl;
+  nn::softmax_cross_entropy(logits, y, dl);
+
+  const float eps = 1e-3f;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t i = rng.index(logits.v.size());
+    nn::Tensor up = logits;
+    nn::Tensor down = logits;
+    up.v[i] += eps;
+    down.v[i] -= eps;
+    nn::Tensor scratch;
+    const double lu = nn::softmax_cross_entropy(up, y, scratch);
+    const double ld = nn::softmax_cross_entropy(down, y, scratch);
+    EXPECT_NEAR(dl.v[i], (lu - ld) / (2.0 * eps), 5e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, LossProperty,
+                         ::testing::Values(2, 3, 7, 20));
+
+// ---------------------------------------------------------------------------
+// Property: the synthetic generator is shape-correct and deterministic for
+// arbitrary class/feature combinations.
+class SyntheticProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SyntheticProperty, ShapeAndDeterminism) {
+  const auto [classes, features] = GetParam();
+  data::SyntheticSpec spec;
+  spec.n_rows = 200;
+  spec.n_classes = classes;
+  spec.n_features = features;
+  spec.n_informative = std::min<std::size_t>(features, 4);
+  spec.seed = classes * 17 + features;
+  const auto a = data::make_classification(spec);
+  const auto b = data::make_classification(spec);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.n_features, features);
+  // All labels in range, and at least two classes present for k >= 2.
+  std::set<int> seen(a.y.begin(), a.y.end());
+  EXPECT_GE(seen.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyntheticProperty,
+                         ::testing::Combine(::testing::Values(2, 5, 11),
+                                            ::testing::Values(4, 16, 40)));
+
+// ---------------------------------------------------------------------------
+// Property: ParamSpace::sample -> to_features -> bounds hold for random
+// mixed spaces.
+class ParamSpaceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParamSpaceProperty, FeaturesFiniteAndValid) {
+  Rng rng(GetParam());
+  bo::ParamSpace space;
+  space.add_real("r", 0.5, 2.0);
+  space.add_real("lr", 1e-4, 1e-1, true);
+  space.add_int("k", -3, 12);
+  space.add_categorical("c", {1, 2, 4, 8, 16});
+  for (int i = 0; i < 200; ++i) {
+    const auto p = space.sample(rng);
+    EXPECT_NO_THROW(space.validate(p));
+    for (double f : space.to_features(p)) {
+      EXPECT_TRUE(std::isfinite(f));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParamSpaceProperty,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace agebo

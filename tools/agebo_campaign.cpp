@@ -1,0 +1,126 @@
+// Command-line campaign runner: run any search variant on any of the four
+// benchmark datasets against the simulated cluster, print a summary, and
+// optionally export the evaluation history as CSV (loadable later for warm
+// starts via core::load_history).
+//
+//   agebo_campaign --dataset covertype --variant agebo --minutes 180 \
+//                  --workers 128 --seed 1 [--kappa 0.001] [--out hist.csv] \
+//                  [--warm-start prev.csv]
+//
+// Variants: age-1 age-2 age-4 age-8, agebo, agebo-8-lr, agebo-8-lr-bs,
+//           rs-1 (random search), agebo-multinode.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/history_io.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "eval/surrogate.hpp"
+#include "exec/sim_executor.hpp"
+#include "nas/search_space.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: agebo_campaign [--dataset covertype|airlines|albert|"
+               "dionis] [--variant VARIANT] [--minutes M] [--workers W] "
+               "[--seed S] [--kappa K] [--out FILE.csv] "
+               "[--warm-start FILE.csv]\n"
+               "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
+               "agebo-8-lr-bs rs-1 agebo-multinode\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace agebo;
+
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      usage();
+      return 2;
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  auto get = [&](const std::string& key, const std::string& fallback) {
+    const auto it = args.find(key);
+    return it == args.end() ? fallback : it->second;
+  };
+
+  const std::string dataset = get("dataset", "covertype");
+  const std::string variant = get("variant", "agebo");
+  const double minutes = std::atof(get("minutes", "180").c_str());
+  const auto workers =
+      static_cast<std::size_t>(std::atoi(get("workers", "128").c_str()));
+  const auto seed =
+      static_cast<std::uint64_t>(std::atoll(get("seed", "1").c_str()));
+  const double kappa = std::atof(get("kappa", "0.001").c_str());
+
+  core::SearchConfig cfg;
+  if (variant == "agebo") {
+    cfg = core::agebo_config(seed, kappa);
+  } else if (variant == "agebo-8-lr") {
+    cfg = core::agebo_8_lr_config(seed);
+  } else if (variant == "agebo-8-lr-bs") {
+    cfg = core::agebo_8_lr_bs_config(seed);
+  } else if (variant == "agebo-multinode") {
+    cfg = core::agebo_multinode_config(seed);
+  } else if (variant.rfind("age-", 0) == 0) {
+    cfg = core::age_config(static_cast<std::size_t>(std::atoi(variant.c_str() + 4)), seed);
+  } else if (variant.rfind("rs-", 0) == 0) {
+    cfg = core::random_search_config(
+        static_cast<std::size_t>(std::atoi(variant.c_str() + 3)), seed);
+  } else {
+    usage();
+    return 2;
+  }
+  cfg.wall_time_seconds = minutes * 60.0;
+
+  nas::SearchSpace space;
+  try {
+    if (args.count("warm-start")) {
+      cfg.warm_start = core::load_history_file(args["warm-start"], space);
+      std::printf("warm start: %zu prior evaluations loaded\n",
+                  cfg.warm_start.size());
+    }
+
+    eval::SurrogateEvaluator evaluator(space, eval::profile_by_name(dataset));
+    exec::SimulatedExecutor executor(workers, 90.0);
+    core::AgeboSearch search(space, evaluator, executor, cfg);
+    const auto result = search.run();
+    const auto stats = core::run_stats(result);
+
+    std::printf("dataset=%s variant=%s workers=%zu minutes=%.0f seed=%llu\n",
+                dataset.c_str(), variant.c_str(), workers, minutes,
+                static_cast<unsigned long long>(seed));
+    std::printf("evaluations:        %zu\n", stats.n_evaluations);
+    std::printf("mean train minutes: %.2f +/- %.2f\n",
+                stats.mean_train_minutes, stats.sd_train_minutes);
+    std::printf("best accuracy:      %.4f\n", stats.best_accuracy);
+    std::printf("node utilization:   %.1f%%\n",
+                100.0 * result.utilization.fraction());
+    if (!result.history.empty()) {
+      const auto& best = result.best();
+      std::printf("best config:        bs1=%.0f lr1=%.6f n=%.0f\n",
+                  best.config.hparams.at(0), best.config.hparams.at(1),
+                  best.config.hparams.at(2));
+      std::printf("best architecture:\n%s",
+                  space.describe(best.config.genome).c_str());
+    }
+
+    if (args.count("out")) {
+      core::save_history_file(result, args["out"]);
+      std::printf("history written to %s\n", args["out"].c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
