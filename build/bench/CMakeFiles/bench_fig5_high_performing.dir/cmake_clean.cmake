@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_high_performing.dir/bench_fig5_high_performing.cpp.o"
+  "CMakeFiles/bench_fig5_high_performing.dir/bench_fig5_high_performing.cpp.o.d"
+  "bench_fig5_high_performing"
+  "bench_fig5_high_performing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_high_performing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

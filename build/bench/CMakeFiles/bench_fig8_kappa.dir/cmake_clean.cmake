@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_kappa.dir/bench_fig8_kappa.cpp.o"
+  "CMakeFiles/bench_fig8_kappa.dir/bench_fig8_kappa.cpp.o.d"
+  "bench_fig8_kappa"
+  "bench_fig8_kappa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_kappa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

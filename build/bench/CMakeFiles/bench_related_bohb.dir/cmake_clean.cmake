@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_bohb.dir/bench_related_bohb.cpp.o"
+  "CMakeFiles/bench_related_bohb.dir/bench_related_bohb.cpp.o.d"
+  "bench_related_bohb"
+  "bench_related_bohb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_bohb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

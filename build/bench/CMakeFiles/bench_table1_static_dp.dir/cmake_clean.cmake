@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_static_dp.dir/bench_table1_static_dp.cpp.o"
+  "CMakeFiles/bench_table1_static_dp.dir/bench_table1_static_dp.cpp.o.d"
+  "bench_table1_static_dp"
+  "bench_table1_static_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_static_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

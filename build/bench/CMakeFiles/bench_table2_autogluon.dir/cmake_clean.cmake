@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_autogluon.dir/bench_table2_autogluon.cpp.o"
+  "CMakeFiles/bench_table2_autogluon.dir/bench_table2_autogluon.cpp.o.d"
+  "bench_table2_autogluon"
+  "bench_table2_autogluon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_autogluon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

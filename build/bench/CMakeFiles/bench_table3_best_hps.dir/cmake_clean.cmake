@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_best_hps.dir/bench_table3_best_hps.cpp.o"
+  "CMakeFiles/bench_table3_best_hps.dir/bench_table3_best_hps.cpp.o.d"
+  "bench_table3_best_hps"
+  "bench_table3_best_hps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_best_hps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

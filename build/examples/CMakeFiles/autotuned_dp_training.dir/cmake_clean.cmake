@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotuned_dp_training.dir/autotuned_dp_training.cpp.o"
+  "CMakeFiles/autotuned_dp_training.dir/autotuned_dp_training.cpp.o.d"
+  "autotuned_dp_training"
+  "autotuned_dp_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotuned_dp_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covertype_search.dir/covertype_search.cpp.o"
+  "CMakeFiles/covertype_search.dir/covertype_search.cpp.o.d"
+  "covertype_search"
+  "covertype_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covertype_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

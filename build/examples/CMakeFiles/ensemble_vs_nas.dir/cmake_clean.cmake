@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_vs_nas.dir/ensemble_vs_nas.cpp.o"
+  "CMakeFiles/ensemble_vs_nas.dir/ensemble_vs_nas.cpp.o.d"
+  "ensemble_vs_nas"
+  "ensemble_vs_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_vs_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_warmstart.dir/transfer_warmstart.cpp.o"
+  "CMakeFiles/transfer_warmstart.dir/transfer_warmstart.cpp.o.d"
+  "transfer_warmstart"
+  "transfer_warmstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_warmstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

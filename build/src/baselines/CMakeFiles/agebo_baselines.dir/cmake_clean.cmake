@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_baselines.dir/auto_ensemble.cpp.o"
+  "CMakeFiles/agebo_baselines.dir/auto_ensemble.cpp.o.d"
+  "CMakeFiles/agebo_baselines.dir/auto_pytorch_like.cpp.o"
+  "CMakeFiles/agebo_baselines.dir/auto_pytorch_like.cpp.o.d"
+  "libagebo_baselines.a"
+  "libagebo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

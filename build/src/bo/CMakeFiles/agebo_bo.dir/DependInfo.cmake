@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/optimizer.cpp" "src/bo/CMakeFiles/agebo_bo.dir/optimizer.cpp.o" "gcc" "src/bo/CMakeFiles/agebo_bo.dir/optimizer.cpp.o.d"
+  "/root/repo/src/bo/param_space.cpp" "src/bo/CMakeFiles/agebo_bo.dir/param_space.cpp.o" "gcc" "src/bo/CMakeFiles/agebo_bo.dir/param_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agebo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/agebo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/agebo_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_bo.dir/optimizer.cpp.o"
+  "CMakeFiles/agebo_bo.dir/optimizer.cpp.o.d"
+  "CMakeFiles/agebo_bo.dir/param_space.cpp.o"
+  "CMakeFiles/agebo_bo.dir/param_space.cpp.o.d"
+  "libagebo_bo.a"
+  "libagebo_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for agebo_bo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_common.dir/matrix.cpp.o"
+  "CMakeFiles/agebo_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/agebo_common.dir/pca.cpp.o"
+  "CMakeFiles/agebo_common.dir/pca.cpp.o.d"
+  "CMakeFiles/agebo_common.dir/rng.cpp.o"
+  "CMakeFiles/agebo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/agebo_common.dir/stats.cpp.o"
+  "CMakeFiles/agebo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/agebo_common.dir/table.cpp.o"
+  "CMakeFiles/agebo_common.dir/table.cpp.o.d"
+  "libagebo_common.a"
+  "libagebo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

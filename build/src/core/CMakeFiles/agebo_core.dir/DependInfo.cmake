@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/agebo_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/agebo_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/history_io.cpp" "src/core/CMakeFiles/agebo_core.dir/history_io.cpp.o" "gcc" "src/core/CMakeFiles/agebo_core.dir/history_io.cpp.o.d"
+  "/root/repo/src/core/hp_analysis.cpp" "src/core/CMakeFiles/agebo_core.dir/hp_analysis.cpp.o" "gcc" "src/core/CMakeFiles/agebo_core.dir/hp_analysis.cpp.o.d"
+  "/root/repo/src/core/repeat.cpp" "src/core/CMakeFiles/agebo_core.dir/repeat.cpp.o" "gcc" "src/core/CMakeFiles/agebo_core.dir/repeat.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/agebo_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/agebo_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/sha_search.cpp" "src/core/CMakeFiles/agebo_core.dir/sha_search.cpp.o" "gcc" "src/core/CMakeFiles/agebo_core.dir/sha_search.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "src/core/CMakeFiles/agebo_core.dir/variants.cpp.o" "gcc" "src/core/CMakeFiles/agebo_core.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/agebo_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/agebo_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/agebo_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/agebo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agebo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/agebo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/agebo_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/agebo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/agebo_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_core.dir/analysis.cpp.o"
+  "CMakeFiles/agebo_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/agebo_core.dir/history_io.cpp.o"
+  "CMakeFiles/agebo_core.dir/history_io.cpp.o.d"
+  "CMakeFiles/agebo_core.dir/hp_analysis.cpp.o"
+  "CMakeFiles/agebo_core.dir/hp_analysis.cpp.o.d"
+  "CMakeFiles/agebo_core.dir/repeat.cpp.o"
+  "CMakeFiles/agebo_core.dir/repeat.cpp.o.d"
+  "CMakeFiles/agebo_core.dir/search.cpp.o"
+  "CMakeFiles/agebo_core.dir/search.cpp.o.d"
+  "CMakeFiles/agebo_core.dir/sha_search.cpp.o"
+  "CMakeFiles/agebo_core.dir/sha_search.cpp.o.d"
+  "CMakeFiles/agebo_core.dir/variants.cpp.o"
+  "CMakeFiles/agebo_core.dir/variants.cpp.o.d"
+  "libagebo_core.a"
+  "libagebo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

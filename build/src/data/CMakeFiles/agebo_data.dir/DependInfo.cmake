@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/arff.cpp" "src/data/CMakeFiles/agebo_data.dir/arff.cpp.o" "gcc" "src/data/CMakeFiles/agebo_data.dir/arff.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/agebo_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/agebo_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/agebo_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/agebo_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/encoding.cpp" "src/data/CMakeFiles/agebo_data.dir/encoding.cpp.o" "gcc" "src/data/CMakeFiles/agebo_data.dir/encoding.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/data/CMakeFiles/agebo_data.dir/scaler.cpp.o" "gcc" "src/data/CMakeFiles/agebo_data.dir/scaler.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/agebo_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/agebo_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agebo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

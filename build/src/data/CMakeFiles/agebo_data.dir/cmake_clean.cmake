@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_data.dir/arff.cpp.o"
+  "CMakeFiles/agebo_data.dir/arff.cpp.o.d"
+  "CMakeFiles/agebo_data.dir/csv.cpp.o"
+  "CMakeFiles/agebo_data.dir/csv.cpp.o.d"
+  "CMakeFiles/agebo_data.dir/dataset.cpp.o"
+  "CMakeFiles/agebo_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/agebo_data.dir/encoding.cpp.o"
+  "CMakeFiles/agebo_data.dir/encoding.cpp.o.d"
+  "CMakeFiles/agebo_data.dir/scaler.cpp.o"
+  "CMakeFiles/agebo_data.dir/scaler.cpp.o.d"
+  "CMakeFiles/agebo_data.dir/synthetic.cpp.o"
+  "CMakeFiles/agebo_data.dir/synthetic.cpp.o.d"
+  "libagebo_data.a"
+  "libagebo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagebo_data.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/allreduce.cpp" "src/dp/CMakeFiles/agebo_dp.dir/allreduce.cpp.o" "gcc" "src/dp/CMakeFiles/agebo_dp.dir/allreduce.cpp.o.d"
+  "/root/repo/src/dp/data_parallel.cpp" "src/dp/CMakeFiles/agebo_dp.dir/data_parallel.cpp.o" "gcc" "src/dp/CMakeFiles/agebo_dp.dir/data_parallel.cpp.o.d"
+  "/root/repo/src/dp/perf_model.cpp" "src/dp/CMakeFiles/agebo_dp.dir/perf_model.cpp.o" "gcc" "src/dp/CMakeFiles/agebo_dp.dir/perf_model.cpp.o.d"
+  "/root/repo/src/dp/thread_team.cpp" "src/dp/CMakeFiles/agebo_dp.dir/thread_team.cpp.o" "gcc" "src/dp/CMakeFiles/agebo_dp.dir/thread_team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/agebo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/agebo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agebo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_dp.dir/allreduce.cpp.o"
+  "CMakeFiles/agebo_dp.dir/allreduce.cpp.o.d"
+  "CMakeFiles/agebo_dp.dir/data_parallel.cpp.o"
+  "CMakeFiles/agebo_dp.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/agebo_dp.dir/perf_model.cpp.o"
+  "CMakeFiles/agebo_dp.dir/perf_model.cpp.o.d"
+  "CMakeFiles/agebo_dp.dir/thread_team.cpp.o"
+  "CMakeFiles/agebo_dp.dir/thread_team.cpp.o.d"
+  "libagebo_dp.a"
+  "libagebo_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_eval.dir/evaluation.cpp.o"
+  "CMakeFiles/agebo_eval.dir/evaluation.cpp.o.d"
+  "CMakeFiles/agebo_eval.dir/surrogate.cpp.o"
+  "CMakeFiles/agebo_eval.dir/surrogate.cpp.o.d"
+  "CMakeFiles/agebo_eval.dir/training_eval.cpp.o"
+  "CMakeFiles/agebo_eval.dir/training_eval.cpp.o.d"
+  "libagebo_eval.a"
+  "libagebo_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_exec.dir/live_executor.cpp.o"
+  "CMakeFiles/agebo_exec.dir/live_executor.cpp.o.d"
+  "CMakeFiles/agebo_exec.dir/sim_executor.cpp.o"
+  "CMakeFiles/agebo_exec.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/agebo_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/agebo_exec.dir/thread_pool.cpp.o.d"
+  "libagebo_exec.a"
+  "libagebo_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

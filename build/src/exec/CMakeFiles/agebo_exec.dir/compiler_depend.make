@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for agebo_exec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/boosting.cpp" "src/ml/CMakeFiles/agebo_ml.dir/boosting.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/boosting.cpp.o.d"
+  "/root/repo/src/ml/ensemble_selection.cpp" "src/ml/CMakeFiles/agebo_ml.dir/ensemble_selection.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/ensemble_selection.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/agebo_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/agebo_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/agebo_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/agebo_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/stacking.cpp" "src/ml/CMakeFiles/agebo_ml.dir/stacking.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/stacking.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/agebo_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/agebo_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agebo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/agebo_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

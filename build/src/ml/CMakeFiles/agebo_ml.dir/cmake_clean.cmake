@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_ml.dir/boosting.cpp.o"
+  "CMakeFiles/agebo_ml.dir/boosting.cpp.o.d"
+  "CMakeFiles/agebo_ml.dir/ensemble_selection.cpp.o"
+  "CMakeFiles/agebo_ml.dir/ensemble_selection.cpp.o.d"
+  "CMakeFiles/agebo_ml.dir/forest.cpp.o"
+  "CMakeFiles/agebo_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/agebo_ml.dir/knn.cpp.o"
+  "CMakeFiles/agebo_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/agebo_ml.dir/linear.cpp.o"
+  "CMakeFiles/agebo_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/agebo_ml.dir/metrics.cpp.o"
+  "CMakeFiles/agebo_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/agebo_ml.dir/stacking.cpp.o"
+  "CMakeFiles/agebo_ml.dir/stacking.cpp.o.d"
+  "CMakeFiles/agebo_ml.dir/tree.cpp.o"
+  "CMakeFiles/agebo_ml.dir/tree.cpp.o.d"
+  "libagebo_ml.a"
+  "libagebo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_nas.dir/arch_metrics.cpp.o"
+  "CMakeFiles/agebo_nas.dir/arch_metrics.cpp.o.d"
+  "CMakeFiles/agebo_nas.dir/search_space.cpp.o"
+  "CMakeFiles/agebo_nas.dir/search_space.cpp.o.d"
+  "libagebo_nas.a"
+  "libagebo_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

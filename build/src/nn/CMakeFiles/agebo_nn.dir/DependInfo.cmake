@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/agebo_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/agebo_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/agebo_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/graph_net.cpp" "src/nn/CMakeFiles/agebo_nn.dir/graph_net.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/graph_net.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/agebo_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/nn/CMakeFiles/agebo_nn.dir/schedule.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/schedule.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/agebo_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/agebo_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/agebo_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/agebo_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agebo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/agebo_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_nn.dir/activation.cpp.o"
+  "CMakeFiles/agebo_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/adam.cpp.o"
+  "CMakeFiles/agebo_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/dense.cpp.o"
+  "CMakeFiles/agebo_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/graph_net.cpp.o"
+  "CMakeFiles/agebo_nn.dir/graph_net.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/loss.cpp.o"
+  "CMakeFiles/agebo_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/schedule.cpp.o"
+  "CMakeFiles/agebo_nn.dir/schedule.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/serialize.cpp.o"
+  "CMakeFiles/agebo_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/tensor.cpp.o"
+  "CMakeFiles/agebo_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/agebo_nn.dir/trainer.cpp.o"
+  "CMakeFiles/agebo_nn.dir/trainer.cpp.o.d"
+  "libagebo_nn.a"
+  "libagebo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for agebo_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bo.dir/test_bo.cpp.o"
+  "CMakeFiles/test_bo.dir/test_bo.cpp.o.d"
+  "test_bo"
+  "test_bo.pdb"
+  "test_bo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

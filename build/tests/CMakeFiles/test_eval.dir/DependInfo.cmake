@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/test_eval.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/test_eval.dir/test_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agebo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/agebo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/agebo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/agebo_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/agebo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/agebo_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/agebo_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/agebo_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/agebo_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agebo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/agebo_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions4.dir/test_extensions4.cpp.o"
+  "CMakeFiles/test_extensions4.dir/test_extensions4.cpp.o.d"
+  "test_extensions4"
+  "test_extensions4.pdb"
+  "test_extensions4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_campaign.dir/agebo_campaign.cpp.o"
+  "CMakeFiles/agebo_campaign.dir/agebo_campaign.cpp.o.d"
+  "agebo_campaign"
+  "agebo_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agebo_train.dir/agebo_train.cpp.o"
+  "CMakeFiles/agebo_train.dir/agebo_train.cpp.o.d"
+  "agebo_train"
+  "agebo_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agebo_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
