@@ -9,6 +9,10 @@ namespace agebo::core {
 namespace {
 
 constexpr const char* kHeader =
+    "index,finish_time,objective,train_seconds,failed,attempts,bs1,lr1,n,genome";
+// Pre-fault-layer header (no failed/attempts columns); still loadable so
+// histories exported by earlier releases keep warm-starting searches.
+constexpr const char* kLegacyHeader =
     "index,finish_time,objective,train_seconds,bs1,lr1,n,genome";
 
 std::string genome_field(const nas::Genome& g) {
@@ -38,7 +42,8 @@ void save_history(const SearchResult& result, std::ostream& os) {
   os.precision(17);
   for (const auto& rec : result.history) {
     os << rec.index << ',' << rec.finish_time << ',' << rec.objective << ','
-       << rec.train_seconds << ',';
+       << rec.train_seconds << ',' << (rec.failed ? 1 : 0) << ','
+       << rec.attempts << ',';
     if (rec.config.hparams.size() == 3) {
       os << rec.config.hparams[0] << ',' << rec.config.hparams[1] << ','
          << rec.config.hparams[2];
@@ -58,9 +63,10 @@ void save_history_file(const SearchResult& result, const std::string& path) {
 std::vector<EvalRecord> load_history(std::istream& is,
                                      const nas::SearchSpace& space) {
   std::string line;
-  if (!std::getline(is, line) || line != kHeader) {
+  if (!std::getline(is, line) || (line != kHeader && line != kLegacyHeader)) {
     throw std::runtime_error("load_history: bad header");
   }
+  const bool legacy = line == kLegacyHeader;
   std::vector<EvalRecord> out;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
@@ -77,6 +83,10 @@ std::vector<EvalRecord> load_history(std::istream& is,
     rec.finish_time = std::stod(next());
     rec.objective = std::stod(next());
     rec.train_seconds = std::stod(next());
+    if (!legacy) {
+      rec.failed = std::stoi(next()) != 0;
+      rec.attempts = static_cast<std::size_t>(std::stoull(next()));
+    }
     const std::string bs = next();
     const std::string lr = next();
     const std::string n = next();

@@ -4,8 +4,10 @@
 // (SearchConfig::warm_start), the paper's "reuse knowledge from previous
 // experimental runs" future-work item.
 //
-// CSV columns: index, finish_time, objective, train_seconds,
-//              bs1, lr1, n, genome ('-'-separated decisions).
+// CSV columns: index, finish_time, objective, train_seconds, failed,
+//              attempts, bs1, lr1, n, genome ('-'-separated decisions).
+// Files written before the fault-tolerance layer (no failed/attempts
+// columns) still load, with failed=0 and attempts=1 assumed.
 #pragma once
 
 #include <iosfwd>

@@ -33,9 +33,15 @@ AgeboSearch::AgeboSearch(const nas::SearchSpace& space,
 
 void AgeboSearch::submit(eval::ModelConfig config) {
   eval::Evaluator* evaluator = evaluator_;
-  const std::size_t width = cfg_.width_fn ? cfg_.width_fn(config) : 1;
+  exec::JobSpec spec;
+  spec.width = cfg_.width_fn ? cfg_.width_fn(config) : 1;
+  spec.timeout_seconds = cfg_.eval_timeout_seconds;
+  spec.max_retries = cfg_.eval_max_retries;
   const std::uint64_t id = executor_->submit(
-      [evaluator, config] { return evaluator->evaluate(config); }, width);
+      [evaluator, config] {
+        return evaluator->evaluate(eval::EvalRequest{config});
+      },
+      spec);
   if (pending_.size() < id) pending_.resize(id);
   pending_[id - 1] = std::move(config);
 }
@@ -73,6 +79,7 @@ SearchResult AgeboSearch::run() {
     std::vector<bo::Point> prior_points;
     std::vector<double> prior_objectives;
     for (const auto& rec : cfg_.warm_start) {
+      if (rec.failed) continue;  // failures carry no transferable signal
       space_->validate(rec.config.genome);
       population_.push_back(Member{rec.config.genome, rec.objective});
       while (population_.size() > cfg_.population_size) population_.pop_front();
@@ -116,22 +123,31 @@ SearchResult AgeboSearch::run() {
       rec.finish_time = f.finish_time;
       rec.objective = f.output.failed ? 0.0 : f.output.objective;
       rec.train_seconds = f.output.train_seconds;
+      rec.failed = f.output.failed;
+      rec.attempts = f.attempts;
       rec.config = config;
       result.history.push_back(rec);
       if (cfg_.on_result) cfg_.on_result(result.history.back());
 
-      // Aging population: append, drop oldest beyond P (line 11). The
-      // kWorst ablation drops the lowest-objective member instead.
-      population_.push_back(Member{config.genome, rec.objective});
-      while (population_.size() > cfg_.population_size) {
-        if (cfg_.replacement == Replacement::kAging) {
-          population_.pop_front();
-        } else {
-          auto worst = population_.begin();
-          for (auto it = population_.begin(); it != population_.end(); ++it) {
-            if (it->objective < worst->objective) worst = it;
+      // Graceful degradation: an evaluation whose retries are exhausted is
+      // recorded (failed=true) and told to the BO as objective 0 — the
+      // penalty steers the surrogate away from e.g. timeout-prone
+      // hyperparameters — but never enters the population, so evolution
+      // keeps mutating genomes that actually trained.
+      if (!rec.failed) {
+        // Aging population: append, drop oldest beyond P (line 11). The
+        // kWorst ablation drops the lowest-objective member instead.
+        population_.push_back(Member{config.genome, rec.objective});
+        while (population_.size() > cfg_.population_size) {
+          if (cfg_.replacement == Replacement::kAging) {
+            population_.pop_front();
+          } else {
+            auto worst = population_.begin();
+            for (auto it = population_.begin(); it != population_.end(); ++it) {
+              if (it->objective < worst->objective) worst = it;
+            }
+            population_.erase(worst);
           }
-          population_.erase(worst);
         }
       }
 

@@ -28,8 +28,14 @@ namespace agebo::core {
 struct EvalRecord {
   std::size_t index = 0;
   double finish_time = 0.0;     ///< executor seconds
-  double objective = 0.0;       ///< validation accuracy
+  double objective = 0.0;       ///< validation accuracy (0 when failed)
   double train_seconds = 0.0;
+  /// True when every attempt crashed or was killed (retries exhausted).
+  /// Failed records stay in the history — failure is information the BO
+  /// surrogate should see — but are never aged into the population.
+  bool failed = false;
+  /// Executor attempts consumed (1 = no retries).
+  std::size_t attempts = 1;
   eval::ModelConfig config;
 };
 
@@ -58,6 +64,12 @@ struct SearchConfig {
   /// of its configuration; default 1 (the paper's single-node training).
   /// The multinode extension maps n > 8 processes to ceil(n/8) nodes.
   std::function<std::size_t(const eval::ModelConfig&)> width_fn;
+  /// Per-evaluation kill deadline in executor seconds (JobSpec::timeout);
+  /// 0 disables. Executor-level straggler policy applies regardless.
+  double eval_timeout_seconds = 0.0;
+  /// Resubmissions of a crashed/killed evaluation before it is recorded as
+  /// failed (JobSpec::max_retries).
+  std::size_t eval_max_retries = 0;
   /// Invoked on the manager thread for every completed evaluation, in
   /// completion order — progress streaming for CLIs and dashboards.
   std::function<void(const EvalRecord&)> on_result;

@@ -50,9 +50,13 @@ SearchResult ShaJointSearch::run() {
       eval::Evaluator* evaluator = evaluator_;
       for (std::size_t i = 0; i < survivors.size(); ++i) {
         const auto config = survivors[i];
-        const std::uint64_t id = executor_->submit([evaluator, config, fidelity] {
-          return evaluator->evaluate_at(config, fidelity);
-        });
+        exec::JobSpec spec;
+        spec.tag = "sha-rung-" + std::to_string(rung);
+        const std::uint64_t id = executor_->submit(
+            [evaluator, config, fidelity] {
+              return evaluator->evaluate(eval::EvalRequest{config, fidelity});
+            },
+            spec);
         job_to_config[id] = i;
       }
 
@@ -74,6 +78,8 @@ SearchResult ShaJointSearch::run() {
             rec.finish_time = f.finish_time;
             rec.objective = scores[it->second];
             rec.train_seconds = f.output.train_seconds;
+            rec.failed = f.output.failed;
+            rec.attempts = f.attempts;
             rec.config = survivors[it->second];
             result.history.push_back(rec);
           }

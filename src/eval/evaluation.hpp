@@ -30,16 +30,46 @@ dp::DataParallelConfig to_dp_config(const bo::Point& hparams,
 /// The paper's fixed AgE defaults: bs1=256, lr1=0.01, n given.
 bo::Point default_hparams(std::size_t n_procs);
 
+/// One evaluation request: what to evaluate plus how. Replaces the old
+/// evaluate(config) / evaluate_at(config, fidelity) pair with a single
+/// carrier that per-job policy can extend without another virtual.
+struct EvalRequest {
+  ModelConfig config;
+  /// Fraction (0, 1] of the full training budget (successive halving; the
+  /// BOHB-style comparator). 1 = full fidelity.
+  double fidelity = 1.0;
+  /// Wall-time cap in seconds for this evaluation; 0 = none. Backends that
+  /// honour it report failed=true when training would run past it (the
+  /// surrogate models this as a scheduler kill).
+  double deadline_seconds = 0.0;
+};
+
 /// Backend-agnostic evaluator. Implementations must be safe to call from
 /// multiple worker threads concurrently (const access to shared state).
 class Evaluator {
  public:
   virtual ~Evaluator() = default;
+  virtual exec::EvalOutput evaluate(const EvalRequest& request) = 0;
+};
+
+/// Compatibility adapter for evaluators written against the pre-EvalRequest
+/// API: derive from this (instead of Evaluator) and keep overriding
+/// evaluate(config) / evaluate_at(config, fidelity); the unified entry
+/// point forwards to them. Kept for one release — new evaluators should
+/// implement evaluate(const EvalRequest&) directly.
+class LegacyEvaluator : public Evaluator {
+ public:
+  exec::EvalOutput evaluate(const EvalRequest& request) final {
+    if (request.fidelity < 1.0) {
+      return evaluate_at(request.config, request.fidelity);
+    }
+    return evaluate(request.config);
+  }
+
   virtual exec::EvalOutput evaluate(const ModelConfig& config) = 0;
 
   /// Multi-fidelity evaluation: train for `fidelity` (0, 1] of the full
-  /// epoch budget. Used by successive-halving searchers (the BOHB-style
-  /// comparator); the default ignores the knob and runs at full fidelity.
+  /// epoch budget; the default ignores the knob and runs at full fidelity.
   virtual exec::EvalOutput evaluate_at(const ModelConfig& config,
                                        double fidelity) {
     (void)fidelity;

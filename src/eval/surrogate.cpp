@@ -323,26 +323,34 @@ double SurrogateEvaluator::mean_train_seconds(const ModelConfig& config) const {
   return minutes * kMinutes;
 }
 
-exec::EvalOutput SurrogateEvaluator::evaluate_at(const ModelConfig& config,
-                                                  double fidelity) {
-  if (!(fidelity > 0.0) || fidelity > 1.0) {
-    throw std::invalid_argument("evaluate_at: fidelity must be in (0, 1]");
+exec::EvalOutput SurrogateEvaluator::evaluate(const EvalRequest& request) {
+  if (!(request.fidelity > 0.0) || request.fidelity > 1.0) {
+    throw std::invalid_argument("evaluate: fidelity must be in (0, 1]");
   }
-  exec::EvalOutput out = evaluate(config);
-  if (fidelity >= 1.0) return out;
-  // Learning-curve shortfall plus fidelity-dependent ranking noise, seeded
-  // from (config, fidelity) so repeats are reproducible.
-  Rng noise(config_hash(config, profile_.seed) ^
-            static_cast<std::uint64_t>(fidelity * 1e9));
-  const double lc_gap = 0.06 * std::pow(1.0 - fidelity, 1.4);
-  const double rank_noise =
-      noise.normal(0.0, 2.0 * profile_.noise_sd * (1.0 - fidelity));
-  out.objective = std::clamp(out.objective - lc_gap + rank_noise, 0.0, 1.0);
-  out.train_seconds *= fidelity;
+  exec::EvalOutput out = evaluate_full(request.config);
+  if (request.fidelity < 1.0) {
+    // Learning-curve shortfall plus fidelity-dependent ranking noise,
+    // seeded from (config, fidelity) so repeats are reproducible.
+    Rng noise(config_hash(request.config, profile_.seed) ^
+              static_cast<std::uint64_t>(request.fidelity * 1e9));
+    const double lc_gap = 0.06 * std::pow(1.0 - request.fidelity, 1.4);
+    const double rank_noise =
+        noise.normal(0.0, 2.0 * profile_.noise_sd * (1.0 - request.fidelity));
+    out.objective = std::clamp(out.objective - lc_gap + rank_noise, 0.0, 1.0);
+    out.train_seconds *= request.fidelity;
+  }
+  if (request.deadline_seconds > 0.0 &&
+      out.train_seconds > request.deadline_seconds) {
+    // The scheduler would have killed this run at the deadline.
+    out.failed = true;
+    out.timed_out = true;
+    out.objective = 0.0;
+    out.train_seconds = request.deadline_seconds;
+  }
   return out;
 }
 
-exec::EvalOutput SurrogateEvaluator::evaluate(const ModelConfig& config) {
+exec::EvalOutput SurrogateEvaluator::evaluate_full(const ModelConfig& config) {
   Rng noise(config_hash(config, profile_.seed));
   exec::EvalOutput out;
   // Training-stability mixture (see DatasetProfile): the run either

@@ -111,15 +111,22 @@ class SurrogateEvaluator final : public Evaluator {
 
   /// Deterministic per-config: the noise stream is seeded from a hash of
   /// the config, so re-evaluating the same point reproduces the result.
-  exec::EvalOutput evaluate(const ModelConfig& config) override;
+  ///
+  /// Partial-budget training (request.fidelity < 1, successive halving):
+  /// accuracy follows a learning-curve model acc(f) = acc(1) - lc_gap *
+  /// (1-f)^1.4, time scales linearly with f, and low fidelity adds ranking
+  /// noise — reproducing the "poor relative ranking between small and
+  /// extensive budget" issue the paper cites for multi-fidelity methods.
+  ///
+  /// A positive request.deadline_seconds models a scheduler kill: when the
+  /// simulated training time would run past it, the result is failed=true /
+  /// timed_out=true with train_seconds capped at the deadline.
+  exec::EvalOutput evaluate(const EvalRequest& request) override;
 
-  /// Partial-budget training (successive halving): accuracy follows a
-  /// learning-curve model acc(f) = acc(1) - lc_gap * (1-f)^1.4, time scales
-  /// linearly with f, and low fidelity adds ranking noise — reproducing the
-  /// "poor relative ranking between small and extensive budget" issue the
-  /// paper cites for multi-fidelity methods.
-  exec::EvalOutput evaluate_at(const ModelConfig& config,
-                               double fidelity) override;
+  /// Full-fidelity convenience wrapper.
+  exec::EvalOutput evaluate(const ModelConfig& config) {
+    return evaluate(EvalRequest{config});
+  }
 
   /// Architecture quality in [0,1]; exposed for calibration and tests.
   double quality(const nas::Genome& g) const;
@@ -136,6 +143,7 @@ class SurrogateEvaluator final : public Evaluator {
   const DatasetProfile& profile() const { return profile_; }
 
  private:
+  exec::EvalOutput evaluate_full(const ModelConfig& config);
   double hparam_gap(double bs1, double lr1, double n) const;
   double arch_cost_factor(const nas::Genome& g) const;
 

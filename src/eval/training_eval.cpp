@@ -1,5 +1,6 @@
 #include "eval/training_eval.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "dp/data_parallel.hpp"
@@ -19,17 +20,30 @@ TrainingEvaluator::TrainingEvaluator(const data::Dataset& train,
   }
 }
 
-exec::EvalOutput TrainingEvaluator::evaluate(const ModelConfig& config) {
+exec::EvalOutput TrainingEvaluator::evaluate(const EvalRequest& request) {
+  if (!(request.fidelity > 0.0) || request.fidelity > 1.0) {
+    throw std::invalid_argument("evaluate: fidelity must be in (0, 1]");
+  }
+  // Fidelity scales the epoch budget; at least one epoch always runs.
+  const auto epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(cfg_.epochs) * request.fidelity + 0.5));
   exec::EvalOutput out;
-  train_model(config, &out);
+  train_model(request.config, &out, epochs);
   return out;
 }
 
 std::unique_ptr<nn::GraphNet> TrainingEvaluator::train_model(
     const ModelConfig& config, exec::EvalOutput* out) const {
+  return train_model(config, out, cfg_.epochs);
+}
+
+std::unique_ptr<nn::GraphNet> TrainingEvaluator::train_model(
+    const ModelConfig& config, exec::EvalOutput* out,
+    std::size_t epochs) const {
   const auto spec =
       space_.to_graph_spec(config.genome, train_->n_features, train_->n_classes);
-  auto dp_cfg = to_dp_config(config.hparams, cfg_.epochs, cfg_.seed);
+  auto dp_cfg = to_dp_config(config.hparams, epochs, cfg_.seed);
 
   dp::DataParallelTrainer trainer(spec, dp_cfg);
   const auto result = trainer.fit(*train_, *valid_);

@@ -21,11 +21,18 @@ class TrainingEvaluator final : public Evaluator {
   TrainingEvaluator(const data::Dataset& train, const data::Dataset& valid,
                     TrainingEvalConfig cfg = {});
 
-  /// Trains a fresh network from config.genome with the data-parallel
-  /// settings in config.hparams; returns the best validation accuracy over
-  /// the run and the measured wall time. Thread-safe: all shared state is
-  /// read-only.
-  exec::EvalOutput evaluate(const ModelConfig& config) override;
+  /// Trains a fresh network from request.config.genome with the
+  /// data-parallel settings in config.hparams; returns the best validation
+  /// accuracy over the run and the measured wall time. Fidelity < 1 scales
+  /// the epoch budget (floor 1); deadline_seconds is ignored — real
+  /// training cannot be preempted mid-run, the executor's JobSpec timeout
+  /// covers it. Thread-safe: all shared state is read-only.
+  exec::EvalOutput evaluate(const EvalRequest& request) override;
+
+  /// Full-fidelity convenience wrapper.
+  exec::EvalOutput evaluate(const ModelConfig& config) {
+    return evaluate(EvalRequest{config});
+  }
 
   /// Train and hand back the fitted network (for final-model evaluation).
   std::unique_ptr<nn::GraphNet> train_model(const ModelConfig& config,
@@ -34,6 +41,10 @@ class TrainingEvaluator final : public Evaluator {
   const nas::SearchSpace& space() const { return space_; }
 
  private:
+  std::unique_ptr<nn::GraphNet> train_model(const ModelConfig& config,
+                                            exec::EvalOutput* out,
+                                            std::size_t epochs) const;
+
   const data::Dataset* train_;
   const data::Dataset* valid_;
   TrainingEvalConfig cfg_;

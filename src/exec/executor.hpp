@@ -13,10 +13,21 @@
 //    129-node / 3-hour Theta campaigns in milliseconds (DESIGN.md §2).
 //
 // Search code is written once against Executor and runs on either.
+//
+// Fault tolerance (DESIGN.md "Fault model and JobSpec API"): at the
+// paper's scale (129 KNL nodes for 3 hours) worker crashes, hangs and
+// stragglers are routine, so jobs are submitted with a JobSpec carrying a
+// per-job timeout and a bounded retry budget, and executors enforce a
+// straggler rule (kill-and-resubmit past k× the running median train
+// time) from their RetryPolicy. A job is reported through get_finished
+// exactly once: either the first successful attempt, or a failed=true
+// record once every attempt crashed or was killed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace agebo::exec {
@@ -31,16 +42,57 @@ struct EvalOutput {
   double train_seconds = 0.0;
   /// True when the evaluation failed (counted as objective 0).
   bool failed = false;
+  /// True when the failure was a timeout or straggler kill rather than a
+  /// crash (implies failed).
+  bool timed_out = false;
 };
 
 using EvalFn = std::function<EvalOutput()>;
+
+/// Per-job submission policy. `width` is the gang size (workers occupied
+/// simultaneously); `timeout_seconds` kills an attempt that runs longer
+/// (0 = no timeout); `max_retries` bounds how many times a crashed or
+/// killed attempt is resubmitted before the job is reported failed; `tag`
+/// is an opaque label echoed back in Finished for tracing.
+struct JobSpec {
+  std::size_t width = 1;
+  double timeout_seconds = 0.0;
+  std::size_t max_retries = 0;
+  std::string tag;
+};
 
 struct Finished {
   std::uint64_t id = 0;
   EvalOutput output;
   /// Executor time (seconds since start) at which the job completed.
   double finish_time = 0.0;
+  /// Attempts consumed (1 = succeeded first try; >1 means retries ran).
+  std::size_t attempts = 1;
+  /// Echo of JobSpec::tag.
+  std::string tag;
 };
+
+/// Executor-wide fault-handling policy (per-job knobs live in JobSpec).
+/// Retries of a failed attempt are delayed by an exponential backoff:
+/// backoff_base * 2^(attempt-1), capped at backoff_max. The straggler rule
+/// kills an attempt once it runs longer than straggler_factor × the
+/// running median of successful train times — but only after
+/// straggler_min_samples completions, so the first wave (with no median to
+/// compare against) is never killed. straggler_factor = 0 disables it.
+struct RetryPolicy {
+  double backoff_base_seconds = 1.0;
+  double backoff_max_seconds = 60.0;
+  double straggler_factor = 0.0;
+  std::size_t straggler_min_samples = 5;
+};
+
+/// Backoff delay before resubmitting attempt `attempt`+1 after failed
+/// attempt `attempt` (1-based).
+inline double backoff_delay(const RetryPolicy& policy, std::size_t attempt) {
+  double delay = policy.backoff_base_seconds;
+  for (std::size_t i = 1; i < attempt; ++i) delay *= 2.0;
+  return std::min(delay, policy.backoff_max_seconds);
+}
 
 struct Utilization {
   double busy_worker_seconds = 0.0;
@@ -57,21 +109,31 @@ class Executor {
  public:
   virtual ~Executor() = default;
 
-  /// Non-blocking job submission; returns the job id.
-  virtual std::uint64_t submit(EvalFn fn) = 0;
+  /// Non-blocking job submission under the given policy; returns the job
+  /// id. Gang scheduling (spec.width > 1) occupies `width` workers at once,
+  /// for evaluations whose data-parallel training spans multiple nodes —
+  /// the paper's multinode future-work item. SimulatedExecutor implements
+  /// true gang scheduling; LiveExecutor treats width as 1.
+  virtual std::uint64_t submit(EvalFn fn, const JobSpec& spec) = 0;
 
-  /// Submission occupying `width` workers at once (gang scheduling), for
-  /// evaluations whose data-parallel training spans multiple nodes — the
-  /// paper's multinode future-work item. The default treats width as 1;
-  /// SimulatedExecutor implements true gang scheduling.
-  virtual std::uint64_t submit(EvalFn fn, std::size_t width) {
-    (void)width;
-    return submit(std::move(fn));
+  /// Deprecated pre-JobSpec shims, kept for one release so out-of-tree
+  /// callers keep compiling. New code passes a JobSpec.
+  [[deprecated("use submit(fn, JobSpec{})")]] std::uint64_t submit(EvalFn fn) {
+    return submit(std::move(fn), JobSpec{});
+  }
+  [[deprecated("use submit(fn, JobSpec{.width = w})")]] std::uint64_t submit(
+      EvalFn fn, std::size_t width) {
+    JobSpec spec;
+    spec.width = width;
+    return submit(std::move(fn), spec);
   }
 
   /// Completed jobs since the last call. When `block` is true and jobs are
   /// in flight, waits until at least one completes (in the simulator this
   /// advances the virtual clock). Returns empty when nothing is in flight.
+  /// Timeout and straggler enforcement happen inside this call (the
+  /// manager loop of Algorithm 1 always sits here), so a hung evaluation
+  /// with a timeout can no longer stall the search forever.
   virtual std::vector<Finished> get_finished(bool block = true) = 0;
 
   /// Seconds since executor start: wall time (live) or virtual time (sim).

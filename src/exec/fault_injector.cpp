@@ -1,0 +1,47 @@
+#include "exec/fault_injector.hpp"
+
+#include <stdexcept>
+
+namespace agebo::exec {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg) {
+  if (cfg.crash_prob < 0.0 || cfg.hang_prob < 0.0 || cfg.slow_prob < 0.0) {
+    throw std::invalid_argument("FaultInjector: negative probability");
+  }
+  if (cfg.crash_prob + cfg.hang_prob + cfg.slow_prob > 1.0) {
+    throw std::invalid_argument("FaultInjector: probabilities sum past 1");
+  }
+  if (cfg.slow_factor < 1.0) {
+    throw std::invalid_argument("FaultInjector: slow_factor < 1");
+  }
+}
+
+FaultKind FaultInjector::draw(std::uint64_t job_id, std::size_t attempt) const {
+  if (!enabled()) return FaultKind::kNone;
+  const std::uint64_t h =
+      mix64(mix64(cfg_.seed ^ 0x66617565ULL) ^ mix64(job_id) ^
+            mix64(static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  if (u < cfg_.crash_prob) return FaultKind::kCrash;
+  if (u < cfg_.crash_prob + cfg_.hang_prob) return FaultKind::kHang;
+  if (u < cfg_.crash_prob + cfg_.hang_prob + cfg_.slow_prob) {
+    return FaultKind::kSlow;
+  }
+  return FaultKind::kNone;
+}
+
+}  // namespace agebo::exec

@@ -1,0 +1,58 @@
+// Seeded fault injection for the execution layer.
+//
+// Campaign-scale robustness (the paper's 129-node / 3-hour runs) cannot be
+// tested against real node failures, so both executors accept a
+// FaultInjector that perturbs evaluation attempts with configurable
+// crash / hang / slowdown probabilities:
+//
+//  - crash:  the attempt fails part-way through (worker died, OOM, MPI
+//            abort); it consumes time but produces no result.
+//  - hang:   the attempt never completes on its own (deadlocked allreduce,
+//            wedged filesystem); only a timeout or the straggler rule can
+//            reclaim the worker.
+//  - slow:   the attempt runs slow_factor × its normal duration (shared
+//            node interference) but still succeeds — the straggler case.
+//
+// Draws are STATELESS: the fault for (job, attempt) is a pure hash of
+// (seed, job_id, attempt), so the injected fault sequence is identical no
+// matter which order worker threads ask — the determinism the fault-path
+// tests rely on, and the reason a retried attempt can draw a different
+// fault than the attempt it replaces.
+#pragma once
+
+#include <cstdint>
+
+namespace agebo::exec {
+
+struct FaultConfig {
+  double crash_prob = 0.0;
+  double hang_prob = 0.0;
+  double slow_prob = 0.0;
+  /// Duration multiplier for slow attempts (>= 1).
+  double slow_factor = 4.0;
+  std::uint64_t seed = 0;
+};
+
+enum class FaultKind { kNone, kCrash, kHang, kSlow };
+
+class FaultInjector {
+ public:
+  /// Default-constructed injector never injects anything.
+  FaultInjector() = default;
+  /// Throws std::invalid_argument when probabilities are negative, sum
+  /// past 1, or slow_factor < 1.
+  explicit FaultInjector(FaultConfig cfg);
+
+  /// Fault drawn for attempt `attempt` (1-based) of job `job_id`.
+  FaultKind draw(std::uint64_t job_id, std::size_t attempt) const;
+
+  bool enabled() const {
+    return cfg_.crash_prob + cfg_.hang_prob + cfg_.slow_prob > 0.0;
+  }
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  FaultConfig cfg_;
+};
+
+}  // namespace agebo::exec

@@ -1,48 +1,214 @@
 #include "exec/live_executor.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <thread>
+
 namespace agebo::exec {
 
-LiveExecutor::LiveExecutor(std::size_t n_workers)
-    : pool_(n_workers), start_(std::chrono::steady_clock::now()) {}
+namespace {
+
+/// Sleep up to `seconds`, returning early (and often) so cancellation and
+/// shutdown are observed within a few milliseconds.
+void interruptible_sleep(double seconds, const std::atomic<bool>& cancel,
+                         const std::atomic<bool>& shutdown) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cancel.load() || shutdown.load()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace
+
+LiveExecutor::LiveExecutor(std::size_t n_workers, RetryPolicy policy,
+                           FaultConfig faults)
+    : start_(std::chrono::steady_clock::now()),
+      policy_(policy),
+      injector_(faults),
+      shutdown_(std::make_shared<std::atomic<bool>>(false)),
+      pool_(n_workers) {}
+
+LiveExecutor::~LiveExecutor() {
+  shutdown_->store(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, job] : jobs_) {
+      (void)id;
+      if (job.cancel) job.cancel->store(true);
+    }
+  }
+  // pool_ (the last member) now joins its workers; everything they touch is
+  // still alive.
+}
 
 double LiveExecutor::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
       .count();
 }
 
-std::uint64_t LiveExecutor::submit(EvalFn fn) {
+double LiveExecutor::attempt_limit_locked(const JobSpec& spec) const {
+  double limit = std::numeric_limits<double>::infinity();
+  if (spec.timeout_seconds > 0.0) limit = spec.timeout_seconds;
+  if (policy_.straggler_factor > 0.0 &&
+      done_durations_.size() >=
+          std::max<std::size_t>(1, policy_.straggler_min_samples)) {
+    const std::size_t n = done_durations_.size();
+    const double median =
+        0.5 * (done_durations_[(n - 1) / 2] + done_durations_[n / 2]);
+    limit = std::min(limit, policy_.straggler_factor * median);
+  }
+  return limit;
+}
+
+void LiveExecutor::start_attempt_locked(std::uint64_t id, double delay_seconds) {
+  Job& job = jobs_.at(id);
+  const std::size_t attempt = job.attempt;
+  const auto fn = job.fn;
+  const auto token = job.cancel;
+  const auto shutdown = shutdown_;
+  pool_.enqueue([this, id, attempt, fn, token, shutdown, delay_seconds] {
+    if (delay_seconds > 0.0) {
+      interruptible_sleep(delay_seconds, *token, *shutdown);
+    }
+    if (shutdown->load() || token->load()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.cancel != token) return;  // stale
+      it->second.started = true;
+      it->second.start_time = now();
+    }
+    // Wake get_finished so it can arm this attempt's deadline.
+    cv_.notify_all();
+
+    const double t0 = now();
+    const FaultKind fault = injector_.draw(id, attempt);
+    EvalOutput out;
+    if (fault == FaultKind::kCrash) {
+      out.failed = true;
+      out.objective = 0.0;
+    } else {
+      try {
+        out = (*fn)();
+      } catch (...) {
+        out.failed = true;
+        out.objective = 0.0;
+      }
+      if (fault == FaultKind::kHang) {
+        while (!token->load() && !shutdown->load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      } else if (fault == FaultKind::kSlow) {
+        interruptible_sleep(
+            (injector_.config().slow_factor - 1.0) * (now() - t0), *token,
+            *shutdown);
+      }
+    }
+    const double t1 = now();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_seconds_ += t1 - t0;
+      auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.cancel != token || token->load()) {
+        return;  // attempt was killed while running: result dropped
+      }
+      Job& j = it->second;
+      if (out.train_seconds <= 0.0) out.train_seconds = t1 - t0;
+      if (!out.failed) {
+        done_durations_.insert(std::lower_bound(done_durations_.begin(),
+                                                done_durations_.end(), t1 - t0),
+                               t1 - t0);
+        finished_.push_back(Finished{id, out, t1, j.attempt, j.spec.tag});
+        jobs_.erase(it);
+      } else if (j.attempt <= j.spec.max_retries) {
+        const double backoff = backoff_delay(policy_, j.attempt);
+        j.attempt += 1;
+        j.started = false;
+        j.cancel = std::make_shared<std::atomic<bool>>(false);
+        start_attempt_locked(id, backoff);
+      } else {
+        out.objective = 0.0;
+        finished_.push_back(Finished{id, out, t1, j.attempt, j.spec.tag});
+        jobs_.erase(it);
+      }
+    }
+    cv_.notify_all();
+  });
+}
+
+std::uint64_t LiveExecutor::submit(EvalFn fn, const JobSpec& spec) {
   std::uint64_t id;
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
-    ++in_flight_;
+    Job job;
+    job.fn = std::make_shared<const EvalFn>(std::move(fn));
+    job.spec = spec;
+    job.cancel = std::make_shared<std::atomic<bool>>(false);
+    jobs_.emplace(id, std::move(job));
+    start_attempt_locked(id, 0.0);
   }
-  pool_.enqueue([this, id, fn = std::move(fn)] {
-    const double t0 = now();
-    EvalOutput out;
-    try {
-      out = fn();
-    } catch (...) {
-      out.failed = true;
-      out.objective = 0.0;
-    }
-    const double t1 = now();
-    if (out.train_seconds <= 0.0) out.train_seconds = t1 - t0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      finished_.push_back(Finished{id, out, t1});
-      busy_seconds_ += t1 - t0;
-      --in_flight_;
-    }
-    cv_.notify_all();
-  });
   return id;
+}
+
+void LiveExecutor::reap_expired_locked() {
+  const double t = now();
+  std::vector<std::uint64_t> expired;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.started || job.cancel->load()) continue;
+    const double limit = attempt_limit_locked(job.spec);
+    if (t - job.start_time > limit) expired.push_back(id);
+  }
+  for (const std::uint64_t id : expired) {
+    Job& job = jobs_.at(id);
+    job.cancel->store(true);  // abandon the running attempt
+    if (job.attempt <= job.spec.max_retries) {
+      const double backoff = backoff_delay(policy_, job.attempt);
+      job.attempt += 1;
+      job.started = false;
+      job.cancel = std::make_shared<std::atomic<bool>>(false);
+      start_attempt_locked(id, backoff);
+    } else {
+      EvalOutput out;
+      out.failed = true;
+      out.timed_out = true;
+      out.objective = 0.0;
+      out.train_seconds = t - job.start_time;
+      finished_.push_back(Finished{id, out, t, job.attempt, job.spec.tag});
+      jobs_.erase(id);
+    }
+  }
 }
 
 std::vector<Finished> LiveExecutor::get_finished(bool block) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (block) {
-    cv_.wait(lock, [this] { return !finished_.empty() || in_flight_ == 0; });
+  for (;;) {
+    reap_expired_locked();
+    if (!finished_.empty() || jobs_.empty() || !block) break;
+
+    // Sleep until the earliest deadline of a started attempt (plus a small
+    // grace so we wake after it, not at it), or indefinitely when nothing
+    // can time out — completions and attempt starts notify cv_.
+    double next_deadline = std::numeric_limits<double>::infinity();
+    for (const auto& [id, job] : jobs_) {
+      (void)id;
+      if (!job.started || job.cancel->load()) continue;
+      const double limit = attempt_limit_locked(job.spec);
+      if (limit < std::numeric_limits<double>::infinity()) {
+        next_deadline = std::min(next_deadline, job.start_time + limit);
+      }
+    }
+    if (next_deadline < std::numeric_limits<double>::infinity()) {
+      cv_.wait_until(lock, start_ + std::chrono::duration_cast<
+                                        std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(next_deadline +
+                                                             0.002)));
+    } else {
+      cv_.wait(lock);
+    }
   }
   std::vector<Finished> out;
   out.swap(finished_);
@@ -51,7 +217,7 @@ std::vector<Finished> LiveExecutor::get_finished(bool block) {
 
 std::size_t LiveExecutor::num_in_flight() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return in_flight_;
+  return jobs_.size();
 }
 
 Utilization LiveExecutor::utilization() const {

@@ -1,21 +1,41 @@
 // Executor backed by a real thread pool; evaluations actually run. Used by
 // examples and integration tests to drive the full training path.
+//
+// Fault tolerance: timeouts and the straggler rule are enforced inside
+// get_finished (the manager loop of Algorithm 1 always sits there), which
+// wakes at the earliest in-flight deadline. Threads cannot be killed, so a
+// timed-out attempt is *abandoned*: its cancel token is set, its eventual
+// result is dropped, and the job is either resubmitted (bounded by
+// JobSpec::max_retries, after exponential backoff) or reported failed.
+// Injected hangs and slowdowns poll the cancel token, so the worker slot
+// comes back promptly; a real runaway closure keeps its pool thread busy
+// until it returns — exactly the straggler behaviour the policy exists to
+// bound.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "exec/executor.hpp"
+#include "exec/fault_injector.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace agebo::exec {
 
 class LiveExecutor final : public Executor {
  public:
-  explicit LiveExecutor(std::size_t n_workers);
+  explicit LiveExecutor(std::size_t n_workers, RetryPolicy policy = {},
+                        FaultConfig faults = {});
+  ~LiveExecutor() override;
 
-  std::uint64_t submit(EvalFn fn) override;
+  using Executor::submit;  // deprecated pre-JobSpec shims
+  /// Live workers are pool threads, so gang width is treated as 1 (one
+  /// thread per evaluation regardless of spec.width).
+  std::uint64_t submit(EvalFn fn, const JobSpec& spec) override;
   std::vector<Finished> get_finished(bool block = true) override;
   double now() const override;
   std::size_t num_workers() const override { return pool_.size(); }
@@ -23,15 +43,46 @@ class LiveExecutor final : public Executor {
   Utilization utilization() const override;
 
  private:
-  ThreadPool pool_;
+  struct Job {
+    std::shared_ptr<const EvalFn> fn;
+    JobSpec spec;
+    std::size_t attempt = 1;
+    bool started = false;
+    double start_time = 0.0;
+    /// Token of the *current* attempt; set true to abandon it. A fresh
+    /// token per attempt makes results from killed attempts identifiable.
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  /// Enqueue the current attempt of `id` after `delay_seconds` of backoff.
+  /// Caller holds mu_.
+  void start_attempt_locked(std::uint64_t id, double delay_seconds);
+  /// Kill attempts past their deadline; retry or report them. Caller holds
+  /// mu_.
+  void reap_expired_locked();
+  /// Kill deadline (relative seconds) for one attempt, or +inf. Caller
+  /// holds mu_.
+  double attempt_limit_locked(const JobSpec& spec) const;
+
   std::chrono::steady_clock::time_point start_;
+  RetryPolicy policy_;
+  FaultInjector injector_;
+  /// Shared with attempt closures so injected hangs exit at destruction.
+  std::shared_ptr<std::atomic<bool>> shutdown_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Finished> finished_;
   std::uint64_t next_id_ = 1;
-  std::size_t in_flight_ = 0;
+  std::unordered_map<std::uint64_t, Job> jobs_;
+  std::vector<double> done_durations_;  ///< sorted successful durations
   double busy_seconds_ = 0.0;
+
+  /// Last member on purpose: its destructor joins the workers while every
+  /// other field (mutex, maps, tokens) is still alive. (Declared first, it
+  /// would be destroyed last and in-flight closures could touch destroyed
+  /// members.)
+  ThreadPool pool_;
 };
 
 }  // namespace agebo::exec

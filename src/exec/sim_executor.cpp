@@ -1,61 +1,130 @@
 #include "exec/sim_executor.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
 namespace agebo::exec {
 
+namespace {
+
+// A hang runs this many times its nominal duration: effectively forever
+// unless a timeout or the straggler rule reclaims the workers (an unkilled
+// hang pushes its completion far past any campaign budget, which is the
+// simulated analogue of stalling the machine).
+constexpr double kHangFactor = 1e9;
+
+}  // namespace
+
 SimulatedExecutor::SimulatedExecutor(std::size_t n_workers,
-                                     double job_overhead_seconds)
-    : job_overhead_(job_overhead_seconds), worker_free_at_(n_workers, 0.0) {
+                                     double job_overhead_seconds,
+                                     RetryPolicy policy, FaultConfig faults)
+    : job_overhead_(job_overhead_seconds),
+      policy_(policy),
+      injector_(faults),
+      worker_free_at_(n_workers, 0.0) {
   if (n_workers == 0) throw std::invalid_argument("SimulatedExecutor: zero workers");
   if (job_overhead_seconds < 0.0) {
     throw std::invalid_argument("SimulatedExecutor: negative overhead");
   }
 }
 
-std::uint64_t SimulatedExecutor::submit(EvalFn fn) {
-  return submit(std::move(fn), 1);
+double SimulatedExecutor::attempt_limit(const JobSpec& spec) const {
+  double limit = std::numeric_limits<double>::infinity();
+  if (spec.timeout_seconds > 0.0) limit = spec.timeout_seconds;
+  if (policy_.straggler_factor > 0.0 &&
+      done_durations_.size() >= std::max<std::size_t>(1, policy_.straggler_min_samples)) {
+    const std::size_t n = done_durations_.size();
+    const double median =
+        0.5 * (done_durations_[(n - 1) / 2] + done_durations_[n / 2]);
+    limit = std::min(limit, policy_.straggler_factor * median);
+  }
+  return limit;
 }
 
-std::uint64_t SimulatedExecutor::submit(EvalFn fn, std::size_t width) {
-  if (width == 0 || width > worker_free_at_.size()) {
+void SimulatedExecutor::record_duration(double seconds) {
+  done_durations_.insert(
+      std::lower_bound(done_durations_.begin(), done_durations_.end(), seconds),
+      seconds);
+}
+
+std::uint64_t SimulatedExecutor::submit(EvalFn fn, const JobSpec& spec) {
+  if (spec.width == 0 || spec.width > worker_free_at_.size()) {
     throw std::invalid_argument("SimulatedExecutor: bad gang width");
   }
   const std::uint64_t id = next_id_++;
 
-  EvalOutput out;
+  EvalOutput base;
   try {
-    out = fn();
+    base = fn();
   } catch (...) {
+    base.failed = true;
+    base.objective = 0.0;
+    base.train_seconds = 1.0;
+  }
+  if (base.train_seconds <= 0.0) base.train_seconds = 1e-3;
+
+  // Resolve the attempt chain eagerly: each attempt claims its gang, pays
+  // the launch overhead, and either completes, crashes, or is killed at
+  // its deadline; failed attempts retry after exponential backoff until
+  // the budget is exhausted.
+  double t_ready = clock_;
+  for (std::size_t attempt = 1;; ++attempt) {
+    const FaultKind fault = injector_.draw(id, attempt);
+    double duration = base.train_seconds;
+    if (fault == FaultKind::kCrash) duration *= 0.5;
+    if (fault == FaultKind::kHang) duration *= kHangFactor;
+    if (fault == FaultKind::kSlow) duration *= injector_.config().slow_factor;
+
+    const double limit = attempt_limit(spec);
+    const bool killed = duration > limit;
+    const double consumed = std::min(duration, limit);
+    const bool attempt_failed =
+        base.failed || fault == FaultKind::kCrash || fault == FaultKind::kHang ||
+        killed;
+
+    // Gang scheduling: claim the `width` earliest-free workers; the attempt
+    // starts when the latest of them frees up (and not before t_ready), and
+    // pays the launch overhead (idle from the utilization viewpoint) first.
+    std::vector<std::size_t> order(worker_free_at_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(spec.width),
+                      order.end(), [this](std::size_t a, std::size_t b) {
+                        return worker_free_at_[a] < worker_free_at_[b];
+                      });
+    double gang_free = t_ready;
+    for (std::size_t i = 0; i < spec.width; ++i) {
+      gang_free = std::max(gang_free, worker_free_at_[order[i]]);
+    }
+    const double start = gang_free + job_overhead_;
+    const double finish = start + consumed;
+    for (std::size_t i = 0; i < spec.width; ++i) {
+      worker_free_at_[order[i]] = finish;
+      busy_intervals_.push_back(BusyInterval{id, order[i], start, finish});
+    }
+
+    if (!attempt_failed) {
+      EvalOutput out = base;
+      out.train_seconds = consumed;
+      record_duration(consumed);
+      events_.push(Event{finish, id, out, attempt, spec.tag});
+      break;
+    }
+    if (attempt <= spec.max_retries) {
+      t_ready = finish + backoff_delay(policy_, attempt);
+      continue;
+    }
+    // Retries exhausted: report one failed completion.
+    EvalOutput out;
     out.failed = true;
+    out.timed_out = killed;
     out.objective = 0.0;
-    out.train_seconds = 1.0;
+    out.train_seconds = consumed;
+    events_.push(Event{finish, id, out, attempt, spec.tag});
+    break;
   }
-  if (out.train_seconds <= 0.0) out.train_seconds = 1e-3;
-
-  // Gang scheduling: claim the `width` earliest-free workers; the job
-  // starts when the latest of them frees up (and not before now), and pays
-  // the launch overhead (idle from the utilization viewpoint) first.
-  std::vector<std::size_t> order(worker_free_at_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(width),
-                    order.end(), [this](std::size_t a, std::size_t b) {
-                      return worker_free_at_[a] < worker_free_at_[b];
-                    });
-  double gang_free = clock_;
-  for (std::size_t i = 0; i < width; ++i) {
-    gang_free = std::max(gang_free, worker_free_at_[order[i]]);
-  }
-  const double start = gang_free + job_overhead_;
-  const double finish = start + out.train_seconds;
-  for (std::size_t i = 0; i < width; ++i) {
-    worker_free_at_[order[i]] = finish;
-    busy_intervals_.push_back(BusyInterval{id, order[i], start, finish});
-  }
-
-  events_.push(Event{finish, id, out});
   return id;
 }
 
@@ -70,7 +139,7 @@ std::vector<Finished> SimulatedExecutor::get_finished(bool block) {
   clock_ = t;
   while (!events_.empty() && events_.top().finish_time <= clock_) {
     const Event& e = events_.top();
-    out.push_back(Finished{e.id, e.output, e.finish_time});
+    out.push_back(Finished{e.id, e.output, e.finish_time, e.attempts, e.tag});
     events_.pop();
   }
   return out;

@@ -7,12 +7,27 @@
 // burning node-hours. get_finished() advances the clock to the next
 // completion, so a 3-hour search runs in milliseconds while producing the
 // same algorithmic trajectory an asynchronous manager would observe.
+//
+// Fault tolerance: each submission resolves its whole attempt chain
+// eagerly. Per attempt, the FaultInjector may crash it (fails after half
+// its duration), hang it (runs ~forever until a timeout or the straggler
+// rule kills it), or slow it (duration × slow_factor). An attempt that
+// exceeds min(JobSpec::timeout_seconds, straggler limit) is killed at that
+// deadline; killed/crashed attempts are resubmitted after exponential
+// backoff until JobSpec::max_retries is exhausted, at which point one
+// failed=true completion is reported. Every attempt occupies its gang of
+// workers for the time it consumed, so retries and kills show up in
+// utilization and the trace export. Causality note: the straggler limit
+// uses the running median of successful attempt durations in *submission*
+// order (the eager-resolution equivalent of the median a live manager
+// would see); docs/simulation.md discusses the approximation.
 #pragma once
 
 #include <iosfwd>
 #include <queue>
 
 #include "exec/executor.hpp"
+#include "exec/fault_injector.hpp"
 
 namespace agebo::exec {
 
@@ -21,14 +36,15 @@ class SimulatedExecutor final : public Executor {
   /// `job_overhead_seconds` models the per-evaluation launch cost (Balsam
   /// scheduling + mpirun + model build on Theta) during which the worker is
   /// occupied but not training; it is what keeps measured utilization below
-  /// 100% (the paper reports ~94%).
+  /// 100% (the paper reports ~94%). `policy` and `faults` configure the
+  /// fault-tolerance layer; the defaults disable both.
   explicit SimulatedExecutor(std::size_t n_workers,
-                             double job_overhead_seconds = 0.0);
+                             double job_overhead_seconds = 0.0,
+                             RetryPolicy policy = {},
+                             FaultConfig faults = {});
 
-  std::uint64_t submit(EvalFn fn) override;
-  /// Gang scheduling: the job occupies `width` workers simultaneously; it
-  /// starts when the `width` earliest-free workers are all available.
-  std::uint64_t submit(EvalFn fn, std::size_t width) override;
+  using Executor::submit;  // deprecated pre-JobSpec shims
+  std::uint64_t submit(EvalFn fn, const JobSpec& spec) override;
   std::vector<Finished> get_finished(bool block = true) override;
   double now() const override { return clock_; }
   std::size_t num_workers() const override { return worker_free_at_.size(); }
@@ -44,6 +60,8 @@ class SimulatedExecutor final : public Executor {
     double finish_time;
     std::uint64_t id;
     EvalOutput output;
+    std::size_t attempts;
+    std::string tag;
     bool operator>(const Event& o) const {
       // Tie-break on id for determinism.
       if (finish_time != o.finish_time) return finish_time > o.finish_time;
@@ -51,11 +69,20 @@ class SimulatedExecutor final : public Executor {
     }
   };
 
+  /// Effective kill deadline (relative seconds) for one attempt, or +inf.
+  double attempt_limit(const JobSpec& spec) const;
+  /// Record one successful attempt duration for the straggler median.
+  void record_duration(double seconds);
+
   double clock_ = 0.0;
   double job_overhead_ = 0.0;
+  RetryPolicy policy_;
+  FaultInjector injector_;
   std::uint64_t next_id_ = 1;
   std::vector<double> worker_free_at_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  /// Successful attempt durations, kept sorted for the running median.
+  std::vector<double> done_durations_;
   /// One occupied worker-interval of a scheduled job; utilization clips
   /// each interval to [0, clock] so jobs scheduled past the horizon don't
   /// overcount, and the trace export reconstructs the Gantt chart.

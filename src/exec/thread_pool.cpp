@@ -40,7 +40,16 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A task that lets an exception escape would std::terminate the whole
+    // process (worker threads have no handler above this frame). Failure
+    // reporting is the caller's concern — LiveExecutor already converts
+    // evaluation exceptions into failed=true results — so anything arriving
+    // here is a programming error in the wrapper; swallow it rather than
+    // take down the campaign.
+    try {
+      task();
+    } catch (...) {
+    }
   }
 }
 

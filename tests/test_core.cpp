@@ -17,7 +17,7 @@ namespace {
 /// Evaluator with a transparent objective: accuracy = fraction of decisions
 /// set to their max value; fixed 10-second duration. Lets tests verify the
 /// evolutionary mechanics exactly.
-class CountingEvaluator final : public eval::Evaluator {
+class CountingEvaluator final : public eval::LegacyEvaluator {
  public:
   explicit CountingEvaluator(const nas::SearchSpace& space) : space_(&space) {}
 

@@ -20,6 +20,14 @@
 namespace agebo {
 namespace {
 
+/// JobSpec with just the gang width set (avoids designated initializers,
+/// which -Wextra flags for the defaulted trailing members).
+agebo::exec::JobSpec gang(std::size_t width) {
+  agebo::exec::JobSpec spec;
+  spec.width = width;
+  return spec;
+}
+
 // --------------------------------------------------------------------------
 // GraphNet structural edge cases.
 
@@ -163,7 +171,8 @@ TEST(BoEdge, ConstantObjectiveDoesNotBreakSurrogate) {
 TEST(SimExecutorEdge, ManyMoreJobsThanWorkersAllComplete) {
   exec::SimulatedExecutor sim(3);
   for (int i = 0; i < 50; ++i) {
-    sim.submit([] { return exec::EvalOutput{0.5, 1.0, false}; });
+    sim.submit([] { return exec::EvalOutput{0.5, 1.0, false}; },
+               exec::JobSpec{});
   }
   std::size_t total = 0;
   double last_finish = 0.0;
@@ -183,8 +192,10 @@ TEST(SimExecutorEdge, ManyMoreJobsThanWorkersAllComplete) {
 
 TEST(SimExecutorEdge, GangWiderThanFreeWorkersWaitsForAll) {
   exec::SimulatedExecutor sim(3);
-  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; });  // 1 worker
-  sim.submit([] { return exec::EvalOutput{0.5, 4.0, false}; }, 3);  // all 3
+  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; },
+             exec::JobSpec{});  // 1 worker
+  sim.submit([] { return exec::EvalOutput{0.5, 4.0, false}; },
+             gang(3));  // all 3
   // The wide job cannot start until the 10s job frees its worker.
   std::vector<exec::Finished> all;
   while (true) {
@@ -200,7 +211,7 @@ TEST(SimExecutorEdge, GangWiderThanFreeWorkersWaitsForAll) {
 // --------------------------------------------------------------------------
 // Search boundaries.
 
-class TrivialEvaluator final : public eval::Evaluator {
+class TrivialEvaluator final : public eval::LegacyEvaluator {
  public:
   exec::EvalOutput evaluate(const eval::ModelConfig&) override {
     return exec::EvalOutput{0.5, 2.0, false};
@@ -232,7 +243,7 @@ TEST(SearchEdge, ExplicitInitialSubmissionsRespected) {
 }
 
 TEST(SearchEdge, FailingEvaluatorYieldsZeroObjectives) {
-  class Failing final : public eval::Evaluator {
+  class Failing final : public eval::LegacyEvaluator {
    public:
     exec::EvalOutput evaluate(const eval::ModelConfig&) override {
       throw std::runtime_error("training diverged");

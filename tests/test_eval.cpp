@@ -194,7 +194,7 @@ TEST_F(SurrogateTest, StabilityMixtureCreatesShortfalls) {
   for (int i = 0; i < 400; ++i) {
     bo::Point hp = default_hparams(4);
     hp[1] *= 1.0 + 1e-6 * i;
-    observed.add(evaluator_.evaluate({g, hp}).objective);
+    observed.add(evaluator_.evaluate(ModelConfig{g, hp}).objective);
   }
   EXPECT_LT(observed.mean(), potential - 0.01);  // typical run falls short
   EXPECT_GT(observed.max(), potential - 0.01);   // lucky runs get close
@@ -210,7 +210,8 @@ TEST_F(SurrogateTest, TunedHparamsTrainMoreStably) {
     for (int i = 0; i < 300; ++i) {
       bo::Point jitter = hp;
       jitter[1] *= 1.0 + 1e-6 * i;
-      if (evaluator_.evaluate({g, jitter}).objective > potential - 0.01) {
+      if (evaluator_.evaluate(ModelConfig{g, jitter}).objective >
+          potential - 0.01) {
         ++stable;
       }
     }

@@ -1,5 +1,7 @@
 // Unit tests for src/exec: thread pool, live executor, and the event-driven
 // cluster simulator (queueing semantics, virtual clock, utilization).
+// Fault-path coverage (timeouts, retries, stragglers, injection) lives in
+// test_faults.cpp (ctest label: faults).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -28,18 +30,31 @@ TEST(ThreadPool, RejectsZeroThreads) {
   EXPECT_THROW(ThreadPool(0), std::invalid_argument);
 }
 
+TEST(ThreadPool, SurvivesThrowingTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.enqueue([] { throw std::runtime_error("task boom"); });
+  pool.enqueue([&counter] { counter++; });
+  while (counter.load() < 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(counter.load(), 1);
+}
+
 TEST(LiveExecutor, RunsJobsAndCollectsResults) {
   LiveExecutor executor(2);
-  const auto id1 = executor.submit([] {
-    EvalOutput out;
-    out.objective = 0.5;
-    return out;
-  });
-  const auto id2 = executor.submit([] {
-    EvalOutput out;
-    out.objective = 0.7;
-    return out;
-  });
+  const auto id1 = executor.submit(
+      [] {
+        EvalOutput out;
+        out.objective = 0.5;
+        return out;
+      },
+      JobSpec{});
+  const auto id2 = executor.submit(
+      [] {
+        EvalOutput out;
+        out.objective = 0.7;
+        return out;
+      },
+      JobSpec{});
   std::vector<Finished> all;
   while (all.size() < 2) {
     auto batch = executor.get_finished(true);
@@ -49,6 +64,7 @@ TEST(LiveExecutor, RunsJobsAndCollectsResults) {
   double sum = 0.0;
   for (const auto& f : all) {
     EXPECT_TRUE(f.id == id1 || f.id == id2);
+    EXPECT_EQ(f.attempts, 1u);
     sum += f.output.objective;
   }
   EXPECT_NEAR(sum, 1.2, 1e-12);
@@ -56,7 +72,8 @@ TEST(LiveExecutor, RunsJobsAndCollectsResults) {
 
 TEST(LiveExecutor, ExceptionBecomesFailedResult) {
   LiveExecutor executor(1);
-  executor.submit([]() -> EvalOutput { throw std::runtime_error("boom"); });
+  executor.submit([]() -> EvalOutput { throw std::runtime_error("boom"); },
+                  JobSpec{});
   auto finished = executor.get_finished(true);
   ASSERT_EQ(finished.size(), 1u);
   EXPECT_TRUE(finished[0].output.failed);
@@ -71,18 +88,30 @@ TEST(LiveExecutor, GetFinishedEmptyWhenIdle) {
 
 TEST(LiveExecutor, MeasuresTrainSecondsWhenUnset) {
   LiveExecutor executor(1);
-  executor.submit([] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
-    return EvalOutput{0.9, 0.0, false};
-  });
+  executor.submit(
+      [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return EvalOutput{0.9, 0.0, false};
+      },
+      JobSpec{});
   auto finished = executor.get_finished(true);
   ASSERT_EQ(finished.size(), 1u);
   EXPECT_GE(finished[0].output.train_seconds, 0.02);
 }
 
+TEST(LiveExecutor, TagEchoedBack) {
+  LiveExecutor executor(1);
+  JobSpec spec;
+  spec.tag = "probe";
+  executor.submit([] { return EvalOutput{0.5, 0.0, false}; }, spec);
+  auto finished = executor.get_finished(true);
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0].tag, "probe");
+}
+
 TEST(SimExecutor, SingleJobAdvancesClockToDuration) {
   SimulatedExecutor sim(4);
-  sim.submit([] { return EvalOutput{0.8, 100.0, false}; });
+  sim.submit([] { return EvalOutput{0.8, 100.0, false}; }, JobSpec{});
   EXPECT_DOUBLE_EQ(sim.now(), 0.0);
   auto finished = sim.get_finished(true);
   ASSERT_EQ(finished.size(), 1u);
@@ -94,7 +123,7 @@ TEST(SimExecutor, ParallelJobsShareWorkers) {
   // 2 workers, 3 jobs of 10s: third queues behind the first free worker.
   SimulatedExecutor sim(2);
   for (int i = 0; i < 3; ++i) {
-    sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
+    sim.submit([] { return EvalOutput{0.5, 10.0, false}; }, JobSpec{});
   }
   auto first = sim.get_finished(true);
   EXPECT_EQ(first.size(), 2u);  // both 10s jobs finish together
@@ -106,9 +135,9 @@ TEST(SimExecutor, ParallelJobsShareWorkers) {
 
 TEST(SimExecutor, JobsSubmittedLaterStartAtCurrentClock) {
   SimulatedExecutor sim(1);
-  sim.submit([] { return EvalOutput{0.5, 5.0, false}; });
+  sim.submit([] { return EvalOutput{0.5, 5.0, false}; }, JobSpec{});
   sim.get_finished(true);  // clock -> 5
-  sim.submit([] { return EvalOutput{0.5, 7.0, false}; });
+  sim.submit([] { return EvalOutput{0.5, 7.0, false}; }, JobSpec{});
   auto finished = sim.get_finished(true);
   ASSERT_EQ(finished.size(), 1u);
   EXPECT_DOUBLE_EQ(finished[0].finish_time, 12.0);
@@ -116,7 +145,7 @@ TEST(SimExecutor, JobsSubmittedLaterStartAtCurrentClock) {
 
 TEST(SimExecutor, NonBlockingReturnsEmptyBeforeCompletion) {
   SimulatedExecutor sim(1);
-  sim.submit([] { return EvalOutput{0.5, 50.0, false}; });
+  sim.submit([] { return EvalOutput{0.5, 50.0, false}; }, JobSpec{});
   EXPECT_TRUE(sim.get_finished(false).empty());
   EXPECT_EQ(sim.num_in_flight(), 1u);
 }
@@ -125,7 +154,8 @@ TEST(SimExecutor, DeterministicTieBreakById) {
   SimulatedExecutor sim(4);
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < 3; ++i) {
-    ids.push_back(sim.submit([] { return EvalOutput{0.5, 10.0, false}; }));
+    ids.push_back(
+        sim.submit([] { return EvalOutput{0.5, 10.0, false}; }, JobSpec{}));
   }
   auto finished = sim.get_finished(true);
   ASSERT_EQ(finished.size(), 3u);
@@ -134,7 +164,7 @@ TEST(SimExecutor, DeterministicTieBreakById) {
 
 TEST(SimExecutor, FailedEvalReported) {
   SimulatedExecutor sim(1);
-  sim.submit([]() -> EvalOutput { throw std::runtime_error("x"); });
+  sim.submit([]() -> EvalOutput { throw std::runtime_error("x"); }, JobSpec{});
   auto finished = sim.get_finished(true);
   ASSERT_EQ(finished.size(), 1u);
   EXPECT_TRUE(finished[0].output.failed);
@@ -143,7 +173,7 @@ TEST(SimExecutor, FailedEvalReported) {
 TEST(SimExecutor, UtilizationFullWhenSaturated) {
   SimulatedExecutor sim(2);
   for (int i = 0; i < 4; ++i) {
-    sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
+    sim.submit([] { return EvalOutput{0.5, 10.0, false}; }, JobSpec{});
   }
   while (!sim.get_finished(true).empty()) {
   }
@@ -156,7 +186,7 @@ TEST(SimExecutor, OverheadLowersUtilization) {
   // 10s jobs with 2.5s launch overhead: utilization 10 / 12.5 = 80%.
   SimulatedExecutor sim(1, 2.5);
   for (int i = 0; i < 4; ++i) {
-    sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
+    sim.submit([] { return EvalOutput{0.5, 10.0, false}; }, JobSpec{});
   }
   while (!sim.get_finished(true).empty()) {
   }
@@ -165,7 +195,7 @@ TEST(SimExecutor, OverheadLowersUtilization) {
 
 TEST(SimExecutor, ZeroDurationClampedToEpsilon) {
   SimulatedExecutor sim(1);
-  sim.submit([] { return EvalOutput{0.5, 0.0, false}; });
+  sim.submit([] { return EvalOutput{0.5, 0.0, false}; }, JobSpec{});
   auto finished = sim.get_finished(true);
   ASSERT_EQ(finished.size(), 1u);
   EXPECT_GT(finished[0].finish_time, 0.0);
@@ -176,9 +206,38 @@ TEST(SimExecutor, RejectsBadConstruction) {
   EXPECT_THROW(SimulatedExecutor(1, -1.0), std::invalid_argument);
 }
 
+// The pre-JobSpec submit overloads stay for one release; they must forward
+// to the JobSpec path unchanged.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SimExecutor, DeprecatedSubmitShimsForward) {
+  SimulatedExecutor sim(2);
+  sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
+  sim.submit([] { return EvalOutput{0.6, 10.0, false}; }, std::size_t{2});
+  std::size_t total = 0;
+  while (true) {
+    const auto batch = sim.get_finished(true);
+    if (batch.empty()) break;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 2u);
+}
+#pragma GCC diagnostic pop
+
 TEST(Utilization, FractionHandlesZeroElapsed) {
   Utilization u;
   EXPECT_DOUBLE_EQ(u.fraction(), 0.0);
+}
+
+TEST(RetryPolicy, BackoffDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.backoff_base_seconds = 2.0;
+  policy.backoff_max_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 1), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 2), 4.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 3), 8.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 4), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff_delay(policy, 9), 10.0);
 }
 
 }  // namespace

@@ -18,6 +18,14 @@
 namespace agebo {
 namespace {
 
+/// JobSpec with just the gang width set (avoids designated initializers,
+/// which -Wextra flags for the defaulted trailing members).
+agebo::exec::JobSpec gang(std::size_t width) {
+  agebo::exec::JobSpec spec;
+  spec.width = width;
+  return spec;
+}
+
 // --------------------------------------------------------------------------
 // GraphNet serialization.
 
@@ -202,8 +210,10 @@ TEST(RandomSearch, NeverMutatesAndUnderperformsAgE) {
 TEST(GangScheduling, WideJobOccupiesMultipleWorkers) {
   exec::SimulatedExecutor sim(4);
   // A width-4 job and then a width-1 job: the narrow one must wait.
-  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; }, 4);
-  sim.submit([] { return exec::EvalOutput{0.5, 5.0, false}; }, 1);
+  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; },
+             gang(4));
+  sim.submit([] { return exec::EvalOutput{0.5, 5.0, false}; },
+             gang(1));
   auto first = sim.get_finished(true);
   ASSERT_EQ(first.size(), 1u);
   EXPECT_DOUBLE_EQ(first[0].finish_time, 10.0);  // the wide job
@@ -216,8 +226,10 @@ TEST(GangScheduling, WidthOneMatchesPlainSubmit) {
   exec::SimulatedExecutor a(3);
   exec::SimulatedExecutor b(3);
   for (int i = 0; i < 5; ++i) {
-    a.submit([] { return exec::EvalOutput{0.5, 7.0, false}; });
-    b.submit([] { return exec::EvalOutput{0.5, 7.0, false}; }, 1);
+    a.submit([] { return exec::EvalOutput{0.5, 7.0, false}; },
+             exec::JobSpec{});
+    b.submit([] { return exec::EvalOutput{0.5, 7.0, false}; },
+             gang(1));
   }
   while (true) {
     auto fa = a.get_finished(true);
@@ -233,8 +245,10 @@ TEST(GangScheduling, WidthOneMatchesPlainSubmit) {
 TEST(GangScheduling, RejectsBadWidth) {
   exec::SimulatedExecutor sim(2);
   auto job = [] { return exec::EvalOutput{0.5, 1.0, false}; };
-  EXPECT_THROW(sim.submit(job, 0), std::invalid_argument);
-  EXPECT_THROW(sim.submit(job, 3), std::invalid_argument);
+  EXPECT_THROW(sim.submit(job, gang(0)),
+               std::invalid_argument);
+  EXPECT_THROW(sim.submit(job, gang(3)),
+               std::invalid_argument);
 }
 
 TEST(GangScheduling, MultinodeConfigWidthFn) {

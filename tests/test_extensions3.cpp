@@ -15,6 +15,14 @@
 namespace agebo {
 namespace {
 
+/// JobSpec with just the gang width set (avoids designated initializers,
+/// which -Wextra flags for the defaulted trailing members).
+agebo::exec::JobSpec gang(std::size_t width) {
+  agebo::exec::JobSpec spec;
+  spec.width = width;
+  return spec;
+}
+
 // --------------------------------------------------------------------------
 // Metrics.
 
@@ -122,8 +130,8 @@ TEST(Fidelity, LowerFidelityLowerAccuracyAndTime) {
   Rng rng(3);
   eval::ModelConfig config{space.random(rng), eval::default_hparams(2)};
 
-  const auto full = evaluator.evaluate_at(config, 1.0);
-  const auto third = evaluator.evaluate_at(config, 1.0 / 3.0);
+  const auto full = evaluator.evaluate({config, 1.0});
+  const auto third = evaluator.evaluate({config, 1.0 / 3.0});
   EXPECT_DOUBLE_EQ(full.objective, evaluator.evaluate(config).objective);
   EXPECT_LT(third.objective, full.objective);
   EXPECT_NEAR(third.train_seconds, full.train_seconds / 3.0,
@@ -135,8 +143,8 @@ TEST(Fidelity, DeterministicPerConfigAndFidelity) {
   eval::SurrogateEvaluator evaluator(space, eval::dionis_profile());
   Rng rng(4);
   eval::ModelConfig config{space.random(rng), eval::default_hparams(4)};
-  const auto a = evaluator.evaluate_at(config, 0.5);
-  const auto b = evaluator.evaluate_at(config, 0.5);
+  const auto a = evaluator.evaluate({config, 0.5});
+  const auto b = evaluator.evaluate({config, 0.5});
   EXPECT_DOUBLE_EQ(a.objective, b.objective);
 }
 
@@ -145,8 +153,8 @@ TEST(Fidelity, RejectsOutOfRange) {
   eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
   Rng rng(5);
   eval::ModelConfig config{space.random(rng), eval::default_hparams(1)};
-  EXPECT_THROW(evaluator.evaluate_at(config, 0.0), std::invalid_argument);
-  EXPECT_THROW(evaluator.evaluate_at(config, 1.5), std::invalid_argument);
+  EXPECT_THROW(evaluator.evaluate({config, 0.0}), std::invalid_argument);
+  EXPECT_THROW(evaluator.evaluate({config, 1.5}), std::invalid_argument);
 }
 
 // --------------------------------------------------------------------------
@@ -207,8 +215,10 @@ TEST(ShaJoint, RejectsBadConfig) {
 
 TEST(Trace, CsvContainsAllJobIntervals) {
   exec::SimulatedExecutor sim(2);
-  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; });
-  sim.submit([] { return exec::EvalOutput{0.6, 20.0, false}; }, 2);  // waits
+  sim.submit([] { return exec::EvalOutput{0.5, 10.0, false}; },
+             exec::JobSpec{});
+  sim.submit([] { return exec::EvalOutput{0.6, 20.0, false}; },
+             gang(2));  // waits
   while (!sim.get_finished(true).empty()) {
   }
   std::stringstream ss;

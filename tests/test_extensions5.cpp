@@ -105,10 +105,12 @@ TEST(FilePersistence, CsvDatasetFileRoundTrip) {
 TEST(LiveExecutorStats, UtilizationTracksBusyTime) {
   exec::LiveExecutor executor(2);
   for (int i = 0; i < 4; ++i) {
-    executor.submit([] {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      return exec::EvalOutput{0.5, 0.0, false};
-    });
+    executor.submit(
+        [] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          return exec::EvalOutput{0.5, 0.0, false};
+        },
+        exec::JobSpec{});
   }
   std::size_t got = 0;
   while (got < 4) got += executor.get_finished(true).size();

@@ -3,12 +3,18 @@
 // optionally export the evaluation history as CSV (loadable later for warm
 // starts via core::load_history).
 //
-//   agebo_campaign --dataset covertype --variant agebo --minutes 180 \
-//                  --workers 128 --seed 1 [--kappa 0.001] [--out hist.csv] \
+//   agebo_campaign --dataset covertype --variant agebo --minutes 180
+//                  --workers 128 --seed 1 [--kappa 0.001] [--out hist.csv]
 //                  [--warm-start prev.csv]
 //
 // Variants: age-1 age-2 age-4 age-8, agebo, agebo-8-lr, agebo-8-lr-bs,
 //           rs-1 (random search), agebo-multinode.
+//
+// Fault-tolerance flags (DESIGN.md "Fault model and JobSpec API"):
+//   --crash P --hang P --slow P   injected fault probabilities per attempt
+//   --timeout S                   per-evaluation kill deadline, seconds
+//   --retries R                   resubmissions before a job is failed
+//   --straggler K                 kill attempts past K x median train time
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +36,8 @@ void usage() {
                "usage: agebo_campaign [--dataset covertype|airlines|albert|"
                "dionis] [--variant VARIANT] [--minutes M] [--workers W] "
                "[--seed S] [--kappa K] [--out FILE.csv] "
-               "[--warm-start FILE.csv]\n"
+               "[--warm-start FILE.csv] [--crash P] [--hang P] [--slow P] "
+               "[--timeout S] [--retries R] [--straggler K]\n"
                "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
                "agebo-8-lr-bs rs-1 agebo-multinode\n");
 }
@@ -81,6 +88,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   cfg.wall_time_seconds = minutes * 60.0;
+  cfg.eval_timeout_seconds = std::atof(get("timeout", "0").c_str());
+  cfg.eval_max_retries =
+      static_cast<std::size_t>(std::atoi(get("retries", "0").c_str()));
+
+  exec::FaultConfig faults;
+  faults.crash_prob = std::atof(get("crash", "0").c_str());
+  faults.hang_prob = std::atof(get("hang", "0").c_str());
+  faults.slow_prob = std::atof(get("slow", "0").c_str());
+  faults.seed = seed * 977 + 13;
+  exec::RetryPolicy policy;
+  policy.straggler_factor = std::atof(get("straggler", "0").c_str());
+  // Backoff in cluster terms: a minute before the first resubmission.
+  policy.backoff_base_seconds = 60.0;
+  policy.backoff_max_seconds = 600.0;
 
   nas::SearchSpace space;
   try {
@@ -91,10 +112,16 @@ int main(int argc, char** argv) {
     }
 
     eval::SurrogateEvaluator evaluator(space, eval::profile_by_name(dataset));
-    exec::SimulatedExecutor executor(workers, 90.0);
+    exec::SimulatedExecutor executor(workers, 90.0, policy, faults);
     core::AgeboSearch search(space, evaluator, executor, cfg);
     const auto result = search.run();
     const auto stats = core::run_stats(result);
+
+    std::size_t n_failed = 0, n_retried = 0;
+    for (const auto& rec : result.history) {
+      if (rec.failed) ++n_failed;
+      if (rec.attempts > 1) ++n_retried;
+    }
 
     std::printf("dataset=%s variant=%s workers=%zu minutes=%.0f seed=%llu\n",
                 dataset.c_str(), variant.c_str(), workers, minutes,
@@ -105,6 +132,10 @@ int main(int argc, char** argv) {
     std::printf("best accuracy:      %.4f\n", stats.best_accuracy);
     std::printf("node utilization:   %.1f%%\n",
                 100.0 * result.utilization.fraction());
+    if (n_failed > 0 || n_retried > 0) {
+      std::printf("failed jobs:        %zu (%zu retried)\n", n_failed,
+                  n_retried);
+    }
     if (!result.history.empty()) {
       const auto& best = result.best();
       std::printf("best config:        bs1=%.0f lr1=%.6f n=%.0f\n",
