@@ -1,0 +1,219 @@
+// Perf-regression harness for the blocked kernel layer: sweeps the
+// paper's dense-layer GEMM shapes (batch x features x units drawn from the
+// Covertype / Airlines / Albert / Dionis search space), times naive vs
+// blocked with warmup + median-of-k, and emits machine-readable
+// BENCH_kernels.json. With --check it exits nonzero if the blocked path is
+// slower than the naive reference on any non-trivial shape, which is what
+// the `ctest -L perf` smoke test asserts; tools/bench_diff compares two
+// JSON files across commits.
+//
+// Usage: bench_kernels_json [--out FILE] [--check] [--quick]
+//                           [--threads N] [--reps K]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/kernels/pool.hpp"
+#include "nn/tensor.hpp"
+
+namespace {
+
+using namespace agebo;
+using nn::Tensor;
+
+struct Shape {
+  std::size_t m, k, n;
+  const char* note;
+};
+
+// Layer GEMMs seen while training the search space on the paper's four
+// datasets: input layer (batch x features -> units), hidden (units ->
+// units), readout (units -> classes), plus the acceptance-criterion
+// shapes at and above 512x128x128.
+const Shape kShapes[] = {
+    {256, 54, 96, "covertype input layer"},
+    {256, 96, 96, "hidden layer"},
+    {256, 96, 7, "covertype readout"},
+    {1024, 78, 96, "albert input, large batch"},
+    {256, 60, 355, "dionis readout"},
+    {512, 128, 128, "acceptance shape"},
+    {1024, 128, 128, "acceptance shape, large batch"},
+    {512, 256, 256, "wide hidden"},
+};
+
+const Shape kQuickShapes[] = {
+    {256, 96, 96, "hidden layer"},
+    {512, 128, 128, "acceptance shape"},
+};
+
+struct Measurement {
+  double ns_per_call = 0.0;
+  double gflops = 0.0;
+};
+
+// Median-of-k wall times; every rep runs enough iterations to dwarf clock
+// granularity, and two untimed warmup calls fault in pages and warm the
+// caches so the first rep is not an outlier.
+Measurement measure(const std::function<void()>& fn, double flops_per_call,
+                    int reps) {
+  fn();
+  fn();
+  // Calibrate the per-rep iteration count to ~2 ms.
+  const auto c0 = std::chrono::steady_clock::now();
+  fn();
+  const auto c1 = std::chrono::steady_clock::now();
+  const double once_ns =
+      std::max(1.0, std::chrono::duration<double, std::nano>(c1 - c0).count());
+  const std::size_t iters =
+      std::max<std::size_t>(1, static_cast<std::size_t>(2e6 / once_ns));
+
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters));
+  }
+  std::sort(samples.begin(), samples.end());
+  Measurement out;
+  out.ns_per_call = samples[samples.size() / 2];
+  out.gflops = flops_per_call / out.ns_per_call;  // flops/ns == GFLOP/s
+  return out;
+}
+
+struct Row {
+  std::string kernel;
+  Shape shape{};
+  Measurement naive, blocked;
+  double speedup = 0.0;
+};
+
+void fill_random(Tensor& t, Rng& rng) {
+  for (auto& v : t.v) v = static_cast<float>(rng.normal());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_kernels.json";
+  bool check = false;
+  bool quick = false;
+  std::size_t threads = 1;
+  int reps = 9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--quick") {
+      quick = true;
+      reps = 5;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  // Default 1: the regression gate compares single-threaded kernel quality;
+  // threading wins are reported separately by --threads N runs.
+  agebo::nn::kernels::set_max_threads(threads);
+
+  const Shape* shapes = quick ? kQuickShapes : kShapes;
+  const std::size_t n_shapes =
+      quick ? std::size(kQuickShapes) : std::size(kShapes);
+
+  std::vector<Row> rows;
+  Rng rng(7);
+  for (std::size_t s = 0; s < n_shapes; ++s) {
+    const Shape& sh = shapes[s];
+    const double flops = 2.0 * sh.m * sh.k * sh.n;
+
+    Tensor a(sh.m, sh.k), b(sh.k, sh.n), bt(sh.n, sh.k), at(sh.k, sh.m);
+    fill_random(a, rng);
+    fill_random(b, rng);
+    fill_random(bt, rng);
+    fill_random(at, rng);
+    Tensor out;
+
+    struct Variant {
+      const char* name;
+      std::function<void()> naive;
+      std::function<void()> blocked;
+    };
+    const Variant variants[] = {
+        {"matmul", [&] { nn::matmul_naive(a, b, out); },
+         [&] { nn::matmul(a, b, out); }},
+        {"matmul_bt", [&] { nn::matmul_bt_naive(a, bt, out); },
+         [&] { nn::matmul_bt(a, bt, out); }},
+        {"matmul_at", [&] { nn::matmul_at_naive(at, b, out); },
+         [&] { nn::matmul_at(at, b, out); }},
+    };
+    for (const auto& v : variants) {
+      Row row;
+      row.kernel = v.name;
+      row.shape = sh;
+      row.naive = measure(v.naive, flops, reps);
+      row.blocked = measure(v.blocked, flops, reps);
+      row.speedup = row.naive.ns_per_call / row.blocked.ns_per_call;
+      std::printf("%-10s m=%4zu k=%4zu n=%4zu  naive %8.2f GF/s  blocked %8.2f GF/s  speedup %5.2fx\n",
+                  row.kernel.c_str(), sh.m, sh.k, sh.n, row.naive.gflops,
+                  row.blocked.gflops, row.speedup);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 2;
+  }
+  os << "{\n  \"schema\": \"agebo-bench-kernels-v1\",\n  \"threads\": "
+     << threads << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.shape.m
+       << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n
+       << ", \"naive_ns\": " << r.naive.ns_per_call
+       << ", \"blocked_ns\": " << r.blocked.ns_per_call
+       << ", \"naive_gflops\": " << r.naive.gflops
+       << ", \"blocked_gflops\": " << r.blocked.gflops
+       << ", \"speedup\": " << r.speedup << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (check) {
+    // Gate: the blocked path must never lose to the naive reference on
+    // any shape with real arithmetic (tiny shapes are timer noise).
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (r.shape.m * r.shape.k * r.shape.n < 1'000'000) continue;
+      if (r.speedup < 1.0) {
+        std::cerr << "PERF REGRESSION: " << r.kernel << " m=" << r.shape.m
+                  << " k=" << r.shape.k << " n=" << r.shape.n
+                  << " blocked is slower than naive (speedup " << r.speedup
+                  << ")\n";
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::cout << "check passed: blocked >= naive on all gated shapes\n";
+  }
+  return 0;
+}

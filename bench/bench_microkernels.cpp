@@ -17,7 +17,26 @@ namespace {
 
 using namespace agebo;
 
-void BM_Matmul(benchmark::State& state) {
+// Every timing benchmark warms up and reports the median of several
+// repetitions (not a single-shot measurement) so the perf-regression gate
+// built on these numbers is not flaky.
+constexpr double kWarmUpSeconds = 0.05;
+constexpr int kRepetitions = 5;
+
+#define AGEBO_BENCH_STABLE(fn) \
+  BENCHMARK(fn)                \
+      ->MinWarmUpTime(kWarmUpSeconds) \
+      ->Repetitions(kRepetitions)     \
+      ->ReportAggregatesOnly(true)
+
+#define AGEBO_BENCH_STABLE_ARGS(fn, ...) \
+  BENCHMARK(fn)                          \
+      ->MinWarmUpTime(kWarmUpSeconds)    \
+      ->Repetitions(kRepetitions)        \
+      ->ReportAggregatesOnly(true)       \
+      __VA_ARGS__
+
+void BM_MatmulBlocked(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
   nn::Tensor a(n, n);
@@ -31,7 +50,48 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+AGEBO_BENCH_STABLE_ARGS(BM_MatmulBlocked, ->Arg(64)->Arg(128)->Arg(256));
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a(n, n);
+  nn::Tensor b(n, n);
+  for (auto& v : a.v) v = static_cast<float>(rng.normal());
+  for (auto& v : b.v) v = static_cast<float>(rng.normal());
+  nn::Tensor out;
+  for (auto _ : state) {
+    nn::matmul_naive(a, b, out);
+    benchmark::DoNotOptimize(out.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+AGEBO_BENCH_STABLE_ARGS(BM_MatmulNaive, ->Arg(64)->Arg(128)->Arg(256));
+
+// The paper's dense-layer shapes (batch x in-features x units): Covertype
+// input, a hidden layer, the Dionis readout, and the 512x128x128
+// acceptance shape. Args are {m, k, n}.
+void BM_MatmulLayerShapes(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  nn::Tensor a(m, k);
+  nn::Tensor b(k, n);
+  for (auto& v : a.v) v = static_cast<float>(rng.normal());
+  for (auto& v : b.v) v = static_cast<float>(rng.normal());
+  nn::Tensor out;
+  for (auto _ : state) {
+    nn::matmul(a, b, out);
+    benchmark::DoNotOptimize(out.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+AGEBO_BENCH_STABLE_ARGS(BM_MatmulLayerShapes,
+                        ->Args({256, 54, 96})
+                        ->Args({256, 96, 96})
+                        ->Args({256, 60, 355})
+                        ->Args({512, 128, 128}));
 
 void BM_AllreduceFlat(benchmark::State& state) {
   const auto ranks = static_cast<std::size_t>(state.range(0));
@@ -43,7 +103,7 @@ void BM_AllreduceFlat(benchmark::State& state) {
     benchmark::DoNotOptimize(grads[0].data());
   }
 }
-BENCHMARK(BM_AllreduceFlat)->Arg(2)->Arg(4)->Arg(8);
+AGEBO_BENCH_STABLE_ARGS(BM_AllreduceFlat, ->Arg(2)->Arg(4)->Arg(8));
 
 void BM_AllreduceTree(benchmark::State& state) {
   const auto ranks = static_cast<std::size_t>(state.range(0));
@@ -55,7 +115,7 @@ void BM_AllreduceTree(benchmark::State& state) {
     benchmark::DoNotOptimize(grads[0].data());
   }
 }
-BENCHMARK(BM_AllreduceTree)->Arg(2)->Arg(4)->Arg(8);
+AGEBO_BENCH_STABLE_ARGS(BM_AllreduceTree, ->Arg(2)->Arg(4)->Arg(8));
 
 void BM_TreeFit(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
@@ -74,7 +134,7 @@ void BM_TreeFit(benchmark::State& state) {
     benchmark::DoNotOptimize(tree.n_nodes());
   }
 }
-BENCHMARK(BM_TreeFit)->Arg(256)->Arg(512)->Arg(2048);
+AGEBO_BENCH_STABLE_ARGS(BM_TreeFit, ->Arg(256)->Arg(512)->Arg(2048));
 
 void BM_SurrogateEvaluate(benchmark::State& state) {
   nas::SearchSpace space;
@@ -88,7 +148,7 @@ void BM_SurrogateEvaluate(benchmark::State& state) {
     benchmark::DoNotOptimize(out.objective);
   }
 }
-BENCHMARK(BM_SurrogateEvaluate);
+AGEBO_BENCH_STABLE(BM_SurrogateEvaluate);
 
 void BM_BoAsk(benchmark::State& state) {
   auto space = bo::ParamSpace::paper_space();
@@ -107,7 +167,7 @@ void BM_BoAsk(benchmark::State& state) {
     benchmark::DoNotOptimize(batch.data());
   }
 }
-BENCHMARK(BM_BoAsk);
+AGEBO_BENCH_STABLE(BM_BoAsk);
 
 void BM_GraphNetStep(benchmark::State& state) {
   nas::SearchSpace space;
@@ -131,7 +191,7 @@ void BM_GraphNetStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 256);
 }
-BENCHMARK(BM_GraphNetStep);
+AGEBO_BENCH_STABLE(BM_GraphNetStep);
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "dp/thread_team.hpp"
+#include "nn/kernels/pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/schedule.hpp"
 
@@ -117,8 +118,13 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
     for (std::size_t r = 0; r < n; ++r) shuffle_rngs[r].shuffle(orders[r]);
 
     double loss_sum = 0.0;
+    std::vector<std::vector<float>*> allreduce_bufs(n);
     for (std::size_t step = 0; step < steps_per_epoch; ++step) {
       impl_->team->run([&](std::size_t r) {
+        // With n replica workers live, the shared kernel pool must not fan
+        // out underneath each of them: pin every rank to 1 kernel thread
+        // (thread-local, so single-replica fits elsewhere still fan out).
+        nn::kernels::ScopedThreadLimit kernel_serial(n > 1 ? 1 : 0);
         const std::size_t begin = step * cfg_.bs1;
         const std::size_t end = std::min(begin + cfg_.bs1, shards[r].n_rows);
         nn::batch_from(shards[r], orders[r], begin, end, xs[r], ys[r]);
@@ -132,11 +138,10 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
       if (n > 1) {
         const std::size_t blocks = impl_->params[0].size();
         for (std::size_t b = 0; b < blocks; ++b) {
-          std::vector<std::vector<float>*> buffers(n);
           for (std::size_t r = 0; r < n; ++r) {
-            buffers[r] = impl_->params[r][b].grads;
+            allreduce_bufs[r] = impl_->params[r][b].grads;
           }
-          allreduce_average(buffers, cfg_.allreduce);
+          allreduce_average(allreduce_bufs, cfg_.allreduce);
         }
       }
 

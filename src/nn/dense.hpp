@@ -1,10 +1,17 @@
 // Fully connected layer with cached forward state for backprop. Also used
 // (bias-less) as the linear projection on skip connections (Sec III-A).
+//
+// The forward/backward entry points come in fused flavors backed by the
+// blocked GEMM epilogues in nn/kernels/: bias + activation ride on the
+// forward GEMM, gradients accumulate directly into the parameter buffers,
+// and the *_add variants sum into an existing output so skip-combination
+// code never materializes per-edge temporaries.
 #pragma once
 
 #include <vector>
 
 #include "common/rng.hpp"
+#include "nn/activation.hpp"
 #include "nn/tensor.hpp"
 
 namespace agebo::nn {
@@ -24,12 +31,27 @@ class DenseLayer {
   std::size_t in_dim() const { return in_; }
   std::size_t out_dim() const { return out_; }
 
-  /// z = x W (+ b). Caches x for backward.
+  /// z = x W (+ b), bias fused into the GEMM epilogue. Caches x for
+  /// backward.
   void forward(const Tensor& x, Tensor& z);
 
-  /// Given dL/dz, accumulate dL/dW and dL/db, and produce dL/dx.
-  /// Must follow a forward() on the same batch.
+  /// Fused forward: z_pre = x W (+ b) and out = act(z_pre), one GEMM with
+  /// both outputs written from the hot register tile. Caches x.
+  void forward_act(const Tensor& x, Activation act, Tensor& z_pre,
+                   Tensor& out);
+
+  /// z += x W (no bias; accumulating GEMM). For skip projections summed
+  /// into a combination buffer. Caches x.
+  void forward_add(const Tensor& x, Tensor& z);
+
+  /// Given dL/dz, accumulate dL/dW (directly into the gradient buffer, no
+  /// staging tensor) and dL/db, and produce dL/dx.
+  /// Must follow a forward on the same batch.
   void backward(const Tensor& dz, Tensor& dx);
+
+  /// Same, but dx += dz W^T (accumulating GEMM) — for skip projections
+  /// whose input gradient sums into a shared buffer.
+  void backward_add(const Tensor& dz, Tensor& dx);
 
   void zero_grad();
   std::vector<ParamRef> params();
@@ -40,6 +62,8 @@ class DenseLayer {
   const std::vector<float>& bias() const { return b_; }
 
  private:
+  void backward_impl(const Tensor& dz, Tensor& dx, bool accumulate_dx);
+
   std::size_t in_;
   std::size_t out_;
   bool use_bias_;

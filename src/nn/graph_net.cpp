@@ -1,7 +1,10 @@
 #include "nn/graph_net.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "nn/kernels/gemm.hpp"
 
 namespace agebo::nn {
 
@@ -66,6 +69,7 @@ GraphNet::GraphNet(GraphSpec spec, Rng& rng) : spec_(std::move(spec)) {
 
   outs_.resize(m + 1);
   pre_act_.resize(m);
+  grad_outs_.resize(m + 1);
 }
 
 void GraphNet::combine_forward(Combine& c, const Tensor& base,
@@ -74,9 +78,9 @@ void GraphNet::combine_forward(Combine& c, const Tensor& base,
   c.sum_pre_relu = base;
   for (auto& edge : c.edges) {
     if (edge.proj.has_value()) {
-      Tensor projected;
-      edge.proj->forward(outs[edge.src], projected);
-      add_inplace(c.sum_pre_relu, projected);
+      // Projection GEMM accumulates straight into the sum: no per-edge
+      // `projected` temporary, no separate add pass.
+      edge.proj->forward_add(outs[edge.src], c.sum_pre_relu);
     } else {
       add_inplace(c.sum_pre_relu, outs[edge.src]);
     }
@@ -87,16 +91,20 @@ void GraphNet::combine_forward(Combine& c, const Tensor& base,
 void GraphNet::combine_backward(Combine& c, const Tensor& d_combined,
                                 std::vector<Tensor>& grad_outs,
                                 std::size_t base_id) {
-  Tensor d_sum = d_combined;
-  apply_activation_grad(Activation::kRelu, c.sum_pre_relu, d_sum);
-  add_inplace(grad_outs[base_id], d_sum);
+  // d_sum = d_combined ⊙ relu'(sum_pre_relu), fused (replaces the old
+  // copy + in-place gradient pass).
+  ensure_shape(c.d_sum, d_combined.rows, d_combined.cols);
+  kernels::act_grad_mul(Activation::kRelu, c.sum_pre_relu.v.data(),
+                        d_combined.v.data(), c.d_sum.v.data(),
+                        c.d_sum.v.size());
+  add_inplace(grad_outs[base_id], c.d_sum);
   for (auto& edge : c.edges) {
     if (edge.proj.has_value()) {
-      Tensor dx;
-      edge.proj->backward(d_sum, dx);
-      add_inplace(grad_outs[edge.src], dx);
+      // dx of the projection accumulates into the source's gradient
+      // buffer inside the backward GEMM.
+      edge.proj->backward_add(c.d_sum, grad_outs[edge.src]);
     } else {
-      add_inplace(grad_outs[edge.src], d_sum);
+      add_inplace(grad_outs[edge.src], c.d_sum);
     }
   }
 }
@@ -107,58 +115,62 @@ const Tensor& GraphNet::forward(const Tensor& x) {
   outs_[0] = x;
 
   for (std::size_t k = 0; k < m; ++k) {
-    Tensor node_input;
+    const Tensor* node_input = &outs_[k];
     if (node_combine_[k].active()) {
-      combine_forward(node_combine_[k], outs_[k], outs_, node_input);
-    } else {
-      node_input = outs_[k];
+      combine_forward(node_combine_[k], outs_[k], outs_, combine_buf_);
+      node_input = &combine_buf_;
     }
     if (spec_.nodes[k].is_identity) {
-      outs_[k + 1] = std::move(node_input);
+      outs_[k + 1] = *node_input;  // capacity-reusing copy
     } else {
-      node_dense_[k]->forward(node_input, pre_act_[k]);
-      apply_activation(spec_.nodes[k].act, pre_act_[k], outs_[k + 1]);
+      // Fused GEMM: bias + activation in the epilogue, pre-activation
+      // stored alongside for backward.
+      node_dense_[k]->forward_act(*node_input, spec_.nodes[k].act,
+                                  pre_act_[k], outs_[k + 1]);
     }
   }
 
-  Tensor readout_input;
+  const Tensor* readout_input = &outs_[m];
   if (output_combine_.active()) {
-    combine_forward(output_combine_, outs_[m], outs_, readout_input);
-  } else {
-    readout_input = outs_[m];
+    combine_forward(output_combine_, outs_[m], outs_, combine_buf_);
+    readout_input = &combine_buf_;
   }
-  output_dense_->forward(readout_input, logits_);
+  output_dense_->forward(*readout_input, logits_);
   return logits_;
 }
 
 void GraphNet::backward(const Tensor& dlogits) {
   const std::size_t m = spec_.nodes.size();
-  std::vector<Tensor> grad_outs(m + 1);
   for (std::size_t k = 0; k <= m; ++k) {
-    grad_outs[k] = Tensor(outs_[k].rows, outs_[k].cols, 0.0f);
+    ensure_shape(grad_outs_[k], outs_[k].rows, outs_[k].cols);
+    std::fill(grad_outs_[k].v.begin(), grad_outs_[k].v.end(), 0.0f);
   }
 
-  Tensor d_readout_input;
-  output_dense_->backward(dlogits, d_readout_input);
+  output_dense_->backward(dlogits, d_input_buf_);
   if (output_combine_.active()) {
-    combine_backward(output_combine_, d_readout_input, grad_outs, m);
+    combine_backward(output_combine_, d_input_buf_, grad_outs_, m);
   } else {
-    add_inplace(grad_outs[m], d_readout_input);
+    add_inplace(grad_outs_[m], d_input_buf_);
   }
 
   for (std::size_t k = m; k-- > 0;) {
-    Tensor d_node_input;
+    const Tensor* d_node_input;
     if (spec_.nodes[k].is_identity) {
-      d_node_input = grad_outs[k + 1];
+      d_node_input = &grad_outs_[k + 1];
     } else {
-      Tensor dz = grad_outs[k + 1];
-      apply_activation_grad(spec_.nodes[k].act, pre_act_[k], dz);
-      node_dense_[k]->backward(dz, d_node_input);
+      // dz = grad_out ⊙ act'(pre_act): fused, out-of-place (the old path
+      // copied the gradient and then scaled it in place).
+      ensure_shape(dz_buf_, grad_outs_[k + 1].rows, grad_outs_[k + 1].cols);
+      kernels::act_grad_mul(spec_.nodes[k].act, pre_act_[k].v.data(),
+                            grad_outs_[k + 1].v.data(), dz_buf_.v.data(),
+                            dz_buf_.v.size());
+      node_dense_[k]->backward(dz_buf_, d_input_buf_);
+      d_node_input = &d_input_buf_;
     }
     if (node_combine_[k].active()) {
-      combine_backward(node_combine_[k], d_node_input, grad_outs, k);
+      combine_backward(node_combine_[k], *d_node_input, grad_outs_, k);
     } else {
-      add_inplace(grad_outs[k], d_node_input);
+      add_inplace(grad_outs_[k], *d_node_input);
     }
   }
 }

@@ -11,6 +11,14 @@
 //
 // The NAS module (src/nas) turns a 37-decision genome into a GraphSpec;
 // this file owns only the numerical network.
+//
+// Hot-path layout: every per-step buffer (node outputs, pre-activations,
+// gradient accumulators, combine scratch) is a persistent member reused
+// across steps, and the dense ops run through the fused kernel-layer entry
+// points (bias+activation in the forward GEMM, activation-gradient fused
+// into the backward staging, projections accumulating in place), so a
+// training step performs no allocations and no extra elementwise passes
+// after the first batch.
 #pragma once
 
 #include <memory>
@@ -79,6 +87,7 @@ class GraphNet {
     std::vector<SkipEdge> edges;
     bool active() const { return !edges.empty(); }
     Tensor sum_pre_relu;  // forward cache
+    Tensor d_sum;         // backward scratch (reused across steps)
   };
 
   /// Build the combine struct for `skips` targeting a base of width
@@ -86,7 +95,7 @@ class GraphNet {
   Combine make_combine(const std::vector<std::size_t>& skips,
                        std::size_t base_dim, Rng& rng);
   /// Forward the combination: base + sum of (projected) skip sources,
-  /// then ReLU. `outs` holds node outputs; result written to `combined`.
+  /// then ReLU. Projections accumulate straight into the sum buffer.
   void combine_forward(Combine& c, const Tensor& base,
                        const std::vector<Tensor>& outs, Tensor& combined);
   /// Backward through a combination; adds source grads into `grad_outs`.
@@ -104,6 +113,12 @@ class GraphNet {
   std::vector<Tensor> outs_;      // node outputs, outs_[0] = input
   std::vector<Tensor> pre_act_;   // dense pre-activations per node
   Tensor logits_;
+  Tensor combine_buf_;            // combined node input when skips are active
+
+  // Backward scratch, persistent so repeated steps reuse capacity.
+  std::vector<Tensor> grad_outs_;
+  Tensor dz_buf_;                 // act-grad-fused dL/dz of the current node
+  Tensor d_input_buf_;            // dL/d(node input) staging
 };
 
 }  // namespace agebo::nn

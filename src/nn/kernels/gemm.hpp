@@ -1,0 +1,70 @@
+// Cache-blocked, register-blocked, compiler-vectorized GEMM kernels for
+// the dense-NN training path, with fused epilogues.
+//
+// All three layouts the MLP needs share one packed microkernel:
+//   gemm     C = A  B      (A: m x k,  B: k x n)   forward
+//   gemm_bt  C = A  B^T    (A: m x k,  B: n x k)   dx = dz W^T
+//   gemm_at  C = A^T B     (A: k x m,  B: k x n)   dW = x^T dz
+// The transpose is absorbed by the packing routine, so the hot inner loop
+// is identical (and identically vectorized) for every variant.
+//
+// Blocking follows the classic GotoBLAS/BLIS scheme: NC-wide column
+// panels, KC-deep K blocks (B panel packed to L1-friendly NR strips),
+// MC-tall row blocks (A packed to MR strips), and an MR x NR register
+// tile accumulated across the whole K block without touching C. K is
+// summed in ascending order exactly like the naive kernels, so results
+// match the reference to rounding.
+//
+// Epilogues fuse the work Dense layers used to do in separate passes:
+// bias broadcast, activation, and a second "pre-activation" output for
+// backprop — applied while the C tile is still hot.
+//
+// Threading: row blocks are distributed over kernels::parallel_for with
+// disjoint output ranges (bit-deterministic for any thread count); tiny
+// problems stay serial. Scratch comes from the thread-local Workspace, so
+// steady-state steps allocate nothing.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/activation.hpp"
+
+namespace agebo::nn::kernels {
+
+/// Optional fused tail applied to C after the full K accumulation.
+struct Epilogue {
+  /// Row-broadcast bias of length n; nullptr = none.
+  const float* bias = nullptr;
+  /// Activation applied to (acc + bias); kIdentity = none.
+  Activation act = Activation::kIdentity;
+  /// When non-null, the pre-activation value (acc + bias) is also stored
+  /// here (same m x n shape and leading dimension as C). Backprop needs it.
+  float* pre_act = nullptr;
+};
+
+/// C = A B (+C when accumulate). a: m x k (ld lda), b: k x n (ld ldb),
+/// c: m x n (ld ldc). C must not alias A or B.
+void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+          std::size_t lda, const float* b, std::size_t ldb, float* c,
+          std::size_t ldc, bool accumulate = false,
+          const Epilogue* ep = nullptr);
+
+/// C = A B^T (+C when accumulate). a: m x k, b: n x k.
+void gemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             std::size_t lda, const float* b, std::size_t ldb, float* c,
+             std::size_t ldc, bool accumulate = false,
+             const Epilogue* ep = nullptr);
+
+/// C = A^T B (+C when accumulate). a: k x m, b: k x n.
+void gemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             std::size_t lda, const float* b, std::size_t ldb, float* c,
+             std::size_t ldc, bool accumulate = false,
+             const Epilogue* ep = nullptr);
+
+/// dz = g * f'(z), elementwise, out-of-place (dz may alias g). The fused
+/// form of "copy grad, then apply_activation_grad in place" — one pass,
+/// no temporary. All pointers cover m x n contiguous row-major data.
+void act_grad_mul(Activation act, const float* z, const float* g, float* dz,
+                  std::size_t count);
+
+}  // namespace agebo::nn::kernels

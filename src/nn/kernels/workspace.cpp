@@ -1,0 +1,58 @@
+#include "nn/kernels/workspace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace agebo::nn::kernels {
+
+namespace {
+constexpr std::size_t kAlignFloats = 16;  // 64 bytes
+constexpr std::size_t kMinBlockFloats = 1 << 16;  // 256 KiB
+}  // namespace
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+float* Workspace::alloc(std::size_t n) {
+  if (n == 0) n = 1;
+  // Round the request so the next bump stays aligned.
+  n = (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+
+  // Advance to (or create) a block with room.
+  while (true) {
+    if (cur_block_ < blocks_.size()) {
+      Block& b = blocks_[cur_block_];
+      if (b.size - cur_off_ >= n) {
+        float* p = b.base + cur_off_;
+        cur_off_ += n;
+        return p;
+      }
+      // Skip the rest of this block; callers hold pointers into it, so it
+      // must stay alive, but the bump pointer moves on.
+      ++cur_block_;
+      cur_off_ = 0;
+      continue;
+    }
+    // Grow: at least double the last block so the block count stays O(log).
+    std::size_t want = std::max(n, kMinBlockFloats);
+    if (!blocks_.empty()) want = std::max(want, blocks_.back().size * 2);
+    Block b;
+    b.raw = std::make_unique<float[]>(want + kAlignFloats);
+    auto addr = reinterpret_cast<std::uintptr_t>(b.raw.get());
+    const std::size_t mis =
+        (64 - addr % 64) % 64 / sizeof(float);  // floats to 64B boundary
+    b.base = b.raw.get() + mis;
+    b.size = want;
+    blocks_.push_back(std::move(b));
+  }
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace agebo::nn::kernels

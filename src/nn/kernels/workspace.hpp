@@ -1,0 +1,80 @@
+// Bump-pointer arena for kernel scratch memory (GEMM packing panels,
+// fused-op staging buffers). Repeated training steps request the same
+// sizes over and over; the arena services them from a handful of
+// persistent blocks instead of hitting the allocator every call.
+//
+// Usage pattern:
+//   auto& ws = Workspace::tls();
+//   Workspace::Scope scope(ws);          // restores the arena on exit
+//   float* apack = scope.alloc(mc * kc); // 64-byte aligned, uninitialized
+//
+// Scopes nest (a kernel can call another kernel); each Scope releases
+// exactly what was allocated after it was opened. Blocks are never freed
+// until the owning thread exits, so steady-state training does zero
+// allocations in the hot loop.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace agebo::nn::kernels {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Thread-local instance: safe to use from pool workers without locking.
+  static Workspace& tls();
+
+  /// RAII frame: every alloc() through the scope is released when the
+  /// scope dies, without freeing the underlying blocks.
+  class Scope {
+   public:
+    explicit Scope(Workspace& ws)
+        : ws_(ws), saved_block_(ws.cur_block_), saved_off_(ws.cur_off_) {}
+    ~Scope() {
+      ws_.cur_block_ = saved_block_;
+      ws_.cur_off_ = saved_off_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    float* alloc(std::size_t n) { return ws_.alloc(n); }
+
+   private:
+    Workspace& ws_;
+    std::size_t saved_block_;
+    std::size_t saved_off_;
+  };
+
+  /// 64-byte-aligned uninitialized scratch, valid until the enclosing
+  /// Scope (or clear()) releases it.
+  float* alloc(std::size_t n);
+
+  /// Release all frames (blocks are kept for reuse).
+  void clear() {
+    cur_block_ = 0;
+    cur_off_ = 0;
+  }
+
+  /// Total floats of backing capacity currently held (for tests/stats).
+  std::size_t capacity() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> raw;
+    float* base = nullptr;  // 64B-aligned into raw
+    std::size_t size = 0;   // usable floats at base
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;  // block the bump pointer lives in
+  std::size_t cur_off_ = 0;    // floats used within cur_block_
+
+  friend class Scope;
+};
+
+}  // namespace agebo::nn::kernels

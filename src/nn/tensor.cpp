@@ -2,9 +2,32 @@
 
 #include <stdexcept>
 
+#include "nn/kernels/gemm.hpp"
+
 namespace agebo::nn {
 
 void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.cols != b.rows) throw std::invalid_argument("matmul: inner dims");
+  ensure_shape(out, a.rows, b.cols);
+  kernels::gemm(a.rows, b.cols, a.cols, a.v.data(), a.cols, b.v.data(), b.cols,
+                out.v.data(), out.cols);
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.cols != b.cols) throw std::invalid_argument("matmul_bt: inner dims");
+  ensure_shape(out, a.rows, b.rows);
+  kernels::gemm_bt(a.rows, b.rows, a.cols, a.v.data(), a.cols, b.v.data(),
+                   b.cols, out.v.data(), out.cols);
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+  if (a.rows != b.rows) throw std::invalid_argument("matmul_at: inner dims");
+  ensure_shape(out, a.cols, b.cols);
+  kernels::gemm_at(a.cols, b.cols, a.rows, a.v.data(), a.cols, b.v.data(),
+                   b.cols, out.v.data(), out.cols);
+}
+
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   if (a.cols != b.rows) throw std::invalid_argument("matmul: inner dims");
   out.rows = a.rows;
   out.cols = b.cols;
@@ -22,7 +45,7 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   }
 }
 
-void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_bt_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   if (a.cols != b.cols) throw std::invalid_argument("matmul_bt: inner dims");
   out.rows = a.rows;
   out.cols = b.rows;
@@ -39,7 +62,7 @@ void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
   }
 }
 
-void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_at_naive(const Tensor& a, const Tensor& b, Tensor& out) {
   if (a.rows != b.rows) throw std::invalid_argument("matmul_at: inner dims");
   out.rows = a.cols;
   out.cols = b.cols;
@@ -60,20 +83,26 @@ void add_bias(Tensor& out, const std::vector<float>& bias) {
   if (bias.size() != out.cols) throw std::invalid_argument("add_bias: size");
   for (std::size_t i = 0; i < out.rows; ++i) {
     float* row = out.row(i);
+#pragma omp simd
     for (std::size_t j = 0; j < out.cols; ++j) row[j] += bias[j];
   }
 }
 
 void add_inplace(Tensor& out, const Tensor& src) {
   if (!out.same_shape(src)) throw std::invalid_argument("add_inplace: shape");
-  for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] += src.v[i];
+  float* o = out.v.data();
+  const float* s = src.v.data();
+#pragma omp simd
+  for (std::size_t i = 0; i < out.v.size(); ++i) o[i] += s[i];
 }
 
 void col_sums(const Tensor& t, std::vector<float>& out) {
   if (out.size() != t.cols) throw std::invalid_argument("col_sums: size");
+  float* o = out.data();
   for (std::size_t i = 0; i < t.rows; ++i) {
     const float* row = t.row(i);
-    for (std::size_t j = 0; j < t.cols; ++j) out[j] += row[j];
+#pragma omp simd
+    for (std::size_t j = 0; j < t.cols; ++j) o[j] += row[j];
   }
 }
 

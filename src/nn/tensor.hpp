@@ -1,6 +1,7 @@
 // 2-D float tensor (row-major) with the handful of BLAS-like kernels the
-// MLP training path needs. Kept deliberately small: matmul variants, bias
-// broadcast, and element-wise combinations.
+// MLP training path needs. The matmul variants dispatch to the blocked
+// SIMD kernels in nn/kernels/; the *_naive forms keep the original scalar
+// triple loops as a differential-testing and benchmarking reference.
 #pragma once
 
 #include <cstddef>
@@ -27,12 +28,28 @@ struct Tensor {
   }
 };
 
+/// Reshape `t` to r x c without touching its contents when the element
+/// count already matches (the per-step fast path: no memset, no realloc).
+/// Contents are unspecified after a genuine size change.
+inline void ensure_shape(Tensor& t, std::size_t r, std::size_t c) {
+  t.rows = r;
+  t.cols = c;
+  if (t.v.size() != r * c) t.v.resize(r * c);
+}
+
 /// out = a * b            (a: m x k, b: k x n)
 void matmul(const Tensor& a, const Tensor& b, Tensor& out);
 /// out = a * b^T          (a: m x k, b: n x k)
 void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
 /// out = a^T * b          (a: k x m, b: k x n)
 void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Reference implementations (scalar i-k-j loops, with the zero-skip that
+/// only pays off on sparse inputs). Semantically identical to the blocked
+/// kernels; kept for differential tests and the perf-regression harness.
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_bt_naive(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_at_naive(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// Add row-vector bias (size = out.cols) to every row.
 void add_bias(Tensor& out, const std::vector<float>& bias);

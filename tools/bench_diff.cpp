@@ -1,0 +1,140 @@
+// Compare two BENCH_kernels.json files (agebo-bench-kernels-v1, as written
+// by bench/bench_kernels_json) and exit nonzero when any matching
+// (kernel, m, k, n) entry regressed by more than --tol (default 10%) in
+// blocked GFLOP/s. CI gates kernel changes with:
+//
+//   bench_kernels_json --out new.json
+//   bench_diff baseline.json new.json          # exit 1 on >10% regression
+//
+// The parser is deliberately minimal: it understands exactly the flat
+// one-record-per-line format the harness emits, so the repo needs no JSON
+// dependency.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+struct Entry {
+  double blocked_gflops = 0.0;
+  double speedup = 0.0;
+};
+
+using Key = std::tuple<std::string, long, long, long>;  // kernel, m, k, n
+
+// Extract the value following `"key": ` in a record line.
+bool field(const std::string& line, const std::string& key, std::string& out) {
+  const std::string tag = "\"" + key + "\":";
+  const auto pos = line.find(tag);
+  if (pos == std::string::npos) return false;
+  std::size_t start = pos + tag.size();
+  while (start < line.size() && (line[start] == ' ' || line[start] == '"')) {
+    ++start;
+  }
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '"' &&
+         line[end] != '}') {
+    ++end;
+  }
+  out = line.substr(start, end - start);
+  return !out.empty();
+}
+
+bool load(const std::string& path, std::map<Key, Entry>& entries) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "bench_diff: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  bool saw_schema = false;
+  while (std::getline(is, line)) {
+    if (line.find("agebo-bench-kernels-v1") != std::string::npos) {
+      saw_schema = true;
+    }
+    std::string kernel, m, k, n, gflops, speedup;
+    if (!field(line, "kernel", kernel)) continue;
+    if (!field(line, "m", m) || !field(line, "k", k) || !field(line, "n", n) ||
+        !field(line, "blocked_gflops", gflops)) {
+      std::cerr << "bench_diff: malformed record in " << path << ": " << line
+                << "\n";
+      return false;
+    }
+    Entry e;
+    e.blocked_gflops = std::strtod(gflops.c_str(), nullptr);
+    if (field(line, "speedup", speedup)) {
+      e.speedup = std::strtod(speedup.c_str(), nullptr);
+    }
+    entries[{kernel, std::strtol(m.c_str(), nullptr, 10),
+             std::strtol(k.c_str(), nullptr, 10),
+             std::strtol(n.c_str(), nullptr, 10)}] = e;
+  }
+  if (!saw_schema) {
+    std::cerr << "bench_diff: " << path
+              << " is not an agebo-bench-kernels-v1 file\n";
+    return false;
+  }
+  if (entries.empty()) {
+    std::cerr << "bench_diff: no records in " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tol = 0.10;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol" && i + 1 < argc) {
+      tol = std::strtod(argv[++i], nullptr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: bench_diff [--tol FRACTION] OLD.json NEW.json\n";
+    return 2;
+  }
+
+  std::map<Key, Entry> before, after;
+  if (!load(paths[0], before) || !load(paths[1], after)) return 2;
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [key, old_e] : before) {
+    const auto it = after.find(key);
+    if (it == after.end()) {
+      std::cerr << "bench_diff: shape missing from " << paths[1] << ": "
+                << std::get<0>(key) << " m=" << std::get<1>(key)
+                << " k=" << std::get<2>(key) << " n=" << std::get<3>(key)
+                << "\n";
+      ++regressions;  // a vanished shape counts as a regression
+      continue;
+    }
+    ++compared;
+    const double old_gf = old_e.blocked_gflops;
+    const double new_gf = it->second.blocked_gflops;
+    const double drop = old_gf > 0.0 ? (old_gf - new_gf) / old_gf : 0.0;
+    if (drop > tol) {
+      std::cerr << "REGRESSION " << std::get<0>(key) << " m=" << std::get<1>(key)
+                << " k=" << std::get<2>(key) << " n=" << std::get<3>(key)
+                << ": " << old_gf << " -> " << new_gf << " GFLOP/s ("
+                << drop * 100.0 << "% drop, tolerance " << tol * 100.0
+                << "%)\n";
+      ++regressions;
+    }
+  }
+  std::cout << "bench_diff: compared " << compared << " shapes, "
+            << regressions << " regression(s), tolerance " << tol * 100.0
+            << "%\n";
+  return regressions == 0 ? 0 : 1;
+}
