@@ -1,14 +1,36 @@
 #include "bo/optimizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace agebo::bo {
 
 namespace {
+
+/// Observes the enclosing scope's duration into a latency histogram —
+/// how ask/tell cost shows up in `obs` snapshots (p50/p99 per call).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(obs::Histogram h)
+      : h_(h), t0_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    h_.observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0_)
+                   .count());
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  obs::Histogram h_;
+  std::chrono::steady_clock::time_point t0_;
+};
 
 ml::ForestConfig surrogate_config(const BoConfig& cfg) {
   ml::ForestConfig fc;
@@ -38,6 +60,8 @@ void AskTellOptimizer::tell(const std::vector<Point>& points,
   if (points.size() != objectives.size()) {
     throw std::invalid_argument("tell: size mismatch");
   }
+  ScopedLatency lat(obs::Registry::global().histogram("bo.tell_seconds"));
+  OBS_SPAN("bo.tell", {{"points", std::to_string(points.size())}});
   for (std::size_t i = 0; i < points.size(); ++i) {
     space_.validate(points[i]);
     x_points_.push_back(points[i]);
@@ -108,6 +132,8 @@ Point AskTellOptimizer::acquire(double best_observed) {
 }
 
 std::vector<Point> AskTellOptimizer::ask(std::size_t k) {
+  ScopedLatency lat(obs::Registry::global().histogram("bo.ask_seconds"));
+  OBS_SPAN("bo.ask", {{"k", std::to_string(k)}});
   std::vector<Point> out;
   out.reserve(k);
 

@@ -1,7 +1,10 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/span.hpp"
 
 namespace agebo::core {
 
@@ -29,6 +32,11 @@ AgeboSearch::AgeboSearch(const nas::SearchSpace& space,
   } else if (cfg_.fixed_hparams.empty()) {
     throw std::invalid_argument("SearchConfig: fixed mode needs fixed_hparams");
   }
+  auto& reg = obs::Registry::global();
+  m_evals_ = reg.counter("search.evals");
+  m_evals_failed_ = reg.counter("search.evals_failed");
+  m_best_ = reg.gauge("search.best_objective");
+  m_mutate_hist_ = reg.histogram("age.mutate_seconds");
 }
 
 void AgeboSearch::submit(eval::ModelConfig config) {
@@ -56,6 +64,7 @@ eval::ModelConfig AgeboSearch::make_child(const std::vector<bo::Point>& next,
   }
   if (population_.size() >= cfg_.population_size) {
     // Lines 16-18: sample S members, pick the best, mutate one decision.
+    const auto t0 = std::chrono::steady_clock::now();
     const auto idx =
         rng_.sample_without_replacement(population_.size(), cfg_.sample_size);
     std::size_t best = idx[0];
@@ -63,6 +72,9 @@ eval::ModelConfig AgeboSearch::make_child(const std::vector<bo::Point>& next,
       if (population_[k].objective > population_[best].objective) best = k;
     }
     child.genome = space_->mutate(population_[best].genome, rng_);
+    m_mutate_hist_.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
   } else {
     // Line 20: random while the population is filling.
     child.genome = space_->random(rng_);
@@ -72,7 +84,9 @@ eval::ModelConfig AgeboSearch::make_child(const std::vector<bo::Point>& next,
 }
 
 SearchResult AgeboSearch::run() {
+  obs::set_thread_lane("search.manager");
   SearchResult result;
+  double best_so_far = 0.0;
 
   // Warm start: seed the population and BO surrogate with prior records.
   if (!cfg_.warm_start.empty()) {
@@ -127,6 +141,16 @@ SearchResult AgeboSearch::run() {
       rec.attempts = f.attempts;
       rec.config = config;
       result.history.push_back(rec);
+      m_evals_.inc();
+      if (rec.failed) m_evals_failed_.inc();
+      if (rec.objective > best_so_far) {
+        best_so_far = rec.objective;
+        m_best_.set(best_so_far);
+        // Counter track in executor time: the population-best staircase
+        // renders alongside the worker lanes in the Chrome trace.
+        obs::record_counter_sample("search.best_objective", f.finish_time,
+                                   best_so_far);
+      }
       if (cfg_.on_result) cfg_.on_result(result.history.back());
 
       // Graceful degradation: an evaluation whose retries are exhausted is
@@ -166,6 +190,9 @@ SearchResult AgeboSearch::run() {
     }
     // Lines 14-23: generate and submit |results| children.
     for (std::size_t i = 0; i < n_new; ++i) submit(make_child(next, i));
+    obs::record_counter_sample(
+        "search.in_flight", executor_->now(),
+        static_cast<double>(executor_->num_in_flight()));
   }
 
   result.utilization = executor_->utilization();

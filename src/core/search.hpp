@@ -21,6 +21,7 @@
 #include "eval/evaluation.hpp"
 #include "exec/executor.hpp"
 #include "nas/search_space.hpp"
+#include "obs/registry.hpp"
 
 namespace agebo::core {
 
@@ -117,6 +118,13 @@ class AgeboSearch {
   std::optional<bo::AskTellOptimizer> optimizer_;
   std::deque<Member> population_;
   std::vector<eval::ModelConfig> pending_;  // indexed by job id - 1
+
+  // Search-level metrics (DESIGN.md §10): evaluation counts, the running
+  // best objective, and the cost of AgE mutations.
+  obs::Counter m_evals_;
+  obs::Counter m_evals_failed_;
+  obs::Gauge m_best_;
+  obs::Histogram m_mutate_hist_;
 };
 
 }  // namespace agebo::core

@@ -9,8 +9,20 @@
 #include "nn/kernels/pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/schedule.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace agebo::dp {
+
+namespace {
+
+#ifdef AGEBO_OBS_DISABLED
+constexpr bool kObsEnabled = false;
+#else
+constexpr bool kObsEnabled = true;
+#endif
+
+}  // namespace
 
 LinearScaling linear_scaling(const DataParallelConfig& cfg) {
   return {static_cast<double>(cfg.n_procs) * cfg.lr1, cfg.n_procs * cfg.bs1};
@@ -109,7 +121,18 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
   double post_warmup_lr = scaled.lr_n;
   const auto t0 = std::chrono::steady_clock::now();
 
+  auto& reg = obs::Registry::global();
+  obs::Counter m_steps = reg.counter("dp.steps");
+  obs::Gauge m_throughput = reg.gauge("dp.samples_per_sec");
+  // Lane names precomputed: the per-step span path should not allocate
+  // fresh strings every step on every replica.
+  std::vector<std::string> lanes;
+  for (std::size_t r = 0; r < n; ++r) {
+    lanes.push_back("dp.replica." + std::to_string(r));
+  }
+
   for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    OBS_SPAN("dp.epoch", {{"epoch", std::to_string(epoch)}});
     const double lr = (epoch < cfg_.warmup_epochs && n > 1)
                           ? warmup.lr_for_epoch(epoch)
                           : post_warmup_lr;
@@ -125,6 +148,10 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
         // out underneath each of them: pin every rank to 1 kernel thread
         // (thread-local, so single-replica fits elsewhere still fan out).
         nn::kernels::ScopedThreadLimit kernel_serial(n > 1 ? 1 : 0);
+        // Explicit record_span (not OBS_SPAN) because rank 0 runs on the
+        // caller's thread: the span must land on the replica lane, not the
+        // calling thread's lane.
+        const double s0 = kObsEnabled ? obs::trace_now_seconds() : 0.0;
         const std::size_t begin = step * cfg_.bs1;
         const std::size_t end = std::min(begin + cfg_.bs1, shards[r].n_rows);
         nn::batch_from(shards[r], orders[r], begin, end, xs[r], ys[r]);
@@ -132,10 +159,15 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
         impl_->replicas[r]->zero_grad();
         step_losses[r] = nn::softmax_cross_entropy(logits, ys[r], dlogits[r]);
         impl_->replicas[r]->backward(dlogits[r]);
+        if (kObsEnabled) {
+          obs::record_span("dp.step", lanes[r], s0,
+                           obs::trace_now_seconds() - s0);
+        }
       });
 
       // Allreduce every parameter block's gradient across replicas.
       if (n > 1) {
+        OBS_SPAN("dp.allreduce");
         const std::size_t blocks = impl_->params[0].size();
         for (std::size_t b = 0; b < blocks; ++b) {
           for (std::size_t r = 0; r < n; ++r) {
@@ -148,6 +180,7 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
       impl_->team->run([&](std::size_t r) { impl_->optimizers[r]->step(); });
 
       for (std::size_t r = 0; r < n; ++r) loss_sum += step_losses[r];
+      m_steps.inc();
       ++result.global_steps;
     }
 
@@ -162,6 +195,7 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
     stats.learning_rate = lr;
     result.epochs.push_back(stats);
     result.best_valid_accuracy = std::max(result.best_valid_accuracy, valid_acc);
+    if (cfg_.on_epoch) cfg_.on_epoch(epoch, stats);
   }
 
   const auto t1 = std::chrono::steady_clock::now();
@@ -173,6 +207,7 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
                          static_cast<double>(cfg_.bs1 * n);
   result.samples_per_second =
       result.wall_seconds > 0.0 ? samples / result.wall_seconds : 0.0;
+  m_throughput.set(result.samples_per_second);
   return result;
 }
 

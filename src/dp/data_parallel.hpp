@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,9 @@ struct DataParallelConfig {
   double plateau_factor = 0.5;
   AllreduceStrategy allreduce = AllreduceStrategy::kFlat;
   std::uint64_t seed = 7;
+  /// Optional hook invoked after each epoch (index, stats) — tools use it
+  /// for periodic progress reports without polling the result object.
+  std::function<void(std::size_t, const nn::EpochStats&)> on_epoch;
 };
 
 /// Eq. 2: lr_n = n * lr1, bs_n = n * bs1.

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace agebo::eval {
 
 namespace {
@@ -327,6 +329,7 @@ exec::EvalOutput SurrogateEvaluator::evaluate(const EvalRequest& request) {
   if (!(request.fidelity > 0.0) || request.fidelity > 1.0) {
     throw std::invalid_argument("evaluate: fidelity must be in (0, 1]");
   }
+  obs::Registry::global().counter("eval.evaluations").inc();
   exec::EvalOutput out = evaluate_full(request.config);
   if (request.fidelity < 1.0) {
     // Learning-curve shortfall plus fidelity-dependent ranking noise,

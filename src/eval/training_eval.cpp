@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "dp/data_parallel.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace agebo::eval {
 
@@ -28,6 +30,8 @@ exec::EvalOutput TrainingEvaluator::evaluate(const EvalRequest& request) {
   const auto epochs = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              static_cast<double>(cfg_.epochs) * request.fidelity + 0.5));
+  obs::Registry::global().counter("eval.evaluations").inc();
+  OBS_SPAN("eval.train", {{"epochs", std::to_string(epochs)}});
   exec::EvalOutput out;
   train_model(request.config, &out, epochs);
   return out;

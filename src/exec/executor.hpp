@@ -116,18 +116,6 @@ class Executor {
   /// true gang scheduling; LiveExecutor treats width as 1.
   virtual std::uint64_t submit(EvalFn fn, const JobSpec& spec) = 0;
 
-  /// Deprecated pre-JobSpec shims, kept for one release so out-of-tree
-  /// callers keep compiling. New code passes a JobSpec.
-  [[deprecated("use submit(fn, JobSpec{})")]] std::uint64_t submit(EvalFn fn) {
-    return submit(std::move(fn), JobSpec{});
-  }
-  [[deprecated("use submit(fn, JobSpec{.width = w})")]] std::uint64_t submit(
-      EvalFn fn, std::size_t width) {
-    JobSpec spec;
-    spec.width = width;
-    return submit(std::move(fn), spec);
-  }
-
   /// Completed jobs since the last call. When `block` is true and jobs are
   /// in flight, waits until at least one completes (in the simulator this
   /// advances the virtual clock). Returns empty when nothing is in flight.

@@ -4,6 +4,8 @@
 #include <limits>
 #include <thread>
 
+#include "obs/span.hpp"
+
 namespace agebo::exec {
 
 namespace {
@@ -28,7 +30,18 @@ LiveExecutor::LiveExecutor(std::size_t n_workers, RetryPolicy policy,
       policy_(policy),
       injector_(faults),
       shutdown_(std::make_shared<std::atomic<bool>>(false)),
-      pool_(n_workers) {}
+      pool_(n_workers) {
+  auto& reg = obs::Registry::global();
+  m_submitted_ = reg.counter("exec.jobs_submitted");
+  m_attempts_ = reg.counter("exec.attempts");
+  m_retries_ = reg.counter("exec.retries");
+  m_kills_ = reg.counter("exec.straggler_kills");
+  m_failed_ = reg.counter("exec.jobs_failed");
+  m_succeeded_ = reg.counter("exec.jobs_succeeded");
+  m_busy_ = reg.dcounter("exec.busy_seconds");
+  m_in_flight_ = reg.gauge("exec.in_flight");
+  busy_baseline_ = m_busy_.total();
+}
 
 LiveExecutor::~LiveExecutor() {
   shutdown_->store(true);
@@ -84,33 +97,38 @@ void LiveExecutor::start_attempt_locked(std::uint64_t id, double delay_seconds) 
     cv_.notify_all();
 
     const double t0 = now();
-    const FaultKind fault = injector_.draw(id, attempt);
+    m_attempts_.inc();
     EvalOutput out;
-    if (fault == FaultKind::kCrash) {
-      out.failed = true;
-      out.objective = 0.0;
-    } else {
-      try {
-        out = (*fn)();
-      } catch (...) {
+    {
+      OBS_SPAN("exec.attempt", {{"job", std::to_string(id)},
+                                {"attempt", std::to_string(attempt)}});
+      const FaultKind fault = injector_.draw(id, attempt);
+      if (fault == FaultKind::kCrash) {
         out.failed = true;
         out.objective = 0.0;
-      }
-      if (fault == FaultKind::kHang) {
-        while (!token->load() && !shutdown->load()) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      } else {
+        try {
+          out = (*fn)();
+        } catch (...) {
+          out.failed = true;
+          out.objective = 0.0;
         }
-      } else if (fault == FaultKind::kSlow) {
-        interruptible_sleep(
-            (injector_.config().slow_factor - 1.0) * (now() - t0), *token,
-            *shutdown);
+        if (fault == FaultKind::kHang) {
+          while (!token->load() && !shutdown->load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        } else if (fault == FaultKind::kSlow) {
+          interruptible_sleep(
+              (injector_.config().slow_factor - 1.0) * (now() - t0), *token,
+              *shutdown);
+        }
       }
     }
     const double t1 = now();
+    m_busy_.add(t1 - t0);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      busy_seconds_ += t1 - t0;
       auto it = jobs_.find(id);
       if (it == jobs_.end() || it->second.cancel != token || token->load()) {
         return;  // attempt was killed while running: result dropped
@@ -123,16 +141,21 @@ void LiveExecutor::start_attempt_locked(std::uint64_t id, double delay_seconds) 
                                t1 - t0);
         finished_.push_back(Finished{id, out, t1, j.attempt, j.spec.tag});
         jobs_.erase(it);
+        m_succeeded_.inc();
+        m_in_flight_.set(static_cast<double>(jobs_.size()));
       } else if (j.attempt <= j.spec.max_retries) {
         const double backoff = backoff_delay(policy_, j.attempt);
         j.attempt += 1;
         j.started = false;
         j.cancel = std::make_shared<std::atomic<bool>>(false);
         start_attempt_locked(id, backoff);
+        m_retries_.inc();
       } else {
         out.objective = 0.0;
         finished_.push_back(Finished{id, out, t1, j.attempt, j.spec.tag});
         jobs_.erase(it);
+        m_failed_.inc();
+        m_in_flight_.set(static_cast<double>(jobs_.size()));
       }
     }
     cv_.notify_all();
@@ -150,6 +173,8 @@ std::uint64_t LiveExecutor::submit(EvalFn fn, const JobSpec& spec) {
     job.cancel = std::make_shared<std::atomic<bool>>(false);
     jobs_.emplace(id, std::move(job));
     start_attempt_locked(id, 0.0);
+    m_submitted_.inc();
+    m_in_flight_.set(static_cast<double>(jobs_.size()));
   }
   return id;
 }
@@ -165,12 +190,14 @@ void LiveExecutor::reap_expired_locked() {
   for (const std::uint64_t id : expired) {
     Job& job = jobs_.at(id);
     job.cancel->store(true);  // abandon the running attempt
+    m_kills_.inc();
     if (job.attempt <= job.spec.max_retries) {
       const double backoff = backoff_delay(policy_, job.attempt);
       job.attempt += 1;
       job.started = false;
       job.cancel = std::make_shared<std::atomic<bool>>(false);
       start_attempt_locked(id, backoff);
+      m_retries_.inc();
     } else {
       EvalOutput out;
       out.failed = true;
@@ -179,6 +206,8 @@ void LiveExecutor::reap_expired_locked() {
       out.train_seconds = t - job.start_time;
       finished_.push_back(Finished{id, out, t, job.attempt, job.spec.tag});
       jobs_.erase(id);
+      m_failed_.inc();
+      m_in_flight_.set(static_cast<double>(jobs_.size()));
     }
   }
 }
@@ -221,9 +250,11 @@ std::size_t LiveExecutor::num_in_flight() const {
 }
 
 Utilization LiveExecutor::utilization() const {
+  // One code path with SimulatedExecutor: busy worker time is this
+  // executor's delta of the shared `exec.busy_seconds` obs counter.
   std::lock_guard<std::mutex> lock(mu_);
   Utilization u;
-  u.busy_worker_seconds = busy_seconds_;
+  u.busy_worker_seconds = m_busy_.total() - busy_baseline_;
   u.elapsed_seconds = now();
   u.workers = pool_.size();
   return u;

@@ -23,6 +23,7 @@
 #include "exec/executor.hpp"
 #include "exec/fault_injector.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/registry.hpp"
 
 namespace agebo::exec {
 
@@ -32,7 +33,6 @@ class LiveExecutor final : public Executor {
                         FaultConfig faults = {});
   ~LiveExecutor() override;
 
-  using Executor::submit;  // deprecated pre-JobSpec shims
   /// Live workers are pool threads, so gang width is treated as 1 (one
   /// thread per evaluation regardless of spec.width).
   std::uint64_t submit(EvalFn fn, const JobSpec& spec) override;
@@ -76,7 +76,20 @@ class LiveExecutor final : public Executor {
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, Job> jobs_;
   std::vector<double> done_durations_;  ///< sorted successful durations
-  double busy_seconds_ = 0.0;
+
+  // Shared executor metrics (same exec.* names as SimulatedExecutor, so
+  // live and simulated runs report through one code path). Busy time is
+  // the delta of the global `exec.busy_seconds` counter since
+  // construction.
+  obs::Counter m_submitted_;
+  obs::Counter m_attempts_;
+  obs::Counter m_retries_;
+  obs::Counter m_kills_;
+  obs::Counter m_failed_;
+  obs::Counter m_succeeded_;
+  obs::DCounter m_busy_;
+  obs::Gauge m_in_flight_;
+  double busy_baseline_ = 0.0;
 
   /// Last member on purpose: its destructor joins the workers while every
   /// other field (mutex, maps, tokens) is still alive. (Declared first, it

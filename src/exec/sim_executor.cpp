@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace agebo::exec {
 
 namespace {
@@ -14,6 +16,21 @@ namespace {
 // hang pushes its completion far past any campaign budget, which is the
 // simulated analogue of stalling the machine).
 constexpr double kHangFactor = 1e9;
+
+/// Trace lane for a simulated worker; zero-padded so lanes sort by index.
+std::string worker_lane(std::size_t worker) {
+  std::string digits = std::to_string(worker);
+  while (digits.size() < 3) digits.insert(digits.begin(), '0');
+  return "sim.worker." + digits;
+}
+
+const char* attempt_status(FaultKind fault, bool killed, bool eval_failed) {
+  if (killed) return fault == FaultKind::kHang ? "hang-killed" : "timeout";
+  if (fault == FaultKind::kCrash) return "crash";
+  if (eval_failed) return "error";
+  if (fault == FaultKind::kSlow) return "slow";
+  return "ok";
+}
 
 }  // namespace
 
@@ -28,6 +45,15 @@ SimulatedExecutor::SimulatedExecutor(std::size_t n_workers,
   if (job_overhead_seconds < 0.0) {
     throw std::invalid_argument("SimulatedExecutor: negative overhead");
   }
+  auto& reg = obs::Registry::global();
+  m_submitted_ = reg.counter("exec.jobs_submitted");
+  m_attempts_ = reg.counter("exec.attempts");
+  m_retries_ = reg.counter("exec.retries");
+  m_kills_ = reg.counter("exec.straggler_kills");
+  m_failed_ = reg.counter("exec.jobs_failed");
+  m_succeeded_ = reg.counter("exec.jobs_succeeded");
+  m_busy_ = reg.dcounter("exec.busy_seconds");
+  busy_baseline_ = m_busy_.total();
 }
 
 double SimulatedExecutor::attempt_limit(const JobSpec& spec) const {
@@ -54,6 +80,7 @@ std::uint64_t SimulatedExecutor::submit(EvalFn fn, const JobSpec& spec) {
     throw std::invalid_argument("SimulatedExecutor: bad gang width");
   }
   const std::uint64_t id = next_id_++;
+  m_submitted_.inc();
 
   EvalOutput base;
   try {
@@ -100,9 +127,24 @@ std::uint64_t SimulatedExecutor::submit(EvalFn fn, const JobSpec& spec) {
     }
     const double start = gang_free + job_overhead_;
     const double finish = start + consumed;
+    m_attempts_.inc();
+    if (killed) m_kills_.inc();
+    const char* status = attempt_status(fault, killed, base.failed);
     for (std::size_t i = 0; i < spec.width; ++i) {
       worker_free_at_[order[i]] = finish;
       busy_intervals_.push_back(BusyInterval{id, order[i], start, finish});
+      pending_busy_.push_back(PendingBusy{start, finish});
+      // Virtual-time trace: each gang worker's occupancy becomes one span
+      // on its lane (plus the launch overhead as its own phase).
+      const std::string lane = worker_lane(order[i]);
+      if (job_overhead_ > 0.0) {
+        obs::record_span("exec.launch", lane, gang_free, job_overhead_);
+      }
+      obs::record_span(spec.tag.empty() ? "exec.attempt" : spec.tag, lane,
+                       start, consumed,
+                       {{"job", std::to_string(id)},
+                        {"attempt", std::to_string(attempt)},
+                        {"status", status}});
     }
 
     if (!attempt_failed) {
@@ -110,10 +152,12 @@ std::uint64_t SimulatedExecutor::submit(EvalFn fn, const JobSpec& spec) {
       out.train_seconds = consumed;
       record_duration(consumed);
       events_.push(Event{finish, id, out, attempt, spec.tag});
+      m_succeeded_.inc();
       break;
     }
     if (attempt <= spec.max_retries) {
       t_ready = finish + backoff_delay(policy_, attempt);
+      m_retries_.inc();
       continue;
     }
     // Retries exhausted: report one failed completion.
@@ -123,9 +167,30 @@ std::uint64_t SimulatedExecutor::submit(EvalFn fn, const JobSpec& spec) {
     out.objective = 0.0;
     out.train_seconds = consumed;
     events_.push(Event{finish, id, out, attempt, spec.tag});
+    m_failed_.inc();
     break;
   }
   return id;
+}
+
+void SimulatedExecutor::advance_busy_accounting(double old_clock) {
+  double credited = 0.0;
+  std::size_t i = 0;
+  while (i < pending_busy_.size()) {
+    const PendingBusy& p = pending_busy_[i];
+    const double lo = std::max(p.start, old_clock);
+    const double hi = std::min(p.finish, clock_);
+    if (hi > lo) credited += hi - lo;
+    if (p.finish <= clock_) {
+      // Fully elapsed: retire it so the pending list stays proportional to
+      // the in-flight gang width, not the whole campaign.
+      pending_busy_[i] = pending_busy_.back();
+      pending_busy_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  if (credited > 0.0) m_busy_.add(credited);
 }
 
 std::vector<Finished> SimulatedExecutor::get_finished(bool block) {
@@ -135,8 +200,10 @@ std::vector<Finished> SimulatedExecutor::get_finished(bool block) {
   if (!block && events_.top().finish_time > clock_) return out;
 
   // Advance to the next completion and drain everything finishing then.
+  const double old_clock = clock_;
   const double t = std::max(clock_, events_.top().finish_time);
   clock_ = t;
+  advance_busy_accounting(old_clock);
   while (!events_.empty() && events_.top().finish_time <= clock_) {
     const Event& e = events_.top();
     out.push_back(Finished{e.id, e.output, e.finish_time, e.attempts, e.tag});
@@ -146,11 +213,12 @@ std::vector<Finished> SimulatedExecutor::get_finished(bool block) {
 }
 
 Utilization SimulatedExecutor::utilization() const {
+  // One code path with LiveExecutor: busy worker time is whatever this
+  // executor has credited to the shared `exec.busy_seconds` obs counter
+  // since construction (advance_busy_accounting clips intervals to the
+  // clock exactly like the old query-time accounting did).
   Utilization u;
-  for (const auto& interval : busy_intervals_) {
-    u.busy_worker_seconds +=
-        std::max(0.0, std::min(interval.finish, clock_) - interval.start);
-  }
+  u.busy_worker_seconds = m_busy_.total() - busy_baseline_;
   u.elapsed_seconds = clock_;
   u.workers = worker_free_at_.size();
   return u;

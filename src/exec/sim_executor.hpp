@@ -28,6 +28,7 @@
 
 #include "exec/executor.hpp"
 #include "exec/fault_injector.hpp"
+#include "obs/registry.hpp"
 
 namespace agebo::exec {
 
@@ -43,7 +44,6 @@ class SimulatedExecutor final : public Executor {
                              RetryPolicy policy = {},
                              FaultConfig faults = {});
 
-  using Executor::submit;  // deprecated pre-JobSpec shims
   std::uint64_t submit(EvalFn fn, const JobSpec& spec) override;
   std::vector<Finished> get_finished(bool block = true) override;
   double now() const override { return clock_; }
@@ -73,6 +73,11 @@ class SimulatedExecutor final : public Executor {
   double attempt_limit(const JobSpec& spec) const;
   /// Record one successful attempt duration for the straggler median.
   void record_duration(double seconds);
+  /// Credit `exec.busy_seconds` with worker-busy time that elapsed while
+  /// the virtual clock moved (old_clock, clock_] — the obs-counter
+  /// replacement for the old query-time interval clipping, so simulated
+  /// and live runs report utilization through one code path.
+  void advance_busy_accounting(double old_clock);
 
   double clock_ = 0.0;
   double job_overhead_ = 0.0;
@@ -93,6 +98,25 @@ class SimulatedExecutor final : public Executor {
     double finish;
   };
   std::vector<BusyInterval> busy_intervals_;
+  /// Worker-intervals not yet fully credited to `exec.busy_seconds`
+  /// (consumed by advance_busy_accounting as the clock passes them).
+  struct PendingBusy {
+    double start;
+    double finish;
+  };
+  std::vector<PendingBusy> pending_busy_;
+
+  // Shared executor metrics (exec.* names are common to the simulator and
+  // LiveExecutor). Counters are process-global and monotonic; utilization
+  // reports the busy-seconds delta since this executor's construction.
+  obs::Counter m_submitted_;
+  obs::Counter m_attempts_;
+  obs::Counter m_retries_;
+  obs::Counter m_kills_;
+  obs::Counter m_failed_;
+  obs::Counter m_succeeded_;
+  obs::DCounter m_busy_;
+  double busy_baseline_ = 0.0;
 };
 
 }  // namespace agebo::exec

@@ -1,6 +1,9 @@
 #include "exec/thread_pool.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/span.hpp"
 
 namespace agebo::exec {
 
@@ -8,7 +11,14 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) throw std::invalid_argument("ThreadPool: zero threads");
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Name the trace lane so spans emitted from this worker land on a
+      // stable, sortable track in the Chrome-trace export.
+      std::string digits = std::to_string(i);
+      while (digits.size() < 3) digits.insert(digits.begin(), '0');
+      obs::set_thread_lane("exec.worker." + digits);
+      worker_loop();
+    });
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "nn/kernels/pool.hpp"
 #include "nn/kernels/workspace.hpp"
+#include "obs/registry.hpp"
 
 namespace agebo::nn::kernels {
 
@@ -327,18 +328,21 @@ void gemm_driver(bool a_trans, bool b_trans, std::size_t m, std::size_t n,
 void gemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
           std::size_t lda, const float* b, std::size_t ldb, float* c,
           std::size_t ldc, bool accumulate, const Epilogue* ep) {
+  obs::add_flops(2ull * m * n * k);
   gemm_driver(false, false, m, n, k, a, lda, b, ldb, c, ldc, accumulate, ep);
 }
 
 void gemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
              std::size_t lda, const float* b, std::size_t ldb, float* c,
              std::size_t ldc, bool accumulate, const Epilogue* ep) {
+  obs::add_flops(2ull * m * n * k);
   gemm_driver(false, true, m, n, k, a, lda, b, ldb, c, ldc, accumulate, ep);
 }
 
 void gemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
              std::size_t lda, const float* b, std::size_t ldb, float* c,
              std::size_t ldc, bool accumulate, const Epilogue* ep) {
+  obs::add_flops(2ull * m * n * k);
   gemm_driver(true, false, m, n, k, a, lda, b, ldb, c, ldc, accumulate, ep);
 }
 

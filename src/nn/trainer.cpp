@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "obs/span.hpp"
 
 namespace agebo::nn {
 
@@ -66,6 +67,7 @@ TrainResult train(GraphNet& net, const data::Dataset& train_set,
   Tensor dlogits;
 
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    OBS_SPAN("nn.epoch", {{"epoch", std::to_string(epoch)}});
     // Warmup drives the LR during the ramp; plateau owns it afterwards.
     double lr = (epoch < cfg.warmup_epochs && cfg.warmup_div > 1.0)
                     ? warmup.lr_for_epoch(epoch)

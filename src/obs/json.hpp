@@ -1,0 +1,252 @@
+// Minimal recursive-descent JSON parser, header-only. Exists so the trace
+// validator and the obs tests can parse exported Chrome traces back
+// without an external dependency; it handles general JSON (objects,
+// arrays, strings with escapes, numbers, booleans, null), not just the
+// subset this repo emits. Throws std::runtime_error with an offset on
+// malformed input.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace agebo::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member with the given key, or nullptr (object values only).
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        return null();
+      default:
+        return number();
+    }
+  }
+
+  Value object() {
+    Value v;
+    v.type = Value::Type::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    Value v;
+    v.type = Value::Type::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(esc);
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            // UTF-8 encode (surrogate pairs unsupported; the emitter never
+            // produces them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Value string_value() {
+    Value v;
+    v.type = Value::Type::kString;
+    v.str = parse_string();
+    return v;
+  }
+
+  Value boolean() {
+    Value v;
+    v.type = Value::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  Value null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return Value{};
+  }
+
+  Value number() {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(begin, &end);
+    if (end == begin) fail("expected value");
+    pos_ += static_cast<std::size_t>(end - begin);
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline Value parse(const std::string& text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace agebo::obs::json

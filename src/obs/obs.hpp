@@ -1,0 +1,9 @@
+// Umbrella header for the observability subsystem (DESIGN.md §10):
+//   registry.hpp — named counters / gauges / histograms, Registry::snapshot()
+//   span.hpp     — OBS_SPAN scoped timers, lanes, virtual-time record_span
+//   trace.hpp    — chrome://tracing JSON export
+#pragma once
+
+#include "obs/registry.hpp"  // IWYU pragma: export
+#include "obs/span.hpp"      // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export

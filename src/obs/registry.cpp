@@ -1,0 +1,425 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::obs {
+
+namespace {
+
+// Fixed shard capacity keeps every slot address-stable for the lifetime of
+// the registry, so writers never synchronize with shard growth: an
+// increment is one relaxed fetch_add on a thread-local cache line.
+constexpr std::size_t kU64Slots = 4096;
+constexpr std::size_t kDblSlots = 1024;
+constexpr std::size_t kGaugeSlots = 512;
+
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kU64Slots> u64{};
+  std::array<std::atomic<double>, kDblSlots> dbl{};
+};
+
+void atomic_add_double(std::atomic<double>& slot, double delta) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+// Layout: counters use one u64 slot; dcounters one dbl slot; histograms
+// use u64 slots [offset] = count, [offset+1 .. offset+buckets] = buckets
+// and one dbl slot for the sum. Gauges live in a central array (they are
+// last-write-wins, which does not aggregate across shards).
+struct MetricInfo {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::size_t u64_offset = 0;
+  std::size_t dbl_offset = 0;
+  std::size_t gauge_index = 0;
+  HistogramSpec spec;
+  std::vector<double> bounds;
+};
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: node-based, so MetricInfo addresses handed to handles stay
+  // valid across later registrations.
+  std::map<std::string, MetricInfo> metrics;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::size_t> free_shards;  // indices retired by exited threads
+  std::size_t next_u64 = 0;
+  std::size_t next_dbl = 0;
+  std::size_t next_gauge = 0;
+  std::array<std::atomic<double>, kGaugeSlots> gauges{};
+
+  Shard* acquire_shard() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free_shards.empty()) {
+      const std::size_t idx = free_shards.back();
+      free_shards.pop_back();
+      return shards[idx].get();
+    }
+    shards.push_back(std::make_unique<Shard>());
+    return shards.back().get();
+  }
+
+  void release_shard(Shard* shard) {
+    // Totals must survive thread exit, so the shard (with its counts) goes
+    // back on the free list for the next thread rather than being freed.
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].get() == shard) {
+        free_shards.push_back(i);
+        return;
+      }
+    }
+  }
+
+  std::uint64_t sum_u64(std::size_t slot) const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards) {
+      total += s->u64[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  double sum_dbl(std::size_t slot) const {
+    double total = 0.0;
+    for (const auto& s : shards) {
+      total += s->dbl[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+};
+
+namespace {
+
+struct TlsShard {
+  Registry::Impl* impl = nullptr;
+  Shard* shard = nullptr;
+  ~TlsShard() {
+    if (impl != nullptr && shard != nullptr) impl->release_shard(shard);
+  }
+};
+
+Registry::Impl* g_impl = nullptr;  // set once by Registry::global()
+
+Shard* tls_shard() {
+  thread_local TlsShard tls;
+  if (tls.shard == nullptr) {
+    Registry::global();  // ensure construction
+    tls.impl = g_impl;
+    tls.shard = g_impl->acquire_shard();
+  }
+  return tls.shard;
+}
+
+}  // namespace
+
+Registry::Registry() : impl_(new Impl) { g_impl = impl_; }
+
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+const MetricInfo* register_metric(Registry::Impl* impl, const std::string& name,
+                                  MetricKind kind, const HistogramSpec* spec) {
+  if (name.empty()) throw std::invalid_argument("obs: empty metric name");
+  std::lock_guard<std::mutex> lock(impl->mu);
+  auto it = impl->metrics.find(name);
+  if (it != impl->metrics.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("obs: metric '" + name +
+                                  "' re-registered with a different kind");
+    }
+    return &it->second;
+  }
+  MetricInfo info;
+  info.name = name;
+  info.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      if (impl->next_u64 + 1 > kU64Slots) {
+        throw std::length_error("obs: counter slots exhausted");
+      }
+      info.u64_offset = impl->next_u64;
+      impl->next_u64 += 1;
+      break;
+    case MetricKind::kDCounter:
+      if (impl->next_dbl + 1 > kDblSlots) {
+        throw std::length_error("obs: dcounter slots exhausted");
+      }
+      info.dbl_offset = impl->next_dbl;
+      impl->next_dbl += 1;
+      break;
+    case MetricKind::kGauge:
+      if (impl->next_gauge + 1 > kGaugeSlots) {
+        throw std::length_error("obs: gauge slots exhausted");
+      }
+      info.gauge_index = impl->next_gauge;
+      impl->next_gauge += 1;
+      break;
+    case MetricKind::kHistogram: {
+      if (spec == nullptr || spec->buckets == 0 || spec->min <= 0.0 ||
+          spec->growth <= 1.0) {
+        throw std::invalid_argument("obs: bad HistogramSpec for '" + name + "'");
+      }
+      if (impl->next_u64 + 1 + spec->buckets > kU64Slots ||
+          impl->next_dbl + 1 > kDblSlots) {
+        throw std::length_error("obs: histogram slots exhausted");
+      }
+      info.spec = *spec;
+      info.u64_offset = impl->next_u64;
+      impl->next_u64 += 1 + spec->buckets;
+      info.dbl_offset = impl->next_dbl;
+      impl->next_dbl += 1;
+      info.bounds.resize(spec->buckets);
+      double bound = spec->min;
+      for (std::size_t i = 0; i < spec->buckets; ++i) {
+        info.bounds[i] = bound;
+        bound *= spec->growth;
+      }
+      break;
+    }
+  }
+  auto [pos, inserted] = impl->metrics.emplace(name, std::move(info));
+  (void)inserted;
+  return &pos->second;
+}
+
+}  // namespace
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(register_metric(impl_, name, MetricKind::kCounter, nullptr));
+}
+
+DCounter Registry::dcounter(const std::string& name) {
+  return DCounter(register_metric(impl_, name, MetricKind::kDCounter, nullptr));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(register_metric(impl_, name, MetricKind::kGauge, nullptr));
+}
+
+Histogram Registry::histogram(const std::string& name, HistogramSpec spec) {
+  return Histogram(register_metric(impl_, name, MetricKind::kHistogram, &spec));
+}
+
+void Counter::add(std::uint64_t delta) const {
+  if (info_ == nullptr) return;
+  tls_shard()->u64[info_->u64_offset].fetch_add(delta,
+                                                std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::total() const {
+  if (info_ == nullptr) return 0;
+  Registry::Impl* impl = g_impl;
+  std::lock_guard<std::mutex> lock(impl->mu);
+  return impl->sum_u64(info_->u64_offset);
+}
+
+void DCounter::add(double delta) const {
+  if (info_ == nullptr) return;
+  atomic_add_double(tls_shard()->dbl[info_->dbl_offset], delta);
+}
+
+double DCounter::total() const {
+  if (info_ == nullptr) return 0.0;
+  Registry::Impl* impl = g_impl;
+  std::lock_guard<std::mutex> lock(impl->mu);
+  return impl->sum_dbl(info_->dbl_offset);
+}
+
+void Gauge::set(double value) const {
+  if (info_ == nullptr) return;
+  g_impl->gauges[info_->gauge_index].store(value, std::memory_order_relaxed);
+}
+
+double Gauge::get() const {
+  if (info_ == nullptr) return 0.0;
+  return g_impl->gauges[info_->gauge_index].load(std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) const {
+  if (info_ == nullptr) return;
+  const auto& bounds = info_->bounds;
+  // First bucket whose upper bound is >= value; overflow clamps into the
+  // last bucket so bound(i-1) < v <= bound(i) always holds inside range.
+  const std::size_t idx = std::min<std::size_t>(
+      static_cast<std::size_t>(
+          std::lower_bound(bounds.begin(), bounds.end(), value) -
+          bounds.begin()),
+      bounds.size() - 1);
+  Shard* shard = tls_shard();
+  shard->u64[info_->u64_offset].fetch_add(1, std::memory_order_relaxed);
+  shard->u64[info_->u64_offset + 1 + idx].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  atomic_add_double(shard->dbl[info_->dbl_offset], value);
+}
+
+double HistogramData::mean() const {
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const std::uint64_t next = cumulative + bucket_counts[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double hi = upper_bounds[i];
+      if (bucket_counts[i] == 0) return hi;
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(bucket_counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.metrics.reserve(impl_->metrics.size());
+  for (const auto& [name, info] : impl_->metrics) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = info.kind;
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        m.value = static_cast<double>(impl_->sum_u64(info.u64_offset));
+        break;
+      case MetricKind::kDCounter:
+        m.value = impl_->sum_dbl(info.dbl_offset);
+        break;
+      case MetricKind::kGauge:
+        m.value = impl_->gauges[info.gauge_index].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram:
+        m.hist.count = impl_->sum_u64(info.u64_offset);
+        m.hist.sum = impl_->sum_dbl(info.dbl_offset);
+        m.hist.upper_bounds = info.bounds;
+        m.hist.bucket_counts.resize(info.bounds.size());
+        for (std::size_t i = 0; i < info.bounds.size(); ++i) {
+          m.hist.bucket_counts[i] = impl_->sum_u64(info.u64_offset + 1 + i);
+        }
+        break;
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;  // std::map iteration is already name-sorted
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& shard : impl_->shards) {
+    for (auto& slot : shard->u64) slot.store(0, std::memory_order_relaxed);
+    for (auto& slot : shard->dbl) slot.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& g : impl_->gauges) g.store(0.0, std::memory_order_relaxed);
+}
+
+const MetricSnapshot* Snapshot::find(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kDCounter:
+      return "dcounter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void csv_row(std::ostringstream& os, const std::string& name, MetricKind kind,
+             const char* field, double value) {
+  os << name << ',' << kind_name(kind) << ',' << field << ',' << value << '\n';
+}
+
+}  // namespace
+
+std::string Snapshot::to_csv() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "name,kind,field,value\n";
+  for (const auto& m : metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      csv_row(os, m.name, m.kind, "count", static_cast<double>(m.hist.count));
+      csv_row(os, m.name, m.kind, "sum", m.hist.sum);
+      csv_row(os, m.name, m.kind, "mean", m.hist.mean());
+      csv_row(os, m.name, m.kind, "p50", m.hist.quantile(0.50));
+      csv_row(os, m.name, m.kind, "p90", m.hist.quantile(0.90));
+      csv_row(os, m.name, m.kind, "p99", m.hist.quantile(0.99));
+    } else {
+      csv_row(os, m.name, m.kind, "value", m.value);
+    }
+  }
+  return os.str();
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << m.name << "\",\"kind\":\"" << kind_name(m.kind)
+       << "\"";
+    if (m.kind == MetricKind::kHistogram) {
+      os << ",\"count\":" << m.hist.count << ",\"sum\":" << m.hist.sum
+         << ",\"mean\":" << m.hist.mean() << ",\"p50\":" << m.hist.quantile(0.5)
+         << ",\"p99\":" << m.hist.quantile(0.99) << ",\"buckets\":[";
+      for (std::size_t i = 0; i < m.hist.bucket_counts.size(); ++i) {
+        if (i > 0) os << ',';
+        os << "[" << m.hist.upper_bounds[i] << ',' << m.hist.bucket_counts[i]
+           << "]";
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << m.value;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+#ifndef AGEBO_OBS_DISABLED
+void add_flops(std::uint64_t flops) {
+  static const Counter counter = Registry::global().counter("kernels.flops");
+  counter.add(flops);
+}
+#endif
+
+}  // namespace agebo::obs

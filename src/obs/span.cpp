@@ -1,0 +1,193 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace agebo::obs {
+
+namespace {
+
+// Per-thread ring capacity. Coarse spans only (job attempts, epochs,
+// steps, BO calls) — a 3-hour simulated campaign records a few thousand
+// events, so 32k per lane leaves ample headroom before overwrite.
+constexpr std::size_t kRingCapacity = 32768;
+
+struct Ring {
+  // The mutex is uncontended on the write path (one owner thread); it only
+  // sees contention while the exporter drains, which is rare and cheap.
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::size_t head = 0;  // total events ever pushed
+
+  void push(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(std::move(event));
+    } else {
+      events[head % kRingCapacity] = std::move(event);
+    }
+    ++head;
+  }
+};
+
+struct TraceStore {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::vector<std::size_t> free_rings;
+  std::vector<CounterSample> samples;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::size_t next_thread = 0;
+
+  static TraceStore& get() {
+    static TraceStore store;
+    return store;
+  }
+
+  Ring* acquire_ring() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free_rings.empty()) {
+      const std::size_t idx = free_rings.back();
+      free_rings.pop_back();
+      return rings[idx].get();
+    }
+    rings.push_back(std::make_unique<Ring>());
+    return rings.back().get();
+  }
+
+  void release_ring(Ring* ring) {
+    // Events must outlive their thread (the trace is exported at the end
+    // of the run), so retired rings are recycled, never freed.
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+      if (rings[i].get() == ring) {
+        free_rings.push_back(i);
+        return;
+      }
+    }
+  }
+};
+
+struct TlsRing {
+  Ring* ring = nullptr;
+  std::string lane;
+  ~TlsRing() {
+    if (ring != nullptr) TraceStore::get().release_ring(ring);
+  }
+};
+
+TlsRing& tls_ring() {
+  thread_local TlsRing tls;
+  if (tls.ring == nullptr) {
+    auto& store = TraceStore::get();
+    tls.ring = store.acquire_ring();
+    if (tls.lane.empty()) {
+      std::lock_guard<std::mutex> lock(store.mu);
+      tls.lane = "thread-" + std::to_string(store.next_thread++);
+    }
+  }
+  return tls;
+}
+
+}  // namespace
+
+void set_thread_lane(const std::string& name) {
+  TlsRing& tls = tls_ring();
+  if (tls.lane != name) tls.lane = name;
+}
+
+const std::string& thread_lane() { return tls_ring().lane; }
+
+double trace_now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       TraceStore::get().epoch)
+      .count();
+}
+
+void record_span(const std::string& name, const std::string& lane,
+                 double start_seconds, double duration_seconds,
+                 std::vector<TraceArg> args) {
+  TlsRing& tls = tls_ring();
+  TraceEvent event;
+  event.name = name;
+  event.lane = lane.empty() ? tls.lane : lane;
+  event.start_us = start_seconds * 1e6;
+  event.dur_us = duration_seconds < 0.0 ? 0.0 : duration_seconds * 1e6;
+  event.args = std::move(args);
+  tls.ring->push(std::move(event));
+}
+
+void record_counter_sample(const std::string& track, double t_seconds,
+                           double value) {
+  auto& store = TraceStore::get();
+  std::lock_guard<std::mutex> lock(store.mu);
+  store.samples.push_back(CounterSample{track, t_seconds * 1e6, value});
+}
+
+std::vector<TraceEvent> collect_trace_events() {
+  auto& store = TraceStore::get();
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(store.mu);
+  for (auto& ring : store.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    // Oldest-first: once wrapped, the oldest live event sits at head % cap.
+    const std::size_t n = ring->events.size();
+    const std::size_t first = ring->head > n ? ring->head % kRingCapacity : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(ring->events[(first + i) % n]);
+    }
+  }
+  return out;
+}
+
+std::vector<CounterSample> collect_counter_samples() {
+  auto& store = TraceStore::get();
+  std::lock_guard<std::mutex> lock(store.mu);
+  return store.samples;
+}
+
+std::size_t trace_event_count() {
+  auto& store = TraceStore::get();
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(store.mu);
+  for (auto& ring : store.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    n += ring->events.size();
+  }
+  return n;
+}
+
+std::size_t trace_dropped_count() {
+  auto& store = TraceStore::get();
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(store.mu);
+  for (auto& ring : store.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    n += ring->head - ring->events.size();
+  }
+  return n;
+}
+
+void trace_reset() {
+  auto& store = TraceStore::get();
+  std::lock_guard<std::mutex> lock(store.mu);
+  for (auto& ring : store.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->head = 0;
+  }
+  store.samples.clear();
+  store.epoch = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::vector<TraceArg> args)
+    : name_(name), args_(std::move(args)), start_us_(trace_now_seconds() * 1e6) {}
+
+ScopedSpan::~ScopedSpan() {
+  const double end_us = trace_now_seconds() * 1e6;
+  record_span(name_, std::string(), start_us_ * 1e-6,
+              (end_us - start_us_) * 1e-6, std::move(args_));
+}
+
+}  // namespace agebo::obs

@@ -1,0 +1,103 @@
+// Scoped spans and trace-event recording (DESIGN.md §10).
+//
+// Two producers feed one store:
+//  - OBS_SPAN("name", ...) — an RAII wall-clock timer on the calling
+//    thread, written into that thread's ring buffer when the scope ends.
+//    Compiled to nothing under -DAGEBO_OBS=OFF.
+//  - record_span(...) — an explicit event with caller-supplied timestamps,
+//    which is how the cluster simulator maps *virtual* time onto the same
+//    trace: each simulated worker becomes a lane with its gang intervals.
+//
+// Rings are per-thread and fixed-capacity (oldest events overwritten), so
+// recording never blocks on another thread and never allocates unboundedly.
+// Lanes are named (set_thread_lane) and become Chrome-trace threads; see
+// trace.hpp for the exporter.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace agebo::obs {
+
+/// One key/value annotation attached to a span.
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+/// One completed span or explicitly recorded event. Timestamps are
+/// microseconds: wall spans count from the trace epoch (first obs use or
+/// last trace_reset); simulator spans carry virtual campaign time.
+struct TraceEvent {
+  std::string name;
+  std::string lane;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::vector<TraceArg> args;
+};
+
+/// One sample of a Chrome counter track ("C" event), e.g. jobs in flight.
+struct CounterSample {
+  std::string track;
+  double t_us = 0.0;
+  double value = 0.0;
+};
+
+/// Name this thread's trace lane (worker threads call it once at startup;
+/// re-setting the same name is cheap). Unnamed threads get "thread-<n>".
+void set_thread_lane(const std::string& name);
+const std::string& thread_lane();
+
+/// Wall seconds since the trace epoch.
+double trace_now_seconds();
+
+/// Record a completed span with explicit timing (seconds). Empty `lane`
+/// means the calling thread's lane. The simulator calls this with virtual
+/// times; everything else should prefer OBS_SPAN.
+void record_span(const std::string& name, const std::string& lane,
+                 double start_seconds, double duration_seconds,
+                 std::vector<TraceArg> args = {});
+
+/// Record one sample of a counter track (virtual or wall seconds).
+void record_counter_sample(const std::string& track, double t_seconds,
+                           double value);
+
+/// All recorded events / samples, oldest-first per lane. Used by the
+/// Chrome exporter and by tests.
+std::vector<TraceEvent> collect_trace_events();
+std::vector<CounterSample> collect_counter_samples();
+std::size_t trace_event_count();
+/// Events overwritten because a ring filled up (0 in healthy runs).
+std::size_t trace_dropped_count();
+
+/// Drop all recorded events and samples and restart the trace epoch.
+void trace_reset();
+
+/// RAII wall-clock span: measures construction → destruction and records
+/// the event on the calling thread's lane. Use through OBS_SPAN so the
+/// timer (and its argument expressions) vanish when observability is off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::vector<TraceArg> args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::vector<TraceArg> args_;
+  double start_us_;
+};
+
+#define AGEBO_OBS_CAT2(a, b) a##b
+#define AGEBO_OBS_CAT(a, b) AGEBO_OBS_CAT2(a, b)
+
+#ifdef AGEBO_OBS_DISABLED
+#define OBS_SPAN(...) static_cast<void>(0)
+#else
+#define OBS_SPAN(...) \
+  ::agebo::obs::ScopedSpan AGEBO_OBS_CAT(obs_span_, __LINE__)(__VA_ARGS__)
+#endif
+
+}  // namespace agebo::obs

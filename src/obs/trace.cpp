@@ -1,0 +1,133 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/span.hpp"
+
+namespace agebo::obs {
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  auto events = collect_trace_events();
+  auto samples = collect_counter_samples();
+
+  // One Chrome thread per lane; lanes sorted by name for a deterministic
+  // file, and tid doubles as the sort index so related lanes group.
+  std::map<std::string, int> lane_tids;
+  for (const auto& e : events) lane_tids.emplace(e.lane, 0);
+  int next_tid = 1;
+  for (auto& [lane, tid] : lane_tids) tid = next_tid++;
+
+  // Sort spans by (lane, start, longest-first) so enclosing spans precede
+  // their children, and counter samples by (track, t).
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.dur_us > b.dur_us;
+            });
+  std::sort(samples.begin(), samples.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              if (a.track != b.track) return a.track < b.track;
+              return a.t_us < b.t_us;
+            });
+
+  std::ostringstream os;
+  // 15 significant digits: hour-scale timestamps in microseconds (~1e10)
+  // still round-trip to within 1e-5 us, well inside trace_validate's
+  // nesting tolerance.
+  os.precision(15);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  for (const auto& [lane, tid] : lane_tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":";
+    json_escape(os, lane);
+    os << "}}";
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":1,\"tid\":"
+       << tid << ",\"args\":{\"sort_index\":" << tid << "}}";
+  }
+
+  for (const auto& e : events) {
+    sep();
+    os << "{\"ph\":\"X\",\"name\":";
+    json_escape(os, e.name);
+    os << ",\"pid\":1,\"tid\":" << lane_tids[e.lane] << ",\"ts\":" << e.start_us
+       << ",\"dur\":" << std::max(0.0, e.dur_us);
+    if (!e.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) os << ',';
+        json_escape(os, e.args[i].key);
+        os << ':';
+        json_escape(os, e.args[i].value);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+
+  for (const auto& s : samples) {
+    sep();
+    os << "{\"ph\":\"C\",\"name\":";
+    json_escape(os, s.track);
+    os << ",\"pid\":1,\"ts\":" << s.t_us << ",\"args\":{\"value\":" << s.value
+       << "}}";
+  }
+
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace agebo::obs

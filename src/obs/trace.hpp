@@ -1,0 +1,18 @@
+// Chrome trace-event exporter: serializes everything the span layer has
+// recorded into the chrome://tracing / Perfetto JSON format (DESIGN.md
+// §10). Each distinct lane becomes one named thread row ("X" complete
+// events); counter samples become "C" counter tracks (jobs in flight,
+// population best). Load the file at chrome://tracing or ui.perfetto.dev.
+#pragma once
+
+#include <string>
+
+namespace agebo::obs {
+
+/// The trace as a JSON string (exposed for tests and tools).
+std::string chrome_trace_json();
+
+/// Write the trace to `path`; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace agebo::obs

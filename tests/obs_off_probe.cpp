@@ -1,0 +1,29 @@
+// Compiled with AGEBO_OBS_DISABLED=1 (see tests/CMakeLists.txt) while the
+// rest of the test binary builds with observability on — a compile-and-link
+// check that the OFF configuration still builds against the same headers,
+// and a runtime check that OBS_SPAN's argument expressions are never
+// evaluated and add_flops records nothing.
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+#ifndef AGEBO_OBS_DISABLED
+#error "obs_off_probe.cpp must be compiled with AGEBO_OBS_DISABLED"
+#endif
+
+namespace agebo::obs {
+
+int off_probe_run() {
+  int evaluated = 0;
+  {
+    // The macro must compile to nothing: the assignment inside the span
+    // argument list would set `evaluated` if the expression ran.
+    OBS_SPAN("off.probe",
+             {{"key", (evaluated = 1, std::string("value"))}});
+    add_flops(1ull << 40);  // inline no-op in this TU
+  }
+  return evaluated;
+}
+
+}  // namespace agebo::obs

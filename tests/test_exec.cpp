@@ -206,24 +206,6 @@ TEST(SimExecutor, RejectsBadConstruction) {
   EXPECT_THROW(SimulatedExecutor(1, -1.0), std::invalid_argument);
 }
 
-// The pre-JobSpec submit overloads stay for one release; they must forward
-// to the JobSpec path unchanged.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(SimExecutor, DeprecatedSubmitShimsForward) {
-  SimulatedExecutor sim(2);
-  sim.submit([] { return EvalOutput{0.5, 10.0, false}; });
-  sim.submit([] { return EvalOutput{0.6, 10.0, false}; }, std::size_t{2});
-  std::size_t total = 0;
-  while (true) {
-    const auto batch = sim.get_finished(true);
-    if (batch.empty()) break;
-    total += batch.size();
-  }
-  EXPECT_EQ(total, 2u);
-}
-#pragma GCC diagnostic pop
-
 TEST(Utilization, FractionHandlesZeroElapsed) {
   Utilization u;
   EXPECT_DOUBLE_EQ(u.fraction(), 0.0);

@@ -15,10 +15,18 @@
 //   --timeout S                   per-evaluation kill deadline, seconds
 //   --retries R                   resubmissions before a job is failed
 //   --straggler K                 kill attempts past K x median train time
+//
+// Observability (DESIGN.md §10):
+//   --trace FILE.json             Chrome trace of the campaign (worker
+//                                 lanes + in-flight / best-objective tracks)
+//   --metrics FILE.csv            metrics registry snapshot at exit
+//   --report-every N              one-line progress report every N evals
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "core/analysis.hpp"
@@ -28,6 +36,7 @@
 #include "eval/surrogate.hpp"
 #include "exec/sim_executor.hpp"
 #include "nas/search_space.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -37,7 +46,8 @@ void usage() {
                "dionis] [--variant VARIANT] [--minutes M] [--workers W] "
                "[--seed S] [--kappa K] [--out FILE.csv] "
                "[--warm-start FILE.csv] [--crash P] [--hang P] [--slow P] "
-               "[--timeout S] [--retries R] [--straggler K]\n"
+               "[--timeout S] [--retries R] [--straggler K] "
+               "[--trace FILE.json] [--metrics FILE.csv] [--report-every N]\n"
                "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
                "agebo-8-lr-bs rs-1 agebo-multinode\n");
 }
@@ -113,6 +123,30 @@ int main(int argc, char** argv) {
 
     eval::SurrogateEvaluator evaluator(space, eval::profile_by_name(dataset));
     exec::SimulatedExecutor executor(workers, 90.0, policy, faults);
+
+    const auto report_every = static_cast<std::size_t>(
+        std::atoi(get("report-every", "0").c_str()));
+    std::size_t n_done = 0, n_failed_so_far = 0;
+    double best_so_far = 0.0;
+    if (report_every > 0) {
+      cfg.on_result = [&](const core::EvalRecord& rec) {
+        ++n_done;
+        if (rec.failed) ++n_failed_so_far;
+        if (rec.objective > best_so_far) best_so_far = rec.objective;
+        if (n_done % report_every == 0) {
+          const double mins = executor.now() / 60.0;
+          const double rate = mins > 0.0 ? static_cast<double>(n_done) / mins : 0.0;
+          std::printf(
+              "[t=%7.1fm] evals=%-5zu (%5.1f/min) best=%.4f util=%5.1f%% "
+              "failed=%4.1f%%\n",
+              mins, n_done, rate, best_so_far,
+              100.0 * executor.utilization().fraction(),
+              100.0 * static_cast<double>(n_failed_so_far) /
+                  static_cast<double>(n_done));
+        }
+      };
+    }
+
     core::AgeboSearch search(space, evaluator, executor, cfg);
     const auto result = search.run();
     const auto stats = core::run_stats(result);
@@ -148,6 +182,22 @@ int main(int argc, char** argv) {
     if (args.count("out")) {
       core::save_history_file(result, args["out"]);
       std::printf("history written to %s\n", args["out"].c_str());
+    }
+
+    obs::Registry::global().gauge("exec.utilization")
+        .set(result.utilization.fraction());
+    if (args.count("metrics")) {
+      std::ofstream mf(args["metrics"]);
+      if (!mf) throw std::runtime_error("cannot write " + args["metrics"]);
+      mf << obs::Registry::global().snapshot().to_csv();
+      std::printf("metrics written to %s\n", args["metrics"].c_str());
+    }
+    if (args.count("trace")) {
+      if (!obs::write_chrome_trace(args["trace"])) {
+        throw std::runtime_error("cannot write " + args["trace"]);
+      }
+      std::printf("trace written to %s (%zu events)\n", args["trace"].c_str(),
+                  obs::trace_event_count());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -8,10 +8,16 @@
 // Splits 42/25/33 (the paper's proportions), standardizes on the training
 // split, trains with data-parallel training under the linear scaling rule,
 // and reports validation/test accuracy, balanced accuracy, and macro-F1.
+//
+// Observability (DESIGN.md §10): --trace FILE.json writes a Chrome trace
+// (per-replica step lanes, allreduce spans), --metrics FILE.csv dumps the
+// metrics registry, --report-every N prints a progress line every N epochs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "data/arff.hpp"
@@ -23,6 +29,7 @@
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -67,7 +74,8 @@ int main(int argc, char** argv) {
   if (!args.count("data")) {
     std::fprintf(stderr,
                  "usage: agebo_train --data FILE [--arff] [--epochs N] "
-                 "[--procs N] [--bs N] [--lr F] [--save F] [--load F]\n");
+                 "[--procs N] [--bs N] [--lr F] [--save F] [--load F] "
+                 "[--trace F.json] [--metrics F.csv] [--report-every N]\n");
     return 2;
   }
 
@@ -112,14 +120,40 @@ int main(int argc, char** argv) {
                   : 128;
     cfg.lr1 = args.count("lr") ? std::atof(args["lr"].c_str()) : 0.01;
 
+    const auto report_every = static_cast<std::size_t>(
+        std::atoi(args.count("report-every") ? args["report-every"].c_str()
+                                             : "0"));
+    if (report_every > 0) {
+      cfg.on_epoch = [report_every](std::size_t epoch,
+                                    const nn::EpochStats& stats) {
+        if ((epoch + 1) % report_every == 0) {
+          std::printf("[epoch %3zu] loss=%.4f valid=%.4f lr=%.5f\n", epoch + 1,
+                      stats.train_loss, stats.valid_accuracy,
+                      stats.learning_rate);
+        }
+      };
+    }
+
     const auto scaled = dp::linear_scaling(cfg);
     std::printf("training: %zu epochs, n=%zu, lr_n=%.4f, bs_n=%zu\n",
                 cfg.epochs, cfg.n_procs, scaled.lr_n, scaled.bs_n);
 
+    auto& reg = obs::Registry::global();
+    const double flops0 =
+        static_cast<double>(reg.counter("kernels.flops").total());
+
     dp::DataParallelTrainer trainer(spec, cfg);
     const auto result = trainer.fit(splits.train, splits.valid);
-    std::printf("trained in %.1fs (%.0f samples/s), best valid %.4f\n",
-                result.wall_seconds, result.samples_per_second,
+
+    const double flops =
+        static_cast<double>(reg.counter("kernels.flops").total()) - flops0;
+    const double gflops = result.wall_seconds > 0.0
+                              ? flops / result.wall_seconds * 1e-9
+                              : 0.0;
+    reg.gauge("kernels.achieved_gflops").set(gflops);
+    std::printf("trained in %.1fs (%.0f samples/s, %.2f GFLOP/s), "
+                "best valid %.4f\n",
+                result.wall_seconds, result.samples_per_second, gflops,
                 result.best_valid_accuracy);
     report("valid", trainer.model(), splits.valid);
     report("test", trainer.model(), splits.test);
@@ -127,6 +161,20 @@ int main(int argc, char** argv) {
     if (args.count("save")) {
       nn::save_graphnet_file(trainer.model(), args["save"]);
       std::printf("model written to %s\n", args["save"].c_str());
+    }
+
+    if (args.count("metrics")) {
+      std::ofstream mf(args["metrics"]);
+      if (!mf) throw std::runtime_error("cannot write " + args["metrics"]);
+      mf << reg.snapshot().to_csv();
+      std::printf("metrics written to %s\n", args["metrics"].c_str());
+    }
+    if (args.count("trace")) {
+      if (!obs::write_chrome_trace(args["trace"])) {
+        throw std::runtime_error("cannot write " + args["trace"]);
+      }
+      std::printf("trace written to %s (%zu events)\n", args["trace"].c_str(),
+                  obs::trace_event_count());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

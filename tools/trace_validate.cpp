@@ -1,0 +1,193 @@
+// Structural validator for exported Chrome traces (DESIGN.md §10).
+//
+//   trace_validate trace.json [--min-lanes N] [--min-events N]
+//
+// Checks the invariants the exporter promises:
+//  - the file parses and has the {"traceEvents": [...]} shape;
+//  - every "X" event references a lane (tid) that carries a thread_name
+//    metadata record, with ts >= 0 and dur >= 0;
+//  - spans on one lane are properly nested: a pair of spans is either
+//    disjoint or one contains the other — partial overlap means the lane
+//    double-booked a worker;
+//  - counter tracks ("C" events) have monotone non-decreasing timestamps.
+//
+// Exits 0 when every invariant holds, 1 with a diagnostic otherwise. The
+// obs ctest suite runs it against a freshly simulated campaign.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using agebo::obs::json::Value;
+
+struct Span {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "trace_validate: FAIL: %s\n", what.c_str());
+  std::exit(1);
+}
+
+double require_number(const Value& event, const char* key) {
+  const Value* v = event.find(key);
+  if (v == nullptr || v->type != Value::Type::kNumber) {
+    fail(std::string("event missing numeric \"") + key + "\"");
+  }
+  return v->number;
+}
+
+std::string require_string(const Value& event, const char* key) {
+  const Value* v = event.find(key);
+  if (v == nullptr || v->type != Value::Type::kString) {
+    fail(std::string("event missing string \"") + key + "\"");
+  }
+  return v->str;
+}
+
+/// Spans on one lane must form a forest: sorted by (start, longest-first),
+/// each span either starts after every open ancestor has closed, or closes
+/// no later than its innermost open ancestor.
+void check_lane_nesting(const std::string& lane, std::vector<Span> spans) {
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.dur > b.dur;
+  });
+  // Tolerance for the exporter's 15-significant-digit serialization: at
+  // hour-scale timestamps (~1e10 us) the last printed digit is 1e-5 us,
+  // and ts + dur can differ from an adjacent span's ts by a few of those.
+  const double eps = 0.05;
+  std::vector<double> open_ends;
+  for (const Span& s : spans) {
+    while (!open_ends.empty() && open_ends.back() <= s.ts + eps) {
+      open_ends.pop_back();
+    }
+    const double end = s.ts + s.dur;
+    if (!open_ends.empty() && end > open_ends.back() + eps) {
+      std::ostringstream msg;
+      msg.precision(12);
+      msg << "lane \"" << lane << "\": span \"" << s.name << "\" [" << s.ts
+          << ", " << end << ") partially overlaps an open span ending at "
+          << open_ends.back();
+      fail(msg.str());
+    }
+    open_ends.push_back(end);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t min_lanes = 1;
+  std::size_t min_events = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-lanes") == 0 && i + 1 < argc) {
+      min_lanes = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
+      min_events = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_validate FILE.json [--min-lanes N] "
+                   "[--min-events N]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_validate FILE.json\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  Value root;
+  try {
+    root = agebo::obs::json::parse(buf.str());
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+  if (root.type != Value::Type::kObject) fail("top level is not an object");
+  const Value* events = root.find("traceEvents");
+  if (events == nullptr || events->type != Value::Type::kArray) {
+    fail("missing traceEvents array");
+  }
+
+  std::map<int, std::string> lane_names;                 // tid -> thread_name
+  std::map<int, std::vector<Span>> lanes;                // tid -> X spans
+  std::map<std::string, std::vector<double>> counters;   // track -> ts
+  for (const Value& e : events->array) {
+    if (e.type != Value::Type::kObject) fail("event is not an object");
+    const std::string ph = require_string(e, "ph");
+    if (ph == "M") {
+      if (require_string(e, "name") != "thread_name") continue;
+      const int tid = static_cast<int>(require_number(e, "tid"));
+      const Value* name_args = e.find("args");
+      if (name_args == nullptr || name_args->find("name") == nullptr) {
+        fail("thread_name metadata without args.name");
+      }
+      lane_names[tid] = name_args->find("name")->str;
+    } else if (ph == "X") {
+      Span s;
+      s.name = require_string(e, "name");
+      s.ts = require_number(e, "ts");
+      s.dur = require_number(e, "dur");
+      if (s.ts < 0.0) fail("span \"" + s.name + "\" has negative ts");
+      if (s.dur < 0.0) fail("span \"" + s.name + "\" has negative dur");
+      lanes[static_cast<int>(require_number(e, "tid"))].push_back(s);
+    } else if (ph == "C") {
+      counters[require_string(e, "name")].push_back(require_number(e, "ts"));
+    } else {
+      fail("unexpected event phase \"" + ph + "\"");
+    }
+  }
+
+  std::size_t n_spans = 0;
+  for (auto& [tid, spans] : lanes) {
+    const auto it = lane_names.find(tid);
+    if (it == lane_names.end()) {
+      fail("tid " + std::to_string(tid) + " has spans but no thread_name");
+    }
+    n_spans += spans.size();
+    check_lane_nesting(it->second, std::move(spans));
+  }
+  std::size_t n_samples = 0;
+  for (const auto& [track, ts] : counters) {
+    n_samples += ts.size();
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      if (ts[i] < ts[i - 1]) {
+        fail("counter track \"" + track + "\" has non-monotone timestamps");
+      }
+    }
+  }
+
+  if (lanes.size() < min_lanes) {
+    fail("expected at least " + std::to_string(min_lanes) + " lanes, found " +
+         std::to_string(lanes.size()));
+  }
+  if (n_spans < min_events) {
+    fail("expected at least " + std::to_string(min_events) +
+         " spans, found " + std::to_string(n_spans));
+  }
+
+  std::printf(
+      "trace_validate: OK: %zu lanes, %zu spans, %zu counter tracks "
+      "(%zu samples)\n",
+      lanes.size(), n_spans, counters.size(), n_samples);
+  return 0;
+}
