@@ -1,12 +1,22 @@
 // Gradient allreduce for synchronous data-parallel training (the Horovod
 // role in the paper). Every participating buffer ends up holding the
-// element-wise average of all buffers. Two strategies:
+// element-wise average of all buffers. Three strategies:
 //  - kFlat: rank-0 accumulates everything then broadcasts (O(n) depth).
-//  - kTree: pairwise binary reduction then broadcast down (O(log n) depth),
-//    the shape used by real allreduce implementations.
-// Both produce bit-identical results for power-of-two counts is NOT
-// guaranteed (fp addition order differs); tests compare within tolerance
-// and the trainer picks one strategy per run, so replicas stay lockstep.
+//  - kTree: pairwise binary reduction then broadcast down (O(log n) depth).
+//  - kRing: chunked reduce-scatter + allgather — each of the n chunks is
+//    reduced independently in rotated ring order, the shape real
+//    bandwidth-optimal allreduce implementations use. In the trainer the
+//    chunks are reduced *concurrently* by the replica threads themselves
+//    (see gradient_comm.hpp); this serial entry point applies the same
+//    chunking and summation order on one thread.
+//
+// Determinism: for a fixed (strategy, buffer count), the element-wise
+// summation order is a pure function of the element index — it never
+// depends on thread scheduling — and every buffer receives the same bits.
+// Different strategies (and different counts) round differently, so
+// cross-strategy comparisons need a tolerance; but any single strategy is
+// bit-reproducible run to run, which is what keeps the trainer's replicas
+// in exact bitwise lockstep (max_replica_divergence() == 0.0f).
 #pragma once
 
 #include <cstddef>
@@ -14,11 +24,22 @@
 
 namespace agebo::dp {
 
-enum class AllreduceStrategy { kFlat, kTree };
+enum class AllreduceStrategy { kFlat, kTree, kRing };
+
+/// Throw std::invalid_argument unless all buffers are non-null and equally
+/// sized. Call once per fit (or per buffer-set change); the per-step loops
+/// use allreduce_average_unchecked and skip re-validation.
+void allreduce_validate(const std::vector<std::vector<float>*>& buffers);
 
 /// Average `buffers` element-wise; all buffers receive the result.
-/// All buffers must be non-null and equally sized.
+/// All buffers must be non-null and equally sized (validated on entry;
+/// hot loops that validated up front should call the _unchecked form).
 void allreduce_average(std::vector<std::vector<float>*>& buffers,
                        AllreduceStrategy strategy = AllreduceStrategy::kFlat);
+
+/// Same, without re-validating the buffer set. Caller must have run
+/// allreduce_validate on these buffers (the trainer does it once per fit).
+void allreduce_average_unchecked(std::vector<std::vector<float>*>& buffers,
+                                 AllreduceStrategy strategy);
 
 }  // namespace agebo::dp

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dp/gradient_comm.hpp"
 #include "dp/thread_team.hpp"
 #include "nn/kernels/pool.hpp"
 #include "nn/loss.hpp"
@@ -34,6 +35,7 @@ struct DataParallelTrainer::Impl {
   std::vector<std::unique_ptr<nn::Adam>> optimizers;
   std::vector<std::vector<nn::ParamRef>> params;  // [replica][block]
   std::unique_ptr<ThreadTeam> team;
+  GradientComm comm;
 };
 
 DataParallelTrainer::DataParallelTrainer(nn::GraphSpec spec,
@@ -87,8 +89,41 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
     impl_->replicas.push_back(
         std::make_unique<nn::GraphNet>(impl_->spec, init_rng));
     impl_->params.push_back(impl_->replicas.back()->params());
+  }
+
+  // Bucketed, rank-parallel allreduce plan (gradient_comm.hpp). With
+  // overlap on, each replica's backward publishes per-layer readiness
+  // through the grad-ready hook so buckets reduce while earlier layers are
+  // still in backprop; otherwise the whole range is published after
+  // backward and only the rank-parallel reduction remains.
+  if (n > 1) {
+    CommConfig comm_cfg;
+    comm_cfg.strategy = cfg_.allreduce;
+    comm_cfg.bucket_bytes = std::max<std::size_t>(1, cfg_.bucket_kb) * 1024;
+    comm_cfg.overlap = cfg_.overlap_comm;
+    impl_->comm.configure(impl_->params, comm_cfg);
+    GradientComm* comm = &impl_->comm;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (cfg_.overlap_comm) {
+        impl_->replicas[r]->set_grad_ready_hook(
+            [comm, r](std::size_t begin, std::size_t end) {
+              comm->on_blocks_ready(r, begin, end);
+            });
+      } else {
+        impl_->replicas[r]->set_grad_ready_hook(nullptr);
+      }
+    }
+  }
+
+  // Each optimizer applies the one shared averaged gradient (the reduce
+  // collective fills it) to its own replica's weights — identical bytes in,
+  // identical updates out, so the replicas stay in exact bitwise lockstep.
+  // Single-replica fits read the replica's own gradients directly.
+  for (std::size_t r = 0; r < n; ++r) {
     impl_->optimizers.push_back(std::make_unique<nn::Adam>(
-        impl_->params.back(), nn::AdamConfig{scaled.lr_n, 0.9, 0.999, 1e-8}));
+        n > 1 ? impl_->comm.shared_grad_params(impl_->params[r])
+              : impl_->params[r],
+        nn::AdamConfig{scaled.lr_n, 0.9, 0.999, 1e-8}));
   }
 
   Rng shard_rng(cfg_.seed + 101);
@@ -141,8 +176,11 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
     for (std::size_t r = 0; r < n; ++r) shuffle_rngs[r].shuffle(orders[r]);
 
     double loss_sum = 0.0;
-    std::vector<std::vector<float>*> allreduce_bufs(n);
     for (std::size_t step = 0; step < steps_per_epoch; ++step) {
+      // One collective per step: forward/backward, in-collective bucketed
+      // allreduce (reduce_rank), and the optimizer update — no separate
+      // serial reduce phase or second run() round trip.
+      if (n > 1) impl_->comm.begin_step();
       impl_->team->run([&](std::size_t r) {
         // With n replica workers live, the shared kernel pool must not fan
         // out underneath each of them: pin every rank to 1 kernel thread
@@ -159,25 +197,18 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
         impl_->replicas[r]->zero_grad();
         step_losses[r] = nn::softmax_cross_entropy(logits, ys[r], dlogits[r]);
         impl_->replicas[r]->backward(dlogits[r]);
+        if (n > 1) {
+          if (!cfg_.overlap_comm) {
+            impl_->comm.on_blocks_ready(r, 0, impl_->comm.n_blocks());
+          }
+          impl_->comm.reduce_rank(r, *impl_->team, lanes[r]);
+        }
+        impl_->optimizers[r]->step();
         if (kObsEnabled) {
           obs::record_span("dp.step", lanes[r], s0,
                            obs::trace_now_seconds() - s0);
         }
       });
-
-      // Allreduce every parameter block's gradient across replicas.
-      if (n > 1) {
-        OBS_SPAN("dp.allreduce");
-        const std::size_t blocks = impl_->params[0].size();
-        for (std::size_t b = 0; b < blocks; ++b) {
-          for (std::size_t r = 0; r < n; ++r) {
-            allreduce_bufs[r] = impl_->params[r][b].grads;
-          }
-          allreduce_average(allreduce_bufs, cfg_.allreduce);
-        }
-      }
-
-      impl_->team->run([&](std::size_t r) { impl_->optimizers[r]->step(); });
 
       for (std::size_t r = 0; r < n; ++r) loss_sum += step_losses[r];
       m_steps.inc();
@@ -208,6 +239,10 @@ DataParallelResult DataParallelTrainer::fit(const data::Dataset& train_set,
   result.samples_per_second =
       result.wall_seconds > 0.0 ? samples / result.wall_seconds : 0.0;
   m_throughput.set(result.samples_per_second);
+  if (n > 1) {
+    result.allreduce_bytes = impl_->comm.bytes_per_step() * result.global_steps;
+    result.allreduce_seconds = impl_->comm.reduce_seconds();
+  }
   return result;
 }
 

@@ -33,6 +33,13 @@ struct DataParallelConfig {
   std::size_t plateau_patience = 5;
   double plateau_factor = 0.5;
   AllreduceStrategy allreduce = AllreduceStrategy::kFlat;
+  /// Fusion-bucket capacity for the bucketed allreduce (KiB). Gradient
+  /// blocks are packed into buckets of this size so per-block coordination
+  /// amortizes; see gradient_comm.hpp.
+  std::size_t bucket_kb = 1024;
+  /// Overlap gradient allreduce with backward: buckets whose layers have
+  /// finished backprop reduce while earlier layers are still computing.
+  bool overlap_comm = true;
   std::uint64_t seed = 7;
   /// Optional hook invoked after each epoch (index, stats) — tools use it
   /// for periodic progress reports without polling the result object.
@@ -53,6 +60,12 @@ struct DataParallelResult {
   double wall_seconds = 0.0;
   std::size_t global_steps = 0;
   double samples_per_second = 0.0;
+  /// Gradient payload averaged across replicas over the whole fit (one
+  /// replica's bytes per step x steps; 0 when n_procs == 1) and the wall
+  /// time rank 0 spent in allreduce — bytes/seconds is the effective
+  /// algorithm bandwidth the communication layer sustained.
+  std::size_t allreduce_bytes = 0;
+  double allreduce_seconds = 0.0;
 };
 
 class DataParallelTrainer {

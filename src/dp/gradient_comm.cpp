@@ -1,0 +1,253 @@
+#include "dp/gradient_comm.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "dp/reduce_kernels.hpp"
+#include "dp/thread_team.hpp"
+#include "obs/span.hpp"
+
+namespace agebo::dp {
+
+namespace {
+
+#ifdef AGEBO_OBS_DISABLED
+constexpr bool kObsEnabled = false;
+#else
+constexpr bool kObsEnabled = true;
+#endif
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void GradientComm::configure(
+    const std::vector<std::vector<nn::ParamRef>>& params,
+    const CommConfig& cfg) {
+  if (params.empty()) throw std::invalid_argument("GradientComm: no replicas");
+  if (params.size() > kernels::kMaxSources) {
+    throw std::invalid_argument("GradientComm: too many replicas");
+  }
+  if (cfg.bucket_bytes == 0) {
+    throw std::invalid_argument("GradientComm: zero bucket_bytes");
+  }
+  cfg_ = cfg;
+  n_ranks_ = params.size();
+  const std::size_t n_blocks = params[0].size();
+
+  grad_ptrs_.assign(n_ranks_, {});
+  for (std::size_t r = 0; r < n_ranks_; ++r) {
+    if (params[r].size() != n_blocks) {
+      throw std::invalid_argument("GradientComm: replica block-count mismatch");
+    }
+    grad_ptrs_[r].reserve(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      auto* g = params[r][b].grads;
+      if (g == nullptr || g->size() != params[0][b].grads->size()) {
+        throw std::invalid_argument("GradientComm: replica block-shape mismatch");
+      }
+      grad_ptrs_[r].push_back(g->data());
+    }
+  }
+
+  // Greedy bucket fill in params() order; blocks are never split. The
+  // shared reduced span for every block is allocated here, once per fit.
+  blocks_.assign(n_blocks, {});
+  buckets_.clear();
+  reduced_.assign(n_blocks, {});
+  payload_bytes_ = 0;
+  std::size_t fill = 0;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t len = params[0][b].grads->size();
+    const std::size_t bytes = len * sizeof(float);
+    payload_bytes_ += bytes;
+    if (buckets_.empty() || (fill > 0 && fill + bytes > cfg_.bucket_bytes)) {
+      buckets_.emplace_back();
+      fill = 0;
+    }
+    fill += bytes;
+    blocks_[b].bucket = buckets_.size() - 1;
+    blocks_[b].len = len;
+    blocks_[b].fused = bytes < cfg_.fuse_below_bytes;
+    reduced_[b].assign(len, 0.0f);
+  }
+
+  // Lay out each bucket: per-replica fusion buffers for the small blocks
+  // (packed in block order), then one reduction segment per block — fused
+  // blocks read from the fusion buffers, large blocks read their gradients
+  // zero-copy, and every segment writes the block's shared reduced span.
+  fusion_.assign(buckets_.size(), {});
+  for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+    std::size_t fused_elems = 0;
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      if (blocks_[b].bucket != bi) continue;
+      if (blocks_[b].fused) {
+        blocks_[b].fused_off = fused_elems;
+        fused_elems += blocks_[b].len;
+      }
+    }
+    if (fused_elems > 0) {
+      fusion_[bi].assign(n_ranks_, std::vector<float>(fused_elems));
+    }
+    Bucket& bucket = buckets_[bi];
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      if (blocks_[b].bucket != bi) continue;
+      bucket.ready_target += static_cast<int>(n_ranks_);
+      bucket.elems += blocks_[b].len;
+      Segment seg;
+      seg.len = blocks_[b].len;
+      seg.dst = reduced_[b].data();
+      for (std::size_t r = 0; r < n_ranks_; ++r) {
+        seg.srcs.push_back(blocks_[b].fused
+                               ? fusion_[bi][r].data() + blocks_[b].fused_off
+                               : grad_ptrs_[r][b]);
+      }
+      bucket.segments.push_back(std::move(seg));
+    }
+  }
+
+  ready_ = std::make_unique<std::atomic<int>[]>(buckets_.size());
+  for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+    ready_[bi].store(0, std::memory_order_relaxed);
+  }
+  reduce_seconds_ = 0.0;
+
+  auto& reg = obs::Registry::global();
+  m_bytes_ = reg.counter("dp.allreduce_bytes");
+  m_seconds_ = reg.dcounter("dp.allreduce_seconds");
+  m_gbps_ = reg.gauge("dp.allreduce_gbps");
+}
+
+std::vector<nn::ParamRef> GradientComm::shared_grad_params(
+    const std::vector<nn::ParamRef>& replica_params) {
+  if (replica_params.size() != reduced_.size()) {
+    throw std::invalid_argument(
+        "GradientComm::shared_grad_params: block-count mismatch");
+  }
+  std::vector<nn::ParamRef> out;
+  out.reserve(replica_params.size());
+  for (std::size_t b = 0; b < replica_params.size(); ++b) {
+    out.push_back(nn::ParamRef{replica_params[b].values, &reduced_[b]});
+  }
+  return out;
+}
+
+void GradientComm::begin_step() {
+  // Plain stores are enough: ThreadTeam::run publishes them to the step
+  // collective before any hook can fire.
+  for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+    ready_[bi].store(0, std::memory_order_relaxed);
+  }
+}
+
+void GradientComm::on_blocks_ready(std::size_t replica, std::size_t begin,
+                                   std::size_t end) {
+  if (begin >= end) return;
+  // Pack fused blocks into this replica's fusion buffers (their bytes are
+  // L1-hot — backward finalized them moments ago), then publish per-bucket
+  // readiness. Blocks are bucket-assigned monotonically, so the range
+  // touches each bucket in one run — one release fetch_add per bucket, not
+  // per block.
+  std::size_t run_bucket = blocks_[begin].bucket;
+  int run_count = 0;
+  for (std::size_t b = begin; b < end; ++b) {
+    const BlockInfo& blk = blocks_[b];
+    if (blk.fused) {
+      std::memcpy(fusion_[blk.bucket][replica].data() + blk.fused_off,
+                  grad_ptrs_[replica][b], blk.len * sizeof(float));
+    }
+    if (blk.bucket != run_bucket) {
+      ready_[run_bucket].fetch_add(run_count, std::memory_order_release);
+      run_bucket = blk.bucket;
+      run_count = 0;
+    }
+    ++run_count;
+  }
+  ready_[run_bucket].fetch_add(run_count, std::memory_order_release);
+}
+
+void GradientComm::reduce_chunk(const Segment& seg, std::size_t chunk) const {
+  const auto [begin, sz] = kernels::chunk_range(seg.len, n_ranks_, chunk);
+  if (sz == 0) return;
+  const float inv_n = 1.0f / static_cast<float>(n_ranks_);
+  const float* const* srcs = seg.srcs.data();
+  switch (cfg_.strategy) {
+    case AllreduceStrategy::kFlat:
+      // Linear left fold: the historical accumulate order, bit-identical
+      // to the serial kFlat path.
+      kernels::reduce_avg_linear_to(seg.dst, srcs, n_ranks_, begin, sz, inv_n);
+      return;
+    case AllreduceStrategy::kTree:
+      kernels::reduce_avg_tree_to(seg.dst, srcs, n_ranks_, begin, sz, inv_n);
+      return;
+    case AllreduceStrategy::kRing: {
+      // Ring reduce-scatter order: the chunk's sum starts from the owning
+      // rank's ring predecessor, as it would arriving around a real ring.
+      const std::size_t rot = (chunk + 1) % n_ranks_;
+      const float* rotated[kernels::kMaxSources];
+      for (std::size_t j = 0; j < n_ranks_; ++j) {
+        rotated[j] = srcs[(rot + j) % n_ranks_];
+      }
+      kernels::reduce_avg_linear_to(seg.dst, rotated, n_ranks_, begin, sz,
+                                    inv_n);
+      return;
+    }
+  }
+}
+
+void GradientComm::reduce_rank(std::size_t rank, ThreadTeam& team,
+                               const std::string& lane) {
+  const double t0 = kObsEnabled ? obs::trace_now_seconds() : 0.0;
+  const double w0 = rank == 0 ? wall_seconds() : 0.0;
+  const std::size_t executors = team.size();
+
+  // Drain in reverse params() order — backward finalizes the output layer
+  // first, so the highest-numbered bucket becomes ready first. Chunks are
+  // fixed (one per replica, so the summation order never depends on the
+  // executor count) and dealt round-robin over the executors.
+  for (std::size_t bi = buckets_.size(); bi-- > 0;) {
+    const Bucket& bucket = buckets_[bi];
+    std::atomic<int>& rdy = ready_[bi];
+    while (rdy.load(std::memory_order_acquire) != bucket.ready_target) {
+      std::this_thread::yield();
+    }
+    const double b0 = kObsEnabled ? obs::trace_now_seconds() : 0.0;
+    for (const Segment& seg : bucket.segments) {
+      for (std::size_t c = rank; c < n_ranks_; c += executors) {
+        reduce_chunk(seg, c);
+      }
+    }
+    if (kObsEnabled) {
+      obs::record_span("dp.allreduce.bucket", lane, b0,
+                       obs::trace_now_seconds() - b0,
+                       {{"bucket", std::to_string(bi)},
+                        {"elems", std::to_string(bucket.elems)}});
+    }
+  }
+
+  // Every rank reduced its disjoint chunks into the shared store; meet so
+  // the averaged bytes are visible to every replica's optimizer. No unpack
+  // and no broadcast: the optimizers read the shared spans directly.
+  team.barrier(rank);
+
+  if (rank == 0) {
+    const double dt = wall_seconds() - w0;
+    reduce_seconds_ += dt;
+    m_bytes_.add(payload_bytes_);
+    m_seconds_.add(dt);
+    if (dt > 0.0) {
+      m_gbps_.set(static_cast<double>(payload_bytes_) / dt / 1e9);
+    }
+  }
+  if (kObsEnabled) {
+    obs::record_span("dp.allreduce", lane, t0, obs::trace_now_seconds() - t0);
+  }
+}
+
+}  // namespace agebo::dp

@@ -1,0 +1,164 @@
+// Overlapped, bucketed, rank-parallel gradient allreduce (DESIGN.md §11).
+//
+// GradientComm replaces the trainer's serial per-block allreduce loop with
+// three cooperating mechanisms:
+//
+//  1. Bucketing. Parameter blocks are packed, in params() order, into
+//     fixed-size fusion buckets (~1 MiB by default). Small blocks — biases
+//     and narrow projections — are copied into a per-bucket contiguous
+//     fusion buffer so the reduction streams over long contiguous spans
+//     instead of dozens of cache-line-sized ones; large blocks are read
+//     zero-copy. One atomic readiness counter per bucket amortizes all
+//     per-block coordination.
+//
+//  2. Shared reduced store + rank-parallel chunked reduction. Every block
+//     has ONE shared averaged-gradient span; each rank reduces its owned
+//     chunks of each block straight into that span with the single-
+//     destination kernels (reduce_kernels.hpp), then all ranks meet at a
+//     sense-reversing barrier (ThreadTeam::barrier). The replicas'
+//     optimizers are pointed at the shared span (shared_grad_params), so
+//     the reduce-then-broadcast of a classic allreduce collapses to just
+//     the reduce: n + 1 memory streams per element instead of ~5n, and the
+//     broadcast is free — it is the same bytes read n times. Backward
+//     still writes each replica's own gradient buffers; only the optimizer
+//     read side is shared.
+//
+//  3. Backward/comm overlap. GraphNet::backward fires a gradient-ready hook
+//     as each layer's blocks are finalized (output layer first). The hook
+//     packs fused blocks and bumps the owning bucket's readiness counter,
+//     so reducers drain buckets in reverse params() order while earlier
+//     layers are still computing their gradients.
+//
+// Determinism: chunk ownership and the per-chunk summation order are fixed
+// by (strategy, replica count, element index) — never by thread schedule —
+// so the shared span holds identical bits run to run; and since every
+// replica's optimizer reads that single span, the replicas' weights stay in
+// exact bitwise lockstep (max_replica_divergence() == 0.0f) by
+// construction, for every strategy.
+//
+// Strategy note: kFlat sums sources in the historical linear order
+// 0,1,...,n-1 and kTree in the historical pairwise-tree order, so both
+// produce averages bit-identical to the legacy serial paths (training
+// numerics unchanged). kRing rotates the summation start per chunk like a
+// real ring reduce-scatter; it agrees with the others only to rounding
+// tolerance.
+//
+// Contract: all ranks of the step collective must reach reduce_rank — the
+// internal waits and barrier are collectives, so a rank that throws between
+// backward and reduce_rank would deadlock the others (same rule as any MPI
+// program; see ThreadTeam::barrier).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dp/allreduce.hpp"
+#include "nn/dense.hpp"
+#include "obs/registry.hpp"
+
+namespace agebo::dp {
+
+class ThreadTeam;
+
+struct CommConfig {
+  AllreduceStrategy strategy = AllreduceStrategy::kFlat;
+  /// Fusion-bucket capacity. Blocks are never split: a block larger than
+  /// this gets a bucket of its own.
+  std::size_t bucket_bytes = 1u << 20;
+  /// Reduce buckets while backward is still producing earlier layers'
+  /// gradients (needs the GraphNet grad-ready hook wired up).
+  bool overlap = true;
+  /// Blocks below this size are copied into the bucket's fusion buffer;
+  /// larger blocks are read in place (zero-copy).
+  std::size_t fuse_below_bytes = 4096;
+};
+
+class GradientComm {
+ public:
+  /// Build the bucket plan and the shared reduced-gradient store for
+  /// `params` ([replica][block], identical block shapes across replicas —
+  /// validated). Call once per fit.
+  void configure(const std::vector<std::vector<nn::ParamRef>>& params,
+                 const CommConfig& cfg);
+
+  /// The ParamRef set a replica's optimizer should consume: values from
+  /// `replica_params`, gradients from the shared reduced store. Valid until
+  /// the next configure().
+  std::vector<nn::ParamRef> shared_grad_params(
+      const std::vector<nn::ParamRef>& replica_params);
+
+  /// Arm the readiness counters for a new step. Call from the coordinating
+  /// thread before the step collective launches (ThreadTeam::run provides
+  /// the ordering).
+  void begin_step();
+
+  /// Blocks [begin, end) of `replica` now hold their final gradients for
+  /// this step. Packs fused blocks and publishes readiness. Called from
+  /// the replica's own thread — the GraphNet hook in overlap mode, or once
+  /// for the whole range after backward otherwise.
+  void on_blocks_ready(std::size_t replica, std::size_t begin,
+                       std::size_t end);
+
+  /// Collective: reduce this rank's chunks of every bucket into the shared
+  /// store (draining buckets in reverse params() order as they become
+  /// ready), then synchronize. After it returns on every rank, the shared
+  /// spans hold the averaged gradients and optimizers may step. Chunks are
+  /// distributed round-robin over team.size() executors, so a team of any
+  /// size (e.g. 1, in benchmarks) produces byte-identical results.
+  /// `lane` names the obs lane for this rank's spans (may be empty).
+  void reduce_rank(std::size_t rank, ThreadTeam& team,
+                   const std::string& lane);
+
+  std::size_t n_buckets() const { return buckets_.size(); }
+  std::size_t n_blocks() const { return blocks_.size(); }
+  /// Gradient payload bytes averaged per step (one replica's worth).
+  std::size_t bytes_per_step() const { return payload_bytes_; }
+  /// Wall seconds rank 0 spent inside reduce_rank, summed over steps —
+  /// bytes_per_step() * steps / this is the effective algorithm bandwidth.
+  double reduce_seconds() const { return reduce_seconds_; }
+
+ private:
+  struct BlockInfo {
+    std::size_t bucket = 0;
+    std::size_t len = 0;        // elements
+    bool fused = false;
+    std::size_t fused_off = 0;  // element offset in the fusion buffer
+  };
+  /// One block's reduction: n per-replica source spans (zero-copy gradient
+  /// views or slices of the packed fusion buffers) and the block's shared
+  /// destination span.
+  struct Segment {
+    std::vector<const float*> srcs;  // [replica]
+    float* dst = nullptr;
+    std::size_t len = 0;
+  };
+  struct Bucket {
+    std::vector<Segment> segments;
+    std::size_t elems = 0;
+    int ready_target = 0;  // n_ranks * blocks in this bucket
+  };
+
+  void reduce_chunk(const Segment& seg, std::size_t chunk) const;
+
+  CommConfig cfg_;
+  std::size_t n_ranks_ = 0;
+  std::vector<BlockInfo> blocks_;
+  std::vector<Bucket> buckets_;
+  /// ready_[b] counts on_blocks_ready publications for bucket b (release
+  /// increments; reducers acquire-load until ready_target).
+  std::unique_ptr<std::atomic<int>[]> ready_;
+  std::vector<std::vector<std::vector<float>>> fusion_;  // [bucket][replica]
+  std::vector<std::vector<float*>> grad_ptrs_;           // [replica][block]
+  std::vector<std::vector<float>> reduced_;              // [block] shared avg
+  std::size_t payload_bytes_ = 0;
+  double reduce_seconds_ = 0.0;
+
+  obs::Counter m_bytes_;
+  obs::DCounter m_seconds_;
+  obs::Gauge m_gbps_;
+};
+
+}  // namespace agebo::dp

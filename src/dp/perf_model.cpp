@@ -1,5 +1,6 @@
 #include "dp/perf_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -15,7 +16,33 @@ double allreduce_seconds(const PerfModelParams& model, std::size_t n_procs,
   return levels * (model.allreduce_alpha + bytes / model.allreduce_beta);
 }
 
+double n_buckets(const AllreduceCommSpec& comm, std::size_t n_params) {
+  const double bytes = static_cast<double>(n_params) * 4.0;
+  const double cap = static_cast<double>(
+      comm.bucket_bytes > 0 ? comm.bucket_bytes : std::size_t{1} << 20);
+  return std::max(1.0, std::ceil(bytes / cap));
+}
+
 }  // namespace
+
+double predict_allreduce_seconds(const PerfModelParams& model,
+                                 const AllreduceCommSpec& comm,
+                                 std::size_t n_procs, std::size_t n_params) {
+  if (n_procs <= 1) return 0.0;
+  const double n = static_cast<double>(n_procs);
+  const double bytes = static_cast<double>(n_params) * 4.0;
+  switch (comm.strategy) {
+    case AllreduceStrategy::kFlat:
+      return (n - 1.0) * (model.allreduce_alpha + bytes / model.allreduce_beta);
+    case AllreduceStrategy::kTree:
+      return allreduce_seconds(model, n_procs, n_params);
+    case AllreduceStrategy::kRing:
+      return 2.0 * (n - 1.0) * model.allreduce_alpha *
+                 n_buckets(comm, n_params) +
+             2.0 * (n - 1.0) / n * bytes / model.allreduce_beta;
+  }
+  throw std::invalid_argument("predict_allreduce_seconds: unknown strategy");
+}
 
 double predict_step_seconds(const PerfModelParams& model, std::size_t n_procs,
                             std::size_t local_batch, std::size_t n_params) {
@@ -29,6 +56,26 @@ double predict_step_seconds(const PerfModelParams& model, std::size_t n_procs,
                          static_cast<double>(n_params);
   return compute + allreduce_seconds(model, n_procs, n_params) +
          model.step_overhead;
+}
+
+double predict_step_seconds(const PerfModelParams& model,
+                            const AllreduceCommSpec& comm, std::size_t n_procs,
+                            std::size_t local_batch, std::size_t n_params) {
+  if (n_procs == 0 || local_batch == 0 || n_params == 0) {
+    throw std::invalid_argument("predict_step_seconds: zero argument");
+  }
+  const double compute = model.compute_per_sample_param *
+                         static_cast<double>(local_batch) *
+                         static_cast<double>(n_params);
+  double comm_s = predict_allreduce_seconds(model, comm, n_procs, n_params);
+  if (comm.overlap && comm_s > 0.0) {
+    // Backward is roughly half the compute; all buckets but the last can
+    // reduce under it. The last bucket is inherently exposed — it only
+    // becomes ready when backward completes.
+    const double tail = comm_s / n_buckets(comm, n_params);
+    comm_s = std::max(comm_s - 0.5 * compute, tail);
+  }
+  return compute + comm_s + model.step_overhead;
 }
 
 double predict_training_seconds(const PerfModelParams& model,

@@ -14,6 +14,8 @@
 
 #include <cstddef>
 
+#include "dp/allreduce.hpp"
+
 namespace agebo::dp {
 
 struct PerfModelParams {
@@ -27,8 +29,37 @@ struct PerfModelParams {
   double step_overhead = 2.0e-5;
 };
 
+/// How gradients are averaged: strategy, fusion-bucket size, and whether
+/// the reduction overlaps backward. Mirrors DataParallelConfig/CommConfig;
+/// the historical 4-argument predict_* entry points keep modeling the
+/// original tree reduction so calibrated fits stay stable.
+struct AllreduceCommSpec {
+  AllreduceStrategy strategy = AllreduceStrategy::kFlat;
+  std::size_t bucket_bytes = 1u << 20;
+  bool overlap = false;
+};
+
+/// Alpha-beta cost of one allreduce of n_params float32 gradients:
+///   kFlat: (n-1) sequential transfers,      (n-1) * (alpha + B/beta)
+///   kTree: ceil(log2 n) levels,             levels * (alpha + B/beta)
+///   kRing: 2(n-1) pipelined chunk steps,    2(n-1)*alpha*nb + 2(n-1)/n * B/beta
+/// with nb = number of fusion buckets (per-bucket latency is paid once per
+/// bucket; the bandwidth term moves each byte twice minus the 1/n the
+/// owner already holds — the classic bandwidth-optimal ring bound).
+double predict_allreduce_seconds(const PerfModelParams& model,
+                                 const AllreduceCommSpec& comm,
+                                 std::size_t n_procs, std::size_t n_params);
+
 /// Predicted wall seconds for one synchronous data-parallel step.
 double predict_step_seconds(const PerfModelParams& model, std::size_t n_procs,
+                            std::size_t local_batch, std::size_t n_params);
+
+/// Step time under an explicit communication spec. With overlap on, the
+/// reduction hides behind the backward half of compute except for the last
+/// bucket (which only becomes ready when backward finishes):
+///   exposed = max(t_comm - compute/2, t_comm / nb)
+double predict_step_seconds(const PerfModelParams& model,
+                            const AllreduceCommSpec& comm, std::size_t n_procs,
                             std::size_t local_batch, std::size_t n_params);
 
 /// Predicted wall seconds for a full training run.

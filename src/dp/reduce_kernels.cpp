@@ -1,0 +1,233 @@
+#include "dp/reduce_kernels.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace agebo::dp::kernels {
+
+namespace {
+
+// Specialized source counts get a dedicated single-pass loop: every stream
+// is a named __restrict pointer, so the compiler vectorizes the fold with
+// no runtime alias checks. Counts above 8 fall back to a tiled
+// accumulator (one destination write pass, sources still streamed once).
+constexpr std::size_t kTile = 512;
+
+void lin2(float* __restrict d, const float* __restrict a,
+          const float* __restrict b, std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) d[i] = (a[i] + b[i]) * inv;
+}
+void lin3(float* __restrict d, const float* __restrict a,
+          const float* __restrict b, const float* __restrict c,
+          std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) d[i] = ((a[i] + b[i]) + c[i]) * inv;
+}
+void lin4(float* __restrict d, const float* __restrict a,
+          const float* __restrict b, const float* __restrict c,
+          const float* __restrict e, std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = (((a[i] + b[i]) + c[i]) + e[i]) * inv;
+  }
+}
+void lin5(float* __restrict d, const float* __restrict a,
+          const float* __restrict b, const float* __restrict c,
+          const float* __restrict e, const float* __restrict f,
+          std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = ((((a[i] + b[i]) + c[i]) + e[i]) + f[i]) * inv;
+  }
+}
+void lin6(float* __restrict d, const float* __restrict a,
+          const float* __restrict b, const float* __restrict c,
+          const float* __restrict e, const float* __restrict f,
+          const float* __restrict g, std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = (((((a[i] + b[i]) + c[i]) + e[i]) + f[i]) + g[i]) * inv;
+  }
+}
+void lin7(float* __restrict d, const float* __restrict a,
+          const float* __restrict b, const float* __restrict c,
+          const float* __restrict e, const float* __restrict f,
+          const float* __restrict g, const float* __restrict h,
+          std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = ((((((a[i] + b[i]) + c[i]) + e[i]) + f[i]) + g[i]) + h[i]) * inv;
+  }
+}
+void lin8(float* __restrict d, const float* __restrict a,
+          const float* __restrict b, const float* __restrict c,
+          const float* __restrict e, const float* __restrict f,
+          const float* __restrict g, const float* __restrict h,
+          const float* __restrict k, std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] =
+        (((((((a[i] + b[i]) + c[i]) + e[i]) + f[i]) + g[i]) + h[i]) + k[i]) *
+        inv;
+  }
+}
+
+// Pairwise tree folds in the legacy stride-doubling combine order.
+void tree4(float* __restrict d, const float* __restrict a,
+           const float* __restrict b, const float* __restrict c,
+           const float* __restrict e, std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = ((a[i] + b[i]) + (c[i] + e[i])) * inv;
+  }
+}
+void tree5(float* __restrict d, const float* __restrict a,
+           const float* __restrict b, const float* __restrict c,
+           const float* __restrict e, const float* __restrict f,
+           std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = (((a[i] + b[i]) + (c[i] + e[i])) + f[i]) * inv;
+  }
+}
+void tree6(float* __restrict d, const float* __restrict a,
+           const float* __restrict b, const float* __restrict c,
+           const float* __restrict e, const float* __restrict f,
+           const float* __restrict g, std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = (((a[i] + b[i]) + (c[i] + e[i])) + (f[i] + g[i])) * inv;
+  }
+}
+void tree7(float* __restrict d, const float* __restrict a,
+           const float* __restrict b, const float* __restrict c,
+           const float* __restrict e, const float* __restrict f,
+           const float* __restrict g, const float* __restrict h,
+           std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] = (((a[i] + b[i]) + (c[i] + e[i])) + ((f[i] + g[i]) + h[i])) * inv;
+  }
+}
+void tree8(float* __restrict d, const float* __restrict a,
+           const float* __restrict b, const float* __restrict c,
+           const float* __restrict e, const float* __restrict f,
+           const float* __restrict g, const float* __restrict h,
+           const float* __restrict k, std::size_t len, float inv) {
+  for (std::size_t i = 0; i < len; ++i) {
+    d[i] =
+        (((a[i] + b[i]) + (c[i] + e[i])) + ((f[i] + g[i]) + (h[i] + k[i]))) *
+        inv;
+  }
+}
+
+// Generic linear fold for n > 8: accumulate into an L1-resident stack tile
+// (sources still read once, destination written once).
+void lin_tile(float* dst, const float* const* srcs, std::size_t n,
+              std::size_t len, float inv) {
+  for (std::size_t t = 0; t < len; t += kTile) {
+    const std::size_t tl = std::min(kTile, len - t);
+    float acc[kTile];
+    const float* __restrict first = srcs[0] + t;
+    for (std::size_t i = 0; i < tl; ++i) acc[i] = first[i];
+    for (std::size_t j = 1; j < n; ++j) {
+      const float* __restrict s = srcs[j] + t;
+      for (std::size_t i = 0; i < tl; ++i) acc[i] += s[i];
+    }
+    float* __restrict out = dst + t;
+    for (std::size_t i = 0; i < tl; ++i) out[i] = acc[i] * inv;
+  }
+}
+
+// Generic tree fold: out = sum of srcs[i .. min(i+span, n)) combined in the
+// legacy stride-doubling order — span is a power of two, and each level
+// pairs a node with the node span/2 to its right when that subtree exists.
+void tree_tile_sum(float* __restrict out, const float* const* srcs,
+                   std::size_t n, std::size_t i, std::size_t span,
+                   std::size_t off, std::size_t tl) {
+  if (span == 1) {
+    const float* __restrict s = srcs[i] + off;
+    for (std::size_t e = 0; e < tl; ++e) out[e] = s[e];
+    return;
+  }
+  tree_tile_sum(out, srcs, n, i, span / 2, off, tl);
+  if (i + span / 2 < n) {
+    float tmp[kTile];
+    tree_tile_sum(tmp, srcs, n, i + span / 2, span / 2, off, tl);
+    for (std::size_t e = 0; e < tl; ++e) out[e] += tmp[e];
+  }
+}
+
+void tree_tile(float* dst, const float* const* srcs, std::size_t n,
+               std::size_t len, float inv) {
+  std::size_t span = 1;
+  while (span < n) span *= 2;
+  for (std::size_t t = 0; t < len; t += kTile) {
+    const std::size_t tl = std::min(kTile, len - t);
+    float acc[kTile];
+    tree_tile_sum(acc, srcs, n, 0, span, t, tl);
+    float* __restrict out = dst + t;
+    for (std::size_t i = 0; i < tl; ++i) out[i] = acc[i] * inv;
+  }
+}
+
+void check_args(std::size_t n) {
+  if (n == 0 || n > kMaxSources) {
+    throw std::invalid_argument("reduce_avg: bad source count");
+  }
+}
+
+}  // namespace
+
+void reduce_avg_linear_to(float* dst, const float* const* srcs, std::size_t n,
+                          std::size_t off, std::size_t len, float inv_n) {
+  check_args(n);
+  if (len == 0) return;
+  float* d = dst + off;
+  const float *a = srcs[0] + off, *b = n > 1 ? srcs[1] + off : nullptr,
+              *c = n > 2 ? srcs[2] + off : nullptr,
+              *e = n > 3 ? srcs[3] + off : nullptr,
+              *f = n > 4 ? srcs[4] + off : nullptr,
+              *g = n > 5 ? srcs[5] + off : nullptr,
+              *h = n > 6 ? srcs[6] + off : nullptr,
+              *k = n > 7 ? srcs[7] + off : nullptr;
+  switch (n) {
+    case 1:
+      if (d != a) std::memcpy(d, a, len * sizeof(float));
+      return;
+    case 2: lin2(d, a, b, len, inv_n); return;
+    case 3: lin3(d, a, b, c, len, inv_n); return;
+    case 4: lin4(d, a, b, c, e, len, inv_n); return;
+    case 5: lin5(d, a, b, c, e, f, len, inv_n); return;
+    case 6: lin6(d, a, b, c, e, f, g, len, inv_n); return;
+    case 7: lin7(d, a, b, c, e, f, g, h, len, inv_n); return;
+    case 8: lin8(d, a, b, c, e, f, g, h, k, len, inv_n); return;
+    default: break;
+  }
+  const float* shifted[kMaxSources];
+  for (std::size_t j = 0; j < n; ++j) shifted[j] = srcs[j] + off;
+  lin_tile(d, shifted, n, len, inv_n);
+}
+
+void reduce_avg_tree_to(float* dst, const float* const* srcs, std::size_t n,
+                        std::size_t off, std::size_t len, float inv_n) {
+  check_args(n);
+  if (len == 0) return;
+  float* d = dst + off;
+  const float *a = srcs[0] + off, *b = n > 1 ? srcs[1] + off : nullptr,
+              *c = n > 2 ? srcs[2] + off : nullptr,
+              *e = n > 3 ? srcs[3] + off : nullptr,
+              *f = n > 4 ? srcs[4] + off : nullptr,
+              *g = n > 5 ? srcs[5] + off : nullptr,
+              *h = n > 6 ? srcs[6] + off : nullptr,
+              *k = n > 7 ? srcs[7] + off : nullptr;
+  switch (n) {
+    case 1:
+      if (d != a) std::memcpy(d, a, len * sizeof(float));
+      return;
+    // Trees of 2 and 3 combine in the same order as the linear fold.
+    case 2: lin2(d, a, b, len, inv_n); return;
+    case 3: lin3(d, a, b, c, len, inv_n); return;
+    case 4: tree4(d, a, b, c, e, len, inv_n); return;
+    case 5: tree5(d, a, b, c, e, f, len, inv_n); return;
+    case 6: tree6(d, a, b, c, e, f, g, len, inv_n); return;
+    case 7: tree7(d, a, b, c, e, f, g, h, len, inv_n); return;
+    case 8: tree8(d, a, b, c, e, f, g, h, k, len, inv_n); return;
+    default: break;
+  }
+  const float* shifted[kMaxSources];
+  for (std::size_t j = 0; j < n; ++j) shifted[j] = srcs[j] + off;
+  tree_tile(d, shifted, n, len, inv_n);
+}
+
+}  // namespace agebo::dp::kernels

@@ -1,0 +1,62 @@
+// Multi-source averaging kernels for gradient allreduce (DESIGN.md §11).
+//
+// Each kernel streams `n` equally sized float source spans once and writes
+// their element-wise average to a single destination span. That single-
+// destination shape is the whole trick: the legacy flat allreduce re-reads
+// and re-writes a rank-0 accumulator once per source and then copies it out
+// once per destination (~5n memory ops per element), while these kernels
+// touch n + 1 streams per element. Combined with the shared reduced-
+// gradient store in gradient_comm.hpp — every replica's optimizer reads the
+// one averaged copy, so no per-replica broadcast exists at all — that
+// traffic cut, not thread parallelism, is what makes the bucketed path beat
+// the serial baseline even on a single core.
+//
+// Determinism: the element-wise summation order is a pure function of
+// (kernel, n, source order) — never of thread scheduling — so a fixed
+// configuration produces identical bits run to run.
+//
+// The inner loops are plain autovectorized C++ on purpose: these kernels
+// are bandwidth-bound, so wider vectors do not move the needle, and forcing
+// AVX2/AVX-512 codegen through target attributes measured *slower* than the
+// compiler's default vectorization on the development machine. (The GEMM
+// microkernels keep their ISA dispatch — they are compute-bound; see
+// DESIGN.md §9.)
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace agebo::dp::kernels {
+
+/// Guard for the stack-allocated pointer tables: the maximum source count
+/// the kernels accept.
+inline constexpr std::size_t kMaxSources = 256;
+
+/// Contiguous chunk c of [0, len) split n ways, remainder spread over the
+/// leading chunks; returns {begin, size}. The serial kRing allreduce and
+/// the rank-parallel bucket engine share this split so their summation
+/// orders line up.
+inline std::pair<std::size_t, std::size_t> chunk_range(std::size_t len,
+                                                       std::size_t n,
+                                                       std::size_t c) {
+  const std::size_t base = len / n;
+  const std::size_t rem = len % n;
+  return {c * base + std::min(c, rem), base + (c < rem ? 1 : 0)};
+}
+
+/// dst[off .. off+len) = average of srcs[0..n)[off .. off+len), summed in
+/// *linear* order srcs[0] + srcs[1] + ... + srcs[n-1] (a left fold, the
+/// legacy serial kFlat accumulation order bit for bit). Rotated orders —
+/// the ring schedule — are expressed by passing a rotated pointer table.
+/// dst must not overlap any source span.
+void reduce_avg_linear_to(float* dst, const float* const* srcs, std::size_t n,
+                          std::size_t off, std::size_t len, float inv_n);
+
+/// Same contract, but sources are combined in the pairwise stride-doubling
+/// order of the legacy kTree allreduce, so the result matches the serial
+/// tree path bit for bit. dst must not overlap any source span.
+void reduce_avg_tree_to(float* dst, const float* const* srcs, std::size_t n,
+                        std::size_t off, std::size_t len, float inv_n);
+
+}  // namespace agebo::dp::kernels

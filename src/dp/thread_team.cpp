@@ -4,7 +4,7 @@
 
 namespace agebo::dp {
 
-ThreadTeam::ThreadTeam(std::size_t size) : size_(size) {
+ThreadTeam::ThreadTeam(std::size_t size) : size_(size), rank_sense_(size) {
   if (size == 0) throw std::invalid_argument("ThreadTeam: zero size");
   threads_.reserve(size - 1);
   for (std::size_t rank = 1; rank < size; ++rank) {
@@ -48,6 +48,27 @@ void ThreadTeam::run(const std::function<void(std::size_t)>& fn) {
   job_ = nullptr;
   if (local_error) std::rethrow_exception(local_error);
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadTeam::barrier(std::size_t rank) {
+  if (size_ == 1) return;
+  if (rank >= size_) throw std::invalid_argument("ThreadTeam::barrier: bad rank");
+  const bool my_sense = !rank_sense_[rank].sense;
+  rank_sense_[rank].sense = my_sense;
+  if (barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      static_cast<int>(size_)) {
+    // Last arrival: reset the counter for the next episode, then release
+    // everyone. The counter must be reset before the sense flips — waiters
+    // freed by the flip may immediately enter the next barrier.
+    barrier_arrived_.store(0, std::memory_order_relaxed);
+    barrier_sense_.store(my_sense, std::memory_order_release);
+  } else {
+    // yield(), not a busy spin: replica counts can exceed hardware threads
+    // (they share cores with each other and with the ctest harness).
+    while (barrier_sense_.load(std::memory_order_acquire) != my_sense) {
+      std::this_thread::yield();
+    }
+  }
 }
 
 void ThreadTeam::worker_loop(std::size_t rank) {

@@ -3,8 +3,16 @@
 // run() is a collective: it returns after every rank finished. Creating
 // threads once per trainer instead of once per step keeps step overhead
 // negligible for the small models in the search space.
+//
+// barrier(rank) is an in-collective synchronization point (the MPI_Barrier
+// analogue) built as a lightweight sense-reversing barrier: one atomic
+// arrival counter plus a global sense flag, with per-rank sense state on
+// its own cache line. The bucketed allreduce (gradient_comm) uses it to
+// separate the chunk-reduction phase from the consume phase without
+// paying for a full run()/condvar round trip.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -30,11 +38,28 @@ class ThreadTeam {
   /// collective completes.
   void run(const std::function<void(std::size_t)>& fn);
 
+  /// Block until every rank of the current run() collective has called
+  /// barrier(rank). Writes made by any rank before the barrier are visible
+  /// to every rank after it (release/acquire on the sense flag). Must be
+  /// called by ALL ranks the same number of times, from inside run(), and
+  /// every rank must reach it — code between collectives must not throw
+  /// past a barrier another rank is still heading for.
+  void barrier(std::size_t rank);
+
  private:
   void worker_loop(std::size_t rank);
 
   std::size_t size_;
   std::vector<std::thread> threads_;
+
+  // Sense-reversing barrier state. Each rank's private sense sits on its
+  // own cache line so flipping it never bounces a shared line.
+  struct alignas(64) RankSense {
+    bool sense = false;
+  };
+  std::vector<RankSense> rank_sense_;
+  std::atomic<int> barrier_arrived_{0};
+  std::atomic<bool> barrier_sense_{false};
 
   std::mutex mu_;
   std::condition_variable cv_start_;

@@ -320,8 +320,24 @@ double SurrogateEvaluator::mean_train_seconds(const ModelConfig& config) const {
   const double n = config.hparams[2];
   const double bs1 = config.hparams[0];
   const double cost = arch_cost_factor(config.genome);
-  const double minutes = profile_.base_minutes * cost /
-                         (dp_speedup(n) * std::pow(bs1 / 256.0, 0.35));
+  double minutes = profile_.base_minutes * cost /
+                   (dp_speedup(n) * std::pow(bs1 / 256.0, 0.35));
+  if (has_comm_spec_) {
+    // Scale by the analytic step-time ratio of the requested communication
+    // configuration over the calibration default (ring + 1 MiB buckets +
+    // overlap, which the Table-I times correspond to). A representative
+    // search-space parameter count keeps the factor architecture-agnostic.
+    constexpr std::size_t kRepresentativeParams = 50'000;
+    const auto np = static_cast<std::size_t>(n);
+    const auto lb = static_cast<std::size_t>(bs1);
+    dp::AllreduceCommSpec defaults;
+    defaults.strategy = dp::AllreduceStrategy::kRing;
+    defaults.overlap = true;
+    minutes *= dp::predict_step_seconds(comm_model_, comm_spec_, np, lb,
+                                        kRepresentativeParams) /
+               dp::predict_step_seconds(comm_model_, defaults, np, lb,
+                                        kRepresentativeParams);
+  }
   return minutes * kMinutes;
 }
 

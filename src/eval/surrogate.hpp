@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "dp/perf_model.hpp"
 #include "eval/evaluation.hpp"
 #include "nas/search_space.hpp"
 
@@ -142,6 +143,17 @@ class SurrogateEvaluator final : public Evaluator {
 
   const DatasetProfile& profile() const { return profile_; }
 
+  /// Model a non-default gradient-communication configuration: simulated
+  /// training times are scaled by the ratio of the analytic step time
+  /// under `spec` (dp::predict_step_seconds) to the step time under the
+  /// calibration default (ring strategy, 1 MiB buckets, overlap on) — the
+  /// configuration the Table-I times correspond to. Unset, or set to the
+  /// default, the factor is exactly 1 and calibrated times are unchanged.
+  void set_comm_spec(const dp::AllreduceCommSpec& spec) {
+    comm_spec_ = spec;
+    has_comm_spec_ = true;
+  }
+
  private:
   exec::EvalOutput evaluate_full(const ModelConfig& config);
   double hparam_gap(double bs1, double lr1, double n) const;
@@ -159,6 +171,9 @@ class SurrogateEvaluator final : public Evaluator {
   };
   std::vector<Interaction> interactions_;
   double score_scale_ = 1.0;
+  bool has_comm_spec_ = false;
+  dp::AllreduceCommSpec comm_spec_;
+  dp::PerfModelParams comm_model_;
 };
 
 }  // namespace agebo::eval

@@ -70,6 +70,27 @@ GraphNet::GraphNet(GraphSpec spec, Rng& rng) : spec_(std::move(spec)) {
   outs_.resize(m + 1);
   pre_act_.resize(m);
   grad_outs_.resize(m + 1);
+
+  // params() index ranges per layer, in params() emission order. Counting
+  // here must mirror params(): combine projections (1 block each, no bias)
+  // before the node's dense (W + b), output combine then output readout.
+  auto proj_blocks = [](const Combine& c) {
+    std::size_t n = 0;
+    for (const auto& e : c.edges) n += e.proj.has_value() ? 1 : 0;
+    return n;
+  };
+  std::size_t at = 0;
+  node_proj_range_.resize(m);
+  node_dense_range_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    node_proj_range_[k] = {at, at + proj_blocks(node_combine_[k])};
+    at = node_proj_range_[k].second;
+    node_dense_range_[k] = {at, at + (node_dense_[k].has_value() ? 2 : 0)};
+    at = node_dense_range_[k].second;
+  }
+  output_proj_range_ = {at, at + proj_blocks(output_combine_)};
+  at = output_proj_range_.second;
+  output_dense_range_ = {at, at + 2};
 }
 
 void GraphNet::combine_forward(Combine& c, const Tensor& base,
@@ -147,8 +168,10 @@ void GraphNet::backward(const Tensor& dlogits) {
   }
 
   output_dense_->backward(dlogits, d_input_buf_);
+  fire_grad_ready(output_dense_range_);
   if (output_combine_.active()) {
     combine_backward(output_combine_, d_input_buf_, grad_outs_, m);
+    fire_grad_ready(output_proj_range_);
   } else {
     add_inplace(grad_outs_[m], d_input_buf_);
   }
@@ -165,10 +188,12 @@ void GraphNet::backward(const Tensor& dlogits) {
                             grad_outs_[k + 1].v.data(), dz_buf_.v.data(),
                             dz_buf_.v.size());
       node_dense_[k]->backward(dz_buf_, d_input_buf_);
+      fire_grad_ready(node_dense_range_[k]);
       d_node_input = &d_input_buf_;
     }
     if (node_combine_[k].active()) {
       combine_backward(node_combine_[k], *d_node_input, grad_outs_, k);
+      fire_grad_ready(node_proj_range_[k]);
     } else {
       add_inplace(grad_outs_[k], *d_node_input);
     }

@@ -21,9 +21,11 @@
 // after the first batch.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -73,6 +75,19 @@ class GraphNet {
   std::vector<ParamRef> params();
   std::size_t num_params() const;
 
+  /// Called from backward() with a half-open range [begin, end) of params()
+  /// indices whose gradients just received their final contribution for
+  /// this step. Each layer's blocks are contiguous in params() order, and
+  /// each block's gradient is written at exactly one point of the backward
+  /// sweep (dense layers by their own backward GEMM, skip projections by
+  /// their combine's backward), so ranges fire output-layer-first and cover
+  /// every block exactly once per backward. The data-parallel trainer hooks
+  /// this to overlap gradient allreduce with the rest of backprop.
+  using GradReadyHook = std::function<void(std::size_t, std::size_t)>;
+  void set_grad_ready_hook(GradReadyHook hook) {
+    grad_hook_ = std::move(hook);
+  }
+
   /// Human-readable structure dump (quickstart prints one; cf. Fig 1).
   std::string describe() const;
 
@@ -102,6 +117,15 @@ class GraphNet {
   void combine_backward(Combine& c, const Tensor& d_combined,
                         std::vector<Tensor>& grad_outs, std::size_t base_id);
 
+  /// [begin, end) params() indices for one layer's blocks (empty when
+  /// begin == end, e.g. identity nodes or skip-free combines).
+  using BlockRange = std::pair<std::size_t, std::size_t>;
+  void fire_grad_ready(const BlockRange& range) {
+    if (grad_hook_ && range.first < range.second) {
+      grad_hook_(range.first, range.second);
+    }
+  }
+
   GraphSpec spec_;
   std::vector<std::size_t> dims_;  // dims_[k] = width of node k output (0 = input)
   std::vector<std::optional<DenseLayer>> node_dense_;  // per variable node
@@ -119,6 +143,14 @@ class GraphNet {
   std::vector<Tensor> grad_outs_;
   Tensor dz_buf_;                 // act-grad-fused dL/dz of the current node
   Tensor d_input_buf_;            // dL/d(node input) staging
+
+  // Gradient-ready bookkeeping: params() index ranges per layer, computed
+  // once in the constructor (params() order is fixed at construction).
+  GradReadyHook grad_hook_;
+  std::vector<BlockRange> node_proj_range_;   // node_combine_[k] projections
+  std::vector<BlockRange> node_dense_range_;  // node_dense_[k] W (+ b)
+  BlockRange output_proj_range_{0, 0};
+  BlockRange output_dense_range_{0, 0};
 };
 
 }  // namespace agebo::nn

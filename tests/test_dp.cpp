@@ -5,11 +5,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "data/synthetic.hpp"
 #include "dp/allreduce.hpp"
 #include "dp/data_parallel.hpp"
+#include "dp/gradient_comm.hpp"
+#include "dp/reduce_kernels.hpp"
 #include "dp/thread_team.hpp"
+#include "nn/graph_net.hpp"
 #include "nn/loss.hpp"
 #include "nn/trainer.hpp"
 
@@ -310,6 +314,393 @@ TEST(DataParallel, ModelBeforeFitThrows) {
   DataParallelConfig cfg;
   DataParallelTrainer trainer(dp_net_spec(), cfg);
   EXPECT_THROW(trainer.model(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Reduce kernels: the single-destination folds must reproduce the exact
+// historical summation orders bit for bit — training numerics depend on it.
+
+TEST(ReduceKernels, ChunkRangePartitionsExactly) {
+  for (std::size_t len : {0u, 1u, 7u, 64u, 1001u}) {
+    for (std::size_t n : {1u, 2u, 3u, 4u, 8u}) {
+      std::size_t covered = 0;
+      std::size_t expect_begin = 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        const auto [begin, sz] = kernels::chunk_range(len, n, c);
+        EXPECT_EQ(begin, expect_begin);
+        expect_begin = begin + sz;
+        covered += sz;
+      }
+      EXPECT_EQ(covered, len);
+    }
+  }
+}
+
+TEST(ReduceKernels, LinearFoldMatchesLeftToRightOrderBitwise) {
+  Rng rng(11);
+  for (std::size_t n : {2u, 3u, 4u, 5u, 7u, 8u, 11u}) {
+    const std::size_t len = 1037;
+    std::vector<std::vector<float>> bufs(n, std::vector<float>(len));
+    std::vector<const float*> srcs;
+    for (auto& b : bufs) {
+      for (auto& v : b) v = static_cast<float>(rng.normal());
+      srcs.push_back(b.data());
+    }
+    const float inv = 1.0f / static_cast<float>(n);
+    std::vector<float> got(len);
+    kernels::reduce_avg_linear_to(got.data(), srcs.data(), n, 0, len, inv);
+    for (std::size_t i = 0; i < len; ++i) {
+      float acc = bufs[0][i];
+      for (std::size_t r = 1; r < n; ++r) acc += bufs[r][i];
+      EXPECT_EQ(got[i], acc * inv);
+    }
+  }
+}
+
+TEST(ReduceKernels, TreeFoldMatchesStrideDoublingOrderBitwise) {
+  Rng rng(12);
+  for (std::size_t n : {2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 13u}) {
+    const std::size_t len = 701;
+    std::vector<std::vector<float>> bufs(n, std::vector<float>(len));
+    std::vector<const float*> srcs;
+    for (auto& b : bufs) {
+      for (auto& v : b) v = static_cast<float>(rng.normal());
+      srcs.push_back(b.data());
+    }
+    const float inv = 1.0f / static_cast<float>(n);
+    std::vector<float> got(len);
+    kernels::reduce_avg_tree_to(got.data(), srcs.data(), n, 0, len, inv);
+    // The legacy in-place tree: combine partner buffers at doubling strides.
+    std::vector<std::vector<float>> acc = bufs;
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+      for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+        for (std::size_t e = 0; e < len; ++e) acc[i][e] += acc[i + stride][e];
+      }
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(got[i], acc[0][i] * inv);
+    }
+  }
+}
+
+TEST(ReduceKernels, OffsetWindowLeavesRestUntouched) {
+  const std::size_t len = 256;
+  std::vector<float> a(len, 1.0f), b(len, 3.0f), dst(len, -7.0f);
+  const float* srcs[] = {a.data(), b.data()};
+  kernels::reduce_avg_linear_to(dst.data(), srcs, 2, 64, 32, 0.5f);
+  for (std::size_t i = 0; i < len; ++i) {
+    EXPECT_EQ(dst[i], (i >= 64 && i < 96) ? 2.0f : -7.0f);
+  }
+}
+
+TEST(ReduceKernels, RejectsBadSourceCounts) {
+  std::vector<float> a(4, 1.0f), dst(4);
+  const float* srcs[] = {a.data()};
+  EXPECT_THROW(
+      kernels::reduce_avg_linear_to(dst.data(), srcs, 0, 0, 4, 1.0f),
+      std::invalid_argument);
+  EXPECT_THROW(kernels::reduce_avg_tree_to(dst.data(), srcs,
+                                           kernels::kMaxSources + 1, 0, 4,
+                                           1.0f),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadTeam barrier: release/acquire visibility and reusability.
+
+TEST(ThreadTeam, BarrierSeparatesPhasesWithVisibility) {
+  const std::size_t n = 4;
+  ThreadTeam team(n);
+  std::vector<int> slots(n, 0);
+  for (int round = 1; round <= 50; ++round) {
+    team.run([&](std::size_t rank) {
+      slots[rank] = round;
+      team.barrier(rank);
+      // Every rank's pre-barrier write must be visible to every rank.
+      for (std::size_t r = 0; r < n; ++r) EXPECT_EQ(slots[r], round);
+      team.barrier(rank);
+    });
+  }
+}
+
+TEST(ThreadTeam, BarrierIsNoOpForSingleRank) {
+  ThreadTeam team(1);
+  team.barrier(0);  // must not hang or throw
+  team.run([&](std::size_t rank) { team.barrier(rank); });
+}
+
+// ---------------------------------------------------------------------------
+// GradientComm: the bucketed shared-store reduction against first
+// principles, and its executor-count invariance.
+
+std::vector<std::vector<nn::ParamRef>> as_param_refs(
+    std::vector<std::vector<std::vector<float>>>& grads) {
+  std::vector<std::vector<nn::ParamRef>> params(grads.size());
+  for (std::size_t r = 0; r < grads.size(); ++r) {
+    for (auto& block : grads[r]) {
+      params[r].push_back(nn::ParamRef{&block, &block});
+    }
+  }
+  return params;
+}
+
+std::vector<std::vector<std::vector<float>>> random_grads(
+    std::size_t n_replicas, const std::vector<std::size_t>& block_lens,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::vector<float>>> grads(n_replicas);
+  for (auto& replica : grads) {
+    for (std::size_t len : block_lens) {
+      replica.emplace_back(len);
+      for (auto& v : replica.back()) v = static_cast<float>(rng.normal());
+    }
+  }
+  return grads;
+}
+
+void run_comm(GradientComm& comm, ThreadTeam& team, std::size_t n_replicas) {
+  comm.begin_step();
+  for (std::size_t r = 0; r < n_replicas; ++r) {
+    comm.on_blocks_ready(r, 0, comm.n_blocks());
+  }
+  team.run([&](std::size_t rank) { comm.reduce_rank(rank, team, ""); });
+}
+
+TEST(GradientComm, SharedStoreMatchesFlatFoldBitwise) {
+  // Mixed block sizes: tiny biases (fusion path) and large weights
+  // (zero-copy path), spilling across several buckets.
+  const std::vector<std::size_t> lens = {3456, 64, 4096, 64, 448, 7};
+  auto grads = random_grads(4, lens, 21);
+  auto params = as_param_refs(grads);
+
+  GradientComm comm;
+  CommConfig cfg;
+  cfg.bucket_bytes = 8 * 1024;  // force multiple buckets
+  comm.configure(params, cfg);
+  EXPECT_GT(comm.n_buckets(), 1u);
+
+  ThreadTeam team(4);
+  run_comm(comm, team, 4);
+
+  auto shared = comm.shared_grad_params(params[0]);
+  ASSERT_EQ(shared.size(), lens.size());
+  for (std::size_t b = 0; b < lens.size(); ++b) {
+    for (std::size_t i = 0; i < lens[b]; ++i) {
+      float acc = grads[0][b][i];
+      for (std::size_t r = 1; r < 4; ++r) acc += grads[r][b][i];
+      EXPECT_EQ((*shared[b].grads)[i], acc * 0.25f) << "block " << b;
+    }
+    // Values still point at the replica's own weights.
+    EXPECT_EQ(shared[b].values, params[0][b].values);
+  }
+}
+
+TEST(GradientComm, ExecutorCountDoesNotChangeBits) {
+  // Chunk ownership is fixed by replica count, not by who executes the
+  // chunks: a single-executor reduction (as the perf bench runs it) must
+  // produce byte-identical results to the full-team reduction.
+  const std::vector<std::size_t> lens = {2048, 31, 9000, 5};
+  for (auto strategy : {AllreduceStrategy::kFlat, AllreduceStrategy::kTree,
+                        AllreduceStrategy::kRing}) {
+    auto grads_a = random_grads(4, lens, 33);
+    auto grads_b = grads_a;
+    auto params_a = as_param_refs(grads_a);
+    auto params_b = as_param_refs(grads_b);
+
+    CommConfig cfg;
+    cfg.strategy = strategy;
+    GradientComm comm_a;
+    comm_a.configure(params_a, cfg);
+    ThreadTeam team4(4);
+    run_comm(comm_a, team4, 4);
+
+    GradientComm comm_b;
+    comm_b.configure(params_b, cfg);
+    ThreadTeam team1(1);
+    comm_b.begin_step();
+    for (std::size_t r = 0; r < 4; ++r) {
+      comm_b.on_blocks_ready(r, 0, comm_b.n_blocks());
+    }
+    comm_b.reduce_rank(0, team1, "");
+
+    auto out_a = comm_a.shared_grad_params(params_a[0]);
+    auto out_b = comm_b.shared_grad_params(params_b[0]);
+    for (std::size_t b = 0; b < lens.size(); ++b) {
+      EXPECT_EQ(0, std::memcmp(out_a[b].grads->data(), out_b[b].grads->data(),
+                               lens[b] * sizeof(float)))
+          << "strategy " << static_cast<int>(strategy) << " block " << b;
+    }
+  }
+}
+
+TEST(GradientComm, RingAgreesWithFlatToTolerance) {
+  const std::vector<std::size_t> lens = {4096, 64, 1000};
+  auto grads_flat = random_grads(4, lens, 55);
+  auto grads_ring = grads_flat;
+  auto params_flat = as_param_refs(grads_flat);
+  auto params_ring = as_param_refs(grads_ring);
+
+  CommConfig cfg;
+  GradientComm comm_flat;
+  comm_flat.configure(params_flat, cfg);
+  cfg.strategy = AllreduceStrategy::kRing;
+  GradientComm comm_ring;
+  comm_ring.configure(params_ring, cfg);
+
+  ThreadTeam team(4);
+  run_comm(comm_flat, team, 4);
+  run_comm(comm_ring, team, 4);
+
+  auto out_flat = comm_flat.shared_grad_params(params_flat[0]);
+  auto out_ring = comm_ring.shared_grad_params(params_ring[0]);
+  for (std::size_t b = 0; b < lens.size(); ++b) {
+    for (std::size_t i = 0; i < lens[b]; ++i) {
+      EXPECT_NEAR((*out_flat[b].grads)[i], (*out_ring[b].grads)[i], 1e-5);
+    }
+  }
+}
+
+TEST(GradientComm, RejectsMismatchedReplicas) {
+  auto grads = random_grads(2, {16, 4}, 9);
+  auto params = as_param_refs(grads);
+  params[1].pop_back();
+  GradientComm comm;
+  EXPECT_THROW(comm.configure(params, CommConfig{}), std::invalid_argument);
+  params[1].push_back(params[0][0]);  // wrong shape for block 1
+  EXPECT_THROW(comm.configure(params, CommConfig{}), std::invalid_argument);
+  EXPECT_THROW(comm.configure({}, CommConfig{}), std::invalid_argument);
+  CommConfig zero;
+  zero.bucket_bytes = 0;
+  auto ok = as_param_refs(grads);
+  EXPECT_THROW(comm.configure(ok, zero), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// GraphNet grad-ready hook: backward must announce every block exactly once.
+
+TEST(GraphNetHook, BackwardAnnouncesEveryBlockOnce) {
+  Rng rng(5);
+  nn::GraphNet net(dp_net_spec(), rng);
+  const std::size_t n_blocks = net.params().size();
+  std::vector<int> seen(n_blocks, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  net.set_grad_ready_hook([&](std::size_t begin, std::size_t end) {
+    ranges.emplace_back(begin, end);
+    for (std::size_t b = begin; b < end; ++b) seen[b]++;
+  });
+
+  const auto ds = dp_dataset(64);
+  std::vector<std::size_t> order(32);
+  for (std::size_t i = 0; i < 32; ++i) order[i] = i;
+  nn::Tensor x;
+  std::vector<int> y;
+  nn::batch_from(ds, order, 0, 32, x, y);
+  const nn::Tensor& logits = net.forward(x);
+  net.zero_grad();
+  nn::Tensor dl;
+  nn::softmax_cross_entropy(logits, y, dl);
+  net.backward(dl);
+
+  for (std::size_t b = 0; b < n_blocks; ++b) EXPECT_EQ(seen[b], 1);
+  // Output layer first: ranges walk toward block 0.
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i].second, ranges[i - 1].first);
+  }
+
+  // Unhooking stops the announcements.
+  net.set_grad_ready_hook(nullptr);
+  net.zero_grad();
+  ranges.clear();
+  net.backward(dl);
+  EXPECT_TRUE(ranges.empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end lockstep and determinism across the strategy/overlap matrix.
+
+std::vector<float> fit_and_flatten_weights(AllreduceStrategy strategy,
+                                           bool overlap, std::size_t n_procs,
+                                           std::size_t bucket_kb = 1024) {
+  const auto ds = dp_dataset(400);
+  Rng split_rng(8);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  DataParallelConfig cfg;
+  cfg.n_procs = n_procs;
+  cfg.lr1 = 0.005;
+  cfg.bs1 = 16;
+  cfg.epochs = 3;
+  cfg.allreduce = strategy;
+  cfg.overlap_comm = overlap;
+  cfg.bucket_kb = bucket_kb;
+  DataParallelTrainer trainer(dp_net_spec(), cfg);
+  trainer.fit(splits.train, splits.valid);
+  EXPECT_EQ(trainer.max_replica_divergence(), 0.0f);
+
+  std::vector<float> flat;
+  for (const auto& block : trainer.model().params()) {
+    flat.insert(flat.end(), block.values->begin(), block.values->end());
+  }
+  return flat;
+}
+
+class LockstepMatrix
+    : public ::testing::TestWithParam<std::tuple<AllreduceStrategy, bool>> {};
+
+TEST_P(LockstepMatrix, MultiEpochFitKeepsExactLockstep) {
+  const auto [strategy, overlap] = GetParam();
+  // The EXPECT inside checks divergence == 0.0f bitwise.
+  const auto weights = fit_and_flatten_weights(strategy, overlap, 4);
+  EXPECT_FALSE(weights.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndOverlap, LockstepMatrix,
+    ::testing::Combine(::testing::Values(AllreduceStrategy::kFlat,
+                                         AllreduceStrategy::kTree,
+                                         AllreduceStrategy::kRing),
+                       ::testing::Bool()));
+
+TEST(DataParallelDiff, OverlapDoesNotChangeWeights) {
+  // Overlap changes *when* buckets reduce, never the summation order, so
+  // the trained weights must be bit-identical with it on or off.
+  const auto with = fit_and_flatten_weights(AllreduceStrategy::kFlat, true, 4);
+  const auto without =
+      fit_and_flatten_weights(AllreduceStrategy::kFlat, false, 4);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i], without[i]) << "at " << i;
+  }
+}
+
+TEST(DataParallelDiff, RepeatedFitsAreBitIdenticalAcrossSchedules) {
+  // Thread interleavings differ run to run; the weights must not.
+  const auto a = fit_and_flatten_weights(AllreduceStrategy::kRing, true, 4);
+  const auto b = fit_and_flatten_weights(AllreduceStrategy::kRing, true, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "at " << i;
+  }
+}
+
+TEST(DataParallelDiff, BucketSizeDoesNotChangeWeights) {
+  // Bucket boundaries group the work but never reorder a block's sum.
+  const auto big = fit_and_flatten_weights(AllreduceStrategy::kFlat, true, 4);
+  const auto tiny =
+      fit_and_flatten_weights(AllreduceStrategy::kFlat, true, 4, 1);
+  ASSERT_EQ(big.size(), tiny.size());
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    EXPECT_EQ(big[i], tiny[i]) << "at " << i;
+  }
+}
+
+TEST(DataParallelDiff, RingTracksFlatToTolerance) {
+  const auto flat = fit_and_flatten_weights(AllreduceStrategy::kFlat, true, 4);
+  const auto ring = fit_and_flatten_weights(AllreduceStrategy::kRing, true, 4);
+  ASSERT_EQ(flat.size(), ring.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(flat[i], ring[i], 5e-3) << "at " << i;
+  }
 }
 
 }  // namespace

@@ -21,6 +21,12 @@
 //                                 lanes + in-flight / best-objective tracks)
 //   --metrics FILE.csv            metrics registry snapshot at exit
 //   --report-every N              one-line progress report every N evals
+//
+// Gradient communication (DESIGN.md §11): --allreduce flat|tree|ring,
+// --bucket-kb N, and --no-overlap feed the surrogate's analytic step-time
+// model, scaling simulated training times relative to the calibration
+// default (ring + overlap). Omit them all and Table-I times are unchanged.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +53,7 @@ void usage() {
                "[--seed S] [--kappa K] [--out FILE.csv] "
                "[--warm-start FILE.csv] [--crash P] [--hang P] [--slow P] "
                "[--timeout S] [--retries R] [--straggler K] "
+               "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
                "[--trace FILE.json] [--metrics FILE.csv] [--report-every N]\n"
                "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
                "agebo-8-lr-bs rs-1 agebo-multinode\n");
@@ -58,12 +65,19 @@ int main(int argc, char** argv) {
   using namespace agebo;
 
   std::map<std::string, std::string> args;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) {
+  bool no_overlap = false;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--no-overlap") == 0) {
+      no_overlap = true;
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
       usage();
       return 2;
     }
     args[argv[i] + 2] = argv[i + 1];
+    i += 2;
   }
   auto get = [&](const std::string& key, const std::string& fallback) {
     const auto it = args.find(key);
@@ -122,6 +136,25 @@ int main(int argc, char** argv) {
     }
 
     eval::SurrogateEvaluator evaluator(space, eval::profile_by_name(dataset));
+    if (args.count("allreduce") || args.count("bucket-kb") || no_overlap) {
+      dp::AllreduceCommSpec comm;
+      comm.strategy = dp::AllreduceStrategy::kRing;
+      comm.overlap = !no_overlap;
+      const std::string strat = get("allreduce", "ring");
+      if (strat == "flat") {
+        comm.strategy = dp::AllreduceStrategy::kFlat;
+      } else if (strat == "tree") {
+        comm.strategy = dp::AllreduceStrategy::kTree;
+      } else if (strat != "ring") {
+        usage();
+        return 2;
+      }
+      comm.bucket_bytes =
+          static_cast<std::size_t>(
+              std::max(1L, std::atol(get("bucket-kb", "1024").c_str()))) *
+          1024;
+      evaluator.set_comm_spec(comm);
+    }
     exec::SimulatedExecutor executor(workers, 90.0, policy, faults);
 
     const auto report_every = static_cast<std::size_t>(

@@ -4,6 +4,12 @@
 //   agebo_train --data my.csv [--arff] [--epochs 20] [--procs 2]
 //               [--bs 128] [--lr 0.01] [--save model.txt]
 //   agebo_train --data my.csv --load model.txt        (evaluate only)
+//   agebo_train --synthetic 8000 --procs 4            (generated dataset)
+//
+// Gradient communication (DESIGN.md §11): --allreduce flat|tree|ring picks
+// the reduction strategy, --bucket-kb N sizes the fusion buckets, and
+// --no-overlap disables the backward/allreduce overlap. After a multi-
+// replica run the tool prints the effective allreduce bandwidth.
 //
 // Splits 42/25/33 (the paper's proportions), standardizes on the training
 // split, trains with data-parallel training under the linear scaling rule,
@@ -20,9 +26,12 @@
 #include <stdexcept>
 #include <string>
 
+#include <algorithm>
+
 #include "data/arff.hpp"
 #include "data/csv.hpp"
 #include "data/scaler.hpp"
+#include "data/synthetic.hpp"
 #include "dp/data_parallel.hpp"
 #include "ml/metrics.hpp"
 #include "nas/search_space.hpp"
@@ -60,9 +69,12 @@ int main(int argc, char** argv) {
 
   std::map<std::string, std::string> args;
   bool arff = false;
+  bool no_overlap = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--arff") == 0) {
       arff = true;
+    } else if (std::strcmp(argv[i], "--no-overlap") == 0) {
+      no_overlap = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
       const std::string key = argv[i] + 2;
       args[key] = argv[++i];
@@ -71,17 +83,29 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!args.count("data")) {
+  if (!args.count("data") && !args.count("synthetic")) {
     std::fprintf(stderr,
-                 "usage: agebo_train --data FILE [--arff] [--epochs N] "
-                 "[--procs N] [--bs N] [--lr F] [--save F] [--load F] "
+                 "usage: agebo_train (--data FILE [--arff] | --synthetic ROWS) "
+                 "[--epochs N] [--procs N] [--bs N] [--lr F] "
+                 "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
+                 "[--save F] [--load F] "
                  "[--trace F.json] [--metrics F.csv] [--report-every N]\n");
     return 2;
   }
 
   try {
-    const auto dataset = arff ? data::read_arff_file(args["data"])
-                              : data::read_csv_file(args["data"]);
+    const auto dataset = [&]() -> data::Dataset {
+      if (args.count("data")) {
+        return arff ? data::read_arff_file(args["data"])
+                    : data::read_csv_file(args["data"]);
+      }
+      data::SyntheticSpec sspec;
+      sspec.n_rows = static_cast<std::size_t>(
+          std::max(64L, std::atol(args["synthetic"].c_str())));
+      sspec.n_classes = 4;
+      sspec.class_sep = 1.6;
+      return data::make_classification(sspec);
+    }();
     std::printf("loaded %zu rows, %zu features, %zu classes\n", dataset.n_rows,
                 dataset.n_features, dataset.n_classes);
     Rng split_rng(7);
@@ -119,6 +143,24 @@ int main(int argc, char** argv) {
                   ? static_cast<std::size_t>(std::atoi(args["bs"].c_str()))
                   : 128;
     cfg.lr1 = args.count("lr") ? std::atof(args["lr"].c_str()) : 0.01;
+    if (args.count("allreduce")) {
+      const std::string& s = args["allreduce"];
+      if (s == "flat") {
+        cfg.allreduce = dp::AllreduceStrategy::kFlat;
+      } else if (s == "tree") {
+        cfg.allreduce = dp::AllreduceStrategy::kTree;
+      } else if (s == "ring") {
+        cfg.allreduce = dp::AllreduceStrategy::kRing;
+      } else {
+        std::fprintf(stderr, "bad --allreduce %s (flat|tree|ring)\n", s.c_str());
+        return 2;
+      }
+    }
+    if (args.count("bucket-kb")) {
+      cfg.bucket_kb = static_cast<std::size_t>(
+          std::max(1L, std::atol(args["bucket-kb"].c_str())));
+    }
+    cfg.overlap_comm = !no_overlap;
 
     const auto report_every = static_cast<std::size_t>(
         std::atoi(args.count("report-every") ? args["report-every"].c_str()
@@ -155,6 +197,14 @@ int main(int argc, char** argv) {
                 "best valid %.4f\n",
                 result.wall_seconds, result.samples_per_second, gflops,
                 result.best_valid_accuracy);
+    if (cfg.n_procs > 1 && result.allreduce_seconds > 0.0) {
+      std::printf("allreduce: %.1f MiB reduced in %.3fs "
+                  "(effective %.2f GB/s)\n",
+                  static_cast<double>(result.allreduce_bytes) / (1024.0 * 1024.0),
+                  result.allreduce_seconds,
+                  static_cast<double>(result.allreduce_bytes) /
+                      result.allreduce_seconds * 1e-9);
+    }
     report("valid", trainer.model(), splits.valid);
     report("test", trainer.model(), splits.test);
 

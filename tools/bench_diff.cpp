@@ -1,7 +1,10 @@
-// Compare two BENCH_kernels.json files (agebo-bench-kernels-v1, as written
-// by bench/bench_kernels_json) and exit nonzero when any matching
+// Compare two benchmark JSON files and exit nonzero when any matching
 // (kernel, m, k, n) entry regressed by more than --tol (default 10%) in
-// blocked GFLOP/s. CI gates kernel changes with:
+// blocked GFLOP/s. Accepts both harness schemas — agebo-bench-kernels-v1
+// (bench/bench_kernels_json: GEMM shapes, blocked_gflops = absolute rate)
+// and agebo-bench-allreduce-v1 (bench/bench_allreduce_json: reduction
+// sizes mapped onto the same field names, blocked_gflops = effective
+// GB/s). CI gates kernel changes with:
 //
 //   bench_kernels_json --out new.json
 //   bench_diff baseline.json new.json          # exit 1 on >10% regression
@@ -55,7 +58,8 @@ bool load(const std::string& path, std::map<Key, Entry>& entries) {
   std::string line;
   bool saw_schema = false;
   while (std::getline(is, line)) {
-    if (line.find("agebo-bench-kernels-v1") != std::string::npos) {
+    if (line.find("agebo-bench-kernels-v1") != std::string::npos ||
+        line.find("agebo-bench-allreduce-v1") != std::string::npos) {
       saw_schema = true;
     }
     std::string kernel, m, k, n, gflops, speedup;
@@ -77,7 +81,8 @@ bool load(const std::string& path, std::map<Key, Entry>& entries) {
   }
   if (!saw_schema) {
     std::cerr << "bench_diff: " << path
-              << " is not an agebo-bench-kernels-v1 file\n";
+              << " is not an agebo-bench-kernels-v1 / "
+                 "agebo-bench-allreduce-v1 file\n";
     return false;
   }
   if (entries.empty()) {

@@ -9,7 +9,11 @@
 //  - spans on one lane are properly nested: a pair of spans is either
 //    disjoint or one contains the other — partial overlap means the lane
 //    double-booked a worker;
-//  - counter tracks ("C" events) have monotone non-decreasing timestamps.
+//  - counter tracks ("C" events) have monotone non-decreasing timestamps;
+//  - every "dp.allreduce.bucket" span sits inside a "dp.step" span on the
+//    same lane — the bucketed allreduce is part of the step collective, so
+//    a bucket span escaping its step means the trainer's span accounting
+//    broke.
 //
 // Exits 0 when every invariant holds, 1 with a diagnostic otherwise. The
 // obs ctest suite runs it against a freshly simulated campaign.
@@ -83,6 +87,35 @@ void check_lane_nesting(const std::string& lane, std::vector<Span> spans) {
       fail(msg.str());
     }
     open_ends.push_back(end);
+  }
+}
+
+/// Every per-bucket allreduce span must be contained in a dp.step span on
+/// its own lane (same serialization tolerance as the nesting check).
+void check_bucket_containment(const std::string& lane,
+                              const std::vector<Span>& spans) {
+  const double eps = 0.05;
+  std::vector<const Span*> steps;
+  for (const Span& s : spans) {
+    if (s.name == "dp.step") steps.push_back(&s);
+  }
+  for (const Span& s : spans) {
+    if (s.name != "dp.allreduce.bucket") continue;
+    const double end = s.ts + s.dur;
+    bool contained = false;
+    for (const Span* step : steps) {
+      if (s.ts + eps >= step->ts && end <= step->ts + step->dur + eps) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      std::ostringstream msg;
+      msg.precision(12);
+      msg << "lane \"" << lane << "\": dp.allreduce.bucket span [" << s.ts
+          << ", " << end << ") is not contained in any dp.step span";
+      fail(msg.str());
+    }
   }
 }
 
@@ -164,6 +197,7 @@ int main(int argc, char** argv) {
       fail("tid " + std::to_string(tid) + " has spans but no thread_name");
     }
     n_spans += spans.size();
+    check_bucket_containment(it->second, spans);
     check_lane_nesting(it->second, std::move(spans));
   }
   std::size_t n_samples = 0;
