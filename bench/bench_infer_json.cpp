@@ -1,0 +1,272 @@
+// Perf-regression harness for the serving path (DESIGN.md §12): builds
+// representative search-space architectures (covertype-shaped: 54 features
+// in, 7 classes out), freezes each into a model artifact, and times the
+// naive deployment baseline — one GraphNet::forward + softmax per request
+// row — against the InferenceEngine's batched predict_batch at serving
+// batch sizes. Emits machine-readable BENCH_infer.json.
+//
+// Both paths end at class probabilities written to the same caller buffer,
+// and the engine replays the identical kernel entry points the network
+// uses, so the measured gap is purely the batching win: one blocked GEMM
+// sweep per layer instead of `batch` degenerate m=1 GEMV-shaped calls (per
+// call overhead, no register-block reuse across rows).
+//
+// The JSON uses the agebo-bench-infer-v1 schema, mapped onto the record
+// fields tools/bench_diff already parses:
+//   kernel = architecture name, m = batch size, k = parameter count,
+//   n = n_classes, blocked_gflops = batched predictions/s,
+//   naive_gflops = per-row predictions/s, speedup = batched vs per-row.
+//
+// With --check it exits nonzero unless (a) engine logits are bitwise
+// identical to GraphNet::forward on every architecture and (b) the batched
+// path is >= 3x the per-row baseline at every batch >= 64 on the gated
+// architectures — the PR's acceptance criterion, enforced by
+// `ctest -L perf`. Non-gated rows are still emitted and drift-tracked via
+// bench_diff.
+//
+// Usage: bench_infer_json [--out FILE] [--check] [--quick] [--reps K]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/graph_net.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "nn/tensor.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace agebo;
+
+// Representative architectures from the NAS search space: a plain dense
+// chain, a skip-heavy net (projection path), and an identity-node net
+// (pass-through path). All covertype-shaped.
+struct Arch {
+  const char* name;
+  bool gated;  // under the hard >= 3x batch-64 gate
+  nn::GraphSpec spec;
+};
+
+nn::NodeSpec dense_node(std::size_t units, std::vector<std::size_t> skips = {}) {
+  nn::NodeSpec n;
+  n.units = units;
+  n.act = nn::Activation::kRelu;
+  n.skips = std::move(skips);
+  return n;
+}
+
+nn::NodeSpec identity_node() {
+  nn::NodeSpec n;
+  n.is_identity = true;
+  return n;
+}
+
+std::vector<Arch> make_archs() {
+  std::vector<Arch> archs;
+  {
+    Arch a{"chain-3x96", true, {}};
+    a.spec.input_dim = 54;
+    a.spec.output_dim = 7;
+    a.spec.nodes = {dense_node(96), dense_node(96), dense_node(96)};
+    archs.push_back(std::move(a));
+  }
+  {
+    Arch a{"skips-4x160", true, {}};
+    a.spec.input_dim = 54;
+    a.spec.output_dim = 7;
+    a.spec.nodes = {dense_node(160), dense_node(160, {0}),
+                    dense_node(128, {0, 1}), dense_node(96, {1})};
+    a.spec.output_skips = {2, 3};
+    archs.push_back(std::move(a));
+  }
+  {
+    Arch a{"identity-mix", false, {}};
+    a.spec.input_dim = 54;
+    a.spec.output_dim = 7;
+    a.spec.nodes = {dense_node(64), identity_node(), dense_node(64, {0}),
+                    identity_node()};
+    a.spec.output_skips = {1};
+    archs.push_back(std::move(a));
+  }
+  return archs;
+}
+
+// Min-of-k wall times (same estimator as bench_kernels_json): two untimed
+// warmups, per-rep iteration count calibrated to ~4 ms, best rep kept.
+double measure_ns(const std::function<void()>& fn, int reps) {
+  fn();
+  fn();
+  const auto c0 = std::chrono::steady_clock::now();
+  fn();
+  const auto c1 = std::chrono::steady_clock::now();
+  const double once_ns =
+      std::max(1.0, std::chrono::duration<double, std::nano>(c1 - c0).count());
+  const std::size_t iters =
+      std::max<std::size_t>(1, static_cast<std::size_t>(4e6 / once_ns));
+
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters);
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+struct Row {
+  const char* arch;
+  std::size_t batch;
+  std::size_t params;
+  std::size_t classes;
+  bool gated;
+  double naive_ns;    // whole batch, per-row path
+  double batched_ns;  // whole batch, engine path
+  double naive_pps;   // predictions/s
+  double batched_pps;
+  double speedup;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_infer.json";
+  bool check = false;
+  bool quick = false;
+  int reps = 9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--quick") {
+      quick = true;
+      reps = 5;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> batches =
+      quick ? std::vector<std::size_t>{64, 256}
+            : std::vector<std::size_t>{1, 16, 64, 256, 1024};
+
+  Rng rng(7);
+  bool bitwise_ok = true;
+  std::vector<Row> rows;
+  for (Arch& arch : make_archs()) {
+    nn::GraphNet net(arch.spec, rng);
+    serve::InferenceEngine engine(nn::freeze_graphnet(net));
+    const std::size_t d = arch.spec.input_dim;
+    const std::size_t c = arch.spec.output_dim;
+
+    const std::size_t max_batch = *std::max_element(batches.begin(), batches.end());
+    std::vector<float> data(max_batch * d);
+    for (auto& v : data) v = static_cast<float>(rng.normal());
+
+    // Bitwise-identity sanity check: engine logits vs GraphNet::forward on
+    // the largest batch. A serving path that drifts from the trained
+    // network would make every reported rate meaningless.
+    {
+      nn::Tensor x(max_batch, d);
+      std::memcpy(x.v.data(), data.data(), data.size() * sizeof(float));
+      const nn::Tensor& ref = net.forward(x);
+      std::vector<float> got(max_batch * c);
+      engine.predict_logits(data.data(), max_batch, got.data());
+      if (std::memcmp(ref.v.data(), got.data(), got.size() * sizeof(float)) !=
+          0) {
+        std::cerr << "BITWISE MISMATCH: " << arch.name
+                  << ": engine logits differ from GraphNet::forward\n";
+        bitwise_ok = false;
+      }
+    }
+
+    for (std::size_t batch : batches) {
+      std::vector<float> out(batch * c);
+      // Naive deployment baseline: one forward + softmax per request row.
+      nn::Tensor x1(1, d);
+      nn::Tensor p1;
+      const auto naive = [&] {
+        for (std::size_t i = 0; i < batch; ++i) {
+          std::memcpy(x1.v.data(), data.data() + i * d, d * sizeof(float));
+          nn::softmax(net.forward(x1), p1);
+          std::memcpy(out.data() + i * c, p1.v.data(), c * sizeof(float));
+        }
+      };
+      const auto batched = [&] {
+        engine.predict_batch(data.data(), batch, out.data());
+      };
+
+      const double naive_ns = measure_ns(naive, reps);
+      const double batched_ns = measure_ns(batched, reps);
+      Row row{arch.name,
+              batch,
+              engine.num_params(),
+              c,
+              arch.gated,
+              naive_ns,
+              batched_ns,
+              static_cast<double>(batch) / naive_ns * 1e9,
+              static_cast<double>(batch) / batched_ns * 1e9,
+              naive_ns / batched_ns};
+      std::printf(
+          "%-13s batch=%-5zu per-row %9.0f pred/s  batched %9.0f pred/s"
+          "  speedup %5.2fx\n",
+          arch.name, batch, row.naive_pps, row.batched_pps, row.speedup);
+      rows.push_back(row);
+    }
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 2;
+  }
+  os << "{\n  \"schema\": \"agebo-bench-infer-v1\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"kernel\": \"" << r.arch << "\", \"m\": " << r.batch
+       << ", \"k\": " << r.params << ", \"n\": " << r.classes
+       << ", \"naive_ns\": " << r.naive_ns
+       << ", \"blocked_ns\": " << r.batched_ns
+       << ", \"naive_gflops\": " << r.naive_pps
+       << ", \"blocked_gflops\": " << r.batched_pps
+       << ", \"speedup\": " << r.speedup << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (check) {
+    bool ok = bitwise_ok;
+    for (const Row& r : rows) {
+      if (!r.gated || r.batch < 64) continue;
+      if (r.speedup < 3.0) {
+        std::cerr << "PERF REGRESSION: " << r.arch << " batch=" << r.batch
+                  << " batched path under 3x vs per-row baseline (speedup "
+                  << r.speedup << ")\n";
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::cout << "check passed: engine bitwise-identical to GraphNet and "
+                 ">= 3x per-row baseline at batch >= 64\n";
+  }
+  return 0;
+}

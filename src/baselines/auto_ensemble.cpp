@@ -129,14 +129,16 @@ AutoEnsembleReport AutoEnsemble::fit(const data::Dataset& train,
   return report;
 }
 
+std::vector<double> AutoEnsemble::predict_proba_row(const float* row) const {
+  return ensemble().predict_proba_row(row);
+}
+
 std::vector<int> AutoEnsemble::predict(const data::Dataset& ds) const {
-  if (!stack_) throw std::logic_error("AutoEnsemble: not fitted");
-  return stack_->predict(ds);
+  return ensemble().predict(ds);
 }
 
 double AutoEnsemble::accuracy(const data::Dataset& ds) const {
-  if (!stack_) throw std::logic_error("AutoEnsemble: not fitted");
-  return stack_->accuracy(ds);
+  return ensemble().accuracy(ds);
 }
 
 double AutoEnsemble::inference_seconds(const data::Dataset& ds) const {

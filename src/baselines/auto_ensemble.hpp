@@ -32,7 +32,7 @@ struct AutoEnsembleReport {
   std::size_t total_models = 0;
 };
 
-class AutoEnsemble {
+class AutoEnsemble final : public ml::RowwisePredictor {
  public:
   explicit AutoEnsemble(AutoEnsembleConfig cfg = {});
 
@@ -40,6 +40,12 @@ class AutoEnsemble {
   /// on train (k-fold OOF for the meta-learner).
   AutoEnsembleReport fit(const data::Dataset& train, const data::Dataset& valid);
 
+  /// Predictor contract (throws std::logic_error before fit).
+  std::size_t input_dim() const override { return ensemble().input_dim(); }
+  std::size_t output_dim() const override { return ensemble().output_dim(); }
+  std::vector<double> predict_proba_row(const float* row) const override;
+
+  /// Fitted-state guards over the shared dataset helpers.
   std::vector<int> predict(const data::Dataset& ds) const;
   double accuracy(const data::Dataset& ds) const;
 

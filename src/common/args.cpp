@@ -1,0 +1,82 @@
+#include "common/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace agebo::common {
+
+ArgParser::ArgParser(std::string usage) : usage_(std::move(usage)) {}
+
+void ArgParser::add_option(const std::string& name) {
+  known_[name] = Kind::kOption;
+}
+
+void ArgParser::add_flag(const std::string& name) { known_[name] = Kind::kFlag; }
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", argv[0], arg);
+      print_usage();
+      return false;
+    }
+    const std::string name = arg + 2;
+    const auto it = known_.find(name);
+    if (it == known_.end()) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", argv[0], name.c_str());
+      print_usage();
+      return false;
+    }
+    if (it->second == Kind::kFlag) {
+      values_[name] = "";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: --%s requires a value\n", argv[0],
+                   name.c_str());
+      print_usage();
+      return false;
+    }
+    values_[name] = argv[++i];
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::size_t ArgParser::get_size(const std::string& name,
+                                std::size_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const long long v = std::atoll(it->second.c_str());
+  return v < 0 ? fallback : static_cast<std::size_t>(v);
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& name,
+                                 std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return static_cast<std::uint64_t>(std::atoll(it->second.c_str()));
+}
+
+void ArgParser::print_usage() const {
+  std::fprintf(stderr, "%s", usage_.c_str());
+}
+
+}  // namespace agebo::common

@@ -1,0 +1,58 @@
+// Shared CLI flag parsing for the repo's tools (agebo_campaign, agebo_train,
+// agebo_serve). Replaces the per-tool copy-pasted argv loops, and fixes
+// their divergent unknown-flag behaviour: every unknown or malformed flag is
+// an error (diagnostic + usage, exit-worthy), never silently ignored.
+//
+// Usage:
+//   common::ArgParser args(usage_text);
+//   args.add_option("epochs");        // --epochs N   (value follows)
+//   args.add_flag("arff");            // --arff       (boolean)
+//   if (!args.parse(argc, argv)) return 2;   // prints diagnostic + usage
+//   const auto epochs = args.get_size("epochs", 20);
+//   if (args.flag("arff")) ...
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace agebo::common {
+
+class ArgParser {
+ public:
+  /// `usage` is printed verbatim to stderr after any parse diagnostic.
+  explicit ArgParser(std::string usage);
+
+  /// Register `--name VALUE` (the next argv entry is consumed as value).
+  void add_option(const std::string& name);
+  /// Register boolean `--name`.
+  void add_flag(const std::string& name);
+
+  /// Parse argv. On any unknown flag, missing value, or stray positional
+  /// argument: print a diagnostic plus the usage text to stderr and return
+  /// false. Re-specifying an option keeps the last value.
+  bool parse(int argc, char** argv);
+
+  /// True when --name was given (option or flag).
+  bool has(const std::string& name) const;
+  /// True when boolean --name was given.
+  bool flag(const std::string& name) const { return has(name); }
+
+  /// Raw option value, or `fallback` when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::size_t get_size(const std::string& name, std::size_t fallback) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+
+  void print_usage() const;
+
+ private:
+  enum class Kind { kOption, kFlag };
+
+  std::string usage_;
+  std::map<std::string, Kind> known_;
+  std::map<std::string, std::string> values_;  // flags store ""
+};
+
+}  // namespace agebo::common

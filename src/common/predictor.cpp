@@ -1,0 +1,26 @@
+#include "common/predictor.hpp"
+
+#include <algorithm>
+
+namespace agebo {
+
+std::vector<int> predict_classes(const Predictor& p, const float* rows,
+                                 std::size_t n) {
+  const std::size_t c = p.output_dim();
+  std::vector<float> proba(n * c);
+  p.predict_batch(rows, n, proba.data());
+  std::vector<int> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* r = proba.data() + i * c;
+    out[i] = static_cast<int>(std::distance(r, std::max_element(r, r + c)));
+  }
+  return out;
+}
+
+std::vector<float> predict_proba(const Predictor& p, const float* row) {
+  std::vector<float> out(p.output_dim());
+  p.predict_batch(row, 1, out.data());
+  return out;
+}
+
+}  // namespace agebo

@@ -1,0 +1,45 @@
+// The unified inference contract of the repo (DESIGN.md §12): anything that
+// can turn feature rows into class probabilities is a Predictor — the
+// serving engine over a frozen GraphNet, every classical model in src/ml,
+// and the AutoGluon-like baseline ensemble. The search stack produces
+// Predictors; the serving stack (src/serve) consumes them.
+//
+// The contract is deliberately row-major and batched: `rows` is n x
+// input_dim float32, `out` receives n x output_dim probabilities. Batch
+// calls are what the kernel layer is fast at; per-row convenience wrappers
+// build on top.
+//
+// Implementations may reuse internal scratch buffers across predict_batch
+// calls (const is logical, not bitwise), so concurrent calls on one
+// instance must be externally serialized — the serve::MicroBatcher provides
+// exactly that serialization for the high-throughput path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agebo {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Feature count a row must have.
+  virtual std::size_t input_dim() const = 0;
+  /// Number of classes (probability vector width).
+  virtual std::size_t output_dim() const = 0;
+
+  /// Class probabilities for `n` row-major rows (n x input_dim) written to
+  /// `out` (n x output_dim). Each output row sums to ~1.
+  virtual void predict_batch(const float* rows, std::size_t n,
+                             float* out) const = 0;
+};
+
+/// Argmax class per row of a predictor's output over `rows`.
+std::vector<int> predict_classes(const Predictor& p, const float* rows,
+                                 std::size_t n);
+
+/// Probabilities for a single row (convenience wrapper over predict_batch).
+std::vector<float> predict_proba(const Predictor& p, const float* row);
+
+}  // namespace agebo

@@ -52,29 +52,4 @@ class Evaluator {
   virtual exec::EvalOutput evaluate(const EvalRequest& request) = 0;
 };
 
-/// Compatibility adapter for evaluators written against the pre-EvalRequest
-/// API: derive from this (instead of Evaluator) and keep overriding
-/// evaluate(config) / evaluate_at(config, fidelity); the unified entry
-/// point forwards to them. Kept for one release — new evaluators should
-/// implement evaluate(const EvalRequest&) directly.
-class LegacyEvaluator : public Evaluator {
- public:
-  exec::EvalOutput evaluate(const EvalRequest& request) final {
-    if (request.fidelity < 1.0) {
-      return evaluate_at(request.config, request.fidelity);
-    }
-    return evaluate(request.config);
-  }
-
-  virtual exec::EvalOutput evaluate(const ModelConfig& config) = 0;
-
-  /// Multi-fidelity evaluation: train for `fidelity` (0, 1] of the full
-  /// epoch budget; the default ignores the knob and runs at full fidelity.
-  virtual exec::EvalOutput evaluate_at(const ModelConfig& config,
-                                       double fidelity) {
-    (void)fidelity;
-    return evaluate(config);
-  }
-};
-
 }  // namespace agebo::eval

@@ -11,6 +11,7 @@ GradientBoostingClassifier::GradientBoostingClassifier(BoostingConfig cfg)
 
 void GradientBoostingClassifier::fit(const data::Dataset& ds) {
   if (ds.n_rows == 0) throw std::invalid_argument("GradientBoosting: empty");
+  n_features_ = ds.n_features;
   n_classes_ = ds.n_classes;
   trees_.clear();
 
@@ -101,25 +102,6 @@ std::vector<double> GradientBoostingClassifier::predict_proba_row(const float* r
   }
   for (double& s : scores) s /= z;
   return scores;
-}
-
-std::vector<int> GradientBoostingClassifier::predict(const data::Dataset& ds) const {
-  std::vector<int> out(ds.n_rows);
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    const auto proba = predict_proba_row(ds.row(i));
-    out[i] = static_cast<int>(std::distance(
-        proba.begin(), std::max_element(proba.begin(), proba.end())));
-  }
-  return out;
-}
-
-double GradientBoostingClassifier::accuracy(const data::Dataset& ds) const {
-  const auto preds = predict(ds);
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    if (preds[i] == ds.y[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
 }
 
 }  // namespace agebo::ml

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
+#include "ml/classifier.hpp"
 #include "ml/tree.hpp"
 
 namespace agebo::ml {
@@ -28,15 +29,15 @@ struct BoostingConfig {
   }
 };
 
-class GradientBoostingClassifier {
+class GradientBoostingClassifier final : public RowwisePredictor {
  public:
   explicit GradientBoostingClassifier(BoostingConfig cfg = {});
 
   void fit(const data::Dataset& ds);
 
-  std::vector<double> predict_proba_row(const float* row) const;
-  std::vector<int> predict(const data::Dataset& ds) const;
-  double accuracy(const data::Dataset& ds) const;
+  std::size_t input_dim() const override { return n_features_; }
+  std::size_t output_dim() const override { return n_classes_; }
+  std::vector<double> predict_proba_row(const float* row) const override;
 
   std::size_t n_rounds_fitted() const { return trees_.size(); }
 
@@ -44,6 +45,7 @@ class GradientBoostingClassifier {
   void scores_for_row(const float* row, std::vector<double>& scores) const;
 
   BoostingConfig cfg_;
+  std::size_t n_features_ = 0;
   std::size_t n_classes_ = 0;
   std::vector<double> base_score_;                 // log-prior per class
   std::vector<std::vector<DecisionTree>> trees_;   // [round][class]

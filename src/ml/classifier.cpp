@@ -1,0 +1,39 @@
+#include "ml/classifier.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace agebo::ml {
+
+void RowwisePredictor::predict_batch(const float* rows, std::size_t n,
+                                     float* out) const {
+  const std::size_t in = input_dim();
+  const std::size_t width = output_dim();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proba = predict_proba_row(rows + i * in);
+    for (std::size_t c = 0; c < width; ++c) {
+      out[i * width + c] = static_cast<float>(proba[c]);
+    }
+  }
+}
+
+std::vector<int> RowwisePredictor::predict(const data::Dataset& ds) const {
+  std::vector<int> out(ds.n_rows);
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    const auto proba = predict_proba_row(ds.row(i));
+    out[i] = static_cast<int>(std::distance(
+        proba.begin(), std::max_element(proba.begin(), proba.end())));
+  }
+  return out;
+}
+
+double RowwisePredictor::accuracy(const data::Dataset& ds) const {
+  const auto preds = predict(ds);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.n_rows; ++i) {
+    if (preds[i] == ds.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
+}
+
+}  // namespace agebo::ml

@@ -1,0 +1,33 @@
+// Shared classifier base for src/ml: adapts row-at-a-time probability
+// models onto the repo-wide Predictor contract (common/predictor.hpp) and
+// hosts the dataset-level predict/accuracy helpers every model used to
+// duplicate. A concrete model only implements predict_proba_row (its
+// natural primitive) plus the two dimension accessors; batching, argmax,
+// and accuracy come from here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/predictor.hpp"
+#include "data/dataset.hpp"
+
+namespace agebo::ml {
+
+class RowwisePredictor : public Predictor {
+ public:
+  /// Class probabilities for one feature row; size output_dim(). This is
+  /// the model's native primitive — everything else derives from it.
+  virtual std::vector<double> predict_proba_row(const float* row) const = 0;
+
+  /// Predictor contract: per-row probabilities, cast to float32.
+  void predict_batch(const float* rows, std::size_t n,
+                     float* out) const override;
+
+  /// Argmax class per dataset row (full double precision, no float cast).
+  std::vector<int> predict(const data::Dataset& ds) const;
+  /// Fraction of dataset rows whose argmax class matches the label.
+  double accuracy(const data::Dataset& ds) const;
+};
+
+}  // namespace agebo::ml

@@ -105,4 +105,18 @@ std::vector<double> blend_row(const std::vector<CandidatePredictions>& candidate
   return blend;
 }
 
+CandidatePredictions candidate_from(const Predictor& model,
+                                    const data::Dataset& ds) {
+  if (ds.n_features != model.input_dim()) {
+    throw std::invalid_argument("candidate_from: feature dim mismatch");
+  }
+  CandidatePredictions cand;
+  cand.n_rows = ds.n_rows;
+  cand.n_classes = model.output_dim();
+  std::vector<float> probs(ds.n_rows * cand.n_classes);
+  model.predict_batch(ds.x.data(), ds.n_rows, probs.data());
+  cand.proba.assign(probs.begin(), probs.end());
+  return cand;
+}
+
 }  // namespace agebo::ml

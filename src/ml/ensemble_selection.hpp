@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/predictor.hpp"
 #include "data/dataset.hpp"
 
 namespace agebo::ml {
@@ -47,5 +48,11 @@ EnsembleSelectionResult select_ensemble(
 std::vector<double> blend_row(const std::vector<CandidatePredictions>& candidates,
                               const std::vector<double>& weights,
                               std::size_t row);
+
+/// Materialize a fitted model's validation predictions through the unified
+/// Predictor interface — how selection consumes members without knowing
+/// their concrete type.
+CandidatePredictions candidate_from(const Predictor& model,
+                                    const data::Dataset& ds);
 
 }  // namespace agebo::ml

@@ -79,28 +79,6 @@ std::vector<double> RandomForestClassifier::predict_proba_row(const float* row) 
   return proba;
 }
 
-std::vector<int> RandomForestClassifier::predict(const data::Dataset& ds) const {
-  std::vector<int> out(ds.n_rows);
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    const auto proba = predict_proba_row(ds.row(i));
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < proba.size(); ++c) {
-      if (proba[c] > proba[best]) best = c;
-    }
-    out[i] = static_cast<int>(best);
-  }
-  return out;
-}
-
-double RandomForestClassifier::accuracy(const data::Dataset& ds) const {
-  const auto preds = predict(ds);
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    if (preds[i] == ds.y[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
-}
-
 RandomForestRegressor::RandomForestRegressor(ForestConfig cfg)
     : cfg_(std::move(cfg)) {}
 

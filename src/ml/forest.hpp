@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
+#include "ml/classifier.hpp"
 #include "ml/tree.hpp"
 
 namespace agebo::ml {
@@ -27,16 +28,16 @@ struct ForestConfig {
 ForestConfig random_forest_defaults(std::size_t n_trees = 100);
 ForestConfig extra_trees_defaults(std::size_t n_trees = 100);
 
-class RandomForestClassifier {
+class RandomForestClassifier final : public RowwisePredictor {
  public:
   explicit RandomForestClassifier(ForestConfig cfg = random_forest_defaults());
 
   void fit(const data::Dataset& ds);
 
+  std::size_t input_dim() const override { return n_features_; }
+  std::size_t output_dim() const override { return n_classes_; }
   /// Soft-vote probabilities for one row; size n_classes.
-  std::vector<double> predict_proba_row(const float* row) const;
-  std::vector<int> predict(const data::Dataset& ds) const;
-  double accuracy(const data::Dataset& ds) const;
+  std::vector<double> predict_proba_row(const float* row) const override;
 
   std::size_t n_trees() const { return trees_.size(); }
   std::size_t n_classes() const { return n_classes_; }

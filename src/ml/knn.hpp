@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
+#include "ml/classifier.hpp"
 
 namespace agebo::ml {
 
@@ -19,16 +20,16 @@ struct KnnConfig {
   std::uint64_t seed = 5;
 };
 
-class KnnClassifier {
+class KnnClassifier final : public RowwisePredictor {
  public:
   explicit KnnClassifier(KnnConfig cfg = {});
 
   void fit(const data::Dataset& ds);
 
+  std::size_t input_dim() const override { return ref_.n_features; }
+  std::size_t output_dim() const override { return ref_.n_classes; }
   /// Distance-weighted vote probabilities; size n_classes.
-  std::vector<double> predict_proba_row(const float* row) const;
-  std::vector<int> predict(const data::Dataset& ds) const;
-  double accuracy(const data::Dataset& ds) const;
+  std::vector<double> predict_proba_row(const float* row) const override;
 
   std::size_t n_reference_rows() const { return ref_.n_rows; }
 

@@ -81,23 +81,4 @@ std::vector<double> LogisticRegression::predict_proba_row(const float* row) cons
   return probs;
 }
 
-std::vector<int> LogisticRegression::predict(const data::Dataset& ds) const {
-  std::vector<int> out(ds.n_rows);
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    const auto proba = predict_proba_row(ds.row(i));
-    out[i] = static_cast<int>(std::distance(
-        proba.begin(), std::max_element(proba.begin(), proba.end())));
-  }
-  return out;
-}
-
-double LogisticRegression::accuracy(const data::Dataset& ds) const {
-  const auto preds = predict(ds);
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    if (preds[i] == ds.y[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
-}
-
 }  // namespace agebo::ml

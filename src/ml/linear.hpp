@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
+#include "ml/classifier.hpp"
 
 namespace agebo::ml {
 
@@ -19,15 +20,15 @@ struct LogisticConfig {
   std::uint64_t seed = 11;
 };
 
-class LogisticRegression {
+class LogisticRegression final : public RowwisePredictor {
  public:
   explicit LogisticRegression(LogisticConfig cfg = {});
 
   void fit(const data::Dataset& ds);
 
-  std::vector<double> predict_proba_row(const float* row) const;
-  std::vector<int> predict(const data::Dataset& ds) const;
-  double accuracy(const data::Dataset& ds) const;
+  std::size_t input_dim() const override { return n_features_; }
+  std::size_t output_dim() const override { return n_classes_; }
+  std::vector<double> predict_proba_row(const float* row) const override;
 
  private:
   LogisticConfig cfg_;

@@ -16,6 +16,7 @@ void StackingEnsemble::fit(const data::Dataset& ds) {
   if (ds.n_rows < cfg_.n_folds) {
     throw std::invalid_argument("StackingEnsemble: fewer rows than folds");
   }
+  n_features_ = ds.n_features;
   n_classes_ = ds.n_classes;
   names_.clear();
   fold_models_.clear();
@@ -123,25 +124,6 @@ std::vector<double> StackingEnsemble::predict_proba_row(const float* row) const 
     }
   }
   return meta_.predict_proba_row(meta_row.data());
-}
-
-std::vector<int> StackingEnsemble::predict(const data::Dataset& ds) const {
-  std::vector<int> out(ds.n_rows);
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    const auto proba = predict_proba_row(ds.row(i));
-    out[i] = static_cast<int>(std::distance(
-        proba.begin(), std::max_element(proba.begin(), proba.end())));
-  }
-  return out;
-}
-
-double StackingEnsemble::accuracy(const data::Dataset& ds) const {
-  const auto preds = predict(ds);
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < ds.n_rows; ++i) {
-    if (preds[i] == ds.y[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(ds.n_rows);
 }
 
 std::size_t StackingEnsemble::n_models() const {

@@ -13,21 +13,22 @@
 
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
+#include "ml/classifier.hpp"
 #include "ml/ensemble_selection.hpp"
 #include "ml/linear.hpp"
 
 namespace agebo::ml {
 
-/// Type-erased classifier used as a stacking base learner.
-class BaseClassifier {
+/// Type-erased stacking base learner: a trainable, named Predictor. The
+/// ensemble consumes members strictly through this interface — every fold
+/// model is addressed as a RowwisePredictor, never as its concrete type.
+class BaseClassifier : public RowwisePredictor {
  public:
-  virtual ~BaseClassifier() = default;
   virtual void fit(const data::Dataset& ds) = 0;
-  virtual std::vector<double> predict_proba_row(const float* row) const = 0;
   virtual std::string name() const = 0;
 };
 
-/// Adapter over any model with fit(Dataset) + predict_proba_row(row).
+/// Adapter over any RowwisePredictor model with fit(Dataset).
 template <typename Model>
 class ClassifierAdapter final : public BaseClassifier {
  public:
@@ -35,6 +36,8 @@ class ClassifierAdapter final : public BaseClassifier {
       : model_(std::move(model)), name_(std::move(name)) {}
 
   void fit(const data::Dataset& ds) override { model_.fit(ds); }
+  std::size_t input_dim() const override { return model_.input_dim(); }
+  std::size_t output_dim() const override { return model_.output_dim(); }
   std::vector<double> predict_proba_row(const float* row) const override {
     return model_.predict_proba_row(row);
   }
@@ -62,15 +65,15 @@ struct StackingConfig {
   std::uint64_t seed = 13;
 };
 
-class StackingEnsemble {
+class StackingEnsemble final : public RowwisePredictor {
  public:
   StackingEnsemble(std::vector<ClassifierFactory> factories, StackingConfig cfg);
 
   void fit(const data::Dataset& ds);
 
-  std::vector<double> predict_proba_row(const float* row) const;
-  std::vector<int> predict(const data::Dataset& ds) const;
-  double accuracy(const data::Dataset& ds) const;
+  std::size_t input_dim() const override { return n_features_; }
+  std::size_t output_dim() const override { return n_classes_; }
+  std::vector<double> predict_proba_row(const float* row) const override;
 
   /// Total fitted models across all base learners and folds (meta excluded).
   std::size_t n_models() const;
@@ -85,6 +88,7 @@ class StackingEnsemble {
 
   std::vector<ClassifierFactory> factories_;
   StackingConfig cfg_;
+  std::size_t n_features_ = 0;
   std::size_t n_classes_ = 0;
   std::vector<std::string> names_;
   // fold_models_[base][fold]

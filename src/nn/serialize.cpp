@@ -1,5 +1,7 @@
 #include "nn/serialize.hpp"
 
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -10,71 +12,57 @@ namespace {
 
 constexpr const char* kMagic = "agebo-graphnet";
 
-std::string activation_token(Activation a) { return to_string(a); }
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string checksum_hex(const std::string& bytes) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(bytes)));
+  return buf;
+}
 
 Activation activation_from_token(const std::string& token) {
   for (int i = 0; i < kNumActivations; ++i) {
     const auto act = activation_from_index(i);
     if (to_string(act) == token) return act;
   }
-  throw std::runtime_error("load_graphnet: unknown activation " + token);
+  throw std::runtime_error("load_artifact: unknown activation " + token);
 }
 
 void expect_token(std::istream& is, const std::string& want) {
   std::string got;
   if (!(is >> got) || got != want) {
-    throw std::runtime_error("load_graphnet: expected '" + want + "', got '" +
+    throw std::runtime_error("load_artifact: expected '" + want + "', got '" +
                              got + "'");
   }
 }
 
-}  // namespace
-
-void save_graphnet(GraphNet& net, std::ostream& os) {
-  const GraphSpec& spec = net.spec();
-  os << kMagic << " v1\n";
-  os << "input " << spec.input_dim << " output " << spec.output_dim << '\n';
-  os << "nodes " << spec.nodes.size() << '\n';
-  for (const auto& node : spec.nodes) {
-    os << "node ";
-    if (node.is_identity) {
-      os << "identity";
-    } else {
-      os << "dense " << node.units << ' ' << activation_token(node.act);
-    }
-    os << " skips " << node.skips.size();
-    for (std::size_t s : node.skips) os << ' ' << s;
-    os << '\n';
-  }
-  os << "output_skips " << spec.output_skips.size();
-  for (std::size_t s : spec.output_skips) os << ' ' << s;
-  os << '\n';
-
-  auto params = net.params();
-  os << "params " << params.size() << '\n';
-  os.precision(9);
-  for (const auto& block : params) {
-    os << "block " << block.values->size() << '\n';
-    for (std::size_t i = 0; i < block.values->size(); ++i) {
-      os << (*block.values)[i] << (i + 1 == block.values->size() ? '\n' : ' ');
+/// Everything after the version token: meta (v2 only), spec, parameters.
+ModelArtifact parse_body(std::istream& is, bool v2) {
+  ModelArtifact artifact;
+  if (v2) {
+    expect_token(is, "meta");
+    std::size_t n_meta = 0;
+    is >> n_meta;
+    for (std::size_t i = 0; i < n_meta; ++i) {
+      expect_token(is, "kv");
+      std::string key;
+      std::string value;
+      is >> key;
+      is.ignore(1);  // the separating space
+      std::getline(is, value);
+      artifact.metadata.emplace_back(key, value);
     }
   }
-}
 
-void save_graphnet_file(GraphNet& net, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("save_graphnet_file: cannot open " + path);
-  save_graphnet(net, os);
-}
-
-std::unique_ptr<GraphNet> load_graphnet(std::istream& is) {
-  std::string magic;
-  std::string version;
-  if (!(is >> magic >> version) || magic != kMagic || version != "v1") {
-    throw std::runtime_error("load_graphnet: bad header");
-  }
-
-  GraphSpec spec;
+  GraphSpec& spec = artifact.spec;
   expect_token(is, "input");
   is >> spec.input_dim;
   expect_token(is, "output");
@@ -95,7 +83,7 @@ std::unique_ptr<GraphNet> load_graphnet(std::istream& is) {
       is >> node.units >> act;
       node.act = activation_from_token(act);
     } else {
-      throw std::runtime_error("load_graphnet: unknown node kind " + kind);
+      throw std::runtime_error("load_artifact: unknown node kind " + kind);
     }
     expect_token(is, "skips");
     std::size_t k = 0;
@@ -108,29 +96,164 @@ std::unique_ptr<GraphNet> load_graphnet(std::istream& is) {
   is >> k;
   spec.output_skips.resize(k);
   for (auto& s : spec.output_skips) is >> s;
-  if (!is) throw std::runtime_error("load_graphnet: truncated spec");
-
-  Rng rng(0);  // weights are overwritten below
-  auto net = std::make_unique<GraphNet>(spec, rng);
-  auto params = net->params();
+  if (!is) throw std::runtime_error("load_artifact: truncated spec");
+  spec.validate();
 
   expect_token(is, "params");
   std::size_t n_blocks = 0;
   is >> n_blocks;
-  if (n_blocks != params.size()) {
-    throw std::runtime_error("load_graphnet: parameter block count mismatch");
-  }
-  for (auto& block : params) {
+  artifact.blocks.resize(n_blocks);
+  for (auto& block : artifact.blocks) {
     expect_token(is, "block");
     std::size_t len = 0;
     is >> len;
-    if (len != block.values->size()) {
-      throw std::runtime_error("load_graphnet: parameter block size mismatch");
-    }
-    for (auto& v : *block.values) is >> v;
+    if (!is) throw std::runtime_error("load_artifact: truncated parameters");
+    block.resize(len);
+    for (auto& v : block) is >> v;
   }
-  if (!is) throw std::runtime_error("load_graphnet: truncated parameters");
+  if (!is) throw std::runtime_error("load_artifact: truncated parameters");
+  return artifact;
+}
+
+}  // namespace
+
+std::string ModelArtifact::meta(const std::string& key) const {
+  for (const auto& [k, v] : metadata) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+ModelArtifact freeze_graphnet(
+    GraphNet& net, std::vector<std::pair<std::string, std::string>> metadata) {
+  ModelArtifact artifact;
+  artifact.spec = net.spec();
+  artifact.metadata = std::move(metadata);
+  for (const auto& ref : net.params()) {
+    artifact.blocks.push_back(*ref.values);
+  }
+  return artifact;
+}
+
+std::unique_ptr<GraphNet> instantiate_graphnet(const ModelArtifact& artifact) {
+  Rng rng(0);  // initial weights are overwritten below
+  auto net = std::make_unique<GraphNet>(artifact.spec, rng);
+  auto params = net->params();
+  if (params.size() != artifact.blocks.size()) {
+    throw std::runtime_error("instantiate_graphnet: block count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].values->size() != artifact.blocks[i].size()) {
+      throw std::runtime_error("instantiate_graphnet: block size mismatch");
+    }
+    *params[i].values = artifact.blocks[i];
+  }
   return net;
+}
+
+void save_artifact(const ModelArtifact& artifact, std::ostream& os) {
+  std::ostringstream body;
+  body << kMagic << " v2\n";
+  body << "meta " << artifact.metadata.size() << '\n';
+  for (const auto& [key, value] : artifact.metadata) {
+    body << "kv " << key << ' ' << value << '\n';
+  }
+  const GraphSpec& spec = artifact.spec;
+  body << "input " << spec.input_dim << " output " << spec.output_dim << '\n';
+  body << "nodes " << spec.nodes.size() << '\n';
+  for (const auto& node : spec.nodes) {
+    body << "node ";
+    if (node.is_identity) {
+      body << "identity";
+    } else {
+      body << "dense " << node.units << ' ' << to_string(node.act);
+    }
+    body << " skips " << node.skips.size();
+    for (std::size_t s : node.skips) body << ' ' << s;
+    body << '\n';
+  }
+  body << "output_skips " << spec.output_skips.size();
+  for (std::size_t s : spec.output_skips) body << ' ' << s;
+  body << '\n';
+
+  body << "params " << artifact.blocks.size() << '\n';
+  body.precision(9);  // FLT_DECIMAL_DIG: bit-exact float round trip
+  for (const auto& block : artifact.blocks) {
+    body << "block " << block.size() << '\n';
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      body << block[i] << (i + 1 == block.size() ? '\n' : ' ');
+    }
+  }
+
+  const std::string payload = body.str();
+  os << payload << "checksum " << checksum_hex(payload) << '\n';
+}
+
+void save_artifact_file(const ModelArtifact& artifact, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_artifact_file: cannot open " + path);
+  save_artifact(artifact, os);
+}
+
+ModelArtifact load_artifact(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+
+  std::istringstream head(text);
+  std::string magic;
+  std::string version;
+  if (!(head >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("load_artifact: bad header");
+  }
+  if (version == "v1") {
+    return parse_body(head, /*v2=*/false);
+  }
+  if (version != "v2") {
+    throw std::runtime_error("load_artifact: unsupported version '" + version +
+                             "' (expected v1 or v2)");
+  }
+
+  // v2: the final line is `checksum <hex>` over every byte before it.
+  const auto pos = text.rfind("\nchecksum ");
+  if (pos == std::string::npos) {
+    throw std::runtime_error(
+        "load_artifact: missing checksum line (truncated artifact?)");
+  }
+  const std::string payload = text.substr(0, pos + 1);
+  std::istringstream tail(text.substr(pos + 1));
+  expect_token(tail, "checksum");
+  std::string recorded;
+  tail >> recorded;
+  if (recorded != checksum_hex(payload)) {
+    throw std::runtime_error(
+        "load_artifact: checksum mismatch — artifact corrupted or truncated");
+  }
+
+  std::istringstream body(payload);
+  body >> magic >> version;
+  return parse_body(body, /*v2=*/true);
+}
+
+ModelArtifact load_artifact_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_artifact_file: cannot open " + path);
+  return load_artifact(is);
+}
+
+void save_graphnet(GraphNet& net, std::ostream& os) {
+  const ModelArtifact artifact = freeze_graphnet(net);
+  save_artifact(artifact, os);
+}
+
+void save_graphnet_file(GraphNet& net, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_graphnet_file: cannot open " + path);
+  save_graphnet(net, os);
+}
+
+std::unique_ptr<GraphNet> load_graphnet(std::istream& is) {
+  return instantiate_graphnet(load_artifact(is));
 }
 
 std::unique_ptr<GraphNet> load_graphnet_file(const std::string& path) {

@@ -1,30 +1,71 @@
-// Model persistence: save/load a trained GraphNet (spec + weights) to a
-// self-describing text format, so a search's winning model can be deployed
-// or re-evaluated later without retraining.
+// Model persistence: freeze a trained GraphNet (architecture decisions +
+// weights) into a versioned on-disk artifact, so a search's winning model
+// can be deployed by the serving stack (src/serve) or re-evaluated later
+// without retraining — and loaded without the search/training stack.
 //
-// Format (line oriented):
-//   agebo-graphnet v1
+// Artifact format v2 (line oriented, DESIGN.md §12):
+//   agebo-graphnet v2
+//   meta <count>
+//   kv <key> <value...>                                     (x count)
 //   input <dim> output <dim>
 //   nodes <m>
-//   node <identity|dense> [units act] skips <k> [ids...]   (x m)
+//   node <identity|dense> [units act] skips <k> [ids...]    (x m)
 //   output_skips <k> [ids...]
 //   params <n_blocks>
 //   block <len> followed by <len> whitespace-separated floats
+//   checksum <fnv1a64-hex>
+//
+// Floats are printed with 9 significant digits (FLT_DECIMAL_DIG), so a
+// save → load round trip reproduces every weight bit-exactly. The checksum
+// covers every byte before its own line: a truncated or corrupted artifact
+// fails load with a clear error instead of silently mis-predicting. The v1
+// format (no meta section, no checksum) is still loadable.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/graph_net.hpp"
 
 namespace agebo::nn {
 
+/// A frozen model: architecture + parameter blocks in params() order, plus
+/// free-form provenance metadata. This is the serving contract — the
+/// inference engine consumes it directly, with no Rng, no gradient buffers,
+/// and no trainer in sight.
+struct ModelArtifact {
+  GraphSpec spec;
+  /// One entry per ParamRef of the source network, in params() order.
+  std::vector<std::vector<float>> blocks;
+  /// Provenance key/value pairs (e.g. tool, dataset, valid accuracy).
+  std::vector<std::pair<std::string, std::string>> metadata;
+
+  /// First metadata value for `key`, or "" when absent.
+  std::string meta(const std::string& key) const;
+};
+
+/// Snapshot `net` into an artifact (weights are copied).
+ModelArtifact freeze_graphnet(
+    GraphNet& net,
+    std::vector<std::pair<std::string, std::string>> metadata = {});
+
+/// Rebuild a trainable network from an artifact (spec + weights).
+std::unique_ptr<GraphNet> instantiate_graphnet(const ModelArtifact& artifact);
+
+void save_artifact(const ModelArtifact& artifact, std::ostream& os);
+void save_artifact_file(const ModelArtifact& artifact, const std::string& path);
+
+/// Parses v1 or v2; verifies the v2 checksum. Throws std::runtime_error
+/// with a precise message on malformed, truncated, or corrupted input.
+ModelArtifact load_artifact(std::istream& is);
+ModelArtifact load_artifact_file(const std::string& path);
+
+/// Convenience wrappers: freeze + save / load + instantiate.
 void save_graphnet(GraphNet& net, std::ostream& os);
 void save_graphnet_file(GraphNet& net, const std::string& path);
-
-/// Reconstructs the network (spec + weights). Throws std::runtime_error on
-/// malformed input or parameter-shape mismatch.
 std::unique_ptr<GraphNet> load_graphnet(std::istream& is);
 std::unique_ptr<GraphNet> load_graphnet_file(const std::string& path);
 

@@ -1,0 +1,153 @@
+#include "serve/batcher.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace agebo::serve {
+
+namespace {
+
+// Fine-grained latency buckets: 10 us floor so sub-millisecond queue waits
+// and batch latencies still resolve into distinct buckets (the registry
+// default floor of 100 us would flatten them).
+const obs::HistogramSpec kLatencySpec{1e-5, 1.6, 40};
+
+struct ServeMetrics {
+  obs::Counter requests;
+  obs::Counter batches;
+  obs::Histogram batch_size;
+  obs::Histogram queue_wait;
+  obs::Histogram latency;
+  static const ServeMetrics& get() {
+    static const ServeMetrics m{
+        obs::Registry::global().counter("serve.requests"),
+        obs::Registry::global().counter("serve.batches"),
+        obs::Registry::global().histogram("serve.batch_size",
+                                          {1.0, 2.0, 16}),
+        obs::Registry::global().histogram("serve.queue_wait", kLatencySpec),
+        obs::Registry::global().histogram("serve.latency", kLatencySpec),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const InferenceEngine& engine,
+                           MicroBatcherConfig config)
+    : engine_(engine), config_(config) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("MicroBatcher: max_batch must be > 0");
+  }
+  batch_.reserve(config_.max_batch);
+  rows_.reserve(config_.max_batch * engine_.input_dim());
+  probs_.reserve(config_.max_batch * engine_.output_dim());
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { stop(); }
+
+void MicroBatcher::predict_row(const float* row, float* probs_out) {
+  Request req;
+  req.row = row;
+  req.out = probs_out;
+  req.enqueue_s = obs::trace_now_seconds();
+  std::condition_variable done_cv;
+  req.cv = &done_cv;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) {
+    throw std::runtime_error("MicroBatcher::predict_row: batcher stopped");
+  }
+  // Backpressure: block (rather than grow unboundedly) when the worker is
+  // saturated. Stop() drains, so waiting here cannot deadlock shutdown.
+  worker_cv_.wait(lock, [this] {
+    return queue_.size() < config_.queue_capacity || stopping_;
+  });
+  if (stopping_) {
+    throw std::runtime_error("MicroBatcher::predict_row: batcher stopped");
+  }
+  queue_.push_back(&req);
+  worker_cv_.notify_all();
+  done_cv.wait(lock, [&req] { return req.done; });
+
+  const double latency = obs::trace_now_seconds() - req.enqueue_s;
+  ServeMetrics::get().latency.observe(latency);
+}
+
+void MicroBatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void MicroBatcher::serve_batch(std::vector<Request*>& batch) {
+  const std::size_t in = engine_.input_dim();
+  const std::size_t out = engine_.output_dim();
+  const double now = obs::trace_now_seconds();
+
+  rows_.resize(batch.size() * in);
+  probs_.resize(batch.size() * out);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::memcpy(rows_.data() + i * in, batch[i]->row, in * sizeof(float));
+    ServeMetrics::get().queue_wait.observe(now - batch[i]->enqueue_s);
+  }
+  {
+    OBS_SPAN("serve.batch", {{"rows", std::to_string(batch.size())}});
+    engine_.predict_batch(rows_.data(), batch.size(), probs_.data());
+  }
+  ServeMetrics::get().batches.inc();
+  ServeMetrics::get().requests.add(batch.size());
+  ServeMetrics::get().batch_size.observe(static_cast<double>(batch.size()));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::memcpy(batch[i]->out, probs_.data() + i * out, out * sizeof(float));
+    batch[i]->done = true;
+    batch[i]->cv->notify_all();
+  }
+}
+
+void MicroBatcher::worker_loop() {
+  obs::set_thread_lane("serve.batcher");
+  const auto budget = std::chrono::duration<double, std::milli>(
+      config_.max_delay_ms);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    worker_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+    if (queue_.empty() && stopping_) break;
+
+    // The oldest queued request anchors the deadline; keep coalescing
+    // until the batch fills, the budget expires, or stop() drains us.
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (queue_.size() < config_.max_batch && !stopping_) {
+      if (worker_cv_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+
+    batch_.clear();
+    while (!queue_.empty() && batch_.size() < config_.max_batch) {
+      batch_.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    if (batch_.empty()) continue;
+    // Space freed: unblock submitters waiting on backpressure.
+    worker_cv_.notify_all();
+
+    lock.unlock();
+    serve_batch(batch_);
+    lock.lock();
+  }
+}
+
+}  // namespace agebo::serve

@@ -1,0 +1,87 @@
+// Dynamic micro-batching front end for the inference engine (DESIGN.md §12).
+//
+// Callers submit single rows from any number of threads; a dedicated worker
+// coalesces queued requests into one engine batch, bounded by a maximum
+// batch size and a latency budget: the first request in an empty queue
+// starts the clock, and the worker flushes as soon as the batch is full or
+// the budget expires — so a lone request never waits longer than the budget
+// and a burst is amortized into one blocked-GEMM pass. Because the batched
+// kernels are bit-deterministic per row, a row's probabilities are bitwise
+// identical whether it was served alone or coalesced with strangers.
+//
+// Observability: spans `serve.batch` (worker lane) around each engine call,
+// histograms `serve.batch_size`, `serve.queue_wait` and `serve.latency`
+// (seconds), counters `serve.requests` / `serve.batches`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace agebo::serve {
+
+struct MicroBatcherConfig {
+  /// Flush as soon as this many rows are queued.
+  std::size_t max_batch = 256;
+  /// Latency budget: a queued request is dispatched to the engine at most
+  /// this long after it arrives, full batch or not.
+  double max_delay_ms = 2.0;
+  /// Backpressure bound: submissions block while this many rows are queued.
+  std::size_t queue_capacity = 4096;
+};
+
+class MicroBatcher {
+ public:
+  /// Engine must outlive the batcher. Spawns the worker thread.
+  MicroBatcher(const InferenceEngine& engine, MicroBatcherConfig config = {});
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Blocking single-row predict: enqueues the row, wakes the worker, and
+  /// waits for its probabilities (size output_dim). Thread-safe. Throws
+  /// std::runtime_error after stop().
+  void predict_row(const float* row, float* probs_out);
+
+  /// Drain the queue, serve what remains, and join the worker. Idempotent;
+  /// also called by the destructor.
+  void stop();
+
+  std::size_t input_dim() const { return engine_.input_dim(); }
+  std::size_t output_dim() const { return engine_.output_dim(); }
+
+ private:
+  struct Request {
+    const float* row = nullptr;
+    float* out = nullptr;
+    double enqueue_s = 0.0;  // trace clock at submission (queue-wait metric)
+    bool done = false;
+    std::condition_variable* cv = nullptr;  // waiter's wakeup
+  };
+
+  void worker_loop();
+  void serve_batch(std::vector<Request*>& batch);
+
+  const InferenceEngine& engine_;
+  const MicroBatcherConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable worker_cv_;
+  std::deque<Request*> queue_;
+  bool stopping_ = false;
+
+  // Worker-owned staging (reused across batches; no steady-state allocs).
+  std::vector<Request*> batch_;
+  std::vector<float> rows_;
+  std::vector<float> probs_;
+
+  std::thread worker_;
+};
+
+}  // namespace agebo::serve

@@ -1,0 +1,199 @@
+#include "serve/engine.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "nn/activation.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/loss.hpp"
+#include "obs/obs.hpp"
+
+namespace agebo::serve {
+
+namespace {
+
+/// Pops the next parameter block from the artifact, checking the expected
+/// element count so a spec/weights mismatch fails at load, not predict.
+const std::vector<float>& take_block(const nn::ModelArtifact& artifact,
+                                     std::size_t& at, std::size_t want,
+                                     const char* what) {
+  if (at >= artifact.blocks.size()) {
+    throw std::runtime_error(
+        std::string("InferenceEngine: artifact has too few parameter "
+                    "blocks (missing ") +
+        what + ")");
+  }
+  const auto& block = artifact.blocks[at];
+  if (block.size() != want) {
+    throw std::runtime_error(
+        std::string("InferenceEngine: parameter block size mismatch for ") +
+        what + ": got " + std::to_string(block.size()) + ", want " +
+        std::to_string(want));
+  }
+  ++at;
+  return block;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(nn::ModelArtifact artifact)
+    : artifact_(std::move(artifact)) {
+  const nn::GraphSpec& spec = artifact_.spec;
+  spec.validate();
+  const std::size_t m = spec.nodes.size();
+
+  dims_.resize(m + 1);
+  dims_[0] = spec.input_dim;
+  node_dense_.resize(m);
+  node_combine_.resize(m);
+
+  std::size_t at = 0;
+  auto build_combine = [&](const std::vector<std::size_t>& skips,
+                           std::size_t base_dim) {
+    Combine c;
+    for (std::size_t src : skips) {
+      Edge edge{src, std::nullopt};
+      if (dims_[src] != base_dim) {
+        // Width-matching projection: bias-less, one W block in params()
+        // order, stored as (src_dim x base_dim) just like DenseLayer.
+        const auto& w = take_block(artifact_, at, dims_[src] * base_dim,
+                                   "skip projection");
+        edge.proj.emplace();
+        edge.proj->w = nn::Tensor(dims_[src], base_dim);
+        edge.proj->w.v = w;
+      }
+      c.edges.push_back(std::move(edge));
+    }
+    return c;
+  };
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const nn::NodeSpec& ns = spec.nodes[k];
+    node_combine_[k] = build_combine(ns.skips, dims_[k]);
+    if (ns.is_identity) {
+      dims_[k + 1] = dims_[k];
+    } else {
+      auto& dense = node_dense_[k].emplace();
+      dense.w = nn::Tensor(dims_[k], ns.units);
+      dense.w.v = take_block(artifact_, at, dims_[k] * ns.units, "dense W");
+      dense.b = take_block(artifact_, at, ns.units, "dense bias");
+      dims_[k + 1] = ns.units;
+    }
+  }
+  output_combine_ = build_combine(spec.output_skips, dims_[m]);
+  output_dense_.w = nn::Tensor(dims_[m], spec.output_dim);
+  output_dense_.w.v =
+      take_block(artifact_, at, dims_[m] * spec.output_dim, "readout W");
+  output_dense_.b = take_block(artifact_, at, spec.output_dim, "readout bias");
+  if (at != artifact_.blocks.size()) {
+    throw std::runtime_error(
+        "InferenceEngine: artifact has " +
+        std::to_string(artifact_.blocks.size()) + " parameter blocks, but " +
+        "the architecture consumes only " + std::to_string(at));
+  }
+
+  outs_.resize(m + 1);
+  pre_act_.resize(m);
+}
+
+std::size_t InferenceEngine::num_params() const {
+  std::size_t n = 0;
+  for (const auto& block : artifact_.blocks) n += block.size();
+  return n;
+}
+
+void InferenceEngine::combine_forward(const Combine& c,
+                                      const nn::Tensor& base) const {
+  // Mirrors GraphNet::combine_forward: sum = base (+ projected skips),
+  // then ReLU into the shared combine buffer. The projection GEMM
+  // accumulates straight into the sum, exactly as DenseLayer::forward_add.
+  combine_sum_ = base;  // capacity-reusing copy
+  for (const auto& edge : c.edges) {
+    const nn::Tensor& src = outs_[edge.src];
+    if (edge.proj.has_value()) {
+      const nn::Tensor& w = edge.proj->w;
+      nn::kernels::gemm(src.rows, w.cols, w.rows, src.v.data(), w.rows,
+                    w.v.data(), w.cols, combine_sum_.v.data(), w.cols,
+                    /*accumulate=*/true);
+    } else {
+      nn::add_inplace(combine_sum_, src);
+    }
+  }
+  nn::apply_activation(nn::Activation::kRelu, combine_sum_, combine_buf_);
+}
+
+void InferenceEngine::forward(const float* rows, std::size_t n) const {
+  const nn::GraphSpec& spec = artifact_.spec;
+  const std::size_t m = spec.nodes.size();
+  nn::ensure_shape(outs_[0], n, spec.input_dim);
+  std::memcpy(outs_[0].v.data(), rows, n * spec.input_dim * sizeof(float));
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const nn::Tensor* node_input = &outs_[k];
+    if (node_combine_[k].active()) {
+      combine_forward(node_combine_[k], outs_[k]);
+      node_input = &combine_buf_;
+    }
+    if (spec.nodes[k].is_identity) {
+      outs_[k + 1] = *node_input;  // combine_buf_ is reused; must copy
+    } else {
+      // Same fused GEMM the trainer uses: bias + activation epilogue with
+      // the pre-activation staged alongside, so the arithmetic (and hence
+      // every output bit) matches GraphNet::forward.
+      const Linear& dense = *node_dense_[k];
+      nn::ensure_shape(pre_act_[k], n, dense.w.cols);
+      nn::ensure_shape(outs_[k + 1], n, dense.w.cols);
+      nn::kernels::Epilogue ep;
+      ep.bias = dense.b.data();
+      ep.act = spec.nodes[k].act;
+      ep.pre_act = pre_act_[k].v.data();
+      nn::kernels::gemm(n, dense.w.cols, dense.w.rows, node_input->v.data(),
+                    dense.w.rows, dense.w.v.data(), dense.w.cols,
+                    outs_[k + 1].v.data(), dense.w.cols,
+                    /*accumulate=*/false, &ep);
+    }
+  }
+
+  const nn::Tensor* readout_input = &outs_[m];
+  if (output_combine_.active()) {
+    combine_forward(output_combine_, outs_[m]);
+    readout_input = &combine_buf_;
+  }
+  nn::ensure_shape(logits_, n, spec.output_dim);
+  nn::kernels::Epilogue ep;
+  ep.bias = output_dense_.b.data();
+  nn::kernels::gemm(n, output_dense_.w.cols, output_dense_.w.rows,
+                readout_input->v.data(), output_dense_.w.rows,
+                output_dense_.w.v.data(), output_dense_.w.cols,
+                logits_.v.data(), output_dense_.w.cols,
+                /*accumulate=*/false, &ep);
+}
+
+void InferenceEngine::predict_logits(const float* rows, std::size_t n,
+                                     float* out) const {
+  if (n == 0) return;
+  OBS_SPAN("serve.infer",
+           {{"rows", std::to_string(n)}});
+  forward(rows, n);
+  std::memcpy(out, logits_.v.data(), logits_.v.size() * sizeof(float));
+}
+
+void InferenceEngine::predict_batch(const float* rows, std::size_t n,
+                                    float* out) const {
+  if (n == 0) return;
+  OBS_SPAN("serve.infer",
+           {{"rows", std::to_string(n)}});
+  forward(rows, n);
+  nn::softmax(logits_, probs_);
+  std::memcpy(out, probs_.v.data(), probs_.v.size() * sizeof(float));
+  static const auto predictions =
+      obs::Registry::global().counter("serve.predictions");
+  predictions.add(n);
+}
+
+InferenceEngine load_engine(const std::string& path) {
+  return InferenceEngine(nn::load_artifact_file(path));
+}
+
+}  // namespace agebo::serve

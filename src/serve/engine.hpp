@@ -1,0 +1,88 @@
+// Batched inference engine over a frozen model artifact (DESIGN.md §12).
+//
+// Replays the frozen graph through the blocked GEMM kernels with the same
+// fused bias/activation epilogues the trainer uses — and through *exactly*
+// the same kernel entry points in the same order, so engine logits are
+// bitwise identical to GraphNet::forward on the source network (the export
+// round-trip test asserts this on sampled search-space architectures).
+//
+// Inference-only by construction: no Rng, no gradient buffers, no cached
+// inputs for backprop. Every per-call buffer (node outputs, pre-activation
+// staging, combine scratch, logits, probabilities) is a persistent member
+// reused across calls, so steady-state predict_batch performs zero
+// allocations. `const` on the predict entry points is logical — the scratch
+// is mutable — so concurrent calls on one engine must be serialized; the
+// MicroBatcher (batcher.hpp) is the intended high-throughput front end.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/predictor.hpp"
+#include "nn/serialize.hpp"
+#include "nn/tensor.hpp"
+
+namespace agebo::serve {
+
+class InferenceEngine final : public Predictor {
+ public:
+  /// Builds the frozen layer stack from `artifact`. Throws
+  /// std::runtime_error when the parameter blocks do not match the
+  /// architecture (count or shape).
+  explicit InferenceEngine(nn::ModelArtifact artifact);
+
+  std::size_t input_dim() const override { return artifact_.spec.input_dim; }
+  std::size_t output_dim() const override { return artifact_.spec.output_dim; }
+
+  /// Softmax class probabilities for n row-major rows into out
+  /// (n x output_dim).
+  void predict_batch(const float* rows, std::size_t n,
+                     float* out) const override;
+
+  /// Raw logits (pre-softmax), n x output_dim — bitwise identical to
+  /// GraphNet::forward on the network the artifact was frozen from.
+  void predict_logits(const float* rows, std::size_t n, float* out) const;
+
+  const nn::GraphSpec& spec() const { return artifact_.spec; }
+  const nn::ModelArtifact& artifact() const { return artifact_; }
+  std::size_t num_params() const;
+
+ private:
+  /// One frozen dense op: weights (in x out) and optional bias.
+  struct Linear {
+    nn::Tensor w;
+    std::vector<float> b;  // empty = no bias (skip projections)
+  };
+  struct Edge {
+    std::size_t src;
+    std::optional<Linear> proj;  // nullopt = identity map (widths match)
+  };
+  struct Combine {
+    std::vector<Edge> edges;
+    bool active() const { return !edges.empty(); }
+  };
+
+  void combine_forward(const Combine& c, const nn::Tensor& base) const;
+  void forward(const float* rows, std::size_t n) const;  // fills logits_
+
+  nn::ModelArtifact artifact_;  // kept for spec/metadata introspection
+  std::vector<std::size_t> dims_;
+  std::vector<std::optional<Linear>> node_dense_;
+  std::vector<Combine> node_combine_;
+  Combine output_combine_;
+  Linear output_dense_;
+
+  // Reused inference scratch (see header comment on const semantics).
+  mutable std::vector<nn::Tensor> outs_;
+  mutable std::vector<nn::Tensor> pre_act_;
+  mutable nn::Tensor combine_sum_;
+  mutable nn::Tensor combine_buf_;
+  mutable nn::Tensor logits_;
+  mutable nn::Tensor probs_;
+};
+
+/// Load an artifact file and build an engine for it.
+InferenceEngine load_engine(const std::string& path);
+
+}  // namespace agebo::serve

@@ -17,18 +17,19 @@ namespace {
 /// Evaluator with a transparent objective: accuracy = fraction of decisions
 /// set to their max value; fixed 10-second duration. Lets tests verify the
 /// evolutionary mechanics exactly.
-class CountingEvaluator final : public eval::LegacyEvaluator {
+class CountingEvaluator final : public eval::Evaluator {
  public:
   explicit CountingEvaluator(const nas::SearchSpace& space) : space_(&space) {}
 
-  exec::EvalOutput evaluate(const eval::ModelConfig& config) override {
+  exec::EvalOutput evaluate(const eval::EvalRequest& request) override {
+    const auto& genome = request.config.genome;
     double score = 0.0;
-    for (std::size_t i = 0; i < config.genome.size(); ++i) {
-      score += static_cast<double>(config.genome[i]) /
+    for (std::size_t i = 0; i < genome.size(); ++i) {
+      score += static_cast<double>(genome[i]) /
                static_cast<double>(space_->arity(i) - 1);
     }
     exec::EvalOutput out;
-    out.objective = score / static_cast<double>(config.genome.size());
+    out.objective = score / static_cast<double>(genome.size());
     out.train_seconds = 10.0;
     ++n_calls_;
     return out;

@@ -211,9 +211,9 @@ TEST(SimExecutorEdge, GangWiderThanFreeWorkersWaitsForAll) {
 // --------------------------------------------------------------------------
 // Search boundaries.
 
-class TrivialEvaluator final : public eval::LegacyEvaluator {
+class TrivialEvaluator final : public eval::Evaluator {
  public:
-  exec::EvalOutput evaluate(const eval::ModelConfig&) override {
+  exec::EvalOutput evaluate(const eval::EvalRequest&) override {
     return exec::EvalOutput{0.5, 2.0, false};
   }
 };
@@ -243,9 +243,9 @@ TEST(SearchEdge, ExplicitInitialSubmissionsRespected) {
 }
 
 TEST(SearchEdge, FailingEvaluatorYieldsZeroObjectives) {
-  class Failing final : public eval::LegacyEvaluator {
+  class Failing final : public eval::Evaluator {
    public:
-    exec::EvalOutput evaluate(const eval::ModelConfig&) override {
+    exec::EvalOutput evaluate(const eval::EvalRequest&) override {
       throw std::runtime_error("training diverged");
     }
   };

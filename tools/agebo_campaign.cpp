@@ -29,12 +29,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <map>
 #include <stdexcept>
 #include <string>
 
+#include "common/args.hpp"
 #include "core/analysis.hpp"
 #include "core/history_io.hpp"
 #include "core/search.hpp"
@@ -46,52 +45,40 @@
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: agebo_campaign [--dataset covertype|airlines|albert|"
-               "dionis] [--variant VARIANT] [--minutes M] [--workers W] "
-               "[--seed S] [--kappa K] [--out FILE.csv] "
-               "[--warm-start FILE.csv] [--crash P] [--hang P] [--slow P] "
-               "[--timeout S] [--retries R] [--straggler K] "
-               "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
-               "[--trace FILE.json] [--metrics FILE.csv] [--report-every N]\n"
-               "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
-               "agebo-8-lr-bs rs-1 agebo-multinode\n");
-}
+constexpr const char* kUsage =
+    "usage: agebo_campaign [--dataset covertype|airlines|albert|"
+    "dionis] [--variant VARIANT] [--minutes M] [--workers W] "
+    "[--seed S] [--kappa K] [--out FILE.csv] "
+    "[--warm-start FILE.csv] [--crash P] [--hang P] [--slow P] "
+    "[--timeout S] [--retries R] [--straggler K] "
+    "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
+    "[--trace FILE.json] [--metrics FILE.csv] [--report-every N]\n"
+    "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
+    "agebo-8-lr-bs rs-1 agebo-multinode\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace agebo;
 
-  std::map<std::string, std::string> args;
-  bool no_overlap = false;
-  for (int i = 1; i < argc;) {
-    if (std::strcmp(argv[i], "--no-overlap") == 0) {
-      no_overlap = true;
-      ++i;
-      continue;
-    }
-    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
-      usage();
-      return 2;
-    }
-    args[argv[i] + 2] = argv[i + 1];
-    i += 2;
+  common::ArgParser args(kUsage);
+  for (const char* opt :
+       {"dataset", "variant", "minutes", "workers", "seed", "kappa", "out",
+        "warm-start", "crash", "hang", "slow", "timeout", "retries",
+        "straggler", "allreduce", "bucket-kb", "trace", "metrics",
+        "report-every"}) {
+    args.add_option(opt);
   }
-  auto get = [&](const std::string& key, const std::string& fallback) {
-    const auto it = args.find(key);
-    return it == args.end() ? fallback : it->second;
-  };
+  args.add_flag("no-overlap");
+  if (!args.parse(argc, argv)) return 2;
+  const bool no_overlap = args.flag("no-overlap");
 
-  const std::string dataset = get("dataset", "covertype");
-  const std::string variant = get("variant", "agebo");
-  const double minutes = std::atof(get("minutes", "180").c_str());
-  const auto workers =
-      static_cast<std::size_t>(std::atoi(get("workers", "128").c_str()));
-  const auto seed =
-      static_cast<std::uint64_t>(std::atoll(get("seed", "1").c_str()));
-  const double kappa = std::atof(get("kappa", "0.001").c_str());
+  const std::string dataset = args.get("dataset", "covertype");
+  const std::string variant = args.get("variant", "agebo");
+  const double minutes = args.get_double("minutes", 180.0);
+  const std::size_t workers = args.get_size("workers", 128);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const double kappa = args.get_double("kappa", 0.001);
 
   core::SearchConfig cfg;
   if (variant == "agebo") {
@@ -108,57 +95,56 @@ int main(int argc, char** argv) {
     cfg = core::random_search_config(
         static_cast<std::size_t>(std::atoi(variant.c_str() + 3)), seed);
   } else {
-    usage();
+    std::fprintf(stderr, "unknown --variant %s\n", variant.c_str());
+    args.print_usage();
     return 2;
   }
   cfg.wall_time_seconds = minutes * 60.0;
-  cfg.eval_timeout_seconds = std::atof(get("timeout", "0").c_str());
-  cfg.eval_max_retries =
-      static_cast<std::size_t>(std::atoi(get("retries", "0").c_str()));
+  cfg.eval_timeout_seconds = args.get_double("timeout", 0.0);
+  cfg.eval_max_retries = args.get_size("retries", 0);
 
   exec::FaultConfig faults;
-  faults.crash_prob = std::atof(get("crash", "0").c_str());
-  faults.hang_prob = std::atof(get("hang", "0").c_str());
-  faults.slow_prob = std::atof(get("slow", "0").c_str());
+  faults.crash_prob = args.get_double("crash", 0.0);
+  faults.hang_prob = args.get_double("hang", 0.0);
+  faults.slow_prob = args.get_double("slow", 0.0);
   faults.seed = seed * 977 + 13;
   exec::RetryPolicy policy;
-  policy.straggler_factor = std::atof(get("straggler", "0").c_str());
+  policy.straggler_factor = args.get_double("straggler", 0.0);
   // Backoff in cluster terms: a minute before the first resubmission.
   policy.backoff_base_seconds = 60.0;
   policy.backoff_max_seconds = 600.0;
 
   nas::SearchSpace space;
   try {
-    if (args.count("warm-start")) {
-      cfg.warm_start = core::load_history_file(args["warm-start"], space);
+    if (args.has("warm-start")) {
+      cfg.warm_start = core::load_history_file(args.get("warm-start", ""), space);
       std::printf("warm start: %zu prior evaluations loaded\n",
                   cfg.warm_start.size());
     }
 
     eval::SurrogateEvaluator evaluator(space, eval::profile_by_name(dataset));
-    if (args.count("allreduce") || args.count("bucket-kb") || no_overlap) {
+    if (args.has("allreduce") || args.has("bucket-kb") || no_overlap) {
       dp::AllreduceCommSpec comm;
       comm.strategy = dp::AllreduceStrategy::kRing;
       comm.overlap = !no_overlap;
-      const std::string strat = get("allreduce", "ring");
+      const std::string strat = args.get("allreduce", "ring");
       if (strat == "flat") {
         comm.strategy = dp::AllreduceStrategy::kFlat;
       } else if (strat == "tree") {
         comm.strategy = dp::AllreduceStrategy::kTree;
       } else if (strat != "ring") {
-        usage();
+        std::fprintf(stderr, "bad --allreduce %s (flat|tree|ring)\n",
+                     strat.c_str());
+        args.print_usage();
         return 2;
       }
       comm.bucket_bytes =
-          static_cast<std::size_t>(
-              std::max(1L, std::atol(get("bucket-kb", "1024").c_str()))) *
-          1024;
+          std::max<std::size_t>(1, args.get_size("bucket-kb", 1024)) * 1024;
       evaluator.set_comm_spec(comm);
     }
     exec::SimulatedExecutor executor(workers, 90.0, policy, faults);
 
-    const auto report_every = static_cast<std::size_t>(
-        std::atoi(get("report-every", "0").c_str()));
+    const auto report_every = args.get_size("report-every", 0);
     std::size_t n_done = 0, n_failed_so_far = 0;
     double best_so_far = 0.0;
     if (report_every > 0) {
@@ -212,24 +198,26 @@ int main(int argc, char** argv) {
                   space.describe(best.config.genome).c_str());
     }
 
-    if (args.count("out")) {
-      core::save_history_file(result, args["out"]);
-      std::printf("history written to %s\n", args["out"].c_str());
+    if (args.has("out")) {
+      core::save_history_file(result, args.get("out", ""));
+      std::printf("history written to %s\n", args.get("out", "").c_str());
     }
 
     obs::Registry::global().gauge("exec.utilization")
         .set(result.utilization.fraction());
-    if (args.count("metrics")) {
-      std::ofstream mf(args["metrics"]);
-      if (!mf) throw std::runtime_error("cannot write " + args["metrics"]);
+    if (args.has("metrics")) {
+      const std::string path = args.get("metrics", "");
+      std::ofstream mf(path);
+      if (!mf) throw std::runtime_error("cannot write " + path);
       mf << obs::Registry::global().snapshot().to_csv();
-      std::printf("metrics written to %s\n", args["metrics"].c_str());
+      std::printf("metrics written to %s\n", path.c_str());
     }
-    if (args.count("trace")) {
-      if (!obs::write_chrome_trace(args["trace"])) {
-        throw std::runtime_error("cannot write " + args["trace"]);
+    if (args.has("trace")) {
+      const std::string path = args.get("trace", "");
+      if (!obs::write_chrome_trace(path)) {
+        throw std::runtime_error("cannot write " + path);
       }
-      std::printf("trace written to %s (%zu events)\n", args["trace"].c_str(),
+      std::printf("trace written to %s (%zu events)\n", path.c_str(),
                   obs::trace_event_count());
     }
   } catch (const std::exception& e) {

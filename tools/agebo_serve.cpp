@@ -1,0 +1,182 @@
+// Serve a frozen model artifact (DESIGN.md §12): load it without the
+// search/training stack, run batched inference over a dataset, and exercise
+// the dynamic micro-batcher under concurrent single-row clients.
+//
+//   agebo_serve --model model.txt (--data FILE [--arff] | --synthetic ROWS)
+//               [--batch N] [--max-delay-ms F] [--clients N] [--requests N]
+//               [--trace F.json] [--metrics F.csv]
+//
+// The dataset goes through the same 42/25/33 split and train-split
+// standardization as agebo_train, so a model saved by
+//   agebo_train --synthetic 4096 --save model.txt
+// serves its own test split here with the same accuracy it reported.
+//
+// Phase 1 reports batched-path accuracy and throughput on the test split;
+// phase 2 runs --clients threads of blocking single-row predicts through
+// the MicroBatcher and reports coalescing stats plus latency quantiles
+// (serve.latency / serve.queue_wait / serve.batch_size come from the
+// metrics registry; --metrics dumps them all).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/predictor.hpp"
+#include "data/arff.hpp"
+#include "data/csv.hpp"
+#include "data/scaler.hpp"
+#include "data/synthetic.hpp"
+#include "ml/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace agebo;
+
+  common::ArgParser args(
+      "usage: agebo_serve --model FILE "
+      "(--data FILE [--arff] | --synthetic ROWS) "
+      "[--batch N] [--max-delay-ms F] [--clients N] [--requests N] "
+      "[--trace F.json] [--metrics F.csv]\n");
+  for (const char* opt : {"model", "data", "synthetic", "batch",
+                          "max-delay-ms", "clients", "requests", "trace",
+                          "metrics"}) {
+    args.add_option(opt);
+  }
+  args.add_flag("arff");
+  if (!args.parse(argc, argv)) return 2;
+  if (!args.has("model") || (!args.has("data") && !args.has("synthetic"))) {
+    args.print_usage();
+    return 2;
+  }
+
+  try {
+    const auto artifact = nn::load_artifact_file(args.get("model", ""));
+    serve::InferenceEngine engine(artifact);
+    std::printf("model: %zu features -> %zu classes, %zu parameters\n",
+                engine.input_dim(), engine.output_dim(), engine.num_params());
+    for (const auto& [key, value] : artifact.metadata) {
+      std::printf("  meta %s = %s\n", key.c_str(), value.c_str());
+    }
+
+    // Same pipeline as agebo_train: load, split 42/25/33, standardize.
+    const auto dataset = [&]() -> data::Dataset {
+      if (args.has("data")) {
+        return args.flag("arff") ? data::read_arff_file(args.get("data", ""))
+                                 : data::read_csv_file(args.get("data", ""));
+      }
+      data::SyntheticSpec sspec;
+      sspec.n_rows = std::max<std::size_t>(64, args.get_size("synthetic", 64));
+      sspec.n_classes = 4;
+      sspec.class_sep = 1.6;
+      return data::make_classification(sspec);
+    }();
+    Rng split_rng(7);
+    auto splits = data::split(dataset, data::SplitFractions{}, split_rng);
+    data::standardize(splits);
+    const data::Dataset& test = splits.test;
+    if (test.n_features != engine.input_dim()) {
+      throw std::runtime_error(
+          "dataset has " + std::to_string(test.n_features) +
+          " features but the model expects " +
+          std::to_string(engine.input_dim()));
+    }
+
+    // --- Phase 1: batched inference over the whole test split. ---
+    const std::size_t batch = std::max<std::size_t>(1, args.get_size("batch", 256));
+    std::vector<float> probs(batch * engine.output_dim());
+    std::vector<int> preds;
+    preds.reserve(test.n_rows);
+    const double t0 = obs::trace_now_seconds();
+    for (std::size_t begin = 0; begin < test.n_rows; begin += batch) {
+      const std::size_t n = std::min(batch, test.n_rows - begin);
+      engine.predict_batch(test.row(begin), n, probs.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* p = probs.data() + i * engine.output_dim();
+        preds.push_back(static_cast<int>(std::distance(
+            p, std::max_element(p, p + engine.output_dim()))));
+      }
+    }
+    const double batch_seconds = obs::trace_now_seconds() - t0;
+    const auto cm = ml::confusion_matrix(test.y, preds, test.n_classes);
+    std::printf(
+        "batched: %zu rows in %.3fs (%.0f rows/s, batch=%zu)  "
+        "accuracy %.4f  macro-F1 %.4f\n",
+        test.n_rows, batch_seconds,
+        batch_seconds > 0.0 ? static_cast<double>(test.n_rows) / batch_seconds
+                            : 0.0,
+        batch, cm.accuracy(), cm.macro_f1());
+
+    // --- Phase 2: concurrent single-row clients through the batcher. ---
+    const std::size_t clients = std::max<std::size_t>(1, args.get_size("clients", 4));
+    const std::size_t requests =
+        std::min<std::size_t>(test.n_rows, args.get_size("requests", 512));
+    if (requests > 0) {
+      serve::MicroBatcherConfig bcfg;
+      bcfg.max_batch = batch;
+      bcfg.max_delay_ms = args.get_double("max-delay-ms", 2.0);
+      serve::MicroBatcher batcher(engine, bcfg);
+
+      const double s0 = obs::trace_now_seconds();
+      std::vector<std::thread> workers;
+      for (std::size_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          std::vector<float> out(engine.output_dim());
+          for (std::size_t r = c; r < requests; r += clients) {
+            batcher.predict_row(test.row(r), out.data());
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      batcher.stop();
+      const double serve_seconds = obs::trace_now_seconds() - s0;
+
+      const auto snap = obs::Registry::global().snapshot();
+      const auto* batches = snap.find("serve.batches");
+      const auto* latency = snap.find("serve.latency");
+      const auto* qwait = snap.find("serve.queue_wait");
+      std::printf(
+          "micro-batched: %zu requests from %zu clients in %.3fs "
+          "(%.0f req/s, %zu batches, mean batch %.1f)\n",
+          requests, clients, serve_seconds,
+          serve_seconds > 0.0 ? static_cast<double>(requests) / serve_seconds
+                              : 0.0,
+          batches != nullptr ? static_cast<std::size_t>(batches->value) : 0,
+          batches != nullptr && batches->value > 0.0
+              ? static_cast<double>(requests) / batches->value
+              : 0.0);
+      if (latency != nullptr && qwait != nullptr) {
+        std::printf(
+            "latency p50 %.3fms p99 %.3fms  queue-wait p50 %.3fms p99 %.3fms\n",
+            latency->hist.quantile(0.5) * 1e3,
+            latency->hist.quantile(0.99) * 1e3,
+            qwait->hist.quantile(0.5) * 1e3, qwait->hist.quantile(0.99) * 1e3);
+      }
+    }
+
+    if (args.has("metrics")) {
+      const std::string path = args.get("metrics", "");
+      std::ofstream mf(path);
+      if (!mf) throw std::runtime_error("cannot write " + path);
+      mf << obs::Registry::global().snapshot().to_csv();
+      std::printf("metrics written to %s\n", path.c_str());
+    }
+    if (args.has("trace")) {
+      const std::string path = args.get("trace", "");
+      if (!obs::write_chrome_trace(path)) {
+        throw std::runtime_error("cannot write " + path);
+      }
+      std::printf("trace written to %s (%zu events)\n", path.c_str(),
+                  obs::trace_event_count());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

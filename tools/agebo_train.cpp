@@ -20,14 +20,13 @@
 // metrics registry, --report-every N prints a progress line every N epochs.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <map>
 #include <stdexcept>
 #include <string>
 
 #include <algorithm>
 
+#include "common/args.hpp"
 #include "data/arff.hpp"
 #include "data/csv.hpp"
 #include "data/scaler.hpp"
@@ -67,41 +66,35 @@ void report(const char* split, agebo::nn::GraphNet& net,
 int main(int argc, char** argv) {
   using namespace agebo;
 
-  std::map<std::string, std::string> args;
-  bool arff = false;
-  bool no_overlap = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--arff") == 0) {
-      arff = true;
-    } else if (std::strcmp(argv[i], "--no-overlap") == 0) {
-      no_overlap = true;
-    } else if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
-      const std::string key = argv[i] + 2;
-      args[key] = argv[++i];
-    } else {
-      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
-      return 2;
-    }
+  common::ArgParser args(
+      "usage: agebo_train (--data FILE [--arff] | --synthetic ROWS) "
+      "[--epochs N] [--procs N] [--bs N] [--lr F] "
+      "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
+      "[--save F] [--load F] "
+      "[--trace F.json] [--metrics F.csv] [--report-every N]\n");
+  for (const char* opt : {"data", "synthetic", "epochs", "procs", "bs", "lr",
+                          "allreduce", "bucket-kb", "save", "load", "trace",
+                          "metrics", "report-every"}) {
+    args.add_option(opt);
   }
-  if (!args.count("data") && !args.count("synthetic")) {
-    std::fprintf(stderr,
-                 "usage: agebo_train (--data FILE [--arff] | --synthetic ROWS) "
-                 "[--epochs N] [--procs N] [--bs N] [--lr F] "
-                 "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
-                 "[--save F] [--load F] "
-                 "[--trace F.json] [--metrics F.csv] [--report-every N]\n");
+  args.add_flag("arff");
+  args.add_flag("no-overlap");
+  if (!args.parse(argc, argv)) return 2;
+  const bool arff = args.flag("arff");
+  const bool no_overlap = args.flag("no-overlap");
+  if (!args.has("data") && !args.has("synthetic")) {
+    args.print_usage();
     return 2;
   }
 
   try {
     const auto dataset = [&]() -> data::Dataset {
-      if (args.count("data")) {
-        return arff ? data::read_arff_file(args["data"])
-                    : data::read_csv_file(args["data"]);
+      if (args.has("data")) {
+        return arff ? data::read_arff_file(args.get("data", ""))
+                    : data::read_csv_file(args.get("data", ""));
       }
       data::SyntheticSpec sspec;
-      sspec.n_rows = static_cast<std::size_t>(
-          std::max(64L, std::atol(args["synthetic"].c_str())));
+      sspec.n_rows = std::max<std::size_t>(64, args.get_size("synthetic", 64));
       sspec.n_classes = 4;
       sspec.class_sep = 1.6;
       return data::make_classification(sspec);
@@ -112,8 +105,8 @@ int main(int argc, char** argv) {
     auto splits = data::split(dataset, data::SplitFractions{}, split_rng);
     data::standardize(splits);
 
-    if (args.count("load")) {
-      auto net = nn::load_graphnet_file(args["load"]);
+    if (args.has("load")) {
+      auto net = nn::load_graphnet_file(args.get("load", ""));
       report("valid", *net, splits.valid);
       report("test", *net, splits.test);
       return 0;
@@ -133,18 +126,12 @@ int main(int argc, char** argv) {
     spec.output_skips = {2};
 
     dp::DataParallelConfig cfg;
-    cfg.epochs = args.count("epochs")
-                     ? static_cast<std::size_t>(std::atoi(args["epochs"].c_str()))
-                     : 20;
-    cfg.n_procs = args.count("procs")
-                      ? static_cast<std::size_t>(std::atoi(args["procs"].c_str()))
-                      : 1;
-    cfg.bs1 = args.count("bs")
-                  ? static_cast<std::size_t>(std::atoi(args["bs"].c_str()))
-                  : 128;
-    cfg.lr1 = args.count("lr") ? std::atof(args["lr"].c_str()) : 0.01;
-    if (args.count("allreduce")) {
-      const std::string& s = args["allreduce"];
+    cfg.epochs = args.get_size("epochs", 20);
+    cfg.n_procs = args.get_size("procs", 1);
+    cfg.bs1 = args.get_size("bs", 128);
+    cfg.lr1 = args.get_double("lr", 0.01);
+    if (args.has("allreduce")) {
+      const std::string s = args.get("allreduce", "");
       if (s == "flat") {
         cfg.allreduce = dp::AllreduceStrategy::kFlat;
       } else if (s == "tree") {
@@ -156,15 +143,12 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    if (args.count("bucket-kb")) {
-      cfg.bucket_kb = static_cast<std::size_t>(
-          std::max(1L, std::atol(args["bucket-kb"].c_str())));
+    if (args.has("bucket-kb")) {
+      cfg.bucket_kb = std::max<std::size_t>(1, args.get_size("bucket-kb", 1));
     }
     cfg.overlap_comm = !no_overlap;
 
-    const auto report_every = static_cast<std::size_t>(
-        std::atoi(args.count("report-every") ? args["report-every"].c_str()
-                                             : "0"));
+    const auto report_every = args.get_size("report-every", 0);
     if (report_every > 0) {
       cfg.on_epoch = [report_every](std::size_t epoch,
                                     const nn::EpochStats& stats) {
@@ -208,22 +192,32 @@ int main(int argc, char** argv) {
     report("valid", trainer.model(), splits.valid);
     report("test", trainer.model(), splits.test);
 
-    if (args.count("save")) {
-      nn::save_graphnet_file(trainer.model(), args["save"]);
-      std::printf("model written to %s\n", args["save"].c_str());
+    if (args.has("save")) {
+      const std::string path = args.get("save", "");
+      // Freeze with provenance metadata: the serving tool surfaces these.
+      auto artifact = nn::freeze_graphnet(
+          trainer.model(),
+          {{"tool", "agebo_train"},
+           {"dataset", dataset.name.empty() ? "synthetic" : dataset.name},
+           {"epochs", std::to_string(cfg.epochs)},
+           {"valid_accuracy", std::to_string(result.best_valid_accuracy)}});
+      nn::save_artifact_file(artifact, path);
+      std::printf("model written to %s\n", path.c_str());
     }
 
-    if (args.count("metrics")) {
-      std::ofstream mf(args["metrics"]);
-      if (!mf) throw std::runtime_error("cannot write " + args["metrics"]);
+    if (args.has("metrics")) {
+      const std::string path = args.get("metrics", "");
+      std::ofstream mf(path);
+      if (!mf) throw std::runtime_error("cannot write " + path);
       mf << reg.snapshot().to_csv();
-      std::printf("metrics written to %s\n", args["metrics"].c_str());
+      std::printf("metrics written to %s\n", path.c_str());
     }
-    if (args.count("trace")) {
-      if (!obs::write_chrome_trace(args["trace"])) {
-        throw std::runtime_error("cannot write " + args["trace"]);
+    if (args.has("trace")) {
+      const std::string path = args.get("trace", "");
+      if (!obs::write_chrome_trace(path)) {
+        throw std::runtime_error("cannot write " + path);
       }
-      std::printf("trace written to %s (%zu events)\n", args["trace"].c_str(),
+      std::printf("trace written to %s (%zu events)\n", path.c_str(),
                   obs::trace_event_count());
     }
   } catch (const std::exception& e) {

@@ -1,10 +1,12 @@
 // Compare two benchmark JSON files and exit nonzero when any matching
 // (kernel, m, k, n) entry regressed by more than --tol (default 10%) in
 // blocked GFLOP/s. Accepts both harness schemas — agebo-bench-kernels-v1
-// (bench/bench_kernels_json: GEMM shapes, blocked_gflops = absolute rate)
-// and agebo-bench-allreduce-v1 (bench/bench_allreduce_json: reduction
-// sizes mapped onto the same field names, blocked_gflops = effective
-// GB/s). CI gates kernel changes with:
+// (bench/bench_kernels_json: GEMM shapes, blocked_gflops = absolute rate),
+// agebo-bench-allreduce-v1 (bench/bench_allreduce_json: reduction sizes
+// mapped onto the same field names, blocked_gflops = effective GB/s), and
+// agebo-bench-infer-v1 (bench/bench_infer_json: serving batch sizes,
+// blocked_gflops = batched predictions/s, speedup = batched vs per-row).
+// CI gates kernel changes with:
 //
 //   bench_kernels_json --out new.json
 //   bench_diff baseline.json new.json          # exit 1 on >10% regression
@@ -59,7 +61,8 @@ bool load(const std::string& path, std::map<Key, Entry>& entries) {
   bool saw_schema = false;
   while (std::getline(is, line)) {
     if (line.find("agebo-bench-kernels-v1") != std::string::npos ||
-        line.find("agebo-bench-allreduce-v1") != std::string::npos) {
+        line.find("agebo-bench-allreduce-v1") != std::string::npos ||
+        line.find("agebo-bench-infer-v1") != std::string::npos) {
       saw_schema = true;
     }
     std::string kernel, m, k, n, gflops, speedup;
@@ -82,7 +85,7 @@ bool load(const std::string& path, std::map<Key, Entry>& entries) {
   if (!saw_schema) {
     std::cerr << "bench_diff: " << path
               << " is not an agebo-bench-kernels-v1 / "
-                 "agebo-bench-allreduce-v1 file\n";
+                 "agebo-bench-allreduce-v1 / agebo-bench-infer-v1 file\n";
     return false;
   }
   if (entries.empty()) {

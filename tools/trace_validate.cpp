@@ -13,7 +13,12 @@
 //  - every "dp.allreduce.bucket" span sits inside a "dp.step" span on the
 //    same lane — the bucketed allreduce is part of the step collective, so
 //    a bucket span escaping its step means the trainer's span accounting
-//    broke.
+//    broke;
+//  - serving lanes (DESIGN.md §12): on a lane carrying "serve.batch" spans,
+//    every "serve.infer" span is contained in one (the batcher worker only
+//    runs the engine inside a batch), and every "serve.batch" contains at
+//    least one "serve.infer" (a batch that never touched the engine means
+//    the coalescing loop dropped requests).
 //
 // Exits 0 when every invariant holds, 1 with a diagnostic otherwise. The
 // obs ctest suite runs it against a freshly simulated campaign.
@@ -119,6 +124,48 @@ void check_bucket_containment(const std::string& lane,
   }
 }
 
+/// Serving invariants on one lane (no-op on lanes without serve.batch
+/// spans): serve.infer ⊂ serve.batch, and every serve.batch is non-empty.
+void check_serve_batching(const std::string& lane,
+                          const std::vector<Span>& spans) {
+  const double eps = 0.05;
+  std::vector<const Span*> batches;
+  for (const Span& s : spans) {
+    if (s.name == "serve.batch") batches.push_back(&s);
+  }
+  if (batches.empty()) return;
+  std::vector<std::size_t> infers_in(batches.size(), 0);
+  for (const Span& s : spans) {
+    if (s.name != "serve.infer") continue;
+    const double end = s.ts + s.dur;
+    bool contained = false;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      if (s.ts + eps >= batches[b]->ts &&
+          end <= batches[b]->ts + batches[b]->dur + eps) {
+        ++infers_in[b];
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      std::ostringstream msg;
+      msg.precision(12);
+      msg << "lane \"" << lane << "\": serve.infer span [" << s.ts << ", "
+          << end << ") is not contained in any serve.batch span";
+      fail(msg.str());
+    }
+  }
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    if (infers_in[b] == 0) {
+      std::ostringstream msg;
+      msg.precision(12);
+      msg << "lane \"" << lane << "\": serve.batch span at " << batches[b]->ts
+          << " contains no serve.infer span";
+      fail(msg.str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,6 +245,7 @@ int main(int argc, char** argv) {
     }
     n_spans += spans.size();
     check_bucket_containment(it->second, spans);
+    check_serve_batching(it->second, spans);
     check_lane_nesting(it->second, std::move(spans));
   }
   std::size_t n_samples = 0;
