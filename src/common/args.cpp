@@ -23,7 +23,15 @@ bool ArgParser::parse(int argc, char** argv) {
       print_usage();
       return false;
     }
-    const std::string name = arg + 2;
+    std::string name = arg + 2;
+    bool inline_value = false;
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      inline_value = true;
+    }
     const auto it = known_.find(name);
     if (it == known_.end()) {
       std::fprintf(stderr, "%s: unknown flag --%s\n", argv[0], name.c_str());
@@ -31,7 +39,17 @@ bool ArgParser::parse(int argc, char** argv) {
       return false;
     }
     if (it->second == Kind::kFlag) {
+      if (inline_value) {
+        std::fprintf(stderr, "%s: --%s is a boolean flag and takes no value\n",
+                     argv[0], name.c_str());
+        print_usage();
+        return false;
+      }
       values_[name] = "";
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = value;
       continue;
     }
     if (i + 1 >= argc) {

@@ -25,13 +25,15 @@ class ArgParser {
   explicit ArgParser(std::string usage);
 
   /// Register `--name VALUE` (the next argv entry is consumed as value).
+  /// `--name=VALUE` is accepted as an equivalent spelling.
   void add_option(const std::string& name);
   /// Register boolean `--name`.
   void add_flag(const std::string& name);
 
-  /// Parse argv. On any unknown flag, missing value, or stray positional
-  /// argument: print a diagnostic plus the usage text to stderr and return
-  /// false. Re-specifying an option keeps the last value.
+  /// Parse argv. On any unknown flag, missing value, stray positional
+  /// argument, or `=value` attached to a boolean flag: print a diagnostic
+  /// plus the usage text to stderr and return false. Re-specifying an
+  /// option keeps the last value.
   bool parse(int argc, char** argv);
 
   /// True when --name was given (option or flag).

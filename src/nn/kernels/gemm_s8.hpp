@@ -1,0 +1,125 @@
+// Int8 inference GEMM: u8 activations x s8 weights accumulating into s32,
+// with a fused quantize-on-pack front end and a fused dequantize + bias +
+// activation epilogue (DESIGN.md §13).
+//
+// The serving fast path. Weights are quantized offline (symmetric,
+// per-output-column, nn/quant.hpp); activations are quantized on the fly
+// while the A panel is packed, so the fp32 interchange buffers the engine
+// already owns feed the int8 kernel directly — no separate quantized
+// activation tensor exists. The epilogue converts the s32 accumulator back
+// to fp32 while the C tile is hot, so downstream ops (combine, softmax,
+// the next layer's packing) see ordinary float rows.
+//
+// Quantization contract (why results are exact and ISA-independent):
+//   - activations: affine u8 restricted to [0, 127] (7 bits + zero point),
+//   - weights: symmetric s8 in [-127, 127].
+// With 7-bit unsigned activations, |a0*w0 + a1*w1| <= 2 * 127 * 127 =
+// 32258 < 32767, so the AVX2 `maddubs` pairwise step cannot saturate its
+// s16 intermediates and computes the same exact integers as AVX-512 VNNI
+// `vpdpbusd` (which accumulates into s32 without saturating) and as the
+// scalar tier. Integer accumulation is order-independent, and the
+// epilogue's float math is elementwise in a fixed order, so every
+// dispatched ISA produces bit-identical fp32 outputs — the differential
+// tests assert naive == SIMD per tier, bitwise.
+//
+// Blocking mirrors the fp32 path (gemm.hpp): NC column panels, KC-deep K
+// blocks with B packed to NR strips (K grouped in 4s for the dot-product
+// instructions), MC row blocks with A packed to MR strips, scratch from
+// the same bump-arena Workspace. A naive triple-loop reference with the
+// identical quantize/dequantize math is kept for differential tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/activation.hpp"
+
+namespace agebo::nn::kernels {
+
+/// Fused dequantize + bias + activation tail, applied to the s32
+/// accumulator as it leaves the register tile. For output column j:
+///   real = float(acc[j] - comp[j]) * dq_scale[j] (+ bias[j]); C = act(real)
+/// where comp[j] = a_zp * sum_k wq[k][j] removes the activation zero-point
+/// contribution and dq_scale[j] = a_scale * w_scale[j] undoes both scales.
+struct QuantEpilogue {
+  /// Per-column dequantization scale (length n). Required.
+  const float* dq_scale = nullptr;
+  /// Per-column zero-point compensation a_zp * colsum(wq) (length n). Required.
+  const std::int32_t* comp = nullptr;
+  /// Row-broadcast fp32 bias of length n; nullptr = none.
+  const float* bias = nullptr;
+  /// Activation applied after dequant + bias; kIdentity = none.
+  Activation act = Activation::kIdentity;
+  /// When true, C += act(dequant(...)) instead of overwriting — lets a
+  /// skip projection accumulate into the combine sum without a staging
+  /// buffer, like the fp32 kernel's accumulate mode.
+  bool accumulate = false;
+};
+
+/// Quantize one fp32 activation to the 7-bit affine grid. `inv_scale` is
+/// 1 / act_scale, precomputed so every caller (packing, naive reference,
+/// calibration previews) performs the identical float op sequence.
+inline std::uint8_t quantize_act(float v, float inv_scale, std::int32_t zp) {
+  long q = std::lrintf(v * inv_scale) + zp;
+  if (q < 0) q = 0;
+  if (q > 127) q = 127;
+  return static_cast<std::uint8_t>(q);
+}
+
+/// Weights packed ahead of time into the microkernel strip layout, so a
+/// frozen model's (constant) B panels are packed exactly once instead of
+/// on every GEMM call — the dominant per-call overhead at serving shapes.
+/// The layout is tier-specific (strip width = the active kernel's NR), so
+/// the container records the width it was packed for; gemm_u8s8 uses the
+/// prepack only when it matches the tier it dispatches to and silently
+/// falls back to pack-on-the-fly otherwise (e.g. under a set_int8_isa
+/// test override). Treat the fields as opaque.
+struct PackedWeightsS8 {
+  std::size_t k = 0;
+  std::size_t n = 0;
+  std::size_t nr = 0;  // strip width the panels were packed for
+  std::vector<std::int8_t> data;
+  bool empty() const { return data.empty(); }
+};
+
+/// Pack wq (k x n row-major, ld ldb) for the currently dispatched tier.
+PackedWeightsS8 pack_weights_s8(const std::int8_t* wq, std::size_t ldb,
+                                std::size_t k, std::size_t n);
+
+/// C = dequant(Aq Wq). a: m x k fp32 rows (ld lda), quantized on the fly
+/// with (a_inv_scale, a_zp); wq: k x n row-major s8 (ld ldb); c: m x n fp32
+/// (ld ldc). C must not alias A. Blocked + SIMD (runtime dispatch across
+/// AVX-512 VNNI / AVX2 / scalar); bit-identical to gemm_u8s8_naive.
+/// `packed`, when non-null and built for the dispatched tier, supplies the
+/// pre-packed B panels (it must describe the same wq).
+void gemm_u8s8(std::size_t m, std::size_t n, std::size_t k, const float* a,
+               std::size_t lda, float a_inv_scale, std::int32_t a_zp,
+               const std::int8_t* wq, std::size_t ldb, float* c,
+               std::size_t ldc, const QuantEpilogue& ep,
+               const PackedWeightsS8* packed = nullptr);
+
+/// Scalar triple-loop reference with the identical quantize / accumulate /
+/// dequantize math. Kept for differential tests and the perf harness.
+void gemm_u8s8_naive(std::size_t m, std::size_t n, std::size_t k,
+                     const float* a, std::size_t lda, float a_inv_scale,
+                     std::int32_t a_zp, const std::int8_t* wq, std::size_t ldb,
+                     float* c, std::size_t ldc, const QuantEpilogue& ep);
+
+/// Int8 microkernel tiers, widest first. kAuto resolves to the widest tier
+/// the CPU supports.
+enum class Int8Isa { kAuto, kVnni, kAvx2, kScalar };
+
+/// Force a specific tier for differential testing; requests the hardware
+/// cannot honor fall back to the widest supported tier at or below the
+/// request. kAuto restores runtime selection. Not thread-safe — test-only.
+void set_int8_isa(Int8Isa isa);
+
+/// The tier gemm_u8s8 will actually run (after fallback).
+Int8Isa active_int8_isa();
+
+/// Human-readable name of a tier ("vnni", "avx2", "scalar", "auto").
+const char* to_string(Int8Isa isa);
+
+}  // namespace agebo::nn::kernels

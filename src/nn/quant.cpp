@@ -1,0 +1,71 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agebo::nn {
+
+ActQuant act_quant_from_range(float lo, float hi) {
+  // Widen to include 0 so the real value 0.0 quantizes exactly (q == zp).
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  ActQuant q;
+  const float range = hi - lo;
+  if (!(range > 0.0f) || !std::isfinite(range)) {
+    // Degenerate calibration (constant input, empty sample): any scale
+    // reproduces the single value through the zero point; pick 1.
+    q.scale = 1.0f;
+    q.zero_point = 0;
+    return q;
+  }
+  q.scale = range / 127.0f;
+  q.zero_point = static_cast<std::int32_t>(std::lrintf(-lo / q.scale));
+  q.zero_point = std::clamp(q.zero_point, 0, 127);
+  return q;
+}
+
+void quantize_weights_per_col(const float* w, std::size_t rows,
+                              std::size_t cols, QuantLayer& ql) {
+  ql.rows = rows;
+  ql.cols = cols;
+  ql.w_scales.assign(cols, 1.0f);
+  ql.wq.assign(rows * cols, 0);
+  for (std::size_t j = 0; j < cols; ++j) {
+    float maxabs = 0.0f;
+    for (std::size_t i = 0; i < rows; ++i) {
+      maxabs = std::max(maxabs, std::abs(w[i * cols + j]));
+    }
+    // An all-zero column keeps scale 1 and all-zero codes.
+    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    ql.w_scales[j] = scale;
+    const float inv = 1.0f / scale;
+    for (std::size_t i = 0; i < rows; ++i) {
+      long q = std::lrintf(w[i * cols + j] * inv);
+      if (q < -127) q = -127;
+      if (q > 127) q = 127;
+      ql.wq[i * cols + j] = static_cast<std::int8_t>(q);
+    }
+  }
+}
+
+std::vector<std::int32_t> zero_point_compensation(const QuantLayer& ql) {
+  std::vector<std::int32_t> comp(ql.cols, 0);
+  for (std::size_t i = 0; i < ql.rows; ++i) {
+    const std::int8_t* row = ql.wq.data() + i * ql.cols;
+    for (std::size_t j = 0; j < ql.cols; ++j) {
+      comp[j] += static_cast<std::int32_t>(row[j]);
+    }
+  }
+  for (auto& v : comp) v *= ql.input.zero_point;
+  return comp;
+}
+
+std::vector<float> dequant_scales(const QuantLayer& ql) {
+  std::vector<float> dq(ql.cols);
+  for (std::size_t j = 0; j < ql.cols; ++j) {
+    dq[j] = ql.input.scale * ql.w_scales[j];
+  }
+  return dq;
+}
+
+}  // namespace agebo::nn

@@ -1,0 +1,65 @@
+// Post-training quantization for the serving fast path (DESIGN.md §13).
+//
+// Scheme (chosen so the int8 kernels in kernels/gemm_s8.hpp are exact and
+// ISA-independent, see that header):
+//   - Weights: symmetric per-output-column s8. Column j of a (k x n)
+//     weight matrix gets scale w_scale[j] = maxabs_j / 127 and values
+//     wq = clamp(round(w / w_scale[j]), -127, 127). Per-column scales cost
+//     n floats and recover most of the accuracy a single per-tensor scale
+//     loses on layers with uneven column magnitudes.
+//   - Activations: per-tensor affine u8 restricted to [0, 127] (7 bits +
+//     zero point). From a calibrated [lo, hi] range (widened to include 0
+//     so real 0.0 maps to an exact grid point — padding and ReLU zeros
+//     stay exact): scale = (hi - lo) / 127, zp = round(-lo / scale).
+//
+// The calibration pass itself (which layer sees which range) needs a
+// forward pass and therefore lives with the inference engine
+// (serve::quantize_artifact); this module owns the pure math and the
+// artifact-side data (QuantLayer, serialized as the v3 `quant` section).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace agebo::nn {
+
+/// Per-tensor affine activation quantization: u8 q in [0, 127] represents
+/// real value (q - zero_point) * scale.
+struct ActQuant {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+/// One quantized GEMM operand in a ModelArtifact: the s8 weights of a
+/// dense op plus the scales needed to run it through gemm_u8s8. `index`
+/// identifies the op in quantizable order: dense nodes by node position,
+/// then the readout. Serialized as the v3 `quant` section.
+struct QuantLayer {
+  std::size_t index = 0;
+  std::size_t rows = 0;  // k: input width
+  std::size_t cols = 0;  // n: output width
+  ActQuant input;        // quantization of this op's fp32 input rows
+  std::vector<float> w_scales;   // per-column, length cols
+  std::vector<std::int8_t> wq;   // rows x cols, row-major
+};
+
+/// Activation quantization from a calibrated value range. Handles
+/// degenerate (empty or single-point) ranges.
+ActQuant act_quant_from_range(float lo, float hi);
+
+/// Symmetric per-column weight quantization of a row-major (rows x cols)
+/// fp32 matrix. Fills ql.rows/cols/w_scales/wq; ql.index and ql.input are
+/// the caller's business.
+void quantize_weights_per_col(const float* w, std::size_t rows,
+                              std::size_t cols, QuantLayer& ql);
+
+/// Zero-point compensation vector for gemm_u8s8: comp[j] =
+/// zero_point * sum_k wq[k][j].
+std::vector<std::int32_t> zero_point_compensation(const QuantLayer& ql);
+
+/// Combined dequantization scales for gemm_u8s8: dq[j] =
+/// input.scale * w_scales[j].
+std::vector<float> dequant_scales(const QuantLayer& ql);
+
+}  // namespace agebo::nn

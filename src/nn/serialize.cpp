@@ -44,10 +44,11 @@ void expect_token(std::istream& is, const std::string& want) {
   }
 }
 
-/// Everything after the version token: meta (v2 only), spec, parameters.
-ModelArtifact parse_body(std::istream& is, bool v2) {
+/// Everything after the version token: meta (v2+), spec, parameters,
+/// quant (v3).
+ModelArtifact parse_body(std::istream& is, int version) {
   ModelArtifact artifact;
-  if (v2) {
+  if (version >= 2) {
     expect_token(is, "meta");
     std::size_t n_meta = 0;
     is >> n_meta;
@@ -112,6 +113,34 @@ ModelArtifact parse_body(std::istream& is, bool v2) {
     for (auto& v : block) is >> v;
   }
   if (!is) throw std::runtime_error("load_artifact: truncated parameters");
+
+  if (version >= 3) {
+    expect_token(is, "quant");
+    std::size_t n_qlayers = 0;
+    is >> n_qlayers;
+    artifact.quant.resize(n_qlayers);
+    for (auto& ql : artifact.quant) {
+      expect_token(is, "qlayer");
+      is >> ql.index >> ql.rows >> ql.cols >> ql.input.zero_point >>
+          ql.input.scale;
+      if (!is) throw std::runtime_error("load_artifact: bad qlayer header");
+      expect_token(is, "wscales");
+      ql.w_scales.resize(ql.cols);
+      for (auto& s : ql.w_scales) is >> s;
+      expect_token(is, "wq");
+      ql.wq.resize(ql.rows * ql.cols);
+      for (auto& q : ql.wq) {
+        int v = 0;
+        is >> v;
+        if (v < -127 || v > 127) {
+          throw std::runtime_error(
+              "load_artifact: quantized weight out of s8 range");
+        }
+        q = static_cast<std::int8_t>(v);
+      }
+    }
+    if (!is) throw std::runtime_error("load_artifact: truncated quant section");
+  }
   return artifact;
 }
 
@@ -153,7 +182,9 @@ std::unique_ptr<GraphNet> instantiate_graphnet(const ModelArtifact& artifact) {
 
 void save_artifact(const ModelArtifact& artifact, std::ostream& os) {
   std::ostringstream body;
-  body << kMagic << " v2\n";
+  // fp32-only artifacts stay on v2 so existing readers keep loading them;
+  // the quant section is what v3 adds.
+  body << kMagic << (artifact.has_quant() ? " v3\n" : " v2\n");
   body << "meta " << artifact.metadata.size() << '\n';
   for (const auto& [key, value] : artifact.metadata) {
     body << "kv " << key << ' ' << value << '\n';
@@ -185,6 +216,24 @@ void save_artifact(const ModelArtifact& artifact, std::ostream& os) {
     }
   }
 
+  if (artifact.has_quant()) {
+    body << "quant " << artifact.quant.size() << '\n';
+    for (const auto& ql : artifact.quant) {
+      body << "qlayer " << ql.index << ' ' << ql.rows << ' ' << ql.cols << ' '
+           << ql.input.zero_point << ' ' << ql.input.scale << '\n';
+      body << "wscales";
+      for (const float s : ql.w_scales) body << ' ' << s;
+      body << '\n';
+      body << "wq";
+      for (std::size_t i = 0; i < ql.wq.size(); ++i) {
+        // Line-wrap at row boundaries to keep the artifact diffable.
+        body << (i > 0 && i % ql.cols == 0 ? '\n' : ' ')
+             << static_cast<int>(ql.wq[i]);
+      }
+      body << '\n';
+    }
+  }
+
   const std::string payload = body.str();
   os << payload << "checksum " << checksum_hex(payload) << '\n';
 }
@@ -207,14 +256,14 @@ ModelArtifact load_artifact(std::istream& is) {
     throw std::runtime_error("load_artifact: bad header");
   }
   if (version == "v1") {
-    return parse_body(head, /*v2=*/false);
+    return parse_body(head, /*version=*/1);
   }
-  if (version != "v2") {
+  if (version != "v2" && version != "v3") {
     throw std::runtime_error("load_artifact: unsupported version '" + version +
-                             "' (expected v1 or v2)");
+                             "' (expected v1, v2, or v3)");
   }
 
-  // v2: the final line is `checksum <hex>` over every byte before it.
+  // v2/v3: the final line is `checksum <hex>` over every byte before it.
   const auto pos = text.rfind("\nchecksum ");
   if (pos == std::string::npos) {
     throw std::runtime_error(
@@ -232,7 +281,7 @@ ModelArtifact load_artifact(std::istream& is) {
 
   std::istringstream body(payload);
   body >> magic >> version;
-  return parse_body(body, /*v2=*/true);
+  return parse_body(body, version == "v3" ? 3 : 2);
 }
 
 ModelArtifact load_artifact_file(const std::string& path) {

@@ -1,11 +1,14 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "nn/activation.hpp"
 #include "nn/kernels/gemm.hpp"
+#include "nn/kernels/gemm_s8.hpp"
 #include "nn/loss.hpp"
 #include "obs/obs.hpp"
 
@@ -35,10 +38,24 @@ const std::vector<float>& take_block(const nn::ModelArtifact& artifact,
   return block;
 }
 
+/// Append t's [min, max] to `out` when calibration is recording.
+void record_minmax(std::vector<std::pair<float, float>>* out,
+                   const nn::Tensor& t) {
+  if (out == nullptr) return;
+  float lo = 0.0f;
+  float hi = 0.0f;
+  if (!t.v.empty()) {
+    const auto [mn, mx] = std::minmax_element(t.v.begin(), t.v.end());
+    lo = *mn;
+    hi = *mx;
+  }
+  out->emplace_back(lo, hi);
+}
+
 }  // namespace
 
-InferenceEngine::InferenceEngine(nn::ModelArtifact artifact)
-    : artifact_(std::move(artifact)) {
+InferenceEngine::InferenceEngine(nn::ModelArtifact artifact, EngineMode mode)
+    : artifact_(std::move(artifact)), mode_(mode) {
   const nn::GraphSpec& spec = artifact_.spec;
   spec.validate();
   const std::size_t m = spec.nodes.size();
@@ -95,6 +112,77 @@ InferenceEngine::InferenceEngine(nn::ModelArtifact artifact)
 
   outs_.resize(m + 1);
   pre_act_.resize(m);
+  node_quant_.resize(m);
+  if (mode_ == EngineMode::kInt8) build_quantized();
+}
+
+// Cross-checks the v3 quant section against the architecture and
+// precomputes the gemm_u8s8 epilogue vectors (plus the pre-packed B
+// panels). Quantizable-op order (index = ordinal): for each node, its
+// skip-projection edges in edge order, then its dense op; then the output
+// skip projections; then the readout.
+void InferenceEngine::build_quantized() {
+  if (!artifact_.has_quant()) {
+    throw std::runtime_error(
+        "InferenceEngine: int8 mode requested but the artifact has no quant "
+        "section (calibrate with quantize_artifact first, or load a v3 "
+        "artifact)");
+  }
+  const std::size_t m = artifact_.spec.nodes.size();
+  auto find_layer = [&](std::size_t index) -> const nn::QuantLayer& {
+    for (const auto& ql : artifact_.quant) {
+      if (ql.index == index) return ql;
+    }
+    throw std::runtime_error(
+        "InferenceEngine: quant section is missing quantizable op " +
+        std::to_string(index));
+  };
+  auto build_one = [&](const nn::QuantLayer& ql, const Linear& dense,
+                       std::size_t index) {
+    if (ql.rows != dense.w.rows || ql.cols != dense.w.cols ||
+        ql.wq.size() != ql.rows * ql.cols || ql.w_scales.size() != ql.cols) {
+      throw std::runtime_error(
+          "InferenceEngine: quant shape mismatch for op " +
+          std::to_string(index) + ": got " + std::to_string(ql.rows) + "x" +
+          std::to_string(ql.cols) + ", want " + std::to_string(dense.w.rows) +
+          "x" + std::to_string(dense.w.cols));
+    }
+    QuantLinear q;
+    q.rows = ql.rows;
+    q.cols = ql.cols;
+    q.inv_scale = 1.0f / ql.input.scale;
+    q.zp = ql.input.zero_point;
+    q.wq = ql.wq;
+    q.dq_scale = nn::dequant_scales(ql);
+    q.comp = nn::zero_point_compensation(ql);
+    q.packed = nn::kernels::pack_weights_s8(q.wq.data(), q.cols, q.rows,
+                                            q.cols);
+    return q;
+  };
+
+  std::size_t index = 0;
+  auto attach_edges = [&](Combine& c) {
+    for (auto& edge : c.edges) {
+      if (!edge.proj.has_value()) continue;
+      edge.qproj = build_one(find_layer(index), *edge.proj, index);
+      ++index;
+    }
+  };
+  for (std::size_t k = 0; k < m; ++k) {
+    attach_edges(node_combine_[k]);
+    if (!node_dense_[k].has_value()) continue;
+    node_quant_[k] = build_one(find_layer(index), *node_dense_[k], index);
+    ++index;
+  }
+  attach_edges(output_combine_);
+  output_quant_ = build_one(find_layer(index), output_dense_, index);
+  ++index;
+  if (artifact_.quant.size() != index) {
+    throw std::runtime_error(
+        "InferenceEngine: quant section has " +
+        std::to_string(artifact_.quant.size()) + " layers but the " +
+        "architecture has " + std::to_string(index) + " quantizable ops");
+  }
 }
 
 std::size_t InferenceEngine::num_params() const {
@@ -112,10 +200,36 @@ void InferenceEngine::combine_forward(const Combine& c,
   for (const auto& edge : c.edges) {
     const nn::Tensor& src = outs_[edge.src];
     if (edge.proj.has_value()) {
+      record_minmax(calib_ranges_, src);  // projection = quantizable op
       const nn::Tensor& w = edge.proj->w;
       nn::kernels::gemm(src.rows, w.cols, w.rows, src.v.data(), w.rows,
                     w.v.data(), w.cols, combine_sum_.v.data(), w.cols,
                     /*accumulate=*/true);
+    } else {
+      nn::add_inplace(combine_sum_, src);
+    }
+  }
+  nn::apply_activation(nn::Activation::kRelu, combine_sum_, combine_buf_);
+}
+
+// The quantized combine: each projection runs through the int8 kernel in
+// dequant-accumulate mode, adding straight into the running sum exactly
+// like the fp32 projection's accumulate GEMM; identity skips and the ReLU
+// are elementwise fp32, same as the fp32 path.
+void InferenceEngine::combine_forward_int8(const Combine& c,
+                                           const nn::Tensor& base) const {
+  combine_sum_ = base;  // capacity-reusing copy
+  for (const auto& edge : c.edges) {
+    const nn::Tensor& src = outs_[edge.src];
+    if (edge.proj.has_value()) {
+      const QuantLinear& q = *edge.qproj;
+      nn::kernels::QuantEpilogue qep;
+      qep.dq_scale = q.dq_scale.data();
+      qep.comp = q.comp.data();
+      qep.accumulate = true;
+      nn::kernels::gemm_u8s8(src.rows, q.cols, q.rows, src.v.data(), q.rows,
+                             q.inv_scale, q.zp, q.wq.data(), q.cols,
+                             combine_sum_.v.data(), q.cols, qep, &q.packed);
     } else {
       nn::add_inplace(combine_sum_, src);
     }
@@ -138,6 +252,7 @@ void InferenceEngine::forward(const float* rows, std::size_t n) const {
     if (spec.nodes[k].is_identity) {
       outs_[k + 1] = *node_input;  // combine_buf_ is reused; must copy
     } else {
+      record_minmax(calib_ranges_, *node_input);
       // Same fused GEMM the trainer uses: bias + activation epilogue with
       // the pre-activation staged alongside, so the arithmetic (and hence
       // every output bit) matches GraphNet::forward.
@@ -160,6 +275,7 @@ void InferenceEngine::forward(const float* rows, std::size_t n) const {
     combine_forward(output_combine_, outs_[m]);
     readout_input = &combine_buf_;
   }
+  record_minmax(calib_ranges_, *readout_input);
   nn::ensure_shape(logits_, n, spec.output_dim);
   nn::kernels::Epilogue ep;
   ep.bias = output_dense_.b.data();
@@ -170,18 +286,125 @@ void InferenceEngine::forward(const float* rows, std::size_t n) const {
                 /*accumulate=*/false, &ep);
 }
 
+// The quantized replay of forward(): identical graph traversal and fp32
+// interchange buffers, but every GEMM — dense nodes, skip projections, and
+// the readout — runs through the int8 kernel: activations quantized while
+// the A panel packs, s32 accumulation, fused dequant + bias + activation
+// back to fp32. Only the elementwise stages (combine sum/ReLU, identity
+// copies, softmax) stay on fp32 code.
+void InferenceEngine::forward_int8(const float* rows, std::size_t n) const {
+  const nn::GraphSpec& spec = artifact_.spec;
+  const std::size_t m = spec.nodes.size();
+  nn::ensure_shape(outs_[0], n, spec.input_dim);
+  std::memcpy(outs_[0].v.data(), rows, n * spec.input_dim * sizeof(float));
+
+  auto quant_gemm = [&](const QuantLinear& q, const Linear& dense,
+                        nn::Activation act, const nn::Tensor& in,
+                        nn::Tensor& out) {
+    nn::ensure_shape(out, n, q.cols);
+    nn::kernels::QuantEpilogue qep;
+    qep.dq_scale = q.dq_scale.data();
+    qep.comp = q.comp.data();
+    qep.bias = dense.b.data();
+    qep.act = act;
+    nn::kernels::gemm_u8s8(n, q.cols, q.rows, in.v.data(), q.rows,
+                           q.inv_scale, q.zp, q.wq.data(), q.cols,
+                           out.v.data(), q.cols, qep, &q.packed);
+  };
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const nn::Tensor* node_input = &outs_[k];
+    if (node_combine_[k].active()) {
+      combine_forward_int8(node_combine_[k], outs_[k]);
+      node_input = &combine_buf_;
+    }
+    if (spec.nodes[k].is_identity) {
+      outs_[k + 1] = *node_input;  // combine_buf_ is reused; must copy
+    } else {
+      quant_gemm(*node_quant_[k], *node_dense_[k], spec.nodes[k].act,
+                 *node_input, outs_[k + 1]);
+    }
+  }
+
+  const nn::Tensor* readout_input = &outs_[m];
+  if (output_combine_.active()) {
+    combine_forward_int8(output_combine_, outs_[m]);
+    readout_input = &combine_buf_;
+  }
+  quant_gemm(*output_quant_, output_dense_, nn::Activation::kIdentity,
+             *readout_input, logits_);
+}
+
+nn::ModelArtifact InferenceEngine::quantized_artifact(const float* rows,
+                                                      std::size_t n) const {
+  if (mode_ != EngineMode::kFp32) {
+    throw std::runtime_error(
+        "quantized_artifact: calibration runs on a kFp32 engine");
+  }
+  if (n == 0 || rows == nullptr) {
+    throw std::runtime_error(
+        "quantized_artifact: need at least one calibration row");
+  }
+  std::vector<std::pair<float, float>> ranges;
+  calib_ranges_ = &ranges;
+  forward(rows, n);
+  calib_ranges_ = nullptr;
+
+  // Same traversal order as build_quantized / the calibration recording:
+  // per node, projection edges then the dense op; output projections; the
+  // readout.
+  nn::ModelArtifact out = artifact_;
+  out.quant.clear();
+  std::size_t index = 0;
+  auto push_layer = [&](const Linear& op) {
+    nn::QuantLayer ql;
+    ql.index = index;
+    ql.input = nn::act_quant_from_range(ranges[index].first,
+                                        ranges[index].second);
+    nn::quantize_weights_per_col(op.w.v.data(), op.w.rows, op.w.cols, ql);
+    out.quant.push_back(std::move(ql));
+    ++index;
+  };
+  auto push_edges = [&](const Combine& c) {
+    for (const auto& edge : c.edges) {
+      if (edge.proj.has_value()) push_layer(*edge.proj);
+    }
+  };
+  for (std::size_t k = 0; k < node_dense_.size(); ++k) {
+    push_edges(node_combine_[k]);
+    if (node_dense_[k].has_value()) push_layer(*node_dense_[k]);
+  }
+  push_edges(output_combine_);
+  push_layer(output_dense_);
+  return out;
+}
+
 void InferenceEngine::predict_logits(const float* rows, std::size_t n,
                                      float* out) const {
   if (n == 0) return;
-  OBS_SPAN("serve.infer",
-           {{"rows", std::to_string(n)}});
-  forward(rows, n);
+  if (mode_ == EngineMode::kInt8) {
+    OBS_SPAN("serve.quantized.infer", {{"rows", std::to_string(n)}});
+    forward_int8(rows, n);
+  } else {
+    OBS_SPAN("serve.infer", {{"rows", std::to_string(n)}});
+    forward(rows, n);
+  }
   std::memcpy(out, logits_.v.data(), logits_.v.size() * sizeof(float));
 }
 
 void InferenceEngine::predict_batch(const float* rows, std::size_t n,
                                     float* out) const {
   if (n == 0) return;
+  if (mode_ == EngineMode::kInt8) {
+    OBS_SPAN("serve.quantized.infer", {{"rows", std::to_string(n)}});
+    forward_int8(rows, n);
+    nn::softmax(logits_, probs_);
+    std::memcpy(out, probs_.v.data(), probs_.v.size() * sizeof(float));
+    static const auto predictions =
+        obs::Registry::global().counter("serve.quantized.predictions");
+    predictions.add(n);
+    return;
+  }
   OBS_SPAN("serve.infer",
            {{"rows", std::to_string(n)}});
   forward(rows, n);
@@ -192,8 +415,13 @@ void InferenceEngine::predict_batch(const float* rows, std::size_t n,
   predictions.add(n);
 }
 
-InferenceEngine load_engine(const std::string& path) {
-  return InferenceEngine(nn::load_artifact_file(path));
+InferenceEngine load_engine(const std::string& path, EngineMode mode) {
+  return InferenceEngine(nn::load_artifact_file(path), mode);
+}
+
+nn::ModelArtifact quantize_artifact(const nn::ModelArtifact& artifact,
+                                    const float* rows, std::size_t n) {
+  return InferenceEngine(artifact).quantized_artifact(rows, n);
 }
 
 }  // namespace agebo::serve

@@ -1,9 +1,12 @@
-// Unit tests for src/common: RNG, statistics, matrix, PCA, table rendering.
+// Unit tests for src/common: RNG, statistics, matrix, PCA, table rendering,
+// CLI argument parsing.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <set>
+#include <vector>
 
+#include "common/args.hpp"
 #include "common/matrix.hpp"
 #include "common/pca.hpp"
 #include "common/rng.hpp"
@@ -256,6 +259,72 @@ TEST(TextTable, RejectsWrongColumnCount) {
 TEST(TextTable, FormatsDoubles) {
   EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+}
+
+namespace {
+// argv helper: parse the given tokens (argv[0] is synthesized).
+bool parse_args(common::ArgParser& args, std::vector<std::string> tokens) {
+  std::vector<char*> argv;
+  static std::string prog = "test";
+  argv.push_back(prog.data());
+  for (auto& t : tokens) argv.push_back(t.data());
+  return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+}  // namespace
+
+TEST(ArgParser, SeparateValueForm) {
+  common::ArgParser args("usage\n");
+  args.add_option("epochs");
+  ASSERT_TRUE(parse_args(args, {"--epochs", "12"}));
+  EXPECT_EQ(args.get_size("epochs", 0), 12u);
+}
+
+TEST(ArgParser, EqualsValueForm) {
+  common::ArgParser args("usage\n");
+  args.add_option("epochs");
+  args.add_option("name");
+  ASSERT_TRUE(parse_args(args, {"--epochs=34", "--name=skips-4x160"}));
+  EXPECT_EQ(args.get_size("epochs", 0), 34u);
+  EXPECT_EQ(args.get("name", ""), "skips-4x160");
+}
+
+TEST(ArgParser, EqualsValueMayContainEquals) {
+  common::ArgParser args("usage\n");
+  args.add_option("expr");
+  ASSERT_TRUE(parse_args(args, {"--expr=a=b"}));
+  EXPECT_EQ(args.get("expr", ""), "a=b");
+}
+
+TEST(ArgParser, EqualsValueMayBeEmpty) {
+  common::ArgParser args("usage\n");
+  args.add_option("tag");
+  ASSERT_TRUE(parse_args(args, {"--tag="}));
+  EXPECT_TRUE(args.has("tag"));
+  EXPECT_EQ(args.get("tag", "fallback"), "");
+}
+
+TEST(ArgParser, BooleanFlagRejectsEqualsValue) {
+  common::ArgParser args("usage\n");
+  args.add_flag("int8");
+  EXPECT_FALSE(parse_args(args, {"--int8=true"}));
+  // Plain spelling still works on a fresh parser.
+  common::ArgParser ok("usage\n");
+  ok.add_flag("int8");
+  ASSERT_TRUE(parse_args(ok, {"--int8"}));
+  EXPECT_TRUE(ok.flag("int8"));
+}
+
+TEST(ArgParser, UnknownNameInEqualsFormIsError) {
+  common::ArgParser args("usage\n");
+  args.add_option("epochs");
+  EXPECT_FALSE(parse_args(args, {"--epoch=3"}));
+}
+
+TEST(ArgParser, LastValueWinsAcrossBothSpellings) {
+  common::ArgParser args("usage\n");
+  args.add_option("batch");
+  ASSERT_TRUE(parse_args(args, {"--batch", "8", "--batch=64"}));
+  EXPECT_EQ(args.get_size("batch", 0), 64u);
 }
 
 }  // namespace

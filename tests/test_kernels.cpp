@@ -42,12 +42,16 @@ struct Shape {
   std::size_t m, k, n;
 };
 
-// 1x1, tall-skinny, wide, non-multiple-of-tile dims, zero rows, and a K
-// large enough to span multiple KC blocks.
+// 1x1, tall-skinny, wide, non-multiple-of-tile dims, zero rows, a K large
+// enough to span multiple KC blocks, plus the microkernel tail cases:
+// k=1 (single rank-1 update), n smaller than any NR strip, and m not a
+// multiple of the MR row strip.
 const Shape kEdgeShapes[] = {
     {1, 1, 1},     {257, 3, 130}, {3, 300, 2},  {129, 65, 33},
     {0, 5, 7},     {5, 0, 7},     {64, 64, 64}, {33, 600, 47},
     {6, 8, 256},   {130, 129, 1}, {1, 513, 16},
+    {5, 1, 9},     {64, 32, 3},   {61, 40, 5},  {9, 1, 64},
+    {2, 7, 1},
 };
 
 TEST(Kernels, BlockedMatmulMatchesNaive) {

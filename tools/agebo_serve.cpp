@@ -1,9 +1,11 @@
-// Serve a frozen model artifact (DESIGN.md §12): load it without the
+// Serve a frozen model artifact (DESIGN.md §12–13): load it without the
 // search/training stack, run batched inference over a dataset, and exercise
 // the dynamic micro-batcher under concurrent single-row clients.
 //
 //   agebo_serve --model model.txt (--data FILE [--arff] | --synthetic ROWS)
 //               [--batch N] [--max-delay-ms F] [--clients N] [--requests N]
+//               [--int8] [--calib-rows N] [--save-quant F.txt]
+//               [--check-accuracy-delta PT]
 //               [--trace F.json] [--metrics F.csv]
 //
 // The dataset goes through the same 42/25/33 split and train-split
@@ -11,12 +13,21 @@
 //   agebo_train --synthetic 4096 --save model.txt
 // serves its own test split here with the same accuracy it reported.
 //
+// --int8 serves through the quantized engine: if the artifact already
+// carries a v3 quant section it is used as-is, otherwise the model is
+// calibrated on up to --calib-rows train-split rows (default 256) and
+// quantized on the fly. --save-quant writes the calibrated v3 artifact so
+// later runs skip calibration. --check-accuracy-delta PT recomputes the
+// fp32 test accuracy alongside and exits 1 if the int8 accuracy drops by
+// more than PT percentage points — the serving-quality gate ctest runs.
+//
 // Phase 1 reports batched-path accuracy and throughput on the test split;
 // phase 2 runs --clients threads of blocking single-row predicts through
 // the MicroBatcher and reports coalescing stats plus latency quantiles
 // (serve.latency / serve.queue_wait / serve.batch_size come from the
 // metrics registry; --metrics dumps them all).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -35,6 +46,29 @@
 #include "serve/batcher.hpp"
 #include "serve/engine.hpp"
 
+namespace {
+
+/// Top-1 accuracy of `engine` over the whole split, batched.
+double split_accuracy(const agebo::serve::InferenceEngine& engine,
+                      const agebo::data::Dataset& split, std::size_t batch) {
+  std::vector<float> probs(batch * engine.output_dim());
+  std::vector<int> preds;
+  preds.reserve(split.n_rows);
+  for (std::size_t begin = 0; begin < split.n_rows; begin += batch) {
+    const std::size_t n = std::min(batch, split.n_rows - begin);
+    engine.predict_batch(split.row(begin), n, probs.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* p = probs.data() + i * engine.output_dim();
+      preds.push_back(static_cast<int>(
+          std::distance(p, std::max_element(p, p + engine.output_dim()))));
+    }
+  }
+  return agebo::ml::confusion_matrix(split.y, preds, split.n_classes)
+      .accuracy();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace agebo;
 
@@ -42,13 +76,16 @@ int main(int argc, char** argv) {
       "usage: agebo_serve --model FILE "
       "(--data FILE [--arff] | --synthetic ROWS) "
       "[--batch N] [--max-delay-ms F] [--clients N] [--requests N] "
-      "[--trace F.json] [--metrics F.csv]\n");
+      "[--int8] [--calib-rows N] [--save-quant F.txt] "
+      "[--check-accuracy-delta PT] [--trace F.json] [--metrics F.csv]\n");
   for (const char* opt : {"model", "data", "synthetic", "batch",
                           "max-delay-ms", "clients", "requests", "trace",
-                          "metrics"}) {
+                          "metrics", "calib-rows", "save-quant",
+                          "check-accuracy-delta"}) {
     args.add_option(opt);
   }
   args.add_flag("arff");
+  args.add_flag("int8");
   if (!args.parse(argc, argv)) return 2;
   if (!args.has("model") || (!args.has("data") && !args.has("synthetic"))) {
     args.print_usage();
@@ -56,13 +93,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto artifact = nn::load_artifact_file(args.get("model", ""));
-    serve::InferenceEngine engine(artifact);
-    std::printf("model: %zu features -> %zu classes, %zu parameters\n",
-                engine.input_dim(), engine.output_dim(), engine.num_params());
-    for (const auto& [key, value] : artifact.metadata) {
-      std::printf("  meta %s = %s\n", key.c_str(), value.c_str());
-    }
+    auto artifact = nn::load_artifact_file(args.get("model", ""));
 
     // Same pipeline as agebo_train: load, split 42/25/33, standardize.
     const auto dataset = [&]() -> data::Dataset {
@@ -80,11 +111,38 @@ int main(int argc, char** argv) {
     auto splits = data::split(dataset, data::SplitFractions{}, split_rng);
     data::standardize(splits);
     const data::Dataset& test = splits.test;
-    if (test.n_features != engine.input_dim()) {
+    if (test.n_features != artifact.spec.input_dim) {
       throw std::runtime_error(
           "dataset has " + std::to_string(test.n_features) +
           " features but the model expects " +
-          std::to_string(engine.input_dim()));
+          std::to_string(artifact.spec.input_dim));
+    }
+
+    // --int8: reuse a shipped quant section, or calibrate on the train
+    // split and quantize here.
+    const bool int8 = args.flag("int8");
+    if (int8 && !artifact.has_quant()) {
+      const std::size_t calib_rows = std::min<std::size_t>(
+          splits.train.n_rows,
+          std::max<std::size_t>(1, args.get_size("calib-rows", 256)));
+      artifact = serve::quantize_artifact(artifact, splits.train.row(0),
+                                          calib_rows);
+      std::printf("calibrated on %zu train rows (%zu quantized ops)\n",
+                  calib_rows, artifact.quant.size());
+    }
+    if (int8 && args.has("save-quant")) {
+      const std::string qpath = args.get("save-quant", "");
+      nn::save_artifact_file(artifact, qpath);
+      std::printf("quantized artifact written to %s\n", qpath.c_str());
+    }
+
+    serve::InferenceEngine engine(
+        artifact, int8 ? serve::EngineMode::kInt8 : serve::EngineMode::kFp32);
+    std::printf("model: %zu features -> %zu classes, %zu parameters (%s)\n",
+                engine.input_dim(), engine.output_dim(), engine.num_params(),
+                int8 ? "int8" : "fp32");
+    for (const auto& [key, value] : artifact.metadata) {
+      std::printf("  meta %s = %s\n", key.c_str(), value.c_str());
     }
 
     // --- Phase 1: batched inference over the whole test split. ---
@@ -111,6 +169,31 @@ int main(int argc, char** argv) {
         batch_seconds > 0.0 ? static_cast<double>(test.n_rows) / batch_seconds
                             : 0.0,
         batch, cm.accuracy(), cm.macro_f1());
+
+    // --- Accuracy-delta gate: int8 must stay within PT points of fp32. ---
+    if (args.has("check-accuracy-delta")) {
+      if (!int8) {
+        throw std::runtime_error(
+            "--check-accuracy-delta requires --int8 (it compares the int8 "
+            "engine against the fp32 baseline)");
+      }
+      const double budget_pt = args.get_double("check-accuracy-delta", 0.5);
+      serve::InferenceEngine fp32_engine(artifact, serve::EngineMode::kFp32);
+      const double fp32_acc = split_accuracy(fp32_engine, test, batch);
+      const double int8_acc = cm.accuracy();
+      const double delta_pt = (fp32_acc - int8_acc) * 100.0;
+      std::printf(
+          "accuracy delta: fp32 %.4f, int8 %.4f, drop %.3f pt "
+          "(budget %.3f pt)\n",
+          fp32_acc, int8_acc, delta_pt, budget_pt);
+      if (delta_pt > budget_pt) {
+        std::fprintf(stderr,
+                     "FAIL: int8 accuracy dropped %.3f pt vs fp32 "
+                     "(budget %.3f pt)\n",
+                     delta_pt, budget_pt);
+        return 1;
+      }
+    }
 
     // --- Phase 2: concurrent single-row clients through the batcher. ---
     const std::size_t clients = std::max<std::size_t>(1, args.get_size("clients", 4));

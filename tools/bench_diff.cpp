@@ -1,12 +1,15 @@
 // Compare two benchmark JSON files and exit nonzero when any matching
 // (kernel, m, k, n) entry regressed by more than --tol (default 10%) in
-// blocked GFLOP/s. Accepts both harness schemas — agebo-bench-kernels-v1
-// (bench/bench_kernels_json: GEMM shapes, blocked_gflops = absolute rate),
-// agebo-bench-allreduce-v1 (bench/bench_allreduce_json: reduction sizes
-// mapped onto the same field names, blocked_gflops = effective GB/s), and
-// agebo-bench-infer-v1 (bench/bench_infer_json: serving batch sizes,
-// blocked_gflops = batched predictions/s, speedup = batched vs per-row).
-// CI gates kernel changes with:
+// the blocked rate. Accepts every harness schema — agebo-bench-kernels-v1
+// (bench/bench_kernels_json: GEMM shapes, blocked_gflops = absolute
+// GFLOP/s), agebo-bench-allreduce-v1 (bench/bench_allreduce_json:
+// reduction sizes mapped onto the same field names, blocked_gflops =
+// effective GB/s), and agebo-bench-infer-v1 / -v2 (bench/bench_infer_json:
+// serving batch sizes, blocked_gflops = batched predictions/s; v2 adds
+// "<arch>-int8" rows where the rate is the int8 engine and speedup is
+// int8 vs fp32). Regression messages report the metric in the schema's
+// own units so a failing CI log reads directly. CI gates kernel changes
+// with:
 //
 //   bench_kernels_json --out new.json
 //   bench_diff baseline.json new.json          # exit 1 on >10% regression
@@ -51,7 +54,20 @@ bool field(const std::string& line, const std::string& key, std::string& out) {
   return !out.empty();
 }
 
-bool load(const std::string& path, std::map<Key, Entry>& entries) {
+// Known schema tags and the unit of their blocked-rate metric.
+struct SchemaInfo {
+  const char* tag;
+  const char* unit;
+};
+constexpr SchemaInfo kSchemas[] = {
+    {"agebo-bench-kernels-v1", "GFLOP/s"},
+    {"agebo-bench-allreduce-v1", "GB/s"},
+    {"agebo-bench-infer-v1", "pred/s"},
+    {"agebo-bench-infer-v2", "pred/s"},
+};
+
+bool load(const std::string& path, std::map<Key, Entry>& entries,
+          std::string& unit) {
   std::ifstream is(path);
   if (!is) {
     std::cerr << "bench_diff: cannot open " << path << "\n";
@@ -60,10 +76,11 @@ bool load(const std::string& path, std::map<Key, Entry>& entries) {
   std::string line;
   bool saw_schema = false;
   while (std::getline(is, line)) {
-    if (line.find("agebo-bench-kernels-v1") != std::string::npos ||
-        line.find("agebo-bench-allreduce-v1") != std::string::npos ||
-        line.find("agebo-bench-infer-v1") != std::string::npos) {
-      saw_schema = true;
+    for (const auto& s : kSchemas) {
+      if (line.find(s.tag) != std::string::npos) {
+        saw_schema = true;
+        unit = s.unit;
+      }
     }
     std::string kernel, m, k, n, gflops, speedup;
     if (!field(line, "kernel", kernel)) continue;
@@ -83,9 +100,14 @@ bool load(const std::string& path, std::map<Key, Entry>& entries) {
              std::strtol(n.c_str(), nullptr, 10)}] = e;
   }
   if (!saw_schema) {
-    std::cerr << "bench_diff: " << path
-              << " is not an agebo-bench-kernels-v1 / "
-                 "agebo-bench-allreduce-v1 / agebo-bench-infer-v1 file\n";
+    std::cerr << "bench_diff: " << path << " has no recognized schema (";
+    bool first = true;
+    for (const auto& s : kSchemas) {
+      if (!first) std::cerr << " / ";
+      std::cerr << s.tag;
+      first = false;
+    }
+    std::cerr << ")\n";
     return false;
   }
   if (entries.empty()) {
@@ -114,7 +136,18 @@ int main(int argc, char** argv) {
   }
 
   std::map<Key, Entry> before, after;
-  if (!load(paths[0], before) || !load(paths[1], after)) return 2;
+  std::string unit_before, unit_after;
+  if (!load(paths[0], before, unit_before) ||
+      !load(paths[1], after, unit_after)) {
+    return 2;
+  }
+  if (unit_before != unit_after) {
+    std::cerr << "bench_diff: schema mismatch between files (" << paths[0]
+              << " measures " << unit_before << ", " << paths[1] << " measures "
+              << unit_after << ")\n";
+    return 2;
+  }
+  const std::string& unit = unit_before;
 
   int regressions = 0;
   int compared = 0;
@@ -135,7 +168,7 @@ int main(int argc, char** argv) {
     if (drop > tol) {
       std::cerr << "REGRESSION " << std::get<0>(key) << " m=" << std::get<1>(key)
                 << " k=" << std::get<2>(key) << " n=" << std::get<3>(key)
-                << ": " << old_gf << " -> " << new_gf << " GFLOP/s ("
+                << ": " << old_gf << " -> " << new_gf << " " << unit << " ("
                 << drop * 100.0 << "% drop, tolerance " << tol * 100.0
                 << "%)\n";
       ++regressions;

@@ -14,11 +14,12 @@
 //    same lane — the bucketed allreduce is part of the step collective, so
 //    a bucket span escaping its step means the trainer's span accounting
 //    broke;
-//  - serving lanes (DESIGN.md §12): on a lane carrying "serve.batch" spans,
-//    every "serve.infer" span is contained in one (the batcher worker only
+//  - serving lanes (DESIGN.md §12–13): on a lane carrying "serve.batch"
+//    spans, every engine-infer span ("serve.infer" or the int8 engine's
+//    "serve.quantized.infer") is contained in one (the batcher worker only
 //    runs the engine inside a batch), and every "serve.batch" contains at
-//    least one "serve.infer" (a batch that never touched the engine means
-//    the coalescing loop dropped requests).
+//    least one infer span (a batch that never touched the engine means the
+//    coalescing loop dropped requests).
 //
 // Exits 0 when every invariant holds, 1 with a diagnostic otherwise. The
 // obs ctest suite runs it against a freshly simulated campaign.
@@ -125,10 +126,14 @@ void check_bucket_containment(const std::string& lane,
 }
 
 /// Serving invariants on one lane (no-op on lanes without serve.batch
-/// spans): serve.infer ⊂ serve.batch, and every serve.batch is non-empty.
+/// spans): every engine-infer span ⊂ serve.batch, and every serve.batch is
+/// non-empty. Both engine modes count as infer spans.
 void check_serve_batching(const std::string& lane,
                           const std::vector<Span>& spans) {
   const double eps = 0.05;
+  const auto is_infer = [](const Span& s) {
+    return s.name == "serve.infer" || s.name == "serve.quantized.infer";
+  };
   std::vector<const Span*> batches;
   for (const Span& s : spans) {
     if (s.name == "serve.batch") batches.push_back(&s);
@@ -136,7 +141,7 @@ void check_serve_batching(const std::string& lane,
   if (batches.empty()) return;
   std::vector<std::size_t> infers_in(batches.size(), 0);
   for (const Span& s : spans) {
-    if (s.name != "serve.infer") continue;
+    if (!is_infer(s)) continue;
     const double end = s.ts + s.dur;
     bool contained = false;
     for (std::size_t b = 0; b < batches.size(); ++b) {
@@ -150,8 +155,8 @@ void check_serve_batching(const std::string& lane,
     if (!contained) {
       std::ostringstream msg;
       msg.precision(12);
-      msg << "lane \"" << lane << "\": serve.infer span [" << s.ts << ", "
-          << end << ") is not contained in any serve.batch span";
+      msg << "lane \"" << lane << "\": " << s.name << " span [" << s.ts
+          << ", " << end << ") is not contained in any serve.batch span";
       fail(msg.str());
     }
   }
@@ -160,7 +165,7 @@ void check_serve_batching(const std::string& lane,
       std::ostringstream msg;
       msg.precision(12);
       msg << "lane \"" << lane << "\": serve.batch span at " << batches[b]->ts
-          << " contains no serve.infer span";
+          << " contains no engine infer span";
       fail(msg.str());
     }
   }
