@@ -71,6 +71,16 @@ void AskTellOptimizer::tell(const std::vector<Point>& points,
   }
 }
 
+void AskTellOptimizer::restore(const std::vector<Point>& points,
+                               const std::vector<double>& objectives,
+                               const Rng::State& rng) {
+  if (!x_points_.empty()) {
+    throw std::invalid_argument("restore: optimizer already has observations");
+  }
+  tell(points, objectives);  // validates and rebuilds features + seen keys
+  rng_.set_state(rng);
+}
+
 void AskTellOptimizer::refit(const std::vector<std::vector<double>>& xs,
                              const std::vector<double>& ys) {
   const std::size_t n = xs.size();

@@ -65,6 +65,20 @@ class AskTellOptimizer {
   const ParamSpace& space() const { return space_; }
   double kappa() const { return cfg_.kappa; }
 
+  // Durable-state seam (DESIGN.md §14). The optimizer's mutable state is
+  // exactly the tell log plus the sampler position: the surrogate forest is
+  // refit from the log on every ask(), so checkpointing the log and the rng
+  // words — and restoring them into a same-seeded optimizer — reproduces
+  // every subsequent ask() bit-for-bit.
+  const std::vector<Point>& tell_log_points() const { return x_points_; }
+  const std::vector<double>& tell_log_objectives() const { return y_; }
+  Rng::State rng_state() const { return rng_.state(); }
+  /// Restore a checkpointed tell log + rng position into a freshly
+  /// constructed optimizer (same space and config). Throws
+  /// std::invalid_argument on size mismatch or out-of-space points.
+  void restore(const std::vector<Point>& points,
+               const std::vector<double>& objectives, const Rng::State& rng);
+
  private:
   /// Fit the surrogate on current (+liar) data.
   void refit(const std::vector<std::vector<double>>& xs,

@@ -110,4 +110,18 @@ void Rng::shuffle(std::vector<std::size_t>& v) {
   }
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (std::size_t i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = st.s[i];
+  cached_normal_ = st.cached_normal;
+  has_cached_normal_ = st.has_cached_normal;
+}
+
 }  // namespace agebo

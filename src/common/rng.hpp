@@ -56,6 +56,18 @@ class Rng {
   /// In-place Fisher-Yates shuffle of an index vector.
   void shuffle(std::vector<std::size_t>& v);
 
+  /// Raw generator state (xoshiro words plus the Box-Muller cache) for
+  /// checkpointing: restoring a saved state reproduces the stream exactly,
+  /// which is what makes a resumed search trajectory bit-identical to an
+  /// uninterrupted one (DESIGN.md §14).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& st);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -24,33 +24,87 @@ std::string genome_field(const nas::Genome& g) {
   return os.str();
 }
 
-nas::Genome parse_genome(const std::string& field) {
+nas::Genome parse_genome(const std::string& field, const std::string& what) {
   nas::Genome g;
   std::istringstream is(field);
   std::string token;
   while (std::getline(is, token, '-')) {
-    g.push_back(std::stoi(token));
+    std::size_t used = 0;
+    int value = 0;
+    try {
+      value = std::stoi(token, &used);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_history: " + what + ": bad genome token \"" +
+                               token + "\"");
+    }
+    if (used != token.size()) {
+      throw std::runtime_error("load_history: " + what + ": bad genome token \"" +
+                               token + "\"");
+    }
+    g.push_back(value);
+  }
+  if (g.empty()) {
+    throw std::runtime_error("load_history: " + what + ": empty genome field");
   }
   return g;
 }
 
+double parse_double(const std::string& cell, const std::string& what,
+                    const char* field) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(cell, &used);
+  } catch (const std::exception&) {
+    throw std::runtime_error("load_history: " + what + ": non-numeric " + field +
+                             " \"" + cell + "\"");
+  }
+  if (used != cell.size()) {
+    throw std::runtime_error("load_history: " + what + ": non-numeric " + field +
+                             " \"" + cell + "\"");
+  }
+  return value;
+}
+
+std::size_t parse_size(const std::string& cell, const std::string& what,
+                       const char* field) {
+  std::size_t used = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(cell, &used);
+  } catch (const std::exception&) {
+    throw std::runtime_error("load_history: " + what + ": non-numeric " + field +
+                             " \"" + cell + "\"");
+  }
+  if (used != cell.size()) {
+    throw std::runtime_error("load_history: " + what + ": non-numeric " + field +
+                             " \"" + cell + "\"");
+  }
+  return static_cast<std::size_t>(value);
+}
+
 }  // namespace
+
+void write_history_row(const EvalRecord& rec, std::ostream& os) {
+  os << rec.index << ',' << rec.finish_time << ',' << rec.objective << ','
+     << rec.train_seconds << ',' << (rec.failed ? 1 : 0) << ',' << rec.attempts
+     << ',';
+  if (rec.config.hparams.size() == 3) {
+    os << rec.config.hparams[0] << ',' << rec.config.hparams[1] << ','
+       << rec.config.hparams[2];
+  } else {
+    os << ",,";
+  }
+  os << ',' << genome_field(rec.config.genome);
+}
 
 void save_history(const SearchResult& result, std::ostream& os) {
   os << kHeader << '\n';
   // max_digits10 so doubles round-trip exactly.
   os.precision(17);
   for (const auto& rec : result.history) {
-    os << rec.index << ',' << rec.finish_time << ',' << rec.objective << ','
-       << rec.train_seconds << ',' << (rec.failed ? 1 : 0) << ','
-       << rec.attempts << ',';
-    if (rec.config.hparams.size() == 3) {
-      os << rec.config.hparams[0] << ',' << rec.config.hparams[1] << ','
-         << rec.config.hparams[2];
-    } else {
-      os << ",,";
-    }
-    os << ',' << genome_field(rec.config.genome) << '\n';
+    write_history_row(rec, os);
+    os << '\n';
   }
 }
 
@@ -58,6 +112,54 @@ void save_history_file(const SearchResult& result, const std::string& path) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("save_history_file: cannot open " + path);
   save_history(result, os);
+}
+
+EvalRecord parse_history_row(const std::string& line,
+                             const nas::SearchSpace& space, bool legacy,
+                             const std::string& what) {
+  std::istringstream ls(line);
+  std::string cell;
+  EvalRecord rec;
+  auto next = [&](const char* field) -> std::string {
+    if (!std::getline(ls, cell, ',')) {
+      throw std::runtime_error("load_history: " + what +
+                               ": truncated row (missing " + field + "): " +
+                               line);
+    }
+    return cell;
+  };
+  rec.index = parse_size(next("index"), what, "index");
+  rec.finish_time = parse_double(next("finish_time"), what, "finish_time");
+  rec.objective = parse_double(next("objective"), what, "objective");
+  rec.train_seconds =
+      parse_double(next("train_seconds"), what, "train_seconds");
+  if (!legacy) {
+    rec.failed = parse_size(next("failed"), what, "failed") != 0;
+    rec.attempts = parse_size(next("attempts"), what, "attempts");
+  }
+  const std::string bs = next("bs1");
+  const std::string lr = next("lr1");
+  const std::string n = next("n");
+  if (!bs.empty() || !lr.empty() || !n.empty()) {
+    if (bs.empty() || lr.empty() || n.empty()) {
+      throw std::runtime_error("load_history: " + what +
+                               ": partial hyperparameter columns: " + line);
+    }
+    rec.config.hparams = {parse_double(bs, what, "bs1"),
+                          parse_double(lr, what, "lr1"),
+                          parse_double(n, what, "n")};
+  }
+  rec.config.genome = parse_genome(next("genome"), what);
+  if (std::getline(ls, cell, ',')) {
+    throw std::runtime_error("load_history: " + what +
+                             ": trailing cells past the genome: " + line);
+  }
+  try {
+    space.validate(rec.config.genome);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("load_history: " + what + ": " + e.what());
+  }
+  return rec;
 }
 
 std::vector<EvalRecord> load_history(std::istream& is,
@@ -68,34 +170,12 @@ std::vector<EvalRecord> load_history(std::istream& is,
   }
   const bool legacy = line == kLegacyHeader;
   std::vector<EvalRecord> out;
+  std::size_t line_no = 1;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string cell;
-    EvalRecord rec;
-    auto next = [&]() -> std::string {
-      if (!std::getline(ls, cell, ',')) {
-        throw std::runtime_error("load_history: short row: " + line);
-      }
-      return cell;
-    };
-    rec.index = static_cast<std::size_t>(std::stoull(next()));
-    rec.finish_time = std::stod(next());
-    rec.objective = std::stod(next());
-    rec.train_seconds = std::stod(next());
-    if (!legacy) {
-      rec.failed = std::stoi(next()) != 0;
-      rec.attempts = static_cast<std::size_t>(std::stoull(next()));
-    }
-    const std::string bs = next();
-    const std::string lr = next();
-    const std::string n = next();
-    if (!bs.empty()) {
-      rec.config.hparams = {std::stod(bs), std::stod(lr), std::stod(n)};
-    }
-    rec.config.genome = parse_genome(next());
-    space.validate(rec.config.genome);
-    out.push_back(std::move(rec));
+    out.push_back(parse_history_row(line, space, legacy,
+                                    "line " + std::to_string(line_no)));
   }
   return out;
 }

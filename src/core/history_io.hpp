@@ -8,6 +8,12 @@
 //              attempts, bs1, lr1, n, genome ('-'-separated decisions).
 // Files written before the fault-tolerance layer (no failed/attempts
 // columns) still load, with failed=0 and attempts=1 assumed.
+//
+// Loading is strict: a malformed or truncated row (short row, trailing
+// cells, non-numeric field, bad genome token) raises std::runtime_error
+// naming the offending line — the warm-start seam must not silently skip
+// or half-parse records (DESIGN.md §14). The row-level helpers are shared
+// with the campaign checkpoint format (src/svc/checkpoint).
 #pragma once
 
 #include <iosfwd>
@@ -20,6 +26,17 @@ namespace agebo::core {
 
 void save_history(const SearchResult& result, std::ostream& os);
 void save_history_file(const SearchResult& result, const std::string& path);
+
+/// One CSV row (no trailing newline) in the current header's column order.
+void write_history_row(const EvalRecord& rec, std::ostream& os);
+
+/// Parses one data row. `legacy` selects the pre-fault-layer column set;
+/// `what` names the row in error messages (e.g. "line 3"). Genomes are
+/// validated against `space`. Throws std::runtime_error on any malformed,
+/// truncated, or trailing-cell row.
+EvalRecord parse_history_row(const std::string& line,
+                             const nas::SearchSpace& space, bool legacy,
+                             const std::string& what);
 
 /// Loads evaluation records written by save_history. Genomes are validated
 /// against `space`; throws std::runtime_error on malformed rows.

@@ -10,10 +10,23 @@
 // of Algorithm 1); AgEBO adds the blue lines. Partial variants
 // (AgEBO-8-LR, AgEBO-8-LR-BS) are expressed by freezing dimensions of the
 // hyperparameter space to single-value categoricals (see variants.hpp).
+//
+// Two driving modes (DESIGN.md §14):
+//
+//  - run(): the classic owning loop — the search holds an Executor and
+//    pumps it to completion itself. Single-campaign CLIs use this.
+//  - pump: start()/step() expose the same algorithm as a non-blocking
+//    state machine producing EvalTickets and consuming EvalDones, so an
+//    external scheduler (the campaign service's CampaignRegistry) can
+//    multiplex many searches onto one shared executor and checkpoint the
+//    whole search state (save_state/load_state) between steps. run() is
+//    implemented on top of the pump, so both modes share one algorithm.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <iosfwd>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -38,6 +51,36 @@ struct EvalRecord {
   /// Executor attempts consumed (1 = no retries).
   std::size_t attempts = 1;
   eval::ModelConfig config;
+};
+
+/// One evaluation a pumped search wants scheduled. The driver owns the
+/// executor: it turns tickets into submissions (at whatever time admission
+/// control allows) and feeds the completions back as EvalDones. `ticket`
+/// is a search-local id — never an executor job id — so a search can be
+/// checkpointed and its outstanding work resubmitted by a later process.
+struct EvalTicket {
+  std::uint64_t ticket = 0;
+  eval::ModelConfig config;
+  /// Training-budget fraction (successive halving rungs); 1 = full.
+  double fidelity = 1.0;
+  /// JobSpec fields the search decides per evaluation.
+  std::size_t width = 1;
+  double timeout_seconds = 0.0;
+  std::size_t max_retries = 0;
+  std::string tag;
+};
+
+/// One completed evaluation handed back to a pumped search.
+/// `finish_time` is in the search's own clock (seconds since its start) —
+/// the driver translates executor time before delivery.
+struct EvalDone {
+  std::uint64_t ticket = 0;
+  double finish_time = 0.0;
+  double objective = 0.0;
+  double train_seconds = 0.0;
+  bool failed = false;
+  bool timed_out = false;
+  std::size_t attempts = 1;
 };
 
 /// Population replacement policy. The paper uses aging (drop the oldest
@@ -92,13 +135,58 @@ struct SearchResult {
   const EvalRecord& best() const { return history.at(best_index); }
 };
 
+/// Fill best_index/best_objective from result.history (utilization is the
+/// caller's). Shared by both searchers and the campaign service.
+void finalize_result(SearchResult& result);
+
 class AgeboSearch {
  public:
+  /// Pump mode: no executor — the caller drives via start()/step().
+  AgeboSearch(const nas::SearchSpace& space, SearchConfig cfg);
+
+  /// Owning mode: run() pumps `executor` itself.
   AgeboSearch(const nas::SearchSpace& space, eval::Evaluator& evaluator,
               exec::Executor& executor, SearchConfig cfg);
 
   /// Run until the wall-time budget is exhausted; returns the history.
   SearchResult run();
+
+  // --- Pump API (DESIGN.md §14) -------------------------------------
+  // start() applies the warm start and emits the initial `n_init`
+  // tickets (cfg.initial_submissions when 0; one per worker is the
+  // owning-mode default). step() ingests completions — completions past
+  // the wall-time budget are dropped exactly as in run() — and returns
+  // one child ticket per recorded completion, or nothing once the budget
+  // is exhausted. Both consume the search rng in the same order as
+  // run(), so a pumped search over the same completion sequence produces
+  // the identical trajectory.
+
+  std::vector<EvalTicket> start(std::size_t n_init);
+  std::vector<EvalTicket> step(const std::vector<EvalDone>& done, double now);
+  bool started() const { return started_; }
+  /// True once `now` has passed the wall-time budget: no further tickets.
+  bool budget_exhausted(double now) const {
+    return now >= cfg_.wall_time_seconds;
+  }
+  double wall_time_seconds() const { return cfg_.wall_time_seconds; }
+  /// Tickets issued but not yet delivered back (keyed by ticket id) — what
+  /// a resumed service must resubmit when the executor could not snapshot.
+  const std::map<std::uint64_t, EvalTicket>& outstanding() const {
+    return outstanding_;
+  }
+  const std::vector<EvalRecord>& history() const { return history_; }
+  /// History + best so far; utilization left default (the driver owns the
+  /// executor and fills it in).
+  SearchResult result() const;
+
+  /// Serialize the complete mutable search state — rng, population,
+  /// history, outstanding tickets, BO tell log — in the line-oriented
+  /// checkpoint dialect (DESIGN.md §14). load_state restores into a
+  /// freshly constructed search with the same space and config (a
+  /// fingerprint line guards against mismatches) before start()/step()
+  /// have been called. Throws std::runtime_error on malformed input.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   struct Member {
@@ -108,16 +196,24 @@ class AgeboSearch {
 
   eval::ModelConfig make_child(const std::vector<bo::Point>& next,
                                std::size_t i);
-  void submit(eval::ModelConfig config);
+  EvalTicket make_ticket(eval::ModelConfig config);
+  void apply_warm_start();
+  void ingest(const EvalDone& done, const eval::ModelConfig& config,
+              std::vector<bo::Point>& told_points,
+              std::vector<double>& told_objectives);
 
   const nas::SearchSpace* space_;
-  eval::Evaluator* evaluator_;
-  exec::Executor* executor_;
+  eval::Evaluator* evaluator_ = nullptr;   // owning mode only
+  exec::Executor* executor_ = nullptr;     // owning mode only
   SearchConfig cfg_;
   Rng rng_;
   std::optional<bo::AskTellOptimizer> optimizer_;
   std::deque<Member> population_;
-  std::vector<eval::ModelConfig> pending_;  // indexed by job id - 1
+  std::vector<EvalRecord> history_;
+  std::map<std::uint64_t, EvalTicket> outstanding_;
+  std::uint64_t next_ticket_ = 1;
+  bool started_ = false;
+  double best_so_far_ = 0.0;
 
   // Search-level metrics (DESIGN.md §10): evaluation counts, the running
   // best objective, and the cost of AgE mutations.

@@ -8,8 +8,15 @@
 // operation, so workers idle while stragglers finish, and utilization drops
 // well below AgEBO's ~94% at scale. This implementation reproduces exactly
 // that behaviour on the same Executor abstraction (bench_related_bohb).
+//
+// Like AgeboSearch, the algorithm is a pumped state machine
+// (start()/step() produce EvalTickets, consume EvalDones) so the campaign
+// service can multiplex SHA campaigns onto a shared executor and
+// checkpoint them; run() drives the pump against an owned executor.
 #pragma once
 
+#include <iosfwd>
+#include <map>
 #include <vector>
 
 #include "bo/param_space.hpp"
@@ -32,6 +39,10 @@ struct ShaJointConfig {
 
 class ShaJointSearch {
  public:
+  /// Pump mode: no executor — the caller drives via start()/step().
+  ShaJointSearch(const nas::SearchSpace& space, ShaJointConfig cfg);
+
+  /// Owning mode: run() pumps `executor` itself.
   ShaJointSearch(const nas::SearchSpace& space, eval::Evaluator& evaluator,
                  exec::Executor& executor, ShaJointConfig cfg);
 
@@ -40,12 +51,51 @@ class ShaJointSearch {
   /// BOHB reports incumbents); low-fidelity rungs count toward utilization.
   SearchResult run();
 
+  // --- Pump API (DESIGN.md §14) -------------------------------------
+  // start() samples the first bracket and emits its rung-0 tickets.
+  // step() records completions; while the rung barrier is open it returns
+  // nothing, and once the last ticket of a rung lands it promotes the top
+  // 1/eta and emits the next rung (or samples a fresh bracket after a
+  // full-fidelity rung, budget permitting). complete() turns true when
+  // the budget expires at a bracket/rung boundary.
+
+  std::vector<EvalTicket> start();
+  std::vector<EvalTicket> step(const std::vector<EvalDone>& done, double now);
+  bool started() const { return started_; }
+  bool complete() const { return complete_; }
+  double wall_time_seconds() const { return cfg_.wall_time_seconds; }
+  const std::map<std::uint64_t, EvalTicket>& outstanding() const {
+    return outstanding_;
+  }
+  const std::vector<EvalRecord>& history() const { return history_; }
+  /// History + best so far; utilization left for the executor's owner.
+  SearchResult result() const;
+
+  /// Checkpoint/restore in the shared line-oriented dialect; same contract
+  /// as AgeboSearch::save_state/load_state.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
  private:
+  void sample_bracket();
+  std::vector<EvalTicket> emit_rung();
+
   const nas::SearchSpace* space_;
-  eval::Evaluator* evaluator_;
-  exec::Executor* executor_;
+  eval::Evaluator* evaluator_ = nullptr;   // owning mode only
+  exec::Executor* executor_ = nullptr;     // owning mode only
   ShaJointConfig cfg_;
   Rng rng_;
+
+  std::vector<eval::ModelConfig> survivors_;
+  std::vector<double> scores_;
+  std::size_t rung_ = 0;
+  std::size_t collected_ = 0;
+  std::map<std::uint64_t, EvalTicket> outstanding_;
+  std::map<std::uint64_t, std::size_t> ticket_index_;  ///< ticket → survivor
+  std::uint64_t next_ticket_ = 1;
+  bool started_ = false;
+  bool complete_ = false;
+  std::vector<EvalRecord> history_;
 };
 
 }  // namespace agebo::core

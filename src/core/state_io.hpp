@@ -1,0 +1,46 @@
+// Token-level helpers for the line-oriented checkpoint dialect shared by
+// the pumped searchers (AgeboSearch/ShaJointSearch::save_state) and the
+// campaign service (src/svc/checkpoint): space-separated tokens, doubles
+// at max_digits10 so state round-trips bit-exactly, "-" as the empty
+// string sentinel, and error messages that name the section being parsed.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "bo/param_space.hpp"
+#include "common/rng.hpp"
+#include "nas/search_space.hpp"
+
+namespace agebo::core::state {
+
+/// Throw std::runtime_error("<what>: <detail>").
+[[noreturn]] void fail(const std::string& what, const std::string& detail);
+
+/// Read one token and require it to equal `key` (section framing).
+void expect_key(std::istream& is, const char* key, const std::string& what);
+
+/// Read "<key> <count>".
+std::size_t read_count(std::istream& is, const char* key,
+                       const std::string& what);
+
+/// Read "<key> <flag01>".
+bool read_flag(std::istream& is, const char* key, const std::string& what);
+
+/// Empty strings are written as "-" (tokens themselves never contain
+/// whitespace: tags and campaign names are validated at creation).
+std::string encode_token(const std::string& s);
+std::string decode_token(const std::string& s);
+
+/// "<n> v0 v1 ..." vectors.
+void write_genome(std::ostream& os, const nas::Genome& genome);
+nas::Genome read_genome(std::istream& is, const std::string& what);
+void write_point(std::ostream& os, const bo::Point& point);
+bo::Point read_point(std::istream& is, const std::string& what);
+
+/// "rng s0 s1 s2 s3 cached_normal has_cached" — the full sampler position.
+void write_rng(std::ostream& os, const Rng::State& st);
+Rng::State read_rng(std::istream& is, const std::string& what);
+
+}  // namespace agebo::core::state

@@ -1,6 +1,8 @@
 #include "core/variants.hpp"
 
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 namespace agebo::core {
 
@@ -68,6 +70,23 @@ SearchConfig agebo_multinode_config(std::uint64_t seed,
     return (n + procs_per_node - 1) / procs_per_node;
   };
   return cfg;
+}
+
+SearchConfig config_by_name(const std::string& variant, std::uint64_t seed,
+                            double kappa) {
+  if (variant == "agebo") return agebo_config(seed, kappa);
+  if (variant == "agebo-8-lr") return agebo_8_lr_config(seed);
+  if (variant == "agebo-8-lr-bs") return agebo_8_lr_bs_config(seed);
+  if (variant == "agebo-multinode") return agebo_multinode_config(seed);
+  if (variant.rfind("age-", 0) == 0) {
+    const int n = std::atoi(variant.c_str() + 4);
+    if (n > 0) return age_config(static_cast<std::size_t>(n), seed);
+  }
+  if (variant.rfind("rs-", 0) == 0) {
+    const int n = std::atoi(variant.c_str() + 3);
+    if (n > 0) return random_search_config(static_cast<std::size_t>(n), seed);
+  }
+  throw std::invalid_argument("unknown search variant \"" + variant + "\"");
 }
 
 std::string variant_name(const SearchConfig& cfg) {

@@ -33,4 +33,14 @@ SearchConfig agebo_multinode_config(std::uint64_t seed = 1,
 /// Human label for plots/tables, e.g. "AgE-4" or "AgEBO".
 std::string variant_name(const SearchConfig& cfg);
 
+/// CLI/manifest dispatch: "agebo", "agebo-8-lr", "agebo-8-lr-bs",
+/// "agebo-multinode", "age-N", "rs-N" → the matching config. Because a
+/// variant name + seed + kappa fully determines a SearchConfig, it is what
+/// the campaign-service checkpoint stores (SearchConfig itself carries
+/// std::function members and cannot be serialized); resume rebuilds the
+/// config here and then restores the search state into it. Throws
+/// std::invalid_argument on an unknown name.
+SearchConfig config_by_name(const std::string& variant, std::uint64_t seed = 1,
+                            double kappa = 0.001);
+
 }  // namespace agebo::core

@@ -27,6 +27,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -53,12 +54,18 @@ using EvalFn = std::function<EvalOutput()>;
 /// simultaneously); `timeout_seconds` kills an attempt that runs longer
 /// (0 = no timeout); `max_retries` bounds how many times a crashed or
 /// killed attempt is resubmitted before the job is reported failed; `tag`
-/// is an opaque label echoed back in Finished for tracing.
+/// is an opaque label echoed back in Finished for tracing. `tenant` is the
+/// accounting principal of a multiplexed submission (DESIGN.md §14): both
+/// executors credit each attempt's consumed worker-seconds to the
+/// `exec.tenant.<tenant>.busy_seconds` obs dcounter, which is what the
+/// campaign service's per-tenant utilization report reads. Empty = the
+/// single-tenant default (no per-tenant counter).
 struct JobSpec {
   std::size_t width = 1;
   double timeout_seconds = 0.0;
   std::size_t max_retries = 0;
   std::string tag;
+  std::string tenant;
 };
 
 struct Finished {
@@ -130,6 +137,31 @@ class Executor {
   virtual std::size_t num_workers() const = 0;
   virtual std::size_t num_in_flight() const = 0;
   virtual Utilization utilization() const = 0;
+
+  /// Durable snapshot of the executor's queued/in-flight state for the
+  /// campaign service's checkpoint/resume path (DESIGN.md §14). Returns
+  /// false when the implementation cannot snapshot — LiveExecutor's
+  /// in-flight work lives on real threads and is lost with the process, so
+  /// resume falls back to resubmitting the campaigns' outstanding tickets.
+  /// SimulatedExecutor serializes its virtual clock, worker free times, and
+  /// resolved completion events, making a resumed simulated campaign
+  /// bit-identical to an uninterrupted one.
+  virtual bool save_state(std::ostream& os) const {
+    (void)os;
+    return false;
+  }
+  /// Restore a snapshot written by the same implementation with the same
+  /// worker count; returns false when snapshotting is unsupported. Throws
+  /// std::runtime_error on malformed or mismatched input.
+  virtual bool load_state(std::istream& is) {
+    (void)is;
+    return false;
+  }
 };
+
+/// Metric name credited with a tenant's consumed worker-seconds.
+inline std::string tenant_busy_metric(const std::string& tenant) {
+  return "exec.tenant." + tenant + ".busy_seconds";
+}
 
 }  // namespace agebo::exec

@@ -81,7 +81,9 @@ void LiveExecutor::start_attempt_locked(std::uint64_t id, double delay_seconds) 
   const auto fn = job.fn;
   const auto token = job.cancel;
   const auto shutdown = shutdown_;
-  pool_.enqueue([this, id, attempt, fn, token, shutdown, delay_seconds] {
+  const obs::DCounter tenant_busy = job.tenant_busy;
+  pool_.enqueue([this, id, attempt, fn, token, shutdown, tenant_busy,
+                 delay_seconds] {
     if (delay_seconds > 0.0) {
       interruptible_sleep(delay_seconds, *token, *shutdown);
     }
@@ -126,6 +128,9 @@ void LiveExecutor::start_attempt_locked(std::uint64_t id, double delay_seconds) 
     }
     const double t1 = now();
     m_busy_.add(t1 - t0);
+    // Tenant accounting mirrors exec.busy_seconds exactly: killed and
+    // retried attempts consumed real worker time, so they count.
+    tenant_busy.add(t1 - t0);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -170,6 +175,10 @@ std::uint64_t LiveExecutor::submit(EvalFn fn, const JobSpec& spec) {
     Job job;
     job.fn = std::make_shared<const EvalFn>(std::move(fn));
     job.spec = spec;
+    if (!spec.tenant.empty()) {
+      job.tenant_busy =
+          obs::Registry::global().dcounter(tenant_busy_metric(spec.tenant));
+    }
     job.cancel = std::make_shared<std::atomic<bool>>(false);
     jobs_.emplace(id, std::move(job));
     start_attempt_locked(id, 0.0);

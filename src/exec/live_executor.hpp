@@ -46,6 +46,10 @@ class LiveExecutor final : public Executor {
   struct Job {
     std::shared_ptr<const EvalFn> fn;
     JobSpec spec;
+    /// Per-tenant busy-seconds dcounter (null handle when spec.tenant is
+    /// empty — add() on a null handle is a no-op). Registered at submit
+    /// time so attempt closures never take the registry lock.
+    obs::DCounter tenant_busy;
     std::size_t attempt = 1;
     bool started = false;
     double start_time = 0.0;

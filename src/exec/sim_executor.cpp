@@ -1,6 +1,7 @@
 #include "exec/sim_executor.hpp"
 
 #include <algorithm>
+#include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
@@ -69,6 +70,17 @@ double SimulatedExecutor::attempt_limit(const JobSpec& spec) const {
   return limit;
 }
 
+obs::DCounter& SimulatedExecutor::tenant_counter(const std::string& tenant) {
+  auto it = tenant_busy_.find(tenant);
+  if (it == tenant_busy_.end()) {
+    it = tenant_busy_
+             .emplace(tenant, obs::Registry::global().dcounter(
+                                  tenant_busy_metric(tenant)))
+             .first;
+  }
+  return it->second;
+}
+
 void SimulatedExecutor::record_duration(double seconds) {
   done_durations_.insert(
       std::lower_bound(done_durations_.begin(), done_durations_.end(), seconds),
@@ -129,6 +141,13 @@ std::uint64_t SimulatedExecutor::submit(EvalFn fn, const JobSpec& spec) {
     const double finish = start + consumed;
     m_attempts_.inc();
     if (killed) m_kills_.inc();
+    if (!spec.tenant.empty()) {
+      // Per-tenant accounting: every attempt's gang occupancy is the
+      // tenant's consumption, retries and kills included — quota
+      // enforcement should see what a job *cost*, not what it produced.
+      tenant_counter(spec.tenant)
+          .add(consumed * static_cast<double>(spec.width));
+    }
     const char* status = attempt_status(fault, killed, base.failed);
     for (std::size_t i = 0; i < spec.width; ++i) {
       worker_free_at_[order[i]] = finish;
@@ -230,6 +249,107 @@ void SimulatedExecutor::write_trace_csv(std::ostream& os) const {
     os << interval.job_id << ',' << interval.worker << ',' << interval.start
        << ',' << interval.finish << '\n';
   }
+}
+
+namespace {
+
+constexpr const char* kSimStateHeader = "sim-executor v1";
+
+// Tags never contain whitespace (the service uses dotted names, SHA uses
+// "sha-rung-N"); an empty tag is written as "-" so every event line has a
+// fixed token count.
+std::string encode_tag(const std::string& tag) { return tag.empty() ? "-" : tag; }
+std::string decode_tag(const std::string& tag) { return tag == "-" ? "" : tag; }
+
+[[noreturn]] void bad_state(const std::string& what) {
+  throw std::runtime_error("SimulatedExecutor::load_state: " + what);
+}
+
+}  // namespace
+
+bool SimulatedExecutor::save_state(std::ostream& os) const {
+  os.precision(17);
+  os << kSimStateHeader << '\n';
+  os << "clock " << clock_ << '\n';
+  os << "next-id " << next_id_ << '\n';
+  os << "workers " << worker_free_at_.size();
+  for (const double t : worker_free_at_) os << ' ' << t;
+  os << '\n';
+  os << "durations " << done_durations_.size();
+  for (const double d : done_durations_) os << ' ' << d;
+  os << '\n';
+  os << "pending-busy " << pending_busy_.size() << '\n';
+  for (const PendingBusy& p : pending_busy_) {
+    os << "busy " << p.start << ' ' << p.finish << '\n';
+  }
+  // Drain a copy of the priority queue; order is irrelevant (re-heapified
+  // on load) but a sorted dump keeps the file deterministic.
+  auto events = events_;
+  os << "events " << events.size() << '\n';
+  while (!events.empty()) {
+    const Event& e = events.top();
+    os << "event " << e.finish_time << ' ' << e.id << ' ' << e.attempts << ' '
+       << e.output.objective << ' ' << e.output.train_seconds << ' '
+       << (e.output.failed ? 1 : 0) << ' ' << (e.output.timed_out ? 1 : 0)
+       << ' ' << encode_tag(e.tag) << '\n';
+    events.pop();
+  }
+  return true;
+}
+
+bool SimulatedExecutor::load_state(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kSimStateHeader) {
+    bad_state("bad header");
+  }
+  std::string key;
+  std::size_t n = 0;
+  if (!(is >> key >> clock_) || key != "clock") bad_state("missing clock");
+  if (!(is >> key >> next_id_) || key != "next-id") bad_state("missing next-id");
+  if (!(is >> key >> n) || key != "workers") bad_state("missing workers");
+  if (n != worker_free_at_.size()) {
+    bad_state("snapshot has " + std::to_string(n) + " workers, executor has " +
+              std::to_string(worker_free_at_.size()));
+  }
+  for (double& t : worker_free_at_) {
+    if (!(is >> t)) bad_state("truncated worker free times");
+  }
+  if (!(is >> key >> n) || key != "durations") bad_state("missing durations");
+  done_durations_.assign(n, 0.0);
+  for (double& d : done_durations_) {
+    if (!(is >> d)) bad_state("truncated durations");
+  }
+  if (!(is >> key >> n) || key != "pending-busy") {
+    bad_state("missing pending-busy");
+  }
+  pending_busy_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingBusy p{};
+    if (!(is >> key >> p.start >> p.finish) || key != "busy") {
+      bad_state("truncated pending-busy");
+    }
+    pending_busy_.push_back(p);
+  }
+  if (!(is >> key >> n) || key != "events") bad_state("missing events");
+  events_ = decltype(events_)();
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e{};
+    int failed = 0;
+    int timed_out = 0;
+    std::string tag;
+    if (!(is >> key >> e.finish_time >> e.id >> e.attempts >>
+          e.output.objective >> e.output.train_seconds >> failed >> timed_out >>
+          tag) ||
+        key != "event") {
+      bad_state("truncated events");
+    }
+    e.output.failed = failed != 0;
+    e.output.timed_out = timed_out != 0;
+    e.tag = decode_tag(tag);
+    events_.push(std::move(e));
+  }
+  busy_intervals_.clear();  // resumed Gantt traces start at the resume point
+  return true;
 }
 
 }  // namespace agebo::exec

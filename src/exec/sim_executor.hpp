@@ -24,6 +24,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <queue>
 
 #include "exec/executor.hpp"
@@ -54,6 +55,16 @@ class SimulatedExecutor final : public Executor {
   /// Export the schedule as CSV (job_id, worker, start, finish) for Gantt
   /// plots of the campaign.
   void write_trace_csv(std::ostream& os) const;
+
+  /// Durable snapshot (DESIGN.md §14): virtual clock, job-id counter,
+  /// per-worker free times, straggler medians, un-credited busy intervals,
+  /// and every resolved-but-undelivered completion event. Fault draws are a
+  /// stateless hash of (seed, job, attempt), so the restored id counter is
+  /// all a resumed run needs to draw the identical fault sequence. The
+  /// Gantt intervals (write_trace_csv) are not persisted — a resumed trace
+  /// starts at the resume point.
+  bool save_state(std::ostream& os) const override;
+  bool load_state(std::istream& is) override;
 
  private:
   struct Event {
@@ -117,6 +128,10 @@ class SimulatedExecutor final : public Executor {
   obs::Counter m_succeeded_;
   obs::DCounter m_busy_;
   double busy_baseline_ = 0.0;
+  /// Per-tenant busy-seconds dcounters, created on first submission with a
+  /// JobSpec::tenant (handles cached; the registry owns the storage).
+  std::map<std::string, obs::DCounter> tenant_busy_;
+  obs::DCounter& tenant_counter(const std::string& tenant);
 };
 
 }  // namespace agebo::exec

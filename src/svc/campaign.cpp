@@ -1,0 +1,96 @@
+#include "svc/campaign.hpp"
+
+#include <stdexcept>
+
+#include "core/variants.hpp"
+
+namespace agebo::svc {
+
+namespace {
+
+void require_token_name(const std::string& name, const char* field) {
+  if (name.empty()) {
+    throw std::invalid_argument(std::string("CampaignSpec: empty ") + field);
+  }
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',') {
+      throw std::invalid_argument(std::string("CampaignSpec: ") + field +
+                                  " \"" + name +
+                                  "\" must not contain whitespace or commas");
+    }
+  }
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignSpec spec, const nas::SearchSpace& space)
+    : spec_(std::move(spec)),
+      evaluator_(space, eval::profile_by_name(spec_.dataset)) {
+  require_token_name(spec_.name, "name");
+  require_token_name(spec_.tenant, "tenant");
+  if (spec_.wall_time_seconds <= 0.0) {
+    throw std::invalid_argument("CampaignSpec: non-positive wall time");
+  }
+  if (spec_.kind == CampaignKind::kAgebo) {
+    core::SearchConfig cfg =
+        core::config_by_name(spec_.variant, spec_.seed, spec_.kappa);
+    cfg.wall_time_seconds = spec_.wall_time_seconds;
+    cfg.eval_timeout_seconds = spec_.timeout_seconds;
+    cfg.eval_max_retries = spec_.max_retries;
+    agebo_.emplace(space, std::move(cfg));
+  } else {
+    core::ShaJointConfig cfg;
+    cfg.bracket_size = spec_.sha_bracket;
+    cfg.eta = spec_.sha_eta;
+    cfg.rungs = spec_.sha_rungs;
+    cfg.wall_time_seconds = spec_.wall_time_seconds;
+    cfg.seed = spec_.seed;
+    sha_.emplace(space, std::move(cfg));
+  }
+}
+
+std::vector<core::EvalTicket> Campaign::start(std::size_t n_init) {
+  // SHA brackets size themselves; n_init only shapes the AgEBO first wave.
+  if (agebo_) return agebo_->start(n_init);
+  return sha_->start();
+}
+
+std::vector<core::EvalTicket> Campaign::step(
+    const std::vector<core::EvalDone>& done, double now) {
+  if (agebo_) return agebo_->step(done, now);
+  return sha_->step(done, now);
+}
+
+bool Campaign::started() const {
+  return agebo_ ? agebo_->started() : sha_->started();
+}
+
+const std::map<std::uint64_t, core::EvalTicket>& Campaign::outstanding() const {
+  return agebo_ ? agebo_->outstanding() : sha_->outstanding();
+}
+
+const std::vector<core::EvalRecord>& Campaign::history() const {
+  return agebo_ ? agebo_->history() : sha_->history();
+}
+
+core::SearchResult Campaign::result() const {
+  return agebo_ ? agebo_->result() : sha_->result();
+}
+
+void Campaign::save_state(std::ostream& os) const {
+  if (agebo_) {
+    agebo_->save_state(os);
+  } else {
+    sha_->save_state(os);
+  }
+}
+
+void Campaign::load_state(std::istream& is) {
+  if (agebo_) {
+    agebo_->load_state(is);
+  } else {
+    sha_->load_state(is);
+  }
+}
+
+}  // namespace agebo::svc

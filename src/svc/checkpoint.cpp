@@ -1,0 +1,76 @@
+#include "svc/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::svc {
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string checksum_hex(const std::string& bytes) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(bytes)));
+  return buf;
+}
+
+std::string with_checksum(const std::string& payload) {
+  return payload + "checksum " + checksum_hex(payload) + "\n";
+}
+
+std::string verify_checksum(const std::string& text, const std::string& what) {
+  const auto pos = text.rfind("\nchecksum ");
+  if (pos == std::string::npos) {
+    throw std::runtime_error(what +
+                             ": missing checksum line (truncated checkpoint?)");
+  }
+  const std::string payload = text.substr(0, pos + 1);
+  std::istringstream tail(text.substr(pos + 1));
+  std::string key, recorded;
+  if (!(tail >> key >> recorded) || key != "checksum") {
+    throw std::runtime_error(what + ": malformed checksum line");
+  }
+  if (recorded != checksum_hex(payload)) {
+    throw std::runtime_error(
+        what + ": checksum mismatch — checkpoint corrupted or truncated");
+  }
+  return payload;
+}
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    os << contents;
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+}  // namespace agebo::svc

@@ -1,0 +1,173 @@
+#include "svc/manifest.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace agebo::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t line,
+                       const std::string& detail) {
+  throw std::runtime_error(what + ":" + std::to_string(line) + ": " + detail);
+}
+
+/// Splits "key=value"; throws when there is no '=' or the key is empty.
+std::pair<std::string, std::string> split_kv(const std::string& token,
+                                             const std::string& what,
+                                             std::size_t line) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    fail(what, line, "expected key=value, got \"" + token + "\"");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+double parse_double(const std::string& value, const std::string& key,
+                    const std::string& what, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    fail(what, line, "bad numeric value for " + key + ": \"" + value + "\"");
+  }
+}
+
+std::uint64_t parse_uint(const std::string& value, const std::string& key,
+                         const std::string& what, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used);
+    if (used != value.size() || value[0] == '-') {
+      throw std::invalid_argument(value);
+    }
+    return v;
+  } catch (const std::exception&) {
+    fail(what, line, "bad integer value for " + key + ": \"" + value + "\"");
+  }
+}
+
+}  // namespace
+
+Manifest parse_manifest(std::istream& is, const std::string& what) {
+  Manifest m;
+  std::set<std::string> tenant_names;
+  std::set<std::string> campaign_names;
+  std::string raw;
+  std::size_t line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    std::istringstream ls(raw);
+    std::string directive;
+    if (!(ls >> directive) || directive[0] == '#') continue;
+
+    if (directive == "tenant") {
+      TenantSpec t;
+      if (!(ls >> t.name)) fail(what, line, "tenant needs a name");
+      if (!tenant_names.insert(t.name).second) {
+        fail(what, line, "duplicate tenant \"" + t.name + "\"");
+      }
+      std::string token;
+      while (ls >> token) {
+        const auto [key, value] = split_kv(token, what, line);
+        if (key == "priority") {
+          t.priority = parse_double(value, key, what, line);
+          if (t.priority <= 0.0) fail(what, line, "priority must be positive");
+        } else if (key == "max-in-flight") {
+          t.max_in_flight = parse_uint(value, key, what, line);
+        } else if (key == "node-hours") {
+          t.node_seconds_budget = parse_double(value, key, what, line) * 3600.0;
+          if (t.node_seconds_budget < 0.0) {
+            fail(what, line, "node-hours must be non-negative");
+          }
+        } else {
+          fail(what, line, "unknown tenant key \"" + key + "\"");
+        }
+      }
+      m.tenants.push_back(std::move(t));
+    } else if (directive == "campaign") {
+      CampaignSpec c;
+      if (!(ls >> c.name)) fail(what, line, "campaign needs a name");
+      if (!campaign_names.insert(c.name).second) {
+        fail(what, line, "duplicate campaign \"" + c.name + "\"");
+      }
+      c.tenant.clear();  // required key below
+      std::string token;
+      while (ls >> token) {
+        const auto [key, value] = split_kv(token, what, line);
+        if (key == "tenant") {
+          c.tenant = value;
+        } else if (key == "kind") {
+          if (value == "agebo") {
+            c.kind = CampaignKind::kAgebo;
+          } else if (value == "sha") {
+            c.kind = CampaignKind::kSha;
+          } else {
+            fail(what, line, "kind must be agebo or sha, got \"" + value + "\"");
+          }
+        } else if (key == "dataset") {
+          c.dataset = value;
+        } else if (key == "variant") {
+          c.variant = value;
+        } else if (key == "minutes") {
+          c.wall_time_seconds = parse_double(value, key, what, line) * 60.0;
+          if (c.wall_time_seconds <= 0.0) {
+            fail(what, line, "minutes must be positive");
+          }
+        } else if (key == "seed") {
+          c.seed = parse_uint(value, key, what, line);
+        } else if (key == "kappa") {
+          c.kappa = parse_double(value, key, what, line);
+        } else if (key == "timeout") {
+          c.timeout_seconds = parse_double(value, key, what, line);
+          if (c.timeout_seconds < 0.0) {
+            fail(what, line, "timeout must be non-negative");
+          }
+        } else if (key == "retries") {
+          c.max_retries = parse_uint(value, key, what, line);
+        } else if (key == "bracket") {
+          c.sha_bracket = parse_uint(value, key, what, line);
+          if (c.sha_bracket == 0) fail(what, line, "bracket must be positive");
+        } else if (key == "eta") {
+          c.sha_eta = parse_uint(value, key, what, line);
+          if (c.sha_eta < 2) fail(what, line, "eta must be at least 2");
+        } else if (key == "rungs") {
+          c.sha_rungs = parse_uint(value, key, what, line);
+          if (c.sha_rungs == 0) fail(what, line, "rungs must be positive");
+        } else {
+          fail(what, line, "unknown campaign key \"" + key + "\"");
+        }
+      }
+      if (c.tenant.empty()) {
+        fail(what, line, "campaign \"" + c.name + "\" needs tenant=<name>");
+      }
+      m.campaigns.push_back(std::move(c));
+    } else {
+      fail(what, line, "unknown directive \"" + directive + "\"");
+    }
+  }
+  if (m.campaigns.empty()) {
+    throw std::runtime_error(what + ": manifest declares no campaigns");
+  }
+  for (const auto& c : m.campaigns) {
+    if (tenant_names.count(c.tenant) == 0) {
+      throw std::runtime_error(what + ": campaign \"" + c.name +
+                               "\" references undeclared tenant \"" + c.tenant +
+                               "\"");
+    }
+  }
+  return m;
+}
+
+Manifest load_manifest(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("manifest: cannot open " + path);
+  return parse_manifest(is, path);
+}
+
+}  // namespace agebo::svc

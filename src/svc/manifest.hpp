@@ -1,0 +1,36 @@
+// Service manifest: a line-oriented description of the tenants and
+// campaigns an agebo_svc process should run (DESIGN.md §14).
+//
+//   # comments and blank lines are skipped
+//   tenant <name> [priority=P] [max-in-flight=N] [node-hours=H]
+//   campaign <name> tenant=T [kind=agebo|sha] [dataset=D] [variant=V]
+//            [minutes=M] [seed=S] [kappa=K] [timeout=SEC] [retries=N]
+//            [bracket=B] [eta=E] [rungs=R]
+//
+// Parsing is strict: unknown directives, unknown keys, malformed values
+// and duplicate names all throw std::runtime_error naming the line number
+// — a typo'd manifest must not silently run a default campaign.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "svc/registry.hpp"
+
+namespace agebo::svc {
+
+struct Manifest {
+  std::vector<TenantSpec> tenants;
+  std::vector<CampaignSpec> campaigns;
+};
+
+/// Parse a manifest from a stream. `what` names the source in errors
+/// (usually the file path).
+Manifest parse_manifest(std::istream& is, const std::string& what);
+
+/// Read and parse a manifest file. Throws std::runtime_error on a missing
+/// file or any parse error.
+Manifest load_manifest(const std::string& path);
+
+}  // namespace agebo::svc

@@ -1,0 +1,189 @@
+// Multi-tenant campaign service (DESIGN.md §14).
+//
+// A CampaignRegistry owns ONE shared executor (simulated or live) and any
+// number of concurrent campaigns, each belonging to a tenant. Campaigns
+// never talk to the executor: their pumped searchers emit EvalTickets into
+// per-campaign queues, and the registry admits queued tickets through a
+// stride (fair-share) scheduler —
+//
+//   - each tenant carries a `pass`; admitting one ticket advances it by
+//     width / priority, so long-run admitted node-time converges to the
+//     priority ratio (a 3:1 priority split yields a ~3:1 busy split);
+//   - per-tenant quotas bound admission: max_in_flight caps concurrently
+//     running evaluations, node_seconds_budget caps total consumed
+//     worker-seconds (read from the exec.tenant.* accounting counters);
+//   - total admitted gang width never exceeds the executor's worker
+//     count, so fairness is decided here, not by executor-internal
+//     queueing.
+//
+// Durability: save_checkpoint() serializes the whole service — executor
+// snapshot, tenant scheduler state, every campaign's spec + search state +
+// queue + job map — into one checksummed file (svc/checkpoint framing),
+// atomically. load_checkpoint() rebuilds the service from that file; with
+// a snapshot-capable executor (the simulator) a resumed run reproduces the
+// uninterrupted run bit-for-bit, and with a live executor the outstanding
+// tickets are resubmitted instead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "exec/fault_injector.hpp"
+#include "nas/search_space.hpp"
+#include "obs/registry.hpp"
+#include "svc/campaign.hpp"
+
+namespace agebo::svc {
+
+/// Accounting principal: campaigns belong to tenants, tenants get a
+/// fair-share weight and optional quotas.
+struct TenantSpec {
+  std::string name;
+  /// Stride-scheduler weight; a priority-3 tenant is admitted ~3x the
+  /// node-time of a priority-1 tenant under contention.
+  double priority = 1.0;
+  /// Max concurrently running evaluations (0 = unlimited).
+  std::size_t max_in_flight = 0;
+  /// Total worker-seconds this tenant may consume (0 = unlimited). When
+  /// exhausted the tenant's queues stop being admitted; its campaigns are
+  /// terminated once nothing of theirs remains in flight.
+  double node_seconds_budget = 0.0;
+};
+
+struct SvcConfig {
+  /// Shared cluster size (simulated workers or live pool threads).
+  std::size_t workers = 32;
+  /// Simulator per-job launch overhead, seconds (ignored when live).
+  double job_overhead_seconds = 0.0;
+  exec::RetryPolicy policy;
+  exec::FaultConfig faults;
+  /// LiveExecutor instead of SimulatedExecutor (no exact-resume snapshot).
+  bool live = false;
+  /// First-wave tickets per campaign (0 = workers / #campaigns, min 1).
+  std::size_t initial_per_campaign = 0;
+  /// Write a checkpoint every this many executor seconds (0 = only on
+  /// explicit save/stop). Requires checkpoint_path.
+  double checkpoint_every_seconds = 0.0;
+  std::string checkpoint_path;
+};
+
+/// One row of the per-tenant utilization report.
+struct TenantUsage {
+  std::string name;
+  double priority = 1.0;
+  /// Worker-seconds consumed (exec.tenant.<name>.busy_seconds delta, plus
+  /// any consumption carried over through a checkpoint).
+  double consumed_node_seconds = 0.0;
+  double node_seconds_budget = 0.0;  ///< 0 = unlimited
+  std::size_t in_flight = 0;         ///< running evaluations
+  std::size_t queued = 0;            ///< tickets awaiting admission
+};
+
+class CampaignRegistry {
+ public:
+  CampaignRegistry(SvcConfig cfg, const nas::SearchSpace& space);
+
+  /// Register (or replace, before run) a tenant. Campaigns referencing an
+  /// unregistered tenant get a default-priority tenant created on add.
+  void set_tenant(TenantSpec spec);
+
+  /// Add a campaign; name must be unique. Returns its index.
+  std::size_t add_campaign(CampaignSpec spec);
+
+  /// Pump everything to completion. `stop_after_seconds` > 0 stops early
+  /// once executor time reaches it (checkpointing if configured) — the
+  /// kill point of the crash/resume tests. Returns true when every
+  /// campaign completed, false when stopped early.
+  bool run(double stop_after_seconds = 0.0);
+
+  /// One scheduler iteration: admit, pump the executor once, route
+  /// completions, collect follow-up tickets. Returns false when every
+  /// campaign is complete.
+  bool step();
+
+  double now() const;
+  exec::Executor& executor() { return *executor_; }
+  const nas::SearchSpace& space() const { return *space_; }
+
+  std::size_t n_campaigns() const { return campaigns_.size(); }
+  Campaign& campaign(std::size_t i) { return *campaigns_[i].campaign; }
+  const Campaign& campaign(std::size_t i) const { return *campaigns_[i].campaign; }
+  bool campaign_done(std::size_t i) const { return campaigns_[i].done; }
+  Campaign* find(const std::string& name);
+
+  std::vector<TenantUsage> tenant_usage() const;
+
+  /// Serialize the whole service state to `path` (atomic, checksummed).
+  void save_checkpoint(const std::string& path) const;
+  /// Rebuild tenants, campaigns, scheduler and executor state from a file
+  /// written by save_checkpoint. Must be called on a freshly constructed
+  /// registry (same SvcConfig); throws std::runtime_error on corruption or
+  /// config mismatch.
+  void load_checkpoint(const std::string& path);
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    double pass = 0.0;  ///< stride-scheduler virtual time
+    /// Consumption carried over from before a checkpoint load.
+    double consumed_offset = 0.0;
+    /// exec.tenant.* counter reading at registration/load — consumption
+    /// by this service instance is the delta from here.
+    double busy_baseline = 0.0;
+    obs::DCounter busy;
+    std::size_t in_flight = 0;  ///< running evaluations (not width)
+  };
+
+  struct CampaignRt {
+    std::unique_ptr<Campaign> campaign;
+    std::deque<std::uint64_t> queue;  ///< ticket ids awaiting admission
+    /// Executor job id → campaign ticket id for in-flight evaluations.
+    std::unordered_map<std::uint64_t, std::uint64_t> jobs;
+    /// Executor time at which the campaign started (its t=0).
+    double start_time = 0.0;
+    bool done = false;
+    /// Best objective so far — drives the svc.<name>.best counter track.
+    double best = 0.0;
+  };
+
+  Tenant& tenant_of(const std::string& name);
+  double tenant_consumed(const Tenant& t) const;
+  bool tenant_admissible(const Tenant& t) const;
+  /// Admit queued tickets (stride order) until capacity or quotas stop us.
+  void admit();
+  /// Submit one ticket of campaign `ci` to the executor.
+  void submit_ticket(std::size_t ci, std::uint64_t ticket_id);
+  /// Route one batch of executor completions back to their campaigns.
+  void route(const std::vector<exec::Finished>& finished);
+  void start_pending_campaigns();
+  void mark_done(std::size_t ci);
+  /// Gang width currently admitted (running) across all campaigns.
+  std::size_t width_in_flight() const;
+  void maybe_checkpoint();
+
+  SvcConfig cfg_;
+  const nas::SearchSpace* space_;
+  std::unique_ptr<exec::Executor> executor_;
+  std::vector<std::string> tenant_order_;  ///< registration order
+  std::map<std::string, Tenant> tenants_;
+  std::vector<CampaignRt> campaigns_;
+  std::map<std::string, std::size_t> by_name_;
+  /// Executor job id → owning campaign index (completion routing).
+  std::unordered_map<std::uint64_t, std::size_t> job_owner_;
+  std::size_t width_in_flight_ = 0;
+  double last_checkpoint_time_ = 0.0;
+  bool started_ = false;
+
+  obs::Counter m_admitted_;
+  obs::Counter m_completed_;
+  obs::Counter m_checkpoints_;
+  obs::Gauge m_active_;
+};
+
+}  // namespace agebo::svc

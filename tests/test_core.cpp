@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/analysis.hpp"
+#include "core/history_io.hpp"
 #include "core/search.hpp"
 #include "core/variants.hpp"
 #include "eval/surrogate.hpp"
@@ -303,6 +304,61 @@ TEST(Replacement, WorstPolicyKeepsBestMembers) {
   const double worst = run_policy(Replacement::kWorst);
   EXPECT_GT(aging, 0.6);
   EXPECT_GT(worst, 0.6);
+}
+
+// load_history must reject malformed and truncated rows with an explicit
+// error naming the line — a silently skipped row would warm-start the next
+// campaign from a corrupted prior.
+constexpr const char* kHistHeader =
+    "index,finish_time,objective,train_seconds,failed,attempts,bs1,lr1,n,"
+    "genome";
+
+TEST(HistoryIo, RejectsTruncatedRow) {
+  nas::SearchSpace space;
+  std::stringstream ss(std::string(kHistHeader) + "\n0,100,0.9,50\n");
+  try {
+    load_history(ss, space);
+    FAIL() << "expected truncated-row error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+  }
+}
+
+TEST(HistoryIo, RejectsNonNumericCell) {
+  nas::SearchSpace space;
+  std::stringstream ss(std::string(kHistHeader) +
+                       "\n0,100,accuracy,50,0,1,256,0.01,128,0-0-0-0\n");
+  EXPECT_THROW(load_history(ss, space), std::runtime_error);
+}
+
+TEST(HistoryIo, RejectsPartialHyperparameterColumns) {
+  nas::SearchSpace space;
+  std::stringstream ss(std::string(kHistHeader) +
+                       "\n0,100,0.9,50,0,1,256,,128,0-0-0-0\n");
+  EXPECT_THROW(load_history(ss, space), std::runtime_error);
+}
+
+TEST(HistoryIo, RejectsBadGenomeToken) {
+  nas::SearchSpace space;
+  std::stringstream ss(std::string(kHistHeader) +
+                       "\n0,100,0.9,50,0,1,256,0.01,128,0-x-0\n");
+  EXPECT_THROW(load_history(ss, space), std::runtime_error);
+}
+
+TEST(HistoryIo, RejectsTrailingCells) {
+  nas::SearchSpace space;
+  std::stringstream ss(std::string(kHistHeader) +
+                       "\n0,100,0.9,50,0,1,256,0.01,128,0-0-0-0,extra\n");
+  EXPECT_THROW(load_history(ss, space), std::runtime_error);
+}
+
+TEST(HistoryIo, RejectsOutOfRangeGenome) {
+  nas::SearchSpace space;
+  std::stringstream ss(std::string(kHistHeader) +
+                       "\n0,100,0.9,50,0,1,256,0.01,128,999999\n");
+  EXPECT_THROW(load_history(ss, space), std::runtime_error);
 }
 
 }  // namespace

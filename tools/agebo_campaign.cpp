@@ -42,6 +42,7 @@
 #include "exec/sim_executor.hpp"
 #include "nas/search_space.hpp"
 #include "obs/obs.hpp"
+#include "svc/registry.hpp"
 
 namespace {
 
@@ -52,7 +53,9 @@ constexpr const char* kUsage =
     "[--warm-start FILE.csv] [--crash P] [--hang P] [--slow P] "
     "[--timeout S] [--retries R] [--straggler K] "
     "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
-    "[--trace FILE.json] [--metrics FILE.csv] [--report-every N]\n"
+    "[--trace FILE.json] [--metrics FILE.csv] [--report-every N] "
+    "[--checkpoint FILE] [--checkpoint-every S] [--resume FILE] "
+    "[--stop-after S]\n"
     "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
     "agebo-8-lr-bs rs-1 agebo-multinode\n";
 
@@ -66,7 +69,8 @@ int main(int argc, char** argv) {
        {"dataset", "variant", "minutes", "workers", "seed", "kappa", "out",
         "warm-start", "crash", "hang", "slow", "timeout", "retries",
         "straggler", "allreduce", "bucket-kb", "trace", "metrics",
-        "report-every"}) {
+        "report-every", "checkpoint", "checkpoint-every", "resume",
+        "stop-after"}) {
     args.add_option(opt);
   }
   args.add_flag("no-overlap");
@@ -81,20 +85,9 @@ int main(int argc, char** argv) {
   const double kappa = args.get_double("kappa", 0.001);
 
   core::SearchConfig cfg;
-  if (variant == "agebo") {
-    cfg = core::agebo_config(seed, kappa);
-  } else if (variant == "agebo-8-lr") {
-    cfg = core::agebo_8_lr_config(seed);
-  } else if (variant == "agebo-8-lr-bs") {
-    cfg = core::agebo_8_lr_bs_config(seed);
-  } else if (variant == "agebo-multinode") {
-    cfg = core::agebo_multinode_config(seed);
-  } else if (variant.rfind("age-", 0) == 0) {
-    cfg = core::age_config(static_cast<std::size_t>(std::atoi(variant.c_str() + 4)), seed);
-  } else if (variant.rfind("rs-", 0) == 0) {
-    cfg = core::random_search_config(
-        static_cast<std::size_t>(std::atoi(variant.c_str() + 3)), seed);
-  } else {
+  try {
+    cfg = core::config_by_name(variant, seed, kappa);
+  } catch (const std::invalid_argument&) {
     std::fprintf(stderr, "unknown --variant %s\n", variant.c_str());
     args.print_usage();
     return 2;
@@ -113,6 +106,91 @@ int main(int argc, char** argv) {
   // Backoff in cluster terms: a minute before the first resubmission.
   policy.backoff_base_seconds = 60.0;
   policy.backoff_max_seconds = 600.0;
+
+  // Durable mode (DESIGN.md §14): any checkpoint/resume/stop flag routes
+  // the run through a single-campaign CampaignRegistry so the whole search
+  // — population, surrogate tell log, in-flight simulator state — can be
+  // written to disk and continued by a later invocation.
+  const bool durable = args.has("checkpoint") || args.has("resume") ||
+                       args.has("checkpoint-every") || args.has("stop-after");
+  if (durable) {
+    for (const char* unsupported :
+         {"warm-start", "allreduce", "bucket-kb", "report-every"}) {
+      if (args.has(unsupported)) {
+        std::fprintf(stderr,
+                     "--%s is not supported together with "
+                     "--checkpoint/--resume\n",
+                     unsupported);
+        return 2;
+      }
+    }
+    if (no_overlap) {
+      std::fprintf(stderr,
+                   "--no-overlap is not supported together with "
+                   "--checkpoint/--resume\n");
+      return 2;
+    }
+    try {
+      svc::SvcConfig svc_cfg;
+      svc_cfg.workers = workers;
+      svc_cfg.job_overhead_seconds = 90.0;
+      svc_cfg.policy = policy;
+      svc_cfg.faults = faults;
+      svc_cfg.checkpoint_path = args.get("checkpoint", "");
+      svc_cfg.checkpoint_every_seconds = args.get_double("checkpoint-every", 0.0);
+
+      nas::SearchSpace space;
+      svc::CampaignRegistry registry(svc_cfg, space);
+      if (args.has("resume")) {
+        registry.load_checkpoint(args.get("resume", ""));
+        std::printf("resumed from %s at t=%.1fs\n",
+                    args.get("resume", "").c_str(), registry.now());
+      } else {
+        svc::CampaignSpec spec;
+        spec.name = "campaign";
+        spec.tenant = "default";
+        spec.kind = svc::CampaignKind::kAgebo;
+        spec.dataset = dataset;
+        spec.variant = variant;
+        spec.wall_time_seconds = minutes * 60.0;
+        spec.seed = seed;
+        spec.kappa = kappa;
+        spec.timeout_seconds = cfg.eval_timeout_seconds;
+        spec.max_retries = cfg.eval_max_retries;
+        registry.add_campaign(spec);
+      }
+
+      const bool completed = registry.run(args.get_double("stop-after", 0.0));
+      const svc::Campaign& campaign = registry.campaign(0);
+      const auto result = campaign.result();
+      const auto stats = core::run_stats(result);
+      std::printf("%s at t=%.1fs: evals=%zu best=%.4f\n",
+                  completed ? "completed" : "stopped", registry.now(),
+                  stats.n_evaluations, stats.best_accuracy);
+      std::printf("node utilization:   %.1f%%\n",
+                  100.0 * registry.executor().utilization().fraction());
+      if (args.has("out")) {
+        core::save_history_file(result, args.get("out", ""));
+        std::printf("history written to %s\n", args.get("out", "").c_str());
+      }
+      if (args.has("metrics")) {
+        const std::string path = args.get("metrics", "");
+        std::ofstream mf(path);
+        if (!mf) throw std::runtime_error("cannot write " + path);
+        mf << obs::Registry::global().snapshot().to_csv();
+      }
+      if (args.has("trace")) {
+        const std::string path = args.get("trace", "");
+        if (!obs::write_chrome_trace(path)) {
+          throw std::runtime_error("cannot write " + path);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
 
   nas::SearchSpace space;
   try {

@@ -1,0 +1,159 @@
+// Multi-tenant campaign service runner (DESIGN.md §14): load a manifest
+// declaring tenants and campaigns, run them all concurrently on ONE shared
+// simulated cluster under fair-share admission, print per-campaign
+// summaries and the per-tenant utilization report, and optionally
+// checkpoint/resume the whole service.
+//
+//   agebo_svc --manifest svc.txt [--workers W] [--overhead S]
+//             [--checkpoint FILE] [--checkpoint-every S] [--resume FILE]
+//             [--stop-after S] [--out FILE.csv]
+//             [--trace FILE.json] [--metrics FILE.csv]
+//
+// --stop-after kills the service at S executor-seconds (writing a final
+// checkpoint when --checkpoint is set) — with --resume pointing at that
+// checkpoint, a second invocation continues the run and, on the simulated
+// executor, finishes bit-identically to an uninterrupted one. --out writes
+// one CSV row per campaign (name, tenant, evals, best at full precision),
+// which the svc ctest chain compares byte-for-byte across kill+resume.
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/args.hpp"
+#include "nas/search_space.hpp"
+#include "obs/obs.hpp"
+#include "svc/manifest.hpp"
+#include "svc/registry.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: agebo_svc --manifest FILE [--workers W] [--overhead S] "
+    "[--checkpoint FILE] [--checkpoint-every S] [--resume FILE] "
+    "[--stop-after S] [--out FILE.csv] [--trace FILE.json] "
+    "[--metrics FILE.csv]\n"
+    "manifest lines: tenant <name> [priority=P] [max-in-flight=N] "
+    "[node-hours=H]\n"
+    "                campaign <name> tenant=T [kind=agebo|sha] "
+    "[dataset=D] [variant=V] [minutes=M] [seed=S] [kappa=K] "
+    "[bracket=B] [eta=E] [rungs=R]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace agebo;
+
+  common::ArgParser args(kUsage);
+  for (const char* opt : {"manifest", "workers", "overhead", "checkpoint",
+                          "checkpoint-every", "resume", "stop-after", "out",
+                          "trace", "metrics"}) {
+    args.add_option(opt);
+  }
+  if (!args.parse(argc, argv)) return 2;
+
+  if (!args.has("manifest")) {
+    std::fprintf(stderr, "agebo_svc: --manifest is required\n");
+    args.print_usage();
+    return 2;
+  }
+
+  try {
+    const svc::Manifest manifest = svc::load_manifest(args.get("manifest", ""));
+
+    svc::SvcConfig cfg;
+    cfg.workers = args.get_size("workers", 32);
+    cfg.job_overhead_seconds = args.get_double("overhead", 90.0);
+    cfg.checkpoint_path = args.get("checkpoint", "");
+    cfg.checkpoint_every_seconds = args.get_double("checkpoint-every", 0.0);
+    // Shared-cluster retry posture mirrors agebo_campaign's defaults.
+    cfg.policy.backoff_base_seconds = 60.0;
+    cfg.policy.backoff_max_seconds = 600.0;
+
+    nas::SearchSpace space;
+    svc::CampaignRegistry registry(cfg, space);
+
+    if (args.has("resume")) {
+      // The checkpoint carries the tenants and campaigns; the manifest is
+      // still parsed above so a drifted manifest/checkpoint pair fails
+      // loudly on the manifest side too.
+      registry.load_checkpoint(args.get("resume", ""));
+      std::printf("resumed %zu campaigns from %s at t=%.1fs\n",
+                  registry.n_campaigns(), args.get("resume", "").c_str(),
+                  registry.now());
+    } else {
+      for (const auto& t : manifest.tenants) registry.set_tenant(t);
+      for (const auto& c : manifest.campaigns) registry.add_campaign(c);
+    }
+
+    const double stop_after = args.get_double("stop-after", 0.0);
+    const bool completed = registry.run(stop_after);
+
+    std::printf("service %s at t=%.1fs (%zu campaigns)\n",
+                completed ? "completed" : "stopped", registry.now(),
+                registry.n_campaigns());
+    for (std::size_t i = 0; i < registry.n_campaigns(); ++i) {
+      const svc::Campaign& c = registry.campaign(i);
+      double best = 0.0;
+      for (const auto& rec : c.history()) {
+        if (!rec.failed && rec.objective > best) best = rec.objective;
+      }
+      std::printf("campaign %-16s tenant=%-10s kind=%-5s evals=%-5zu "
+                  "best=%.4f%s\n",
+                  c.spec().name.c_str(), c.spec().tenant.c_str(),
+                  c.spec().kind == svc::CampaignKind::kAgebo ? "agebo" : "sha",
+                  c.history().size(), best,
+                  registry.campaign_done(i) ? "" : " (in progress)");
+    }
+    std::printf("tenant utilization:\n");
+    for (const auto& u : registry.tenant_usage()) {
+      std::printf(
+          "  tenant %-10s priority=%-4.1f consumed=%.1f node-seconds"
+          "%s in-flight=%zu queued=%zu\n",
+          u.name.c_str(), u.priority, u.consumed_node_seconds,
+          u.node_seconds_budget > 0.0
+              ? (" (budget " + std::to_string(u.node_seconds_budget) + ")")
+                    .c_str()
+              : "",
+          u.in_flight, u.queued);
+    }
+
+    if (args.has("out")) {
+      const std::string path = args.get("out", "");
+      std::ofstream os(path);
+      if (!os) throw std::runtime_error("cannot write " + path);
+      os.precision(17);
+      os << "campaign,tenant,evals,best\n";
+      for (std::size_t i = 0; i < registry.n_campaigns(); ++i) {
+        const svc::Campaign& c = registry.campaign(i);
+        double best = 0.0;
+        for (const auto& rec : c.history()) {
+          if (!rec.failed && rec.objective > best) best = rec.objective;
+        }
+        os << c.spec().name << ',' << c.spec().tenant << ','
+           << c.history().size() << ',' << best << '\n';
+      }
+      std::printf("summary written to %s\n", path.c_str());
+    }
+
+    if (args.has("metrics")) {
+      const std::string path = args.get("metrics", "");
+      std::ofstream mf(path);
+      if (!mf) throw std::runtime_error("cannot write " + path);
+      mf << obs::Registry::global().snapshot().to_csv();
+      std::printf("metrics written to %s\n", path.c_str());
+    }
+    if (args.has("trace")) {
+      const std::string path = args.get("trace", "");
+      if (!obs::write_chrome_trace(path)) {
+        throw std::runtime_error("cannot write " + path);
+      }
+      std::printf("trace written to %s (%zu events)\n", path.c_str(),
+                  obs::trace_event_count());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

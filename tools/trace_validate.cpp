@@ -19,7 +19,12 @@
 //    "serve.quantized.infer") is contained in one (the batcher worker only
 //    runs the engine inside a batch), and every "serve.batch" contains at
 //    least one infer span (a batch that never touched the engine means the
-//    coalescing loop dropped requests).
+//    coalescing loop dropped requests);
+//  - campaign-service lanes (DESIGN.md §14): a "svc.campaign.<name>" lane
+//    carries only zero-duration "svc.eval" completion marks, emitted in
+//    non-decreasing executor-time order — anything else means the registry
+//    recorded evaluations out of routing order or leaked foreign spans
+//    onto a campaign's lane.
 //
 // Exits 0 when every invariant holds, 1 with a diagnostic otherwise. The
 // obs ctest suite runs it against a freshly simulated campaign.
@@ -171,6 +176,32 @@ void check_serve_batching(const std::string& lane,
   }
 }
 
+/// Campaign-service invariants (no-op on non-"svc.campaign.*" lanes):
+/// only zero-duration svc.eval marks, non-decreasing ts in file order
+/// (`spans` arrives in file order here — the nesting check sorts a copy).
+void check_svc_lane(const std::string& lane, const std::vector<Span>& spans) {
+  if (lane.rfind("svc.campaign.", 0) != 0) return;
+  double prev_ts = -1.0;
+  for (const Span& s : spans) {
+    if (s.name != "svc.eval") {
+      fail("lane \"" + lane + "\": unexpected span \"" + s.name +
+           "\" on a campaign lane (only svc.eval marks allowed)");
+    }
+    if (s.dur != 0.0) {
+      fail("lane \"" + lane + "\": svc.eval mark has nonzero duration");
+    }
+    if (s.ts < prev_ts) {
+      std::ostringstream msg;
+      msg.precision(12);
+      msg << "lane \"" << lane << "\": svc.eval mark at ts " << s.ts
+          << " recorded after one at ts " << prev_ts
+          << " (completion routing out of order)";
+      fail(msg.str());
+    }
+    prev_ts = s.ts;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,6 +282,7 @@ int main(int argc, char** argv) {
     n_spans += spans.size();
     check_bucket_containment(it->second, spans);
     check_serve_batching(it->second, spans);
+    check_svc_lane(it->second, spans);
     check_lane_nesting(it->second, std::move(spans));
   }
   std::size_t n_samples = 0;
