@@ -11,17 +11,52 @@
 //  2. Joint search: given the choice of n in {1..64}, does AgEBO-multinode
 //     ever pick n > 8? Expected: no for these datasets — which is exactly
 //     why the paper leaves multinode scaling to "advanced and sophisticated
-//     layer-wise learning rate and adaptive batch size" methods.
+//     layer-wise learning rate and adaptive batch size" methods. The joint
+//     searches run on the decentralized sharded-BO manager (DESIGN.md §15),
+//     since wide gangs are exactly the regime where one optimizer per
+//     worker group — not one global one — keeps the managers off the
+//     critical path.
+//
+// Emits agebo-bench-search-v1 rows (the BENCH_search.json schema: m =
+// processes per evaluation for the static sweep / simulated workers for
+// the joint searches, k = BO shards, blocked_gflops = full-fidelity
+// evaluations/s) so the sweep lands in the same bench_diff-able dialect as
+// the gated scaling bench instead of ad-hoc stdout.
+//
+// Usage: bench_ext_multinode [--out FILE] [--minutes M]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agebo;
 
+  std::string out_path;
+  double minutes = 180.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--minutes" && i + 1 < argc) {
+      minutes = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "usage: bench_ext_multinode [--out FILE] [--minutes M]\n");
+      return 2;
+    }
+  }
+
   nas::SearchSpace space;
-  benchutil::CampaignSpec spec;  // covertype, 128 workers, 180 min
+  benchutil::CampaignSpec spec;  // covertype, 128 workers
+  spec.wall_minutes = minutes;
+  const double wall_seconds = spec.wall_minutes * 60.0;
+  std::vector<benchutil::SearchBenchRow> rows;
 
   std::printf("=== Extension: multinode data-parallel training in NAS ===\n\n");
   std::printf("--- static AgE-n sweep past the single-node limit ---\n");
@@ -37,15 +72,25 @@ int main() {
                    std::to_string(stats.n_evaluations),
                    TextTable::fmt(stats.mean_train_minutes, 2),
                    TextTable::fmt(stats.best_accuracy, 3)});
+    benchutil::SearchBenchRow r;
+    r.kernel = "multinode-age-static";
+    r.workers = n;  // m = processes per evaluation
+    r.evals_per_second =
+        static_cast<double>(out.result.history.size()) / wall_seconds;
+    r.best_objective = stats.best_accuracy;
+    rows.push_back(r);
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  std::printf("--- AgEBO with n in {1..64} (joint search decides) ---\n");
+  std::printf("--- AgEBO with n in {1..64} (joint search decides; "
+              "sharded-BO manager) ---\n");
   for (const std::string dataset : {"covertype", "dionis"}) {
     benchutil::CampaignSpec dspec;
     dspec.dataset = dataset;
-    const auto out = benchutil::run_campaign(
-        space, core::agebo_multinode_config(1200), dspec);
+    dspec.wall_minutes = minutes;
+    core::SearchConfig cfg = core::agebo_multinode_config(1200);
+    cfg.bo_shards = 8;  // the decentralized manager (DESIGN.md §15)
+    const auto out = benchutil::run_campaign(space, cfg, dspec);
     const auto top = core::top_k(out.result, 5);
     std::printf("%s: best %.4f from %zu evaluations; top-5 n choices:",
                 dataset.c_str(), out.result.best_objective,
@@ -54,8 +99,29 @@ int main() {
       std::printf(" %g", out.result.history[idx].config.hparams[2]);
     }
     std::printf("\n");
+    benchutil::SearchBenchRow r;
+    r.kernel = "multinode-joint-" + dataset;
+    r.workers = dspec.n_workers;
+    r.shards = cfg.bo_shards;
+    r.gossip = cfg.bo_gossip_every;
+    r.evals_per_second =
+        static_cast<double>(out.result.history.size()) / wall_seconds;
+    r.best_objective = out.result.best_objective;
+    rows.push_back(r);
   }
   std::printf("\nexpected: accuracy collapses for n >= 16 under plain linear "
               "scaling; the joint search avoids n > 8\n");
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    benchutil::write_search_bench_json(os, rows);
+    std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+  } else {
+    benchutil::write_search_bench_json(std::cout, rows);
+  }
   return 0;
 }

@@ -1,25 +1,60 @@
 // Related-work comparison (Sec V): AgEBO vs a BOHB-style joint-space
-// successive-halving search on the same simulated cluster.
+// successive-halving search on the same simulated cluster — now with the
+// decentralized sharded-BO manager (DESIGN.md §15) as a third contender.
 //
 // The paper's argument: successive halving is a *blocking* approach — every
 // rung is a synchronization barrier, so stragglers idle the machine and
 // node utilization collapses at scale, while AgEBO's asynchronous
-// manager-worker loop keeps ~94% of the workers busy.
+// manager-worker loop keeps ~94% of the workers busy. The sharded manager
+// keeps that loop asynchronous past the point where a single optimizer
+// would itself become the barrier.
 //
-// Expected: comparable or lower best accuracy for SHA, and a large
-// utilization gap in AgEBO's favor.
+// Emits agebo-bench-search-v1 rows (the BENCH_search.json schema —
+// kernel/m/k/n key, blocked_gflops = full-fidelity evaluations/s sustained
+// over the campaign) so the comparison lands in the same bench_diff-able
+// dialect as the gated scaling bench instead of ad-hoc stdout.
+//
+// Usage: bench_related_bohb [--out FILE] [--minutes M]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/sha_search.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agebo;
 
-  nas::SearchSpace space;
-  benchutil::CampaignSpec spec;  // covertype, 128 workers, 180 min
+  std::string out_path;
+  double minutes = 180.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--minutes" && i + 1 < argc) {
+      minutes = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "usage: bench_related_bohb [--out FILE] [--minutes M]\n");
+      return 2;
+    }
+  }
 
-  const auto agebo = benchutil::run_campaign(space, core::agebo_config(1301), spec);
+  nas::SearchSpace space;
+  benchutil::CampaignSpec spec;  // covertype, 128 workers
+  spec.wall_minutes = minutes;
+  const double wall_seconds = spec.wall_minutes * 60.0;
+  const std::size_t shards = 8;
+
+  const auto agebo =
+      benchutil::run_campaign(space, core::agebo_config(1301), spec);
+
+  core::SearchConfig dcfg = core::agebo_config(1301);
+  dcfg.bo_shards = shards;  // the decentralized manager (DESIGN.md §15)
+  const auto agebo_d = benchutil::run_campaign(space, dcfg, spec);
 
   eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
   exec::SimulatedExecutor executor(spec.n_workers, spec.job_overhead_seconds);
@@ -27,22 +62,74 @@ int main() {
   sha_cfg.bracket_size = 128;
   sha_cfg.eta = 3;
   sha_cfg.rungs = 3;
-  sha_cfg.wall_time_seconds = spec.wall_minutes * 60.0;
+  sha_cfg.wall_time_seconds = wall_seconds;
   sha_cfg.seed = 1302;
   core::ShaJointSearch sha(space, evaluator, executor, sha_cfg);
   const auto sha_result = sha.run();
 
   std::printf("=== Related work: AgEBO vs BOHB-style successive halving "
-              "(Covertype, 128 workers, 180 min) ===\n");
+              "(Covertype, %zu workers, %.0f min) ===\n",
+              spec.n_workers, spec.wall_minutes);
   std::printf("%-18s %-14s %-16s %-12s\n", "method", "best acc",
               "full-fid evals", "utilization");
   std::printf("%-18s %-14.4f %-16zu %-12.0f%%\n", "AgEBO",
               agebo.result.best_objective, agebo.result.history.size(),
               100.0 * agebo.result.utilization.fraction());
+  std::printf("%-18s %-14.4f %-16zu %-12.0f%%\n", agebo_d.variant.c_str(),
+              agebo_d.result.best_objective, agebo_d.result.history.size(),
+              100.0 * agebo_d.result.utilization.fraction());
   std::printf("%-18s %-14.4f %-16zu %-12.0f%%\n", "SHA (BOHB-style)",
               sha_result.best_objective, sha_result.history.size(),
               100.0 * sha_result.utilization.fraction());
-  std::printf("\nexpected: AgEBO's asynchronous loop sustains much higher "
-              "node utilization than the rung-barrier SHA\n");
+  std::printf("\nexpected: the asynchronous loops sustain much higher node "
+              "utilization than the rung-barrier SHA, and sharding the "
+              "manager does not cost search quality\n");
+
+  std::vector<benchutil::SearchBenchRow> rows;
+  {
+    benchutil::SearchBenchRow r;
+    r.kernel = "campaign-agebo";
+    r.workers = spec.n_workers;
+    r.evals_per_second =
+        static_cast<double>(agebo.result.history.size()) / wall_seconds;
+    r.best_objective = agebo.result.best_objective;
+    rows.push_back(r);
+  }
+  {
+    benchutil::SearchBenchRow r;
+    r.kernel = "campaign-agebo-sharded";
+    r.workers = spec.n_workers;
+    r.shards = shards;
+    r.gossip = dcfg.bo_gossip_every;
+    r.evals_per_second =
+        static_cast<double>(agebo_d.result.history.size()) / wall_seconds;
+    r.speedup = static_cast<double>(agebo_d.result.history.size()) /
+                static_cast<double>(agebo.result.history.size());
+    r.best_objective = agebo_d.result.best_objective;
+    rows.push_back(r);
+  }
+  {
+    benchutil::SearchBenchRow r;
+    r.kernel = "campaign-sha-bohb";
+    r.workers = spec.n_workers;
+    r.evals_per_second =
+        static_cast<double>(sha_result.history.size()) / wall_seconds;
+    r.speedup = static_cast<double>(sha_result.history.size()) /
+                static_cast<double>(agebo.result.history.size());
+    r.best_objective = sha_result.best_objective;
+    rows.push_back(r);
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    benchutil::write_search_bench_json(os, rows);
+    std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+  } else {
+    benchutil::write_search_bench_json(std::cout, rows);
+  }
   return 0;
 }

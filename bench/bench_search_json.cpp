@@ -1,0 +1,289 @@
+// Perf-regression harness for the decentralized-BO manager path
+// (DESIGN.md §15): simulates the manager-side ask/tell pump of a
+// 1k/4k/10k-worker campaign and times how fast the hyperparameter
+// optimizer can turn completed evaluations into new submissions —
+// the rate that bounds node utilization once the cluster outgrows the
+// paper's 128 workers.
+//
+// Two pumps are measured at every scale, with the SAME scaled-down
+// BoConfig (this box is single-core, so the win gated here is
+// algorithmic, not thread parallelism):
+//
+//  - bo-central: today's manager — one AskTellOptimizer, constant-liar
+//    batches, a full forest refit whenever the tell log changed;
+//  - bo-sharded: the ShardedBo layer with workers/64 shards — per-shard
+//    optimizers fed through lock-free MPSC queues, incremental
+//    refit (a refit_trees rotation on the sliding window), qUCB
+//    batching (one surrogate refresh per ask), and the seeded gossip
+//    exchange between shards.
+//
+// Completions are synthetic (a deterministic objective function), so the
+// measurement isolates optimizer cost: each pump event pops one finished
+// point, tells it back, and asks for one replacement — the steady state
+// of an asynchronous manager at full load.
+//
+// The JSON uses the agebo-bench-search-v1 schema (bench_diff-compatible):
+//   kernel = bo-central | bo-sharded, m = simulated workers, k = shards
+//   (0 = centralized), n = gossip cadence, blocked_gflops = ask+tell
+//   evaluations/s, speedup = sharded vs centralized at the same m.
+//
+// With --check it exits nonzero unless, at 4096 simulated workers, the
+// sharded pump sustains >= 10x the centralized ask+tell throughput AND
+// real (simulated-cluster) sharded campaigns end within 0.02 mean accuracy
+// of the centralized ones over the same seed set — the PR's acceptance
+// criteria, enforced by `ctest -L perf`.
+//
+// Usage: bench_search_json [--out FILE] [--check] [--quick] [--events K]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bo/optimizer.hpp"
+#include "bo/sharded_optimizer.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace agebo;
+
+constexpr std::size_t kWorkerScales[] = {1024, 4096, 10240};
+constexpr std::size_t kGatedWorkers = 4096;
+constexpr std::size_t kWorkersPerShard = 64;
+constexpr double kSpeedupGate = 10.0;
+constexpr double kObjectiveNoise = 0.02;
+
+/// One BoConfig for BOTH pumps, scaled down from the paper defaults so a
+/// full sweep stays inside the perf-suite budget. Modes are set per pump.
+bo::BoConfig bench_bo_config() {
+  bo::BoConfig cfg;
+  cfg.kappa = 1.96;  // exploration keeps the candidate pool from collapsing
+  cfg.n_initial_random = 8;
+  cfg.n_candidates = 64;
+  cfg.n_trees = 24;
+  cfg.tree_depth = 8;
+  cfg.max_fit_points = 512;
+  cfg.refit_trees = 1;
+  cfg.seed = 23;
+  return cfg;
+}
+
+/// Deterministic synthetic objective in [0, 1]: cheap, smooth-ish, and a
+/// function of the point alone so both pumps observe the same landscape.
+double synthetic_objective(const bo::Point& p) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    s += std::sin(0.37 * static_cast<double>(i + 1) * p[i]);
+  }
+  return 0.5 + 0.5 * std::sin(s);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Steady-state centralized pump: warm the optimizer with `warmup` random
+/// observations (one batched tell, like a manager catching up), then time
+/// `events` tell(1)+ask(1) round trips.
+double run_centralized(std::size_t warmup, std::size_t events) {
+  bo::ParamSpace space = bo::ParamSpace::paper_space();
+  bo::BoConfig cfg = bench_bo_config();
+  cfg.refit = bo::RefitMode::kFull;
+  cfg.batch = bo::BatchMode::kConstantLiar;
+  bo::AskTellOptimizer opt(space, cfg);
+
+  Rng rng(99);
+  std::vector<bo::Point> points;
+  std::vector<double> objectives;
+  points.reserve(warmup);
+  for (std::size_t i = 0; i < warmup; ++i) {
+    points.push_back(space.sample(rng));
+    objectives.push_back(synthetic_objective(points.back()));
+  }
+  opt.tell(points, objectives);
+  bo::Point pending = opt.ask(1).at(0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t e = 0; e < events; ++e) {
+    opt.tell({pending}, {synthetic_objective(pending)});
+    pending = opt.ask(1).at(0);
+  }
+  return static_cast<double>(events) / seconds_since(t0);
+}
+
+/// Steady-state sharded pump: same warmup volume spread round-robin over
+/// the shards, then `events` enqueue_tell+ask(shard, 1) round trips, also
+/// round-robin — each worker group completing and resubmitting in turn.
+double run_sharded(std::size_t warmup, std::size_t events, std::size_t shards,
+                   std::size_t gossip_every) {
+  bo::ParamSpace space = bo::ParamSpace::paper_space();
+  bo::ShardedBoConfig cfg;
+  cfg.shards = shards;
+  cfg.gossip_every = gossip_every;
+  cfg.bo = bench_bo_config();
+  cfg.bo.refit = bo::RefitMode::kIncremental;
+  cfg.bo.batch = bo::BatchMode::kQUcb;
+  bo::ShardedBo sharded(space, cfg);
+
+  Rng rng(99);
+  for (std::size_t i = 0; i < warmup; ++i) {
+    bo::Point p = space.sample(rng);
+    const double y = synthetic_objective(p);
+    sharded.enqueue_tell(i % shards, std::move(p), y);
+  }
+  std::vector<bo::Point> pending(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    pending[s] = sharded.ask(s, 1).at(0);  // drains the shard's warmup
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t e = 0; e < events; ++e) {
+    const std::size_t s = e % shards;
+    sharded.enqueue_tell(s, pending[s], synthetic_objective(pending[s]));
+    pending[s] = sharded.ask(s, 1).at(0);
+  }
+  return static_cast<double>(events) / seconds_since(t0);
+}
+
+/// Full simulated campaign (the real executor + surrogate evaluator), for
+/// the search-quality side of the gate: sharding must not cost accuracy.
+double campaign_best(std::size_t bo_shards, std::uint64_t seed,
+                     double minutes) {
+  nas::SearchSpace space;
+  core::SearchConfig cfg = core::agebo_config(seed);
+  cfg.bo_shards = bo_shards;
+  benchutil::CampaignSpec spec;
+  spec.n_workers = 64;
+  spec.wall_minutes = minutes;
+  return benchutil::run_campaign(space, cfg, spec).result.best_objective;
+}
+
+/// Mean best objective over the gate's seed set. A single seed is
+/// noise-dominated (the centralized campaign's own seed-to-seed spread is
+/// ~0.05 at this scale), so the parity gate compares seed-set means.
+constexpr std::uint64_t kQualitySeeds[] = {7, 11, 13, 17};
+
+double mean_campaign_best(std::size_t bo_shards, double minutes) {
+  double sum = 0.0;
+  for (const std::uint64_t seed : kQualitySeeds) {
+    sum += campaign_best(bo_shards, seed, minutes);
+  }
+  return sum / static_cast<double>(std::size(kQualitySeeds));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool check = false;
+  bool quick = false;
+  std::size_t events = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--events" && i + 1 < argc) {
+      events = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_search_json [--out FILE] [--check] [--quick] "
+                   "[--events K]\n");
+      return 2;
+    }
+  }
+  // Enough round trips that the cheap (sharded) pump is timed over a few
+  // hundred milliseconds — shorter runs make the gated ratio jitter.
+  if (events == 0) events = quick ? 720 : 2880;
+
+  std::vector<benchutil::SearchBenchRow> rows;
+  bool gate_ok = true;
+
+  for (const std::size_t workers : kWorkerScales) {
+    const std::size_t shards = workers / kWorkersPerShard;
+    // Warmup = one completed evaluation per worker: the history a manager
+    // has already absorbed when the campaign reaches steady state.
+    const std::size_t warmup = workers;
+    const double central = run_centralized(warmup, events);
+    const double sharded =
+        run_sharded(warmup, events, shards, /*gossip_every=*/4);
+    const double speedup = sharded / central;
+
+    benchutil::SearchBenchRow rc;
+    rc.kernel = "bo-central";
+    rc.workers = workers;
+    rc.evals_per_second = central;
+    rows.push_back(rc);
+    benchutil::SearchBenchRow rs;
+    rs.kernel = "bo-sharded";
+    rs.workers = workers;
+    rs.shards = shards;
+    rs.gossip = 4;
+    rs.evals_per_second = sharded;
+    rs.speedup = speedup;
+    rows.push_back(rs);
+
+    std::printf(
+        "workers=%5zu shards=%3zu central=%9.1f evals/s sharded=%9.1f "
+        "evals/s speedup=%6.2fx\n",
+        workers, shards, central, sharded, speedup);
+    if (check && workers == kGatedWorkers && speedup < kSpeedupGate) {
+      std::fprintf(stderr,
+                   "GATE FAILED: sharded/centralized throughput at %zu "
+                   "workers is %.2fx, gate is %.1fx\n",
+                   workers, speedup, kSpeedupGate);
+      gate_ok = false;
+    }
+  }
+
+  // Search-quality side of the gate: sharded campaigns on the real
+  // simulated cluster must land within noise of the centralized ones over
+  // the same seed set. The means also ride along in the JSON for
+  // eyeballing.
+  {
+    const double minutes = quick ? 45.0 : 90.0;
+    const double best_central = mean_campaign_best(0, minutes);
+    const double best_sharded = mean_campaign_best(8, minutes);
+    std::printf(
+        "campaign mean best over %zu seeds: central=%.4f sharded(8)=%.4f "
+        "delta=%.4f\n",
+        std::size(kQualitySeeds), best_central, best_sharded,
+        std::fabs(best_central - best_sharded));
+    for (auto& r : rows) {
+      r.best_objective =
+          r.kernel == "bo-central" ? best_central : best_sharded;
+    }
+    if (check &&
+        std::fabs(best_central - best_sharded) > kObjectiveNoise) {
+      std::fprintf(stderr,
+                   "GATE FAILED: sharded campaign best %.4f vs centralized "
+                   "%.4f (allowed delta %.3f)\n",
+                   best_sharded, best_central, kObjectiveNoise);
+      gate_ok = false;
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    benchutil::write_search_bench_json(os, rows);
+    std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows.size());
+  } else {
+    benchutil::write_search_bench_json(std::cout, rows);
+  }
+  return gate_ok ? 0 : 1;
+}

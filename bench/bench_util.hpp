@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,39 @@
 #include "nas/search_space.hpp"
 
 namespace agebo::benchutil {
+
+/// One agebo-bench-search-v1 record: manager-side BO throughput at one
+/// simulated scale. The flat field names follow the bench_diff convention
+/// (kernel/m/k/n key, blocked_gflops = the gated rate): m = simulated
+/// workers, k = shards (0 = centralized), n = gossip cadence, and
+/// blocked_gflops = ask+tell evaluations/s. Extra fields (best_objective)
+/// are informational; bench_diff ignores them.
+struct SearchBenchRow {
+  std::string kernel;        ///< "bo-central" or "bo-sharded"
+  std::size_t workers = 0;   ///< m
+  std::size_t shards = 0;    ///< k (0 = centralized)
+  std::size_t gossip = 0;    ///< n (gossip_every; 0 for centralized)
+  double evals_per_second = 0.0;
+  double speedup = 1.0;      ///< vs centralized at the same worker count
+  double best_objective = 0.0;
+};
+
+/// Emit rows in the one-record-per-line JSON dialect every bench harness
+/// shares (tools/bench_diff.cpp parses exactly this).
+inline void write_search_bench_json(std::ostream& os,
+                                    const std::vector<SearchBenchRow>& rows) {
+  os << "{\n  \"schema\": \"agebo-bench-search-v1\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SearchBenchRow& r = rows[i];
+    os << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.workers
+       << ", \"k\": " << r.shards << ", \"n\": " << r.gossip
+       << ", \"blocked_gflops\": " << r.evals_per_second
+       << ", \"speedup\": " << r.speedup
+       << ", \"best_objective\": " << r.best_objective << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
 
 struct CampaignSpec {
   std::string dataset = "covertype";

@@ -1,0 +1,82 @@
+// Lock-free multi-producer/single-consumer queue for tell ingestion
+// (DESIGN.md §15). Producers (executor callbacks, peer shards) push
+// completed evaluations concurrently; the shard's pump thread drains the
+// whole backlog in one exchange.
+//
+// Implementation: a Treiber stack on the push side — push is a single
+// compare_exchange loop on the head pointer, wait-free in the absence of
+// contention and lock-free under it — and an exchange-and-reverse on the
+// drain side, which restores FIFO order per producer (a producer's pushes
+// appear in push order; interleaving across producers follows the CAS
+// winners, exactly the delivery semantics of an asynchronous cluster).
+// drain() is single-consumer by contract: only the shard pump may call it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace agebo::bo {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  ~MpscQueue() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Thread-safe: any number of producers may push concurrently.
+  void push(T value) {
+    Node* node = new Node{std::move(value), nullptr};
+    Node* expected = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = expected;
+    } while (!head_.compare_exchange_weak(expected, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+    depth_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Single consumer only: detach the whole backlog and return it oldest
+  /// first. Never blocks producers — they keep pushing onto the fresh head.
+  std::vector<T> drain() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    std::vector<T> out;
+    // The detached list is newest-first; reverse into FIFO order.
+    for (Node* n = node; n != nullptr; n = n->next) out.emplace_back();
+    std::size_t i = out.size();
+    while (node != nullptr) {
+      out[--i] = std::move(node->value);
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+    depth_.fetch_sub(out.size(), std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Racy size estimate for queue-depth gauges (never used for control
+  /// flow): producers may be mid-push, so treat it as a telemetry hint.
+  std::size_t approx_size() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::size_t> depth_{0};
+};
+
+}  // namespace agebo::bo

@@ -151,6 +151,7 @@ std::vector<Point> AskTellOptimizer::ask(std::size_t k) {
     for (std::size_t i = 0; i < k; ++i) out.push_back(space_.sample(rng_));
     return out;
   }
+  if (cfg_.batch == BatchMode::kQUcb) return ask_qucb(k);
 
   // Constant-liar batch (paper: lie with the mean of observed objectives).
   double lie = mean(y_);
@@ -161,7 +162,8 @@ std::vector<Point> AskTellOptimizer::ask(std::size_t k) {
   }
   std::vector<std::vector<double>> xs;
   std::vector<double> ys;
-  if (y_.size() > cfg_.max_fit_points) {
+  const bool subsampled = y_.size() > cfg_.max_fit_points;
+  if (subsampled) {
     const auto keep =
         rng_.sample_without_replacement(y_.size(), cfg_.max_fit_points);
     xs.reserve(keep.size() + k);
@@ -176,13 +178,153 @@ std::vector<Point> AskTellOptimizer::ask(std::size_t k) {
   }
   const double best_observed = *std::max_element(y_.begin(), y_.end());
   for (std::size_t i = 0; i < k; ++i) {
-    refit(xs, ys);
+    if (i == 0) {
+      // The leading fit has no liar rows; when the tell log is unchanged
+      // since the last such fit (and no subsample draw was involved), the
+      // cached forest is bitwise the forest a refit would rebuild.
+      const bool cache_hit =
+          cfg_.refit_cache && !subsampled && base_fit_tells_ == y_.size();
+      if (!cache_hit) {
+        refit(xs, ys);
+        base_fit_tells_ = subsampled ? kNoBaseFit : y_.size();
+      }
+    } else {
+      refit(xs, ys);  // xs now carries liar rows: never cacheable
+      base_fit_tells_ = kNoBaseFit;
+    }
     Point p = acquire(best_observed);
     xs.push_back(space_.to_features(p));
     ys.push_back(lie);
     out.push_back(std::move(p));
   }
   return out;
+}
+
+void AskTellOptimizer::ensure_fit() {
+  if (fitted_tells_ == y_.size() && !tree_fits_.empty()) return;
+  const std::size_t n_all = y_.size();
+  const std::size_t n = std::min(n_all, cfg_.max_fit_points);
+  const std::size_t begin = n_all - n;
+  const std::size_t d = space_.size();
+  std::vector<float> flat(n * d);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      flat[i * d + j] = static_cast<float>(x_feat_[begin + i][j]);
+    }
+    ys[i] = y_[begin + i];
+  }
+  std::size_t refresh = cfg_.n_trees;
+  if (cfg_.refit == RefitMode::kIncremental && !tree_fits_.empty()) {
+    refresh = std::min(std::max<std::size_t>(1, cfg_.refit_trees), cfg_.n_trees);
+  }
+  if (tree_fits_.empty()) tree_fits_.assign(cfg_.n_trees, {0, 0});
+  for (std::size_t j = 0; j < refresh; ++j) {
+    const std::size_t t = (next_rotate_ + j) % cfg_.n_trees;
+    surrogate_.refit_tree(t, flat, n, d, ys, next_salt_);
+    tree_fits_[t] = {n_all, next_salt_};
+  }
+  next_rotate_ = (next_rotate_ + refresh) % cfg_.n_trees;
+  ++next_salt_;
+  fitted_tells_ = n_all;
+}
+
+std::vector<Point> AskTellOptimizer::ask_qucb(std::size_t k) {
+  ensure_fit();
+  const std::size_t d = space_.size();
+
+  // One shared candidate pool, scored once: the batch costs one fit plus
+  // one pool scoring instead of k of each under the constant liar.
+  struct Cand {
+    Point p;
+    double mu;
+    double sigma;
+  };
+  std::vector<Cand> pool;
+  pool.reserve(cfg_.n_candidates);
+  std::vector<float> feat(d);
+  for (std::size_t c = 0; c < cfg_.n_candidates; ++c) {
+    Point p = space_.sample(rng_);
+    if (seen_.count(space_.key(p)) > 0) continue;
+    const auto features = space_.to_features(p);
+    for (std::size_t j = 0; j < d; ++j) feat[j] = static_cast<float>(features[j]);
+    Cand cand;
+    cand.mu = 0.0;
+    cand.sigma = 0.0;
+    surrogate_.predict_with_uncertainty(feat.data(), cand.mu, cand.sigma);
+    cand.p = std::move(p);
+    pool.push_back(std::move(cand));
+  }
+
+  std::vector<Point> out;
+  out.reserve(k);
+  std::vector<char> taken(pool.size(), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    // kappa_i ~ Exp(mean = cfg.kappa): mostly exploitative picks with an
+    // occasional long-tailed explorer, which is what diversifies the batch
+    // without liar refits (Egelé et al.).
+    const double u = 1.0 - rng_.uniform();  // (0, 1]
+    const double kappa_i = -cfg_.kappa * std::log(u);
+    std::size_t best = pool.size();
+    double best_score = -1e300;
+    for (std::size_t c = 0; c < pool.size(); ++c) {
+      if (taken[c]) continue;
+      const double score = pool[c].mu + kappa_i * pool[c].sigma;
+      if (score > best_score) {
+        best_score = score;
+        best = c;
+      }
+    }
+    if (best == pool.size()) {
+      out.push_back(space_.sample(rng_));  // pool exhausted (or all seen)
+      continue;
+    }
+    taken[best] = 1;
+    out.push_back(pool[best].p);
+  }
+  return out;
+}
+
+AskTellOptimizer::IncrementalFitState AskTellOptimizer::incremental_state()
+    const {
+  IncrementalFitState st;
+  st.trees = tree_fits_;
+  st.next_rotate = next_rotate_;
+  st.next_salt = next_salt_;
+  st.fitted_tells = fitted_tells_;
+  return st;
+}
+
+void AskTellOptimizer::restore_incremental_state(
+    const IncrementalFitState& st) {
+  if (!st.trees.empty() && st.trees.size() != cfg_.n_trees) {
+    throw std::invalid_argument(
+        "restore_incremental_state: tree count mismatch");
+  }
+  tree_fits_ = st.trees;
+  next_rotate_ = st.next_rotate;
+  next_salt_ = st.next_salt;
+  fitted_tells_ = st.fitted_tells;
+  const std::size_t d = space_.size();
+  for (std::size_t t = 0; t < tree_fits_.size(); ++t) {
+    const auto [fit_end, salt] = tree_fits_[t];
+    if (fit_end == 0) continue;
+    if (fit_end > y_.size()) {
+      throw std::invalid_argument(
+          "restore_incremental_state: fit_end beyond tell log");
+    }
+    const std::size_t n = std::min(fit_end, cfg_.max_fit_points);
+    const std::size_t begin = fit_end - n;
+    std::vector<float> flat(n * d);
+    std::vector<double> ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        flat[i * d + j] = static_cast<float>(x_feat_[begin + i][j]);
+      }
+      ys[i] = y_[begin + i];
+    }
+    surrogate_.refit_tree(t, flat, n, d, ys, salt);
+  }
 }
 
 }  // namespace agebo::bo

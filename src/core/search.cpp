@@ -39,7 +39,29 @@ AgeboSearch::AgeboSearch(const nas::SearchSpace& space, SearchConfig cfg)
     }
     bo::BoConfig bo_cfg = cfg_.bo;
     bo_cfg.seed = cfg_.seed * 31 + 7;
-    optimizer_.emplace(cfg_.hp_space, bo_cfg);
+    if (cfg_.bo_shards > 0) {
+      bo::ShardedBoConfig scfg;
+      scfg.shards = cfg_.bo_shards;
+      scfg.gossip_every = cfg_.bo_gossip_every;
+      scfg.bo = bo_cfg;
+      if (cfg_.bo_shards > 1) {
+        // Decentralized fast path (DESIGN.md §15): at >= 2 shards the
+        // legacy defaults (full refit, constant liar) are upgraded to the
+        // incremental surrogate + qUCB batching — one cheap refit per
+        // shard ask instead of one full-forest refit per picked point.
+        // shards=1 keeps the legacy modes so its trajectory is bit-for-bit
+        // the centralized one.
+        if (scfg.bo.refit == bo::RefitMode::kFull) {
+          scfg.bo.refit = bo::RefitMode::kIncremental;
+        }
+        if (scfg.bo.batch == bo::BatchMode::kConstantLiar) {
+          scfg.bo.batch = bo::BatchMode::kQUcb;
+        }
+      }
+      sharded_ = std::make_unique<bo::ShardedBo>(cfg_.hp_space, scfg);
+    } else {
+      optimizer_.emplace(cfg_.hp_space, bo_cfg);
+    }
   } else if (cfg_.fixed_hparams.empty()) {
     throw std::invalid_argument("SearchConfig: fixed mode needs fixed_hparams");
   }
@@ -118,7 +140,18 @@ void AgeboSearch::apply_warm_start() {
       }
     }
   }
-  if (!prior_points.empty()) optimizer_->tell(prior_points, prior_objectives);
+  if (!prior_points.empty()) {
+    if (sharded_) {
+      // Warm-start tells land on shard 0 (one batched tell, exactly the
+      // centralized call); at >= 2 shards gossip spreads them from there.
+      for (std::size_t i = 0; i < prior_points.size(); ++i) {
+        sharded_->enqueue_tell(0, prior_points[i], prior_objectives[i]);
+      }
+      sharded_->drain(0);
+    } else {
+      optimizer_->tell(prior_points, prior_objectives);
+    }
+  }
 }
 
 std::vector<EvalTicket> AgeboSearch::start(std::size_t n_init) {
@@ -134,11 +167,34 @@ std::vector<EvalTicket> AgeboSearch::start(std::size_t n_init) {
     throw std::invalid_argument("AgeboSearch::start: zero initial submissions");
   }
   std::vector<bo::Point> init_hp;
-  if (cfg_.use_bo) init_hp = optimizer_->ask(n_init);
+  if (cfg_.use_bo) {
+    if (sharded_) {
+      // Initial submission i belongs to shard i % S: each shard asks its
+      // own slice (ascending shard order, one ask per shard), then the
+      // slices interleave back into submission order. At shards=1 this is
+      // one ask(n_init) — the centralized call.
+      const std::size_t S = sharded_->shards();
+      std::vector<std::vector<bo::Point>> asked(S);
+      for (std::size_t s = 0; s < S; ++s) {
+        const std::size_t c = n_init / S + (s < n_init % S ? 1 : 0);
+        if (c > 0) asked[s] = sharded_->ask(s, c);
+      }
+      std::vector<std::size_t> pos(S, 0);
+      init_hp.reserve(n_init);
+      for (std::size_t i = 0; i < n_init; ++i) {
+        const std::size_t s = i % S;
+        init_hp.push_back(std::move(asked[s][pos[s]++]));
+      }
+    } else {
+      init_hp = optimizer_->ask(n_init);
+    }
+  }
   std::vector<EvalTicket> out;
   out.reserve(n_init);
   for (std::size_t i = 0; i < n_init; ++i) {
-    out.push_back(make_ticket(make_child(init_hp, i)));
+    EvalTicket t = make_ticket(make_child(init_hp, i));
+    if (sharded_) ticket_shard_[t.ticket] = i % sharded_->shards();
+    out.push_back(std::move(t));
   }
   return out;
 }
@@ -198,6 +254,7 @@ std::vector<EvalTicket> AgeboSearch::step(const std::vector<EvalDone>& done,
   if (!started_) throw std::logic_error("AgeboSearch::step before start");
   std::vector<bo::Point> told_points;
   std::vector<double> told_objectives;
+  std::vector<std::size_t> done_shards;  // shard of each ingested done
   for (const auto& d : done) {
     auto it = outstanding_.find(d.ticket);
     if (it == outstanding_.end()) {
@@ -206,8 +263,19 @@ std::vector<EvalTicket> AgeboSearch::step(const std::vector<EvalDone>& done,
     }
     const eval::ModelConfig config = std::move(it->second.config);
     outstanding_.erase(it);
+    std::size_t shard = 0;
+    if (sharded_) {
+      auto sit = ticket_shard_.find(d.ticket);
+      if (sit == ticket_shard_.end()) {
+        throw std::logic_error("AgeboSearch::step: ticket without shard " +
+                               std::to_string(d.ticket));
+      }
+      shard = sit->second;
+      ticket_shard_.erase(sit);
+    }
     if (d.finish_time > cfg_.wall_time_seconds) continue;  // past budget
     ingest(d, config, told_points, told_objectives);
+    if (sharded_) done_shards.push_back(shard);
   }
   if (now >= cfg_.wall_time_seconds) return {};
   const std::size_t n_new = told_objectives.size();
@@ -216,14 +284,42 @@ std::vector<EvalTicket> AgeboSearch::step(const std::vector<EvalDone>& done,
   // Lines 12-13: tell/ask |results| hyperparameter configurations.
   std::vector<bo::Point> next;
   if (cfg_.use_bo) {
-    optimizer_->tell(told_points, told_objectives);
-    next = optimizer_->ask(n_new);
+    if (sharded_) {
+      // Each completion is told back to the shard that asked it; the
+      // tells go through the shards' lock-free queues (in delivery
+      // order), then every shard with completions asks for exactly that
+      // many replacements. Ask order is ascending by shard, replies
+      // interleave back into delivery order. At shards=1 this is one
+      // batched tell + one ask(n_new) — the centralized call sequence.
+      for (std::size_t i = 0; i < n_new; ++i) {
+        sharded_->enqueue_tell(done_shards[i], told_points[i],
+                               told_objectives[i]);
+      }
+      const std::size_t S = sharded_->shards();
+      std::vector<std::size_t> count(S, 0);
+      for (const std::size_t s : done_shards) ++count[s];
+      std::vector<std::vector<bo::Point>> asked(S);
+      for (std::size_t s = 0; s < S; ++s) {
+        if (count[s] > 0) asked[s] = sharded_->ask(s, count[s]);
+      }
+      std::vector<std::size_t> pos(S, 0);
+      next.reserve(n_new);
+      for (std::size_t i = 0; i < n_new; ++i) {
+        const std::size_t s = done_shards[i];
+        next.push_back(std::move(asked[s][pos[s]++]));
+      }
+    } else {
+      optimizer_->tell(told_points, told_objectives);
+      next = optimizer_->ask(n_new);
+    }
   }
   // Lines 14-23: generate |results| children.
   std::vector<EvalTicket> out;
   out.reserve(n_new);
   for (std::size_t i = 0; i < n_new; ++i) {
-    out.push_back(make_ticket(make_child(next, i)));
+    EvalTicket t = make_ticket(make_child(next, i));
+    if (sharded_) ticket_shard_[t.ticket] = done_shards[i];
+    out.push_back(std::move(t));
   }
   return out;
 }
@@ -374,6 +470,18 @@ void AgeboSearch::save_state(std::ostream& os) const {
       os << '\n';
     }
   }
+  // Sharded-BO section: present exactly when the config is sharded, so
+  // centralized checkpoints (including all pre-§15 files) keep their byte
+  // layout and a sharded search never reads past a centralized blob when
+  // the service embeds several blobs in one stream.
+  if (sharded_) {
+    os << "shards 1\n";
+    sharded_->save_state(os);
+    os << "ticket-shards " << ticket_shard_.size() << '\n';
+    for (const auto& [id, shard] : ticket_shard_) {
+      os << "ts " << id << ' ' << shard << '\n';
+    }
+  }
 }
 
 void AgeboSearch::load_state(std::istream& is) {
@@ -455,6 +563,24 @@ void AgeboSearch::load_state(std::istream& is) {
       points.push_back(state::read_point(is, what));
     }
     optimizer_->restore(points, objectives, bo_rng);
+  }
+  if (sharded_) {
+    if (!state::read_flag(is, "shards", what)) {
+      state::fail(what, "missing sharded-BO section");
+    }
+    sharded_->load_state(is);
+    const std::size_t n_ts = state::read_count(is, "ticket-shards", what);
+    ticket_shard_.clear();
+    for (std::size_t i = 0; i < n_ts; ++i) {
+      state::expect_key(is, "ts", what);
+      std::uint64_t id = 0;
+      std::size_t shard = 0;
+      if (!(is >> id >> shard)) state::fail(what, "truncated ticket shard");
+      ticket_shard_.emplace(id, shard);
+    }
+    if (ticket_shard_.size() != outstanding_.size()) {
+      state::fail(what, "ticket-shard map does not cover outstanding tickets");
+    }
   }
   if (best_so_far_ > 0.0) m_best_.set(best_so_far_);
 }

@@ -27,10 +27,12 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "bo/optimizer.hpp"
+#include "bo/sharded_optimizer.hpp"
 #include "eval/evaluation.hpp"
 #include "exec/executor.hpp"
 #include "nas/search_space.hpp"
@@ -101,6 +103,19 @@ struct SearchConfig {
   bo::ParamSpace hp_space;            ///< sampled/tuned when use_bo
   bo::BoConfig bo;                    ///< kappa etc.
   bo::Point fixed_hparams;            ///< used when !use_bo
+  /// Decentralized BO (DESIGN.md §15): shard the optimizer into bo_shards
+  /// per-worker-group optimizers exchanging tells via gossip. 0 keeps the
+  /// single centralized optimizer; 1 runs the sharded machinery in its
+  /// degenerate mode, which reproduces the centralized trajectory
+  /// bit-for-bit. At >= 2 shards the per-shard optimizers default to the
+  /// incremental-refit + qUCB fast path (unless the BoConfig was
+  /// explicitly overridden).
+  std::size_t bo_shards = 0;
+  /// Local tells between gossip merges (ShardedBoConfig::gossip_every).
+  /// 4 is the empirical sweet spot on the simulated campaigns: frequent
+  /// enough that no shard starves for global history, infrequent enough
+  /// that shards keep distinct search trajectories.
+  std::size_t bo_gossip_every = 4;
   /// Pure random search over H_a (children never mutate the population) —
   /// a sanity baseline for the ablation benches.
   bool random_search = false;
@@ -208,6 +223,10 @@ class AgeboSearch {
   SearchConfig cfg_;
   Rng rng_;
   std::optional<bo::AskTellOptimizer> optimizer_;
+  std::unique_ptr<bo::ShardedBo> sharded_;  // cfg.bo_shards > 0
+  /// Shard that asked each outstanding ticket's hyperparameters — its
+  /// completion is told back to the same shard (sharded mode only).
+  std::map<std::uint64_t, std::size_t> ticket_shard_;
   std::deque<Member> population_;
   std::vector<EvalRecord> history_;
   std::map<std::uint64_t, EvalTicket> outstanding_;

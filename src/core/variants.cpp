@@ -78,6 +78,14 @@ SearchConfig config_by_name(const std::string& variant, std::uint64_t seed,
   if (variant == "agebo-8-lr") return agebo_8_lr_config(seed);
   if (variant == "agebo-8-lr-bs") return agebo_8_lr_bs_config(seed);
   if (variant == "agebo-multinode") return agebo_multinode_config(seed);
+  if (variant.rfind("agebo-d", 0) == 0) {
+    const int n = std::atoi(variant.c_str() + 7);
+    if (n > 0) {
+      SearchConfig cfg = agebo_config(seed, kappa);
+      cfg.bo_shards = static_cast<std::size_t>(n);
+      return cfg;
+    }
+  }
   if (variant.rfind("age-", 0) == 0) {
     const int n = std::atoi(variant.c_str() + 4);
     if (n > 0) return age_config(static_cast<std::size_t>(n), seed);
@@ -97,6 +105,9 @@ std::string variant_name(const SearchConfig& cfg) {
     std::ostringstream os;
     os << "AgE-" << static_cast<long>(cfg.fixed_hparams.at(2));
     return os.str();
+  }
+  if (cfg.bo_shards > 0) {
+    return "AgEBO-d" + std::to_string(cfg.bo_shards);
   }
   return "AgEBO";
 }

@@ -34,7 +34,8 @@ SearchConfig agebo_multinode_config(std::uint64_t seed = 1,
 std::string variant_name(const SearchConfig& cfg);
 
 /// CLI/manifest dispatch: "agebo", "agebo-8-lr", "agebo-8-lr-bs",
-/// "agebo-multinode", "age-N", "rs-N" → the matching config. Because a
+/// "agebo-multinode", "agebo-dN" (decentralized BO with N shards,
+/// DESIGN.md §15), "age-N", "rs-N" → the matching config. Because a
 /// variant name + seed + kappa fully determines a SearchConfig, it is what
 /// the campaign-service checkpoint stores (SearchConfig itself carries
 /// std::function members and cannot be serialized); resume rebuilds the

@@ -82,6 +82,12 @@ class SimulatedExecutor final : public Executor {
 
   /// Effective kill deadline (relative seconds) for one attempt, or +inf.
   double attempt_limit(const JobSpec& spec) const;
+  /// Claim the `width` earliest-free workers into gang_scratch_. width==1
+  /// (the paper's single-node campaigns, and every worker of a 10k-worker
+  /// simulation) is a plain argmin scan — no index vector, no partial
+  /// sort; wider gangs partial-sort a reused scratch vector. Both pick
+  /// ties by lowest worker index.
+  void claim_gang(std::size_t width);
   /// Record one successful attempt duration for the straggler median.
   void record_duration(double seconds);
   /// Credit `exec.busy_seconds` with worker-busy time that elapsed while
@@ -116,6 +122,10 @@ class SimulatedExecutor final : public Executor {
     double finish;
   };
   std::vector<PendingBusy> pending_busy_;
+  /// Workers claimed by the current attempt (claim_gang scratch, reused
+  /// across submits so the hot path does not allocate).
+  std::vector<std::size_t> gang_scratch_;
+  std::vector<std::size_t> gang_order_scratch_;
 
   // Shared executor metrics (exec.* names are common to the simulator and
   // LiveExecutor). Counters are process-global and monotonic; utilization

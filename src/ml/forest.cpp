@@ -103,6 +103,37 @@ void RandomForestRegressor::fit(const std::vector<float>& x, std::size_t n,
   }
 }
 
+void RandomForestRegressor::refit_tree(std::size_t tree_index,
+                                       const std::vector<float>& x,
+                                       std::size_t n, std::size_t d,
+                                       const std::vector<double>& y,
+                                       std::uint64_t salt) {
+  if (x.size() != n * d) throw std::invalid_argument("RandomForestRegressor: x size");
+  if (tree_index >= cfg_.n_trees) {
+    throw std::invalid_argument("RandomForestRegressor: tree index");
+  }
+  if (trees_.empty()) trees_.assign(cfg_.n_trees, DecisionTree{});
+  n_features_ = d;
+  TreeConfig tree_cfg = cfg_.tree;
+  if (tree_cfg.max_features == 0) {
+    tree_cfg.max_features = default_max_features(d, false);
+  }
+  // Per-tree stream independent of any shared rng: splitmix64-style mixing
+  // of (seed, index, salt) so the same triple always rebuilds the same tree.
+  std::uint64_t z = cfg_.seed + 0x9e3779b97f4a7c15ULL * (tree_index + 1) +
+                    0xbf58476d1ce4e5b9ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  Rng tree_rng(z ^ (z >> 31));
+  if (cfg_.bootstrap) {
+    auto rows = bootstrap_rows(n, tree_rng);
+    trees_[tree_index].fit_regression(x.data(), n, d, y, tree_cfg, tree_rng,
+                                      &rows);
+  } else {
+    trees_[tree_index].fit_regression(x.data(), n, d, y, tree_cfg, tree_rng);
+  }
+}
+
 double RandomForestRegressor::predict_row(const float* row) const {
   double mean = 0.0;
   double stddev = 0.0;

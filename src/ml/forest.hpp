@@ -57,6 +57,17 @@ class RandomForestRegressor {
   void fit(const std::vector<float>& x, std::size_t n, std::size_t d,
            const std::vector<double>& y);
 
+  /// Refit ONE tree on (possibly newer) data, leaving the other trees as
+  /// fitted — the incremental-surrogate hot path of the decentralized BO
+  /// layer (DESIGN.md §15): a shard refreshes a few trees per ask() on its
+  /// latest tell window instead of rebuilding the whole forest. The tree's
+  /// randomness derives from (cfg.seed, tree_index, salt) only, so a
+  /// checkpointed (window, salt) pair rebuilds the identical tree on
+  /// restore. Sizes trees on first use; tree_index must be < n_trees.
+  void refit_tree(std::size_t tree_index, const std::vector<float>& x,
+                  std::size_t n, std::size_t d, const std::vector<double>& y,
+                  std::uint64_t salt);
+
   double predict_row(const float* row) const;
   /// Mean and across-tree standard deviation for one row.
   void predict_with_uncertainty(const float* row, double& mean,

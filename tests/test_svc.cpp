@@ -393,4 +393,37 @@ TEST(SvcRegistry, RejectsDuplicateCampaignNames) {
                std::invalid_argument);
 }
 
+// --- Checkpoint-format stability ------------------------------------------
+
+// Golden v1 checkpoints committed under tests/fixtures/, written by
+//   agebo_campaign --variant agebo [--bo-shards 2] --workers 8 --minutes 30
+//                  --seed 41 --checkpoint <fixture> --stop-after 600
+// at the release that introduced each section. Current code must keep
+// loading them: a change that breaks these tests breaks every checkpoint
+// users have on disk and needs a versioned migration, not a silent format
+// edit.
+void expect_golden_loads(const std::string& fixture) {
+  const std::string path = std::string(AGEBO_FIXTURE_DIR) + "/" + fixture;
+  nas::SearchSpace space;
+  svc::SvcConfig cfg;
+  cfg.workers = 8;
+  cfg.job_overhead_seconds = 90.0;
+  svc::CampaignRegistry registry(cfg, space);
+  registry.load_checkpoint(path);
+  ASSERT_EQ(registry.n_campaigns(), 1u);
+  EXPECT_GT(registry.now(), 0.0);
+  // The resumed service must be able to finish the campaign it loaded.
+  EXPECT_TRUE(registry.run());
+  EXPECT_TRUE(registry.campaign_done(0));
+  EXPECT_FALSE(registry.campaign(0).history().empty());
+}
+
+TEST(SvcGolden, LoadsCommittedV1Checkpoint) {
+  expect_golden_loads("svc_golden_v1.ckpt");
+}
+
+TEST(SvcGolden, LoadsCommittedV1ShardedCheckpoint) {
+  expect_golden_loads("svc_golden_v1_sharded.ckpt");
+}
+
 }  // namespace

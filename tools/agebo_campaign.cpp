@@ -55,9 +55,9 @@ constexpr const char* kUsage =
     "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
     "[--trace FILE.json] [--metrics FILE.csv] [--report-every N] "
     "[--checkpoint FILE] [--checkpoint-every S] [--resume FILE] "
-    "[--stop-after S]\n"
+    "[--stop-after S] [--bo-shards N] [--bo-gossip-every N]\n"
     "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
-    "agebo-8-lr-bs rs-1 agebo-multinode\n";
+    "agebo-8-lr-bs rs-1 agebo-multinode agebo-dN\n";
 
 }  // namespace
 
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
         "warm-start", "crash", "hang", "slow", "timeout", "retries",
         "straggler", "allreduce", "bucket-kb", "trace", "metrics",
         "report-every", "checkpoint", "checkpoint-every", "resume",
-        "stop-after"}) {
+        "stop-after", "bo-shards", "bo-gossip-every"}) {
     args.add_option(opt);
   }
   args.add_flag("no-overlap");
@@ -78,11 +78,24 @@ int main(int argc, char** argv) {
   const bool no_overlap = args.flag("no-overlap");
 
   const std::string dataset = args.get("dataset", "covertype");
-  const std::string variant = args.get("variant", "agebo");
+  std::string variant = args.get("variant", "agebo");
   const double minutes = args.get_double("minutes", 180.0);
   const std::size_t workers = args.get_size("workers", 128);
   const std::uint64_t seed = args.get_u64("seed", 1);
   const double kappa = args.get_double("kappa", 0.001);
+
+  // Decentralized BO (DESIGN.md §15): --bo-shards N shards the optimizer.
+  // Because the durable path reconstructs a SearchConfig from the variant
+  // name alone on resume, sharding is folded into the variant: --variant
+  // agebo --bo-shards 4 is exactly --variant agebo-d4.
+  const std::size_t bo_shards = args.get_size("bo-shards", 0);
+  if (bo_shards > 0) {
+    if (variant != "agebo") {
+      std::fprintf(stderr, "--bo-shards requires --variant agebo\n");
+      return 2;
+    }
+    variant = "agebo-d" + std::to_string(bo_shards);
+  }
 
   core::SearchConfig cfg;
   try {
@@ -91,6 +104,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --variant %s\n", variant.c_str());
     args.print_usage();
     return 2;
+  }
+  if (args.has("bo-gossip-every")) {
+    if (cfg.bo_shards == 0) {
+      std::fprintf(stderr, "--bo-gossip-every requires a sharded variant\n");
+      return 2;
+    }
+    cfg.bo_gossip_every = args.get_size("bo-gossip-every", 8);
   }
   cfg.wall_time_seconds = minutes * 60.0;
   cfg.eval_timeout_seconds = args.get_double("timeout", 0.0);
@@ -114,8 +134,12 @@ int main(int argc, char** argv) {
   const bool durable = args.has("checkpoint") || args.has("resume") ||
                        args.has("checkpoint-every") || args.has("stop-after");
   if (durable) {
+    // --bo-gossip-every cannot ride along: the durable path rebuilds the
+    // config from the stored variant name alone on resume, and a non-default
+    // gossip cadence is not part of "agebo-dN".
     for (const char* unsupported :
-         {"warm-start", "allreduce", "bucket-kb", "report-every"}) {
+         {"warm-start", "allreduce", "bucket-kb", "report-every",
+          "bo-gossip-every"}) {
       if (args.has(unsupported)) {
         std::fprintf(stderr,
                      "--%s is not supported together with "

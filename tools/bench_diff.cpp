@@ -7,7 +7,10 @@
 // effective GB/s), and agebo-bench-infer-v1 / -v2 (bench/bench_infer_json:
 // serving batch sizes, blocked_gflops = batched predictions/s; v2 adds
 // "<arch>-int8" rows where the rate is the int8 engine and speedup is
-// int8 vs fp32). Regression messages report the metric in the schema's
+// int8 vs fp32), and agebo-bench-search-v1 (bench/bench_search_json:
+// manager-side BO scaling, blocked_gflops = ask+tell evaluations/s and
+// speedup = sharded vs centralized at the same worker count).
+// Regression messages report the metric in the schema's
 // own units so a failing CI log reads directly. CI gates kernel changes
 // with:
 //
@@ -64,6 +67,7 @@ constexpr SchemaInfo kSchemas[] = {
     {"agebo-bench-allreduce-v1", "GB/s"},
     {"agebo-bench-infer-v1", "pred/s"},
     {"agebo-bench-infer-v2", "pred/s"},
+    {"agebo-bench-search-v1", "evals/s"},
 };
 
 bool load(const std::string& path, std::map<Key, Entry>& entries,
