@@ -1,0 +1,272 @@
+// Elastic-training harness (DESIGN.md §16): measures what a mid-training
+// replica crash costs. For each allreduce strategy it runs, at n = 4
+// replicas on a synthetic covertype-shaped task:
+//
+//  - clean:    elastic machinery armed, no faults injected — the price of
+//              carrying the membership/heartbeat layer at all;
+//  - degraded: one injected crash (seed searched so exactly one replica
+//              dies inside a fixed step window), forcing an abort +
+//              reconfiguration + Eq. 2 rescale down to n = 3;
+//  - shrunken: a fresh 3-replica run, the throughput floor the degraded
+//              run converges to after the reconfiguration.
+//
+// Reported per strategy: wall seconds and samples/second for all three
+// runs, plus the degraded run's overhead ratio (degraded wall / clean
+// wall — bounded below by 1 only on an idle box, so it is report-only).
+//
+// The JSON uses the agebo-bench-elastic-v1 schema on the field names
+// tools/bench_diff parses: kernel = strategy, m = training rows, k = n,
+// naive_ns = clean wall ns, blocked_ns = degraded wall ns,
+// speedup = clean/degraded.
+//
+// With --check the gate is FUNCTIONAL, not timing (wall times of full
+// fits are too noisy to hard-gate): every degraded run must record
+// exactly one elastic event, finish at world size 3 with zero replica
+// divergence, and produce a usable model (final accuracy within 0.25 of
+// the clean run's). `ctest -L perf` runs it as a smoke test.
+//
+// Usage: bench_elastic_json [--out FILE] [--check] [--quick]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "dp/data_parallel.hpp"
+#include "exec/fault_injector.hpp"
+#include "nn/graph_net.hpp"
+
+namespace {
+
+using namespace agebo;
+
+data::Dataset bench_dataset(std::size_t rows) {
+  data::SyntheticSpec spec;
+  spec.n_rows = rows;
+  spec.n_features = 16;
+  spec.n_classes = 4;
+  spec.n_informative = 10;
+  spec.class_sep = 1.5;
+  spec.seed = 31;
+  return data::make_classification(spec);
+}
+
+nn::GraphSpec bench_net_spec() {
+  nn::GraphSpec spec;
+  spec.input_dim = 16;
+  spec.output_dim = 4;
+  nn::NodeSpec n1;
+  n1.units = 48;
+  n1.act = nn::Activation::kRelu;
+  nn::NodeSpec n2;
+  n2.units = 32;
+  n2.act = nn::Activation::kRelu;
+  n2.skips = {0};
+  spec.nodes = {n1, n2};
+  return spec;
+}
+
+// Same stateless replay the elastic tests use: find a fault seed whose
+// replica-draw stream kills exactly one of `world` replicas at a step
+// attempt inside [min_step, max_step) and nothing else over the horizon.
+std::uint64_t find_single_crash_seed(double prob, std::size_t world,
+                                     std::uint64_t min_step,
+                                     std::uint64_t max_step,
+                                     std::uint64_t horizon) {
+  for (std::uint64_t seed = 1; seed < 20000; ++seed) {
+    exec::FaultConfig fc;
+    fc.crash_prob = prob;
+    fc.seed = seed;
+    const exec::FaultInjector injector(fc);
+    std::size_t count = 0;
+    std::uint64_t at = 0;
+    for (std::uint64_t t = 0; t < horizon && count < 2; ++t) {
+      for (std::size_t r = 0; r < world; ++r) {
+        if (injector.draw_replica(0, r, t) != exec::FaultKind::kNone) {
+          ++count;
+          at = t;
+        }
+      }
+    }
+    if (count == 1 && at >= min_step && at < max_step) return seed;
+  }
+  return 0;
+}
+
+struct Row {
+  const char* kernel;
+  std::size_t rows;
+  std::size_t replicas;
+  double clean_s;
+  double degraded_s;
+  double shrunken_s;
+  double clean_sps;
+  double degraded_sps;
+  double overhead;
+  // --check inputs.
+  std::size_t events;
+  std::size_t final_world;
+  float divergence;
+  double clean_acc;
+  double degraded_acc;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_elastic.json";
+  bool check = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const std::size_t rows = quick ? 1200 : 4000;
+  const std::size_t epochs = quick ? 3 : 6;
+  constexpr std::size_t kWorld = 4;
+
+  const auto ds = bench_dataset(rows);
+  Rng split_rng(1);
+  const auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  dp::DataParallelConfig base;
+  base.n_procs = kWorld;
+  base.lr1 = 0.005;
+  base.bs1 = 16;
+  base.epochs = epochs;
+  base.seed = 9;
+  base.elastic.enabled = true;
+
+  // Kill a replica a few steps into the run. The horizon must cover every
+  // attempt the fit can make AFTER the shrink too: at world n-1 each
+  // survivor's shard grows, so steps per epoch rise by n/(n-1).
+  const std::size_t spe =
+      splits.train.n_rows / kWorld / base.bs1;  // steps per epoch at n
+  const std::size_t spe_shrunk =
+      splits.train.n_rows / (kWorld - 1) / base.bs1;
+  const std::uint64_t seed = find_single_crash_seed(
+      0.002, kWorld, /*min_step=*/2, /*max_step=*/spe,
+      /*horizon=*/epochs * (spe_shrunk + 1) + 16);
+  if (seed == 0) {
+    std::cerr << "no single-crash fault seed found\n";
+    return 2;
+  }
+
+  struct Strategy {
+    const char* name;
+    dp::AllreduceStrategy strategy;
+  };
+  const Strategy strategies[] = {
+      {"flat", dp::AllreduceStrategy::kFlat},
+      {"tree", dp::AllreduceStrategy::kTree},
+      {"ring", dp::AllreduceStrategy::kRing},
+  };
+
+  std::vector<Row> rows_out;
+  for (const Strategy& st : strategies) {
+    dp::DataParallelConfig clean_cfg = base;
+    clean_cfg.allreduce = st.strategy;
+    dp::DataParallelTrainer clean(bench_net_spec(), clean_cfg);
+    const auto clean_result = clean.fit(splits.train, splits.valid);
+
+    dp::DataParallelConfig degraded_cfg = clean_cfg;
+    degraded_cfg.elastic.faults.crash_prob = 0.002;
+    degraded_cfg.elastic.faults.seed = seed;
+    dp::DataParallelTrainer degraded(bench_net_spec(), degraded_cfg);
+    const auto degraded_result = degraded.fit(splits.train, splits.valid);
+
+    dp::DataParallelConfig shrunken_cfg = clean_cfg;
+    shrunken_cfg.n_procs = kWorld - 1;
+    dp::DataParallelTrainer shrunken(bench_net_spec(), shrunken_cfg);
+    const auto shrunken_result = shrunken.fit(splits.train, splits.valid);
+
+    Row row{st.name,
+            splits.train.n_rows,
+            kWorld,
+            clean_result.wall_seconds,
+            degraded_result.wall_seconds,
+            shrunken_result.wall_seconds,
+            clean_result.samples_per_second,
+            degraded_result.samples_per_second,
+            degraded_result.wall_seconds /
+                std::max(1e-9, clean_result.wall_seconds),
+            degraded_result.elastic_events.size(),
+            degraded_result.final_world,
+            degraded.max_replica_divergence(),
+            clean_result.final_valid_accuracy,
+            degraded_result.final_valid_accuracy};
+    std::printf(
+        "%-5s n=%zu  clean %6.3fs (%7.0f samp/s)  degraded %6.3fs "
+        "(%7.0f samp/s, world %zu->%zu)  fresh n-1 %6.3fs  overhead %.2fx\n",
+        row.kernel, kWorld, row.clean_s, row.clean_sps, row.degraded_s,
+        row.degraded_sps, kWorld, row.final_world, row.shrunken_s,
+        row.overhead);
+    rows_out.push_back(row);
+  }
+
+  std::ofstream os(out_path);
+  if (!os) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 2;
+  }
+  os << "{\n  \"schema\": \"agebo-bench-elastic-v1\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows_out.size(); ++i) {
+    const Row& r = rows_out[i];
+    os << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.rows
+       << ", \"k\": " << r.replicas << ", \"n\": " << 1
+       << ", \"naive_ns\": " << r.clean_s * 1e9
+       << ", \"blocked_ns\": " << r.degraded_s * 1e9
+       << ", \"naive_gflops\": " << r.clean_sps
+       << ", \"blocked_gflops\": " << r.degraded_sps
+       << ", \"speedup\": " << r.clean_s / std::max(1e-9, r.degraded_s) << "}"
+       << (i + 1 < rows_out.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (check) {
+    bool ok = true;
+    for (const Row& r : rows_out) {
+      if (r.events != 1) {
+        std::cerr << "ELASTIC GATE: " << r.kernel << " recorded " << r.events
+                  << " elastic events, expected exactly 1\n";
+        ok = false;
+      }
+      if (r.final_world != kWorld - 1) {
+        std::cerr << "ELASTIC GATE: " << r.kernel << " finished at world "
+                  << r.final_world << ", expected " << (kWorld - 1) << "\n";
+        ok = false;
+      }
+      if (r.divergence != 0.0f) {
+        std::cerr << "ELASTIC GATE: " << r.kernel
+                  << " survivors diverged (max |dw| = " << r.divergence
+                  << ")\n";
+        ok = false;
+      }
+      if (r.degraded_acc < r.clean_acc - 0.25) {
+        std::cerr << "ELASTIC GATE: " << r.kernel
+                  << " degraded accuracy collapsed (" << r.degraded_acc
+                  << " vs clean " << r.clean_acc << ")\n";
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::cout << "check passed: every degraded run reconfigured once, held "
+                 "lockstep, and kept a usable model\n";
+  }
+  return 0;
+}

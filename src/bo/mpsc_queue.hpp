@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -23,13 +24,16 @@ template <typename T>
 class MpscQueue {
  public:
   MpscQueue() = default;
+  /// Destruction requires the queue to be drained (or explicitly
+  /// discard()ed): tells still enqueued at shutdown are results the
+  /// consumer never ingested — a lost-work bug, not a cleanup detail. The
+  /// assert makes that shutdown race loud in debug/sanitizer builds; the
+  /// release fallback still frees every node so nothing leaks.
   ~MpscQueue() {
-    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
-    while (node != nullptr) {
-      Node* next = node->next;
-      delete node;
-      node = next;
-    }
+    assert(head_.load(std::memory_order_acquire) == nullptr &&
+           "MpscQueue destroyed with undrained entries; call drain() or "
+           "discard() before shutdown");
+    discard();
   }
   MpscQueue(const MpscQueue&) = delete;
   MpscQueue& operator=(const MpscQueue&) = delete;
@@ -68,6 +72,22 @@ class MpscQueue {
   /// flow): producers may be mid-push, so treat it as a telemetry hint.
   std::size_t approx_size() const {
     return depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Deliberately throw away the backlog (shutdown path after the consumer
+  /// has stopped caring, e.g. an aborted campaign). Single-consumer, like
+  /// drain(); returns the number of entries freed.
+  std::size_t discard() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    std::size_t n = 0;
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+      ++n;
+    }
+    depth_.fetch_sub(n, std::memory_order_relaxed);
+    return n;
   }
 
  private:

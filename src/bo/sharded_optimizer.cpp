@@ -85,6 +85,10 @@ ShardedBo::ShardedBo(ParamSpace space, ShardedBoConfig cfg)
   m_depth_ = reg.gauge("bo.shard.queue_depth");
 }
 
+ShardedBo::~ShardedBo() {
+  for (auto& s : shards_) s->queue.discard();
+}
+
 void ShardedBo::enqueue_tell(std::size_t shard, Point point, double objective) {
   shards_.at(shard)->queue.push(TellItem{std::move(point), objective});
 }

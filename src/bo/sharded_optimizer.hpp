@@ -50,6 +50,11 @@ struct ShardedBoConfig {
 class ShardedBo {
  public:
   ShardedBo(ParamSpace space, ShardedBoConfig cfg);
+  /// Discards any still-queued tells: an abandoned search (aborted
+  /// campaign, thrown-through error path) tears down without tripping
+  /// MpscQueue's drained-at-destruction contract. Checkpointing still
+  /// requires an explicit drain() — save_state throws on a non-empty queue.
+  ~ShardedBo();
 
   std::size_t shards() const { return shards_.size(); }
   const ShardedBoConfig& config() const { return cfg_; }

@@ -1,5 +1,6 @@
 #include "core/history_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -9,11 +10,20 @@ namespace agebo::core {
 namespace {
 
 constexpr const char* kHeader =
-    "index,finish_time,objective,train_seconds,failed,attempts,bs1,lr1,n,genome";
-// Pre-fault-layer header (no failed/attempts columns); still loadable so
+    "index,finish_time,objective,train_seconds,failed,attempts,degraded,"
+    "final_world,bs1,lr1,n,genome";
+// Pre-elastic header (no degraded/final_world columns); still loadable so
 // histories exported by earlier releases keep warm-starting searches.
+constexpr const char* kFaultV2Header =
+    "index,finish_time,objective,train_seconds,failed,attempts,bs1,lr1,n,genome";
+// Pre-fault-layer header (additionally no failed/attempts columns).
 constexpr const char* kLegacyHeader =
     "index,finish_time,objective,train_seconds,bs1,lr1,n,genome";
+
+// Cells per data row of each generation (genomes contain no commas).
+constexpr std::size_t kCurrentCells = 12;
+constexpr std::size_t kFaultV2Cells = 10;
+constexpr std::size_t kLegacyCells = 8;
 
 std::string genome_field(const nas::Genome& g) {
   std::ostringstream os;
@@ -88,7 +98,7 @@ std::size_t parse_size(const std::string& cell, const std::string& what,
 void write_history_row(const EvalRecord& rec, std::ostream& os) {
   os << rec.index << ',' << rec.finish_time << ',' << rec.objective << ','
      << rec.train_seconds << ',' << (rec.failed ? 1 : 0) << ',' << rec.attempts
-     << ',';
+     << ',' << (rec.degraded ? 1 : 0) << ',' << rec.final_world << ',';
   if (rec.config.hparams.size() == 3) {
     os << rec.config.hparams[0] << ',' << rec.config.hparams[1] << ','
        << rec.config.hparams[2];
@@ -114,9 +124,27 @@ void save_history_file(const SearchResult& result, const std::string& path) {
   save_history(result, os);
 }
 
+HistoryFormat history_row_format(const std::string& line,
+                                 const std::string& what) {
+  const std::size_t cells =
+      static_cast<std::size_t>(std::count(line.begin(), line.end(), ',')) + 1;
+  switch (cells) {
+    case kCurrentCells:
+      return HistoryFormat::kCurrent;
+    case kFaultV2Cells:
+      return HistoryFormat::kFaultV2;
+    case kLegacyCells:
+      return HistoryFormat::kLegacy;
+    default:
+      throw std::runtime_error("load_history: " + what + ": row has " +
+                               std::to_string(cells) +
+                               " cells, matching no known format: " + line);
+  }
+}
+
 EvalRecord parse_history_row(const std::string& line,
-                             const nas::SearchSpace& space, bool legacy,
-                             const std::string& what) {
+                             const nas::SearchSpace& space,
+                             HistoryFormat format, const std::string& what) {
   std::istringstream ls(line);
   std::string cell;
   EvalRecord rec;
@@ -133,9 +161,13 @@ EvalRecord parse_history_row(const std::string& line,
   rec.objective = parse_double(next("objective"), what, "objective");
   rec.train_seconds =
       parse_double(next("train_seconds"), what, "train_seconds");
-  if (!legacy) {
+  if (format != HistoryFormat::kLegacy) {
     rec.failed = parse_size(next("failed"), what, "failed") != 0;
     rec.attempts = parse_size(next("attempts"), what, "attempts");
+  }
+  if (format == HistoryFormat::kCurrent) {
+    rec.degraded = parse_size(next("degraded"), what, "degraded") != 0;
+    rec.final_world = parse_size(next("final_world"), what, "final_world");
   }
   const std::string bs = next("bs1");
   const std::string lr = next("lr1");
@@ -165,16 +197,20 @@ EvalRecord parse_history_row(const std::string& line,
 std::vector<EvalRecord> load_history(std::istream& is,
                                      const nas::SearchSpace& space) {
   std::string line;
-  if (!std::getline(is, line) || (line != kHeader && line != kLegacyHeader)) {
+  if (!std::getline(is, line) ||
+      (line != kHeader && line != kFaultV2Header && line != kLegacyHeader)) {
     throw std::runtime_error("load_history: bad header");
   }
-  const bool legacy = line == kLegacyHeader;
+  const HistoryFormat format = line == kHeader ? HistoryFormat::kCurrent
+                               : line == kFaultV2Header
+                                   ? HistoryFormat::kFaultV2
+                                   : HistoryFormat::kLegacy;
   std::vector<EvalRecord> out;
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
-    out.push_back(parse_history_row(line, space, legacy,
+    out.push_back(parse_history_row(line, space, format,
                                     "line " + std::to_string(line_no)));
   }
   return out;

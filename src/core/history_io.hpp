@@ -5,9 +5,12 @@
 // experimental runs" future-work item.
 //
 // CSV columns: index, finish_time, objective, train_seconds, failed,
-//              attempts, bs1, lr1, n, genome ('-'-separated decisions).
-// Files written before the fault-tolerance layer (no failed/attempts
-// columns) still load, with failed=0 and attempts=1 assumed.
+//              attempts, degraded, final_world, bs1, lr1, n,
+//              genome ('-'-separated decisions).
+// Two older column sets still load: the fault-era format without the
+// elastic degraded/final_world columns (degraded=0, final_world=0
+// assumed), and the pre-fault-layer format additionally without
+// failed/attempts (failed=0, attempts=1 assumed).
 //
 // Loading is strict: a malformed or truncated row (short row, trailing
 // cells, non-numeric field, bad genome token) raises std::runtime_error
@@ -30,13 +33,27 @@ void save_history_file(const SearchResult& result, const std::string& path);
 /// One CSV row (no trailing newline) in the current header's column order.
 void write_history_row(const EvalRecord& rec, std::ostream& os);
 
-/// Parses one data row. `legacy` selects the pre-fault-layer column set;
-/// `what` names the row in error messages (e.g. "line 3"). Genomes are
-/// validated against `space`. Throws std::runtime_error on any malformed,
-/// truncated, or trailing-cell row.
+/// The three column generations a history row can carry.
+enum class HistoryFormat {
+  kCurrent,  ///< failed/attempts + elastic degraded/final_world columns
+  kFaultV2,  ///< failed/attempts, no elastic columns (pre-elastic releases)
+  kLegacy,   ///< neither (pre-fault-layer releases)
+};
+
+/// Column generation of a data row, detected from its comma count (the
+/// genome field never contains commas). Used by the checkpoint loader so
+/// campaign checkpoints written by older releases keep resuming. Throws
+/// std::runtime_error when the count matches no known generation.
+HistoryFormat history_row_format(const std::string& line,
+                                 const std::string& what);
+
+/// Parses one data row of the given column generation; `what` names the
+/// row in error messages (e.g. "line 3"). Genomes are validated against
+/// `space`. Throws std::runtime_error on any malformed, truncated, or
+/// trailing-cell row.
 EvalRecord parse_history_row(const std::string& line,
-                             const nas::SearchSpace& space, bool legacy,
-                             const std::string& what);
+                             const nas::SearchSpace& space,
+                             HistoryFormat format, const std::string& what);
 
 /// Loads evaluation records written by save_history. Genomes are validated
 /// against `space`; throws std::runtime_error on malformed rows.

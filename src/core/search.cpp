@@ -209,6 +209,8 @@ void AgeboSearch::ingest(const EvalDone& done, const eval::ModelConfig& config,
   rec.train_seconds = done.train_seconds;
   rec.failed = done.failed;
   rec.attempts = done.attempts;
+  rec.degraded = done.degraded;
+  rec.final_world = done.final_world;
   rec.config = config;
   history_.push_back(rec);
   m_evals_.inc();
@@ -380,6 +382,8 @@ SearchResult AgeboSearch::run() {
       d.failed = f.output.failed;
       d.timed_out = f.output.timed_out;
       d.attempts = f.attempts;
+      d.degraded = f.output.degraded;
+      d.final_world = f.output.final_world;
       done.push_back(d);
     }
     const auto next = step(done, executor_->now());
@@ -533,7 +537,8 @@ void AgeboSearch::load_state(std::istream& is) {
     std::string row;
     if (!(is >> row)) state::fail(what, "truncated history row");
     history_.push_back(parse_history_row(
-        row, *space_, /*legacy=*/false, "checkpoint row " + std::to_string(i)));
+        row, *space_, history_row_format(row, "checkpoint"),
+        "checkpoint row " + std::to_string(i)));
   }
 
   const std::size_t n_out = state::read_count(is, "outstanding", what);

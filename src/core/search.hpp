@@ -52,6 +52,12 @@ struct EvalRecord {
   bool failed = false;
   /// Executor attempts consumed (1 = no retries).
   std::size_t attempts = 1;
+  /// True when the evaluation survived replica loss through elastic
+  /// reconfiguration (DESIGN.md §16): still a success, but produced at a
+  /// smaller world size than requested.
+  bool degraded = false;
+  /// Data-parallel world size the evaluation finished with (0 = unknown).
+  std::size_t final_world = 0;
   eval::ModelConfig config;
 };
 
@@ -83,6 +89,8 @@ struct EvalDone {
   bool failed = false;
   bool timed_out = false;
   std::size_t attempts = 1;
+  bool degraded = false;
+  std::size_t final_world = 0;
 };
 
 /// Population replacement policy. The paper uses aging (drop the oldest

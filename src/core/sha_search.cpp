@@ -101,6 +101,8 @@ std::vector<EvalTicket> ShaJointSearch::step(const std::vector<EvalDone>& done,
       rec.train_seconds = d.train_seconds;
       rec.failed = d.failed;
       rec.attempts = d.attempts;
+      rec.degraded = d.degraded;
+      rec.final_world = d.final_world;
       rec.config = survivors_[idx];
       history_.push_back(rec);
     }
@@ -180,6 +182,8 @@ SearchResult ShaJointSearch::run() {
       d.failed = f.output.failed;
       d.timed_out = f.output.timed_out;
       d.attempts = f.attempts;
+      d.degraded = f.output.degraded;
+      d.final_world = f.output.final_world;
       done.push_back(d);
     }
     submit_tickets(step(done, executor_->now()));
@@ -288,7 +292,8 @@ void ShaJointSearch::load_state(std::istream& is) {
     std::string row;
     if (!(is >> row)) state::fail(what, "truncated history row");
     history_.push_back(parse_history_row(
-        row, *space_, /*legacy=*/false, "checkpoint row " + std::to_string(i)));
+        row, *space_, history_row_format(row, "checkpoint"),
+        "checkpoint row " + std::to_string(i)));
   }
 
   const std::size_t n_out = state::read_count(is, "outstanding", what);

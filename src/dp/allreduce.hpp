@@ -17,6 +17,12 @@
 // cross-strategy comparisons need a tolerance; but any single strategy is
 // bit-reproducible run to run, which is what keeps the trainer's replicas
 // in exact bitwise lockstep (max_replica_divergence() == 0.0f).
+//
+// Elastic reconfiguration (DESIGN.md §16) leans on the "pure function of
+// the buffer count" property: after replicas are lost, the survivors build
+// a fresh schedule over the new count n', and from that step on every
+// reduction rounds exactly like a fresh n'-replica run — the foundation of
+// the bit-identical fresh-run equivalence gated in ctest -L dp.
 #pragma once
 
 #include <cstddef>

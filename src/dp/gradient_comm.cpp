@@ -201,6 +201,75 @@ void GradientComm::reduce_chunk(const Segment& seg, std::size_t chunk) const {
   }
 }
 
+void GradientComm::init_elastic(std::size_t world, double heartbeat_seconds,
+                                FailureDetector::ClockFn clock) {
+  view_.reset(world);
+  detector_.configure(world, heartbeat_seconds, std::move(clock));
+}
+
+void GradientComm::begin_elastic_step() {
+  begin_step();
+  elastic_barrier_.reset(view_.alive_count());
+  detector_.arm(view_);
+}
+
+bool GradientComm::reduce_rank_elastic(std::size_t slot,
+                                       std::size_t global_rank,
+                                       const std::string& lane) {
+  const double t0 = kObsEnabled ? obs::trace_now_seconds() : 0.0;
+  const double w0 = slot == 0 ? wall_seconds() : 0.0;
+
+  // Same drain as reduce_rank, but every wait beats this rank's heart and
+  // polls the failure detector: a rank whose contribution will never come
+  // (crashed or hung mid-step) raises the abort instead of wedging the
+  // survivors here forever.
+  for (std::size_t bi = buckets_.size(); bi-- > 0;) {
+    const Bucket& bucket = buckets_[bi];
+    std::atomic<int>& rdy = ready_[bi];
+    while (rdy.load(std::memory_order_acquire) != bucket.ready_target) {
+      detector_.beat(global_rank);
+      if (detector_.poll(view_)) return false;
+      std::this_thread::yield();
+    }
+    const double b0 = kObsEnabled ? obs::trace_now_seconds() : 0.0;
+    // Chunk ownership is over the CONFIGURED replica count (= the current
+    // alive count), exactly as in a fresh run of that world size: slot s
+    // owns chunk s, so the per-chunk summation order — and therefore the
+    // reduced bits — match the fresh run's.
+    for (const Segment& seg : bucket.segments) {
+      for (std::size_t c = slot; c < n_ranks_; c += n_ranks_) {
+        reduce_chunk(seg, c);
+      }
+    }
+    if (kObsEnabled) {
+      obs::record_span("dp.allreduce.bucket", lane, b0,
+                       obs::trace_now_seconds() - b0,
+                       {{"bucket", std::to_string(bi)},
+                        {"elems", std::to_string(bucket.elems)}});
+    }
+  }
+
+  const bool ok = elastic_barrier_.arrive_and_wait([this, global_rank] {
+    detector_.beat(global_rank);
+    return detector_.poll(view_);
+  });
+  if (!ok) return false;
+
+  if (slot == 0) {
+    const double dt = wall_seconds() - w0;
+    reduce_seconds_ += dt;
+    m_bytes_.add(payload_bytes_);
+    m_seconds_.add(dt);
+    if (dt > 0.0) {
+      m_gbps_.set(static_cast<double>(payload_bytes_) / dt / 1e9);
+    }
+  }
+  if (kObsEnabled) {
+    obs::record_span("dp.allreduce", lane, t0, obs::trace_now_seconds() - t0);
+  }
+  return true;
+}
+
 void GradientComm::reduce_rank(std::size_t rank, ThreadTeam& team,
                                const std::string& lane) {
   const double t0 = kObsEnabled ? obs::trace_now_seconds() : 0.0;

@@ -56,12 +56,12 @@
 #include <vector>
 
 #include "dp/allreduce.hpp"
+#include "dp/membership.hpp"
+#include "dp/thread_team.hpp"
 #include "nn/dense.hpp"
 #include "obs/registry.hpp"
 
 namespace agebo::dp {
-
-class ThreadTeam;
 
 struct CommConfig {
   AllreduceStrategy strategy = AllreduceStrategy::kFlat;
@@ -112,6 +112,39 @@ class GradientComm {
   void reduce_rank(std::size_t rank, ThreadTeam& team,
                    const std::string& lane);
 
+  // --- Elastic membership (DESIGN.md §16) ---------------------------------
+  //
+  // GradientComm owns the MembershipView and the FailureDetector for the
+  // fit. The view lives in GLOBAL rank space (the original world size) and
+  // persists across configure() calls; after a loss the trainer calls
+  // configure() again with just the survivors' params, and the view's
+  // slot() mapping renumbers them onto comm ranks 0..alive_count()-1.
+
+  /// Arm elastic state for a fit over `world` global ranks. Call once
+  /// before the first configure(). `clock` is the failure detector's time
+  /// source (tests inject a virtual clock).
+  void init_elastic(std::size_t world, double heartbeat_seconds,
+                    FailureDetector::ClockFn clock = {});
+
+  MembershipView& membership() { return view_; }
+  const MembershipView& membership() const { return view_; }
+  FailureDetector& detector() { return detector_; }
+
+  /// Elastic begin_step(): arms the readiness counters, the elastic step
+  /// barrier (expected = current alive count) and the failure detector's
+  /// heartbeat deadlines. Coordinator-only.
+  void begin_elastic_step();
+
+  /// Abortable reduce_rank for the elastic collective. `slot` is this
+  /// rank's dense comm rank under the current membership, `global_rank`
+  /// its global id (for heartbeats). Bucket waits and the final barrier
+  /// poll the failure detector; on abort every surviving rank returns
+  /// false, the step is discarded collective-wide (no optimizer may step),
+  /// and the coordinator settles the membership. Returns true when the
+  /// shared spans hold the averaged gradients as usual.
+  bool reduce_rank_elastic(std::size_t slot, std::size_t global_rank,
+                           const std::string& lane);
+
   std::size_t n_buckets() const { return buckets_.size(); }
   std::size_t n_blocks() const { return blocks_.size(); }
   /// Gradient payload bytes averaged per step (one replica's worth).
@@ -155,6 +188,10 @@ class GradientComm {
   std::vector<std::vector<float>> reduced_;              // [block] shared avg
   std::size_t payload_bytes_ = 0;
   double reduce_seconds_ = 0.0;
+
+  MembershipView view_;
+  FailureDetector detector_;
+  ElasticBarrier elastic_barrier_;
 
   obs::Counter m_bytes_;
   obs::DCounter m_seconds_;

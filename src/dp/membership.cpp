@@ -1,0 +1,117 @@
+#include "dp/membership.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace agebo::dp {
+
+void MembershipView::reset(std::size_t world) {
+  if (world == 0) throw std::invalid_argument("MembershipView: world == 0");
+  alive_.assign(world, 1);
+  alive_count_ = world;
+  epoch_.store(0, std::memory_order_release);
+  rebuild_slots();
+}
+
+std::vector<std::size_t> MembershipView::survivors() const {
+  std::vector<std::size_t> out;
+  out.reserve(alive_count_);
+  for (std::size_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r]) out.push_back(r);
+  }
+  return out;
+}
+
+void MembershipView::remove(const std::vector<std::size_t>& ranks) {
+  bool changed = false;
+  for (const std::size_t r : ranks) {
+    if (r >= alive_.size() || !alive_[r]) continue;
+    alive_[r] = 0;
+    --alive_count_;
+    changed = true;
+  }
+  if (!changed) return;
+  rebuild_slots();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void MembershipView::rebuild_slots() {
+  slot_.assign(alive_.size(), 0);
+  std::size_t next = 0;
+  for (std::size_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r]) slot_[r] = next++;
+  }
+}
+
+void FailureDetector::configure(std::size_t world, double heartbeat_seconds,
+                                ClockFn clock) {
+  if (world == 0) throw std::invalid_argument("FailureDetector: world == 0");
+  if (heartbeat_seconds <= 0.0) {
+    throw std::invalid_argument("FailureDetector: heartbeat <= 0");
+  }
+  world_ = world;
+  heartbeat_ = heartbeat_seconds;
+  clock_ = std::move(clock);
+  beats_ = std::make_unique<std::atomic<double>[]>(world);
+  suspect_ = std::make_unique<std::atomic<bool>[]>(world);
+  const double t = now();
+  for (std::size_t r = 0; r < world; ++r) {
+    beats_[r].store(t, std::memory_order_relaxed);
+    suspect_[r].store(false, std::memory_order_relaxed);
+  }
+  abort_.store(false, std::memory_order_release);
+}
+
+double FailureDetector::now() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FailureDetector::arm(const MembershipView& view) {
+  const double t = now();
+  for (std::size_t r = 0; r < world_; ++r) {
+    if (view.alive(r)) beats_[r].store(t, std::memory_order_relaxed);
+  }
+  abort_.store(false, std::memory_order_release);
+}
+
+void FailureDetector::beat(std::size_t rank) {
+  beats_[rank].store(now(), std::memory_order_relaxed);
+}
+
+void FailureDetector::mark_dead(std::size_t rank) {
+  suspect_[rank].store(true, std::memory_order_relaxed);
+  abort_.store(true, std::memory_order_release);
+}
+
+bool FailureDetector::poll(const MembershipView& view) {
+  if (abort_.load(std::memory_order_acquire)) return true;
+  const double t = now();
+  bool expired = false;
+  for (std::size_t r = 0; r < world_; ++r) {
+    if (!view.alive(r)) continue;
+    if (t - beats_[r].load(std::memory_order_relaxed) > heartbeat_) {
+      suspect_[r].store(true, std::memory_order_relaxed);
+      expired = true;
+    }
+  }
+  if (expired) abort_.store(true, std::memory_order_release);
+  return abort_.load(std::memory_order_acquire);
+}
+
+std::vector<std::size_t> FailureDetector::take_suspects(
+    const MembershipView& view) {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < world_; ++r) {
+    if (suspect_[r].load(std::memory_order_relaxed) && view.alive(r)) {
+      out.push_back(r);
+    }
+    suspect_[r].store(false, std::memory_order_relaxed);
+  }
+  abort_.store(false, std::memory_order_release);
+  return out;
+}
+
+}  // namespace agebo::dp

@@ -1,0 +1,136 @@
+// Elastic membership + failure detection for data-parallel training
+// (DESIGN.md §16).
+//
+// The paper's Horovod substrate assumes every rank survives the whole
+// evaluation; at campaign scale a lost rank is routine, so the trainer's
+// step collective runs over a MembershipView — the set of global replica
+// ranks still alive, stamped with a monotonically increasing epoch that
+// bumps on every reconfiguration — and a FailureDetector fed from two
+// sides:
+//
+//  - comm-level fault injection: a replica whose injected fault is kCrash
+//    announces its own death at allreduce entry via mark_dead(), which
+//    latches the suspect and raises the collective abort flag immediately
+//    (deterministic even with several victims in one step);
+//  - heartbeat deadlines: every live rank beats while it computes and
+//    while it waits; a rank that stops beating (injected kHang, or a real
+//    wedged thread) is latched by poll() once its deadline expires. The
+//    clock is injectable so unit tests drive expiry under a virtual clock
+//    instead of sleeping.
+//
+// Both feeds end in the same place: the abort flag releases every rank
+// spinning in a bucket wait or at the elastic step barrier, the in-flight
+// step is discarded collective-wide (no rank runs its optimizer), and the
+// coordinator settles — take_suspects(), MembershipView::remove(), rebuild
+// the reduction schedule over the survivors, rescale lr_n/bs_n per Eq. 2,
+// resume. See data_parallel.cpp for the settle protocol and the
+// fresh-run-equivalence contract gated in ctest -L dp.
+//
+// Threading: beat()/mark_dead()/poll() are called concurrently from the
+// replica threads of one step collective; arm(), remove(), survivors() and
+// take_suspects() are coordinator-only, called between collectives
+// (ThreadTeam::run provides the ordering for the non-atomic state).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace agebo::dp {
+
+/// Which global replica ranks are alive, plus a monotonically increasing
+/// membership epoch. Ranks keep their global ids for the whole fit; the
+/// dense slot() mapping renumbers the survivors 0..alive_count()-1 so they
+/// can index shards, schedules and chunk ownership exactly like the ranks
+/// of a fresh alive_count()-replica run.
+class MembershipView {
+ public:
+  /// Start a new fit: all of 0..world-1 alive, epoch 0.
+  void reset(std::size_t world);
+
+  std::size_t world() const { return alive_.size(); }
+  std::size_t alive_count() const { return alive_count_; }
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  bool alive(std::size_t rank) const { return alive_[rank] != 0; }
+  /// Dense index of a live rank among the survivors (rank order).
+  /// Meaningless for dead ranks.
+  std::size_t slot(std::size_t rank) const { return slot_[rank]; }
+  /// Live global ranks in increasing order; survivors()[slot(r)] == r.
+  std::vector<std::size_t> survivors() const;
+
+  /// Remove `ranks` (coordinator-only, between collectives) and bump the
+  /// epoch. Removing an already-dead rank is a no-op.
+  void remove(const std::vector<std::size_t>& ranks);
+
+ private:
+  void rebuild_slots();
+
+  std::vector<char> alive_;
+  std::vector<std::size_t> slot_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::size_t alive_count_ = 0;
+};
+
+/// Latching failure detector for one step collective. A suspect is never
+/// un-suspected: once latched (by mark_dead or a missed heartbeat
+/// deadline) it stays latched until the coordinator consumes it with
+/// take_suspects() at settle time.
+class FailureDetector {
+ public:
+  /// Injectable time source in seconds; tests use a virtual clock, the
+  /// default is the steady wall clock.
+  using ClockFn = std::function<double()>;
+
+  FailureDetector() = default;
+
+  /// Size the per-rank state for `world` global ranks. `heartbeat_seconds`
+  /// is the deadline: a live rank whose last beat is older than this is
+  /// declared suspect by poll().
+  void configure(std::size_t world, double heartbeat_seconds,
+                 ClockFn clock = {});
+
+  /// Stamp every live rank's last beat to now and clear the abort flag.
+  /// Coordinator-only, before each step collective launches.
+  void arm(const MembershipView& view);
+
+  /// Heartbeat from a live rank's own thread.
+  void beat(std::size_t rank);
+
+  /// Comm-level crash announcement: latch `rank` as suspect and raise the
+  /// collective abort. Called from the dying rank's own thread.
+  void mark_dead(std::size_t rank);
+
+  /// Check every live rank's heartbeat deadline, latching expired ranks as
+  /// suspects. Returns true when the step collective must abort. Safe to
+  /// call concurrently from every waiting rank (marks are idempotent
+  /// latches).
+  bool poll(const MembershipView& view);
+
+  bool abort_requested() const {
+    return abort_.load(std::memory_order_acquire);
+  }
+
+  /// Latched suspects that are still live in `view`, in increasing rank
+  /// order; clears the latch and the abort flag. Coordinator-only, at
+  /// settle time after the step collective joined.
+  std::vector<std::size_t> take_suspects(const MembershipView& view);
+
+  double heartbeat_seconds() const { return heartbeat_; }
+
+ private:
+  double now() const;
+
+  double heartbeat_ = 1.0;
+  ClockFn clock_;
+  std::size_t world_ = 0;
+  std::unique_ptr<std::atomic<double>[]> beats_;
+  std::unique_ptr<std::atomic<bool>[]> suspect_;
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace agebo::dp

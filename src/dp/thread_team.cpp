@@ -97,4 +97,24 @@ void ThreadTeam::worker_loop(std::size_t rank) {
   }
 }
 
+void ElasticBarrier::reset(std::size_t expected) {
+  expected_ = expected;
+  arrived_.store(0, std::memory_order_relaxed);
+  released_.store(false, std::memory_order_relaxed);
+}
+
+bool ElasticBarrier::arrive_and_wait(const std::function<bool()>& abort_poll) {
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_) {
+    released_.store(true, std::memory_order_release);
+    return true;
+  }
+  // An aborted step can never release: the abort exists precisely because
+  // an expected rank will not arrive, so the two exits are exclusive.
+  while (!released_.load(std::memory_order_acquire)) {
+    if (abort_poll && abort_poll()) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
 }  // namespace agebo::dp

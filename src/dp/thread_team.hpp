@@ -71,4 +71,29 @@ class ThreadTeam {
   std::exception_ptr first_error_;
 };
 
+/// Abortable counting barrier for the elastic step collective
+/// (DESIGN.md §16). Unlike ThreadTeam::barrier, the expected arrival
+/// count is armed per step by the coordinator — it tracks the current
+/// membership, which can be smaller than the team since dead ranks never
+/// arrive — and waiting ranks poll a caller-supplied abort probe, so a
+/// rank that dies mid-step releases the survivors to discard the step
+/// instead of deadlocking them.
+class ElasticBarrier {
+ public:
+  /// Arm for one step: `expected` ranks will arrive. Coordinator-only,
+  /// between collectives (ThreadTeam::run publishes the plain stores).
+  void reset(std::size_t expected);
+
+  /// Arrive, then wait until all expected ranks arrived (returns true) or
+  /// `abort_poll` returns true (returns false: the step must be
+  /// discarded). Writes made by any rank before its arrival are visible
+  /// to every rank that observes true (release/acquire).
+  bool arrive_and_wait(const std::function<bool()>& abort_poll);
+
+ private:
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<bool> released_{false};
+  std::size_t expected_ = 0;
+};
+
 }  // namespace agebo::dp

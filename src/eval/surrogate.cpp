@@ -392,7 +392,51 @@ exec::EvalOutput SurrogateEvaluator::evaluate_full(const ModelConfig& config) {
   out.objective = std::clamp(acc, 0.0, 1.0);
   out.train_seconds = mean_train_seconds(config) *
                       std::exp(noise.normal(0.0, profile_.time_noise_sd));
+  const auto n0 = static_cast<std::size_t>(config.hparams[2]);
+  out.final_world = std::max<std::size_t>(1, n0);
+  if (elastic_.enabled && elastic_.crash_prob > 0.0) {
+    apply_elastic(config, out);
+  }
   return out;
+}
+
+void SurrogateEvaluator::apply_elastic(const ModelConfig& config,
+                                       exec::EvalOutput& out) {
+  // Per-epoch replica-crash draws, seeded from (config, elastic seed) only:
+  // a resumed campaign re-evaluating nothing still replays any in-flight
+  // evaluation identically, which the kill+resume tests rely on.
+  Rng draws(config_hash(config, elastic_.seed ^ 0x656c6173746963ULL));
+  const double n0 = config.hparams[2];
+  const std::size_t floor = std::max<std::size_t>(1, elastic_.min_replicas);
+  std::size_t n_live = out.final_world;
+  // Epoch budget of the simulated run; matches the default training recipe.
+  constexpr std::size_t kSimEpochs = 20;
+  double time_factor = 0.0;
+  const double s0 = dp_speedup(std::max(1.0, n0));
+  for (std::size_t epoch = 0; epoch < kSimEpochs; ++epoch) {
+    // Ranks above the floor are eligible to crash this epoch.
+    std::size_t losses = 0;
+    for (std::size_t r = floor; r < n_live; ++r) {
+      if (draws.bernoulli(elastic_.crash_prob)) ++losses;
+    }
+    n_live -= losses;
+    // This epoch trains at the (possibly shrunken) world's speedup; the
+    // reconfigured run keeps Eq. 2 scaling at the new world size.
+    time_factor += s0 / dp_speedup(static_cast<double>(n_live));
+  }
+  time_factor /= static_cast<double>(kSimEpochs);
+  out.train_seconds *= time_factor;
+  if (n_live < out.final_world) {
+    out.degraded = true;
+    // The surviving epochs ran at the Eq. 2 operating point of the final
+    // world size; move the accuracy to that point (the noise draw is kept).
+    const double gap0 =
+        hparam_gap(config.hparams[0], config.hparams[1], n0);
+    const double gap_f = hparam_gap(config.hparams[0], config.hparams[1],
+                                    static_cast<double>(n_live));
+    out.objective = std::clamp(out.objective + gap0 - gap_f, 0.0, 1.0);
+    out.final_world = n_live;
+  }
 }
 
 }  // namespace agebo::eval

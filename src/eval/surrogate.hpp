@@ -106,6 +106,21 @@ DatasetProfile profile_by_name(const std::string& name);
 /// Interpolated parallel speedup lookup calibrated to Table I.
 double dp_speedup(double n_procs);
 
+/// Simulated elastic-training faults for campaign-scale tests (DESIGN.md
+/// §16): replica crashes drawn statelessly per (config, epoch, rank) from
+/// `seed`, so re-evaluating a config — including after a checkpoint resume
+/// — reproduces the same degradation exactly.
+struct ElasticSimConfig {
+  bool enabled = false;
+  /// Per-replica per-epoch crash probability.
+  double crash_prob = 0.0;
+  std::uint64_t seed = 0;
+  /// The world never shrinks below max(1, min_replicas); ranks at the
+  /// floor are not subject to injection (mirrors the dp-layer contract
+  /// that a fit below the floor is a failure, which campaign tests avoid).
+  std::size_t min_replicas = 1;
+};
+
 class SurrogateEvaluator final : public Evaluator {
  public:
   SurrogateEvaluator(const nas::SearchSpace& space, DatasetProfile profile);
@@ -154,8 +169,17 @@ class SurrogateEvaluator final : public Evaluator {
     has_comm_spec_ = true;
   }
 
+  /// Enable simulated replica crashes: evaluations whose world shrinks
+  /// report degraded=true / final_world < n, with the training time
+  /// blended across the per-epoch world sizes (epochs after a loss run at
+  /// the shrunken world's speedup) and the accuracy moved to the Eq. 2
+  /// operating point of the final world size. Deterministic per config.
+  void set_elastic(const ElasticSimConfig& cfg) { elastic_ = cfg; }
+  const ElasticSimConfig& elastic() const { return elastic_; }
+
  private:
   exec::EvalOutput evaluate_full(const ModelConfig& config);
+  void apply_elastic(const ModelConfig& config, exec::EvalOutput& out);
   double hparam_gap(double bs1, double lr1, double n) const;
   double arch_cost_factor(const nas::Genome& g) const;
 
@@ -174,6 +198,7 @@ class SurrogateEvaluator final : public Evaluator {
   bool has_comm_spec_ = false;
   dp::AllreduceCommSpec comm_spec_;
   dp::PerfModelParams comm_model_;
+  ElasticSimConfig elastic_;
 };
 
 }  // namespace agebo::eval

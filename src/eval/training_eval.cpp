@@ -48,12 +48,15 @@ std::unique_ptr<nn::GraphNet> TrainingEvaluator::train_model(
   const auto spec =
       space_.to_graph_spec(config.genome, train_->n_features, train_->n_classes);
   auto dp_cfg = to_dp_config(config.hparams, epochs, cfg_.seed);
+  dp_cfg.elastic = cfg_.elastic;
 
   dp::DataParallelTrainer trainer(spec, dp_cfg);
   const auto result = trainer.fit(*train_, *valid_);
   if (out != nullptr) {
     out->objective = result.best_valid_accuracy;
     out->train_seconds = result.wall_seconds;
+    out->final_world = result.final_world;
+    out->degraded = !result.elastic_events.empty();
   }
 
   // Move the trained replica-0 network out by copy-constructing a fresh

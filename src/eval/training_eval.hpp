@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "data/dataset.hpp"
+#include "dp/data_parallel.hpp"
 #include "eval/evaluation.hpp"
 
 namespace agebo::eval {
@@ -13,6 +14,11 @@ namespace agebo::eval {
 struct TrainingEvalConfig {
   std::size_t epochs = 20;
   std::uint64_t seed = 7;
+  /// Passed through to every DataParallelTrainer this evaluator builds.
+  /// With elastic.enabled, replica faults during an evaluation shrink the
+  /// world instead of failing the job; the output records the degraded
+  /// final world size (EvalOutput::degraded / final_world).
+  dp::ElasticConfig elastic;
 };
 
 class TrainingEvaluator final : public Evaluator {

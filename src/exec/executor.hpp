@@ -46,6 +46,15 @@ struct EvalOutput {
   /// True when the failure was a timeout or straggler kill rather than a
   /// crash (implies failed).
   bool timed_out = false;
+  /// True when the evaluation survived one or more replica losses through
+  /// elastic reconfiguration (DESIGN.md §16). The result is still a
+  /// success — objective/train_seconds are real — but was produced at a
+  /// smaller world size than requested.
+  bool degraded = false;
+  /// Data-parallel world size the evaluation finished with. 0 = unknown
+  /// (evaluator predates elastic training or n does not apply); equals the
+  /// requested n when no replica was lost.
+  std::size_t final_world = 0;
 };
 
 using EvalFn = std::function<EvalOutput()>;
@@ -91,6 +100,14 @@ struct RetryPolicy {
   double backoff_max_seconds = 60.0;
   double straggler_factor = 0.0;
   std::size_t straggler_min_samples = 5;
+  /// Fractional backoff jitter in [0, 1]: each retry delay is scaled by a
+  /// factor drawn uniformly from [1 - jitter, 1 + jitter]. The draw is a
+  /// STATELESS hash of (jitter_seed, job_id, attempt) — never a global RNG
+  /// — so a faulted campaign replays byte-identically under --retries and
+  /// a resumed checkpoint recomputes the exact same delays. 0 = no jitter
+  /// (the historical behavior and the default).
+  double backoff_jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
 };
 
 /// Backoff delay before resubmitting attempt `attempt`+1 after failed
@@ -99,6 +116,31 @@ inline double backoff_delay(const RetryPolicy& policy, std::size_t attempt) {
   double delay = policy.backoff_base_seconds;
   for (std::size_t i = 1; i < attempt; ++i) delay *= 2.0;
   return std::min(delay, policy.backoff_max_seconds);
+}
+
+/// Jittered backoff delay for a specific job. Deterministic: the jitter
+/// factor is a pure function of (policy.jitter_seed, job_id, attempt), so
+/// every replay of the same campaign sees the same delays regardless of
+/// thread scheduling. With policy.backoff_jitter == 0 this is exactly
+/// backoff_delay(policy, attempt).
+inline double backoff_delay_jittered(const RetryPolicy& policy,
+                                     std::size_t attempt,
+                                     std::uint64_t job_id) {
+  const double base = backoff_delay(policy, attempt);
+  if (policy.backoff_jitter <= 0.0) return base;
+  // splitmix64 finalizer (same mix as FaultInjector's stateless draws).
+  auto mix64 = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t h =
+      mix64(mix64(policy.jitter_seed ^ 0x6a697474ULL) ^ mix64(job_id) ^
+            mix64(static_cast<std::uint64_t>(attempt)));
+  const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  const double jitter = std::min(1.0, policy.backoff_jitter);
+  return base * (1.0 + jitter * (2.0 * u - 1.0));
 }
 
 struct Utilization {

@@ -28,6 +28,15 @@ FaultInjector::FaultInjector(FaultConfig cfg) : cfg_(cfg) {
   }
 }
 
+FaultKind FaultInjector::band(double u) const {
+  if (u < cfg_.crash_prob) return FaultKind::kCrash;
+  if (u < cfg_.crash_prob + cfg_.hang_prob) return FaultKind::kHang;
+  if (u < cfg_.crash_prob + cfg_.hang_prob + cfg_.slow_prob) {
+    return FaultKind::kSlow;
+  }
+  return FaultKind::kNone;
+}
+
 FaultKind FaultInjector::draw(std::uint64_t job_id, std::size_t attempt) const {
   if (!enabled()) return FaultKind::kNone;
   const std::uint64_t h =
@@ -36,12 +45,21 @@ FaultKind FaultInjector::draw(std::uint64_t job_id, std::size_t attempt) const {
   // Top 53 bits -> uniform double in [0, 1).
   const double u =
       static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
-  if (u < cfg_.crash_prob) return FaultKind::kCrash;
-  if (u < cfg_.crash_prob + cfg_.hang_prob) return FaultKind::kHang;
-  if (u < cfg_.crash_prob + cfg_.hang_prob + cfg_.slow_prob) {
-    return FaultKind::kSlow;
-  }
-  return FaultKind::kNone;
+  return band(u);
+}
+
+FaultKind FaultInjector::draw_replica(std::uint64_t job_id, std::size_t replica,
+                                      std::uint64_t step) const {
+  if (!enabled()) return FaultKind::kNone;
+  // "repl" domain separator keeps replica draws independent of the
+  // job-level draw() stream for the same (seed, job_id).
+  const std::uint64_t h =
+      mix64(mix64(cfg_.seed ^ 0x7265706cULL) ^ mix64(job_id) ^
+            mix64(static_cast<std::uint64_t>(replica) + 1) ^
+            mix64(step * 0x9e3779b97f4a7c15ULL));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return band(u);
 }
 
 }  // namespace agebo::exec

@@ -46,12 +46,23 @@ class FaultInjector {
   /// Fault drawn for attempt `attempt` (1-based) of job `job_id`.
   FaultKind draw(std::uint64_t job_id, std::size_t attempt) const;
 
+  /// Replica-scoped fault drawn at allreduce entry of training step `step`
+  /// for replica `replica` of job `job_id` (elastic data-parallel training,
+  /// DESIGN.md §16). Stateless like draw(): a pure hash of
+  /// (seed, job_id, replica, step) in a distinct domain, so the injected
+  /// replica-fault sequence is independent of thread scheduling and of the
+  /// job-level draws, and a resumed campaign replays the same faults.
+  FaultKind draw_replica(std::uint64_t job_id, std::size_t replica,
+                         std::uint64_t step) const;
+
   bool enabled() const {
     return cfg_.crash_prob + cfg_.hang_prob + cfg_.slow_prob > 0.0;
   }
   const FaultConfig& config() const { return cfg_; }
 
  private:
+  FaultKind band(double u) const;
+
   FaultConfig cfg_;
 };
 

@@ -149,7 +149,7 @@ void LiveExecutor::start_attempt_locked(std::uint64_t id, double delay_seconds) 
         m_succeeded_.inc();
         m_in_flight_.set(static_cast<double>(jobs_.size()));
       } else if (j.attempt <= j.spec.max_retries) {
-        const double backoff = backoff_delay(policy_, j.attempt);
+        const double backoff = backoff_delay_jittered(policy_, j.attempt, id);
         j.attempt += 1;
         j.started = false;
         j.cancel = std::make_shared<std::atomic<bool>>(false);
@@ -201,7 +201,7 @@ void LiveExecutor::reap_expired_locked() {
     job.cancel->store(true);  // abandon the running attempt
     m_kills_.inc();
     if (job.attempt <= job.spec.max_retries) {
-      const double backoff = backoff_delay(policy_, job.attempt);
+      const double backoff = backoff_delay_jittered(policy_, job.attempt, id);
       job.attempt += 1;
       job.started = false;
       job.cancel = std::make_shared<std::atomic<bool>>(false);

@@ -201,7 +201,7 @@ std::uint64_t SimulatedExecutor::submit(EvalFn fn, const JobSpec& spec) {
       break;
     }
     if (attempt <= spec.max_retries) {
-      t_ready = finish + backoff_delay(policy_, attempt);
+      t_ready = finish + backoff_delay_jittered(policy_, attempt, id);
       m_retries_.inc();
       continue;
     }
@@ -279,7 +279,10 @@ void SimulatedExecutor::write_trace_csv(std::ostream& os) const {
 
 namespace {
 
-constexpr const char* kSimStateHeader = "sim-executor v1";
+// v2 adds the elastic degraded/final_world output fields to event lines;
+// v1 snapshots (pre-elastic releases) still load with those defaulted.
+constexpr const char* kSimStateHeader = "sim-executor v2";
+constexpr const char* kSimStateHeaderV1 = "sim-executor v1";
 
 // Tags never contain whitespace (the service uses dotted names, SHA uses
 // "sha-rung-N"); an empty tag is written as "-" so every event line has a
@@ -317,6 +320,7 @@ bool SimulatedExecutor::save_state(std::ostream& os) const {
     os << "event " << e.finish_time << ' ' << e.id << ' ' << e.attempts << ' '
        << e.output.objective << ' ' << e.output.train_seconds << ' '
        << (e.output.failed ? 1 : 0) << ' ' << (e.output.timed_out ? 1 : 0)
+       << ' ' << (e.output.degraded ? 1 : 0) << ' ' << e.output.final_world
        << ' ' << encode_tag(e.tag) << '\n';
     events.pop();
   }
@@ -325,9 +329,11 @@ bool SimulatedExecutor::save_state(std::ostream& os) const {
 
 bool SimulatedExecutor::load_state(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kSimStateHeader) {
+  if (!std::getline(is, line) ||
+      (line != kSimStateHeader && line != kSimStateHeaderV1)) {
     bad_state("bad header");
   }
+  const bool v1 = line == kSimStateHeaderV1;
   std::string key;
   std::size_t n = 0;
   if (!(is >> key >> clock_) || key != "clock") bad_state("missing clock");
@@ -362,15 +368,21 @@ bool SimulatedExecutor::load_state(std::istream& is) {
     Event e{};
     int failed = 0;
     int timed_out = 0;
+    int degraded = 0;
     std::string tag;
     if (!(is >> key >> e.finish_time >> e.id >> e.attempts >>
-          e.output.objective >> e.output.train_seconds >> failed >> timed_out >>
-          tag) ||
+          e.output.objective >> e.output.train_seconds >> failed >>
+          timed_out) ||
         key != "event") {
       bad_state("truncated events");
     }
+    if (!v1 && !(is >> degraded >> e.output.final_world)) {
+      bad_state("truncated events");
+    }
+    if (!(is >> tag)) bad_state("truncated events");
     e.output.failed = failed != 0;
     e.output.timed_out = timed_out != 0;
+    e.output.degraded = degraded != 0;
     e.tag = decode_tag(tag);
     events_.push(std::move(e));
   }

@@ -31,6 +31,17 @@ Campaign::Campaign(CampaignSpec spec, const nas::SearchSpace& space)
   if (spec_.wall_time_seconds <= 0.0) {
     throw std::invalid_argument("CampaignSpec: non-positive wall time");
   }
+  if (spec_.elastic_crash < 0.0 || spec_.elastic_crash >= 1.0) {
+    throw std::invalid_argument("CampaignSpec: elastic_crash outside [0, 1)");
+  }
+  if (spec_.elastic_crash > 0.0) {
+    eval::ElasticSimConfig elastic;
+    elastic.enabled = true;
+    elastic.crash_prob = spec_.elastic_crash;
+    elastic.seed = spec_.elastic_seed;
+    elastic.min_replicas = spec_.elastic_min_replicas;
+    evaluator_.set_elastic(elastic);
+  }
   if (spec_.kind == CampaignKind::kAgebo) {
     core::SearchConfig cfg =
         core::config_by_name(spec_.variant, spec_.seed, spec_.kappa);

@@ -45,6 +45,12 @@ struct CampaignSpec {
   std::size_t sha_bracket = 27;
   std::size_t sha_eta = 3;
   std::size_t sha_rungs = 3;
+  /// Elastic-training simulation (eval::ElasticSimConfig): per-replica
+  /// per-epoch crash probability > 0 turns it on. Persisted in the service
+  /// checkpoint so a resumed degraded campaign replays identically.
+  double elastic_crash = 0.0;
+  std::uint64_t elastic_seed = 0;
+  std::size_t elastic_min_replicas = 1;
 };
 
 class Campaign {

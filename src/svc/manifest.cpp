@@ -139,6 +139,18 @@ Manifest parse_manifest(std::istream& is, const std::string& what) {
         } else if (key == "rungs") {
           c.sha_rungs = parse_uint(value, key, what, line);
           if (c.sha_rungs == 0) fail(what, line, "rungs must be positive");
+        } else if (key == "elastic-crash") {
+          c.elastic_crash = parse_double(value, key, what, line);
+          if (c.elastic_crash < 0.0 || c.elastic_crash >= 1.0) {
+            fail(what, line, "elastic-crash must be in [0, 1)");
+          }
+        } else if (key == "elastic-seed") {
+          c.elastic_seed = parse_uint(value, key, what, line);
+        } else if (key == "elastic-min-replicas") {
+          c.elastic_min_replicas = parse_uint(value, key, what, line);
+          if (c.elastic_min_replicas == 0) {
+            fail(what, line, "elastic-min-replicas must be positive");
+          }
         } else {
           fail(what, line, "unknown campaign key \"" + key + "\"");
         }

@@ -246,6 +246,8 @@ void CampaignRegistry::route(const std::vector<exec::Finished>& finished) {
     d.failed = f.output.failed;
     d.timed_out = f.output.timed_out;
     d.attempts = f.attempts;
+    d.degraded = f.output.degraded;
+    d.final_world = f.output.final_world;
     per_campaign[ci].push_back(d);
     m_completed_.inc();
 
@@ -383,6 +385,12 @@ void CampaignRegistry::save_checkpoint(const std::string& path) const {
        << ' ' << spec.timeout_seconds << ' ' << spec.max_retries << ' '
        << spec.sha_bracket << ' ' << spec.sha_eta << ' ' << spec.sha_rungs
        << '\n';
+    // Written only when enabled so checkpoints from non-elastic services
+    // stay byte-identical to earlier releases (golden-fixture compat).
+    if (spec.elastic_crash > 0.0) {
+      os << "elastic " << spec.elastic_crash << ' ' << spec.elastic_seed << ' '
+         << spec.elastic_min_replicas << '\n';
+    }
     os << "start-time " << rt.start_time << " done " << (rt.done ? 1 : 0)
        << " best " << rt.best << '\n';
     os << "queue " << rt.queue.size();
@@ -468,6 +476,15 @@ void CampaignRegistry::load_checkpoint(const std::string& path) {
       core::state::fail(what, "truncated campaign spec");
     }
     spec.kind = kind_from_token(kind, what);
+    // Optional elastic line (absent in pre-elastic checkpoints).
+    is >> std::ws;
+    if (is.peek() == 'e') {
+      core::state::expect_key(is, "elastic", what);
+      if (!(is >> spec.elastic_crash >> spec.elastic_seed >>
+            spec.elastic_min_replicas)) {
+        core::state::fail(what, "truncated elastic spec");
+      }
+    }
     const std::size_t ci = add_campaign(spec);
     CampaignRt& rt = campaigns_[ci];
     core::state::expect_key(is, "start-time", what);

@@ -56,12 +56,39 @@ TEST(MpscQueue, DrainInterleavesWithPushes) {
   EXPECT_EQ(q.drain(), (std::vector<int>{3}));
 }
 
-TEST(MpscQueue, DestructorReleasesUndrainedNodes) {
-  // Exercised for leak checkers (ASan in CI): drop a non-empty queue.
+TEST(MpscQueue, DiscardReleasesUndrainedNodes) {
+  // Shutdown path: the destructor asserts the queue is empty (lost tells are
+  // a bug, not cleanup), so an aborting owner must discard() first. Also
+  // exercised for leak checkers (ASan in CI): discard frees every node.
   bo::MpscQueue<std::string> q;
   q.push("left");
   q.push("behind");
+  EXPECT_EQ(q.discard(), 2u);
+  EXPECT_EQ(q.approx_size(), 0u);
+  EXPECT_TRUE(q.drain().empty());
 }
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AGEBO_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define AGEBO_TSAN 1
+#endif
+
+// Death tests fork, which TSan's runtime does not tolerate; the assert
+// itself only fires in !NDEBUG builds.
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG) && !defined(AGEBO_TSAN)
+TEST(MpscQueueDeathTest, DestructionWithBacklogAsserts) {
+  EXPECT_DEATH(
+      {
+        bo::MpscQueue<int> q;
+        q.push(7);
+      },
+      "undrained");
+}
+#endif
 
 // Cross-thread contract: push from many threads, drain from one. The
 // assertions prove no item is lost or duplicated and that each producer's

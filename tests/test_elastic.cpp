@@ -1,0 +1,535 @@
+// Elastic data-parallel training (DESIGN.md §16): membership / failure
+// detector / abortable barrier units, the bit-exact fresh-run-equivalence
+// contract after a reconfiguration, hang/slow fault semantics, and the
+// campaign-level gates — degraded-but-successful evaluations and exact
+// kill+resume of a degraded campaign.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/history_io.hpp"
+#include "core/search.hpp"
+#include "core/variants.hpp"
+#include "data/synthetic.hpp"
+#include "dp/data_parallel.hpp"
+#include "dp/membership.hpp"
+#include "dp/thread_team.hpp"
+#include "eval/surrogate.hpp"
+#include "exec/fault_injector.hpp"
+#include "exec/sim_executor.hpp"
+#include "nas/search_space.hpp"
+#include "obs/registry.hpp"
+#include "svc/registry.hpp"
+
+namespace {
+
+using namespace agebo;
+
+// --- MembershipView -------------------------------------------------------
+
+TEST(MembershipView, ResetRemoveSlotEpoch) {
+  dp::MembershipView view;
+  view.reset(4);
+  EXPECT_EQ(view.world(), 4u);
+  EXPECT_EQ(view.alive_count(), 4u);
+  EXPECT_EQ(view.epoch(), 0u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(view.alive(r));
+    EXPECT_EQ(view.slot(r), r);
+  }
+
+  view.remove({1});
+  EXPECT_EQ(view.epoch(), 1u);
+  EXPECT_EQ(view.alive_count(), 3u);
+  EXPECT_FALSE(view.alive(1));
+  // Dense renumbering: survivors get slots 0..alive_count-1 in rank order.
+  EXPECT_EQ(view.slot(0), 0u);
+  EXPECT_EQ(view.slot(2), 1u);
+  EXPECT_EQ(view.slot(3), 2u);
+  EXPECT_EQ(view.survivors(), (std::vector<std::size_t>{0, 2, 3}));
+
+  // Removing an already-dead rank is a no-op but still bumps the epoch.
+  view.remove({1, 3});
+  EXPECT_EQ(view.alive_count(), 2u);
+  EXPECT_EQ(view.epoch(), 2u);
+  EXPECT_EQ(view.survivors(), (std::vector<std::size_t>{0, 2}));
+}
+
+// --- ElasticBarrier -------------------------------------------------------
+
+TEST(ElasticBarrier, ReleasesWhenAllArrive) {
+  dp::ElasticBarrier barrier;
+  constexpr std::size_t kRanks = 4;
+  barrier.reset(kRanks);
+  std::atomic<int> released{0};
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&] {
+      if (barrier.arrive_and_wait([] { return false; })) ++released;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(released.load(), kRanks);
+}
+
+TEST(ElasticBarrier, AbortReleasesWaiters) {
+  dp::ElasticBarrier barrier;
+  barrier.reset(2);  // second arrival never comes
+  std::atomic<bool> abort{false};
+  std::thread trigger([&] { abort.store(true); });
+  const bool ok = barrier.arrive_and_wait([&] { return abort.load(); });
+  trigger.join();
+  EXPECT_FALSE(ok);
+}
+
+// --- FailureDetector ------------------------------------------------------
+
+TEST(FailureDetector, VirtualClockDeadlineLatches) {
+  double now = 0.0;
+  dp::MembershipView view;
+  view.reset(3);
+  dp::FailureDetector det;
+  det.configure(3, /*heartbeat_seconds=*/1.0, [&now] { return now; });
+  det.arm(view);
+
+  now = 0.5;
+  EXPECT_FALSE(det.poll(view));  // everyone within deadline
+  det.beat(1);
+  det.beat(2);
+  now = 1.2;  // rank 0 never beat after arm: 1.2 > 1.0 deadline
+  EXPECT_TRUE(det.poll(view));
+  EXPECT_TRUE(det.abort_requested());
+
+  const auto lost = det.take_suspects(view);
+  EXPECT_EQ(lost, (std::vector<std::size_t>{0}));
+  EXPECT_FALSE(det.abort_requested());  // settle clears the latch + abort
+}
+
+TEST(FailureDetector, MarkDeadRaisesAbortImmediately) {
+  dp::MembershipView view;
+  view.reset(2);
+  dp::FailureDetector det;
+  det.configure(2, 1000.0);  // deadline can never expire on its own
+  det.arm(view);
+  EXPECT_FALSE(det.abort_requested());
+  det.mark_dead(1);
+  EXPECT_TRUE(det.abort_requested());
+  EXPECT_TRUE(det.poll(view));
+  EXPECT_EQ(det.take_suspects(view), (std::vector<std::size_t>{1}));
+}
+
+TEST(FailureDetector, TakeSuspectsFiltersDeadRanks) {
+  dp::MembershipView view;
+  view.reset(3);
+  dp::FailureDetector det;
+  det.configure(3, 1000.0);
+  det.arm(view);
+  det.mark_dead(2);
+  view.remove({2});
+  // Rank 2 is already out of the view; a stale latch must not resurface.
+  EXPECT_TRUE(det.take_suspects(view).empty());
+}
+
+// --- Trainer: fault semantics and the fresh-run equivalence gate ----------
+
+data::Dataset elastic_dataset(std::size_t rows = 700) {
+  data::SyntheticSpec spec;
+  spec.n_rows = rows;
+  spec.n_features = 8;
+  spec.n_classes = 3;
+  spec.n_informative = 5;
+  spec.class_sep = 2.0;
+  spec.seed = 77;
+  return data::make_classification(spec);
+}
+
+nn::GraphSpec elastic_net_spec() {
+  nn::GraphSpec spec;
+  spec.input_dim = 8;
+  spec.output_dim = 3;
+  nn::NodeSpec n1;
+  n1.units = 10;
+  n1.act = nn::Activation::kRelu;
+  nn::NodeSpec n2;
+  n2.units = 6;
+  n2.act = nn::Activation::kTanh;
+  n2.skips = {0};
+  spec.nodes = {n1, n2};
+  return spec;
+}
+
+std::vector<std::vector<float>> snapshot_weights(dp::DataParallelTrainer& t) {
+  std::vector<std::vector<float>> out;
+  for (const auto& block : t.model().params()) out.push_back(*block.values);
+  return out;
+}
+
+/// Searches fault seeds for one whose replica-draw stream injects exactly
+/// one fault of `kind` — at a step attempt in [min_step, max_step), for one
+/// of `world` replicas — and nothing else over the whole horizon. Returns
+/// the seed; the attempt index and victim are reported through the out
+/// params.
+std::uint64_t find_single_fault_seed(exec::FaultKind kind, double prob,
+                                     std::size_t world, std::uint64_t min_step,
+                                     std::uint64_t max_step,
+                                     std::uint64_t horizon,
+                                     std::uint64_t* fault_step,
+                                     std::size_t* victim) {
+  for (std::uint64_t seed = 1; seed < 4000; ++seed) {
+    exec::FaultConfig fc;
+    if (kind == exec::FaultKind::kCrash) fc.crash_prob = prob;
+    if (kind == exec::FaultKind::kHang) fc.hang_prob = prob;
+    fc.seed = seed;
+    const exec::FaultInjector injector(fc);
+    std::size_t count = 0;
+    std::uint64_t at = 0;
+    std::size_t who = 0;
+    for (std::uint64_t t = 0; t < horizon && count < 2; ++t) {
+      for (std::size_t r = 0; r < world; ++r) {
+        if (injector.draw_replica(0, r, t) != exec::FaultKind::kNone) {
+          ++count;
+          at = t;
+          who = r;
+        }
+      }
+    }
+    if (count == 1 && at >= min_step && at < max_step) {
+      *fault_step = at;
+      *victim = who;
+      return seed;
+    }
+  }
+  ADD_FAILURE() << "no single-fault seed found";
+  return 0;
+}
+
+class ElasticEquivalence
+    : public ::testing::TestWithParam<std::tuple<dp::AllreduceStrategy, bool>> {
+};
+
+// THE acceptance gate: after a crash-induced reconfiguration the survivors
+// must continue bit-identically to a fresh (n-1)-replica run started at the
+// reconfiguration (epoch, step) from the same weights.
+TEST_P(ElasticEquivalence, PostReconfigMatchesFreshShrunkenRun) {
+  const auto [strategy, overlap] = GetParam();
+  const auto ds = elastic_dataset();
+  Rng split_rng(1);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  dp::DataParallelConfig base;
+  base.n_procs = 3;
+  base.lr1 = 0.004;
+  base.bs1 = 16;
+  base.epochs = 3;
+  base.allreduce = strategy;
+  base.overlap_comm = overlap;
+  base.seed = 5;
+  base.elastic.enabled = true;
+
+  std::uint64_t fault_step = 0;
+  std::size_t victim = 0;
+  const std::uint64_t seed = find_single_fault_seed(
+      exec::FaultKind::kCrash, 0.004, base.n_procs, /*min_step=*/2,
+      /*max_step=*/20, /*horizon=*/400, &fault_step, &victim);
+  ASSERT_NE(seed, 0u);
+
+  // Elastic run: loses `victim` at attempt fault_step, reconfigures, and
+  // finishes at world size 2.
+  dp::DataParallelConfig faulty = base;
+  faulty.elastic.faults.crash_prob = 0.004;
+  faulty.elastic.faults.seed = seed;
+  dp::DataParallelTrainer elastic(elastic_net_spec(), faulty);
+  const auto elastic_result = elastic.fit(splits.train, splits.valid);
+  ASSERT_EQ(elastic_result.elastic_events.size(), 1u);
+  const dp::ElasticEvent& ev = elastic_result.elastic_events[0];
+  EXPECT_EQ(ev.lost, std::vector<std::size_t>{victim});
+  EXPECT_EQ(ev.global_step, fault_step);
+  EXPECT_EQ(ev.old_world, 3u);
+  EXPECT_EQ(ev.new_world, 2u);
+  EXPECT_EQ(ev.membership_epoch, 1u);
+  EXPECT_EQ(elastic_result.final_world, 2u);
+  EXPECT_EQ(elastic.max_replica_divergence(), 0.0f);
+
+  // Reference A: fault-free elastic run stopped right where the aborted
+  // step would have run — its weights are the snapshot the survivors
+  // carried into the reconfiguration.
+  dp::DataParallelConfig upto = base;
+  upto.stop_after_steps = ev.global_step;
+  dp::DataParallelTrainer prefix(elastic_net_spec(), upto);
+  prefix.fit(splits.train, splits.valid);
+  const auto carried = snapshot_weights(prefix);
+
+  // Reference B: FRESH 2-replica run started at the reconfiguration cursor
+  // from the carried weights. Must finish bit-identical to the elastic run.
+  dp::DataParallelConfig fresh = base;
+  fresh.n_procs = 2;
+  fresh.elastic.enabled = false;
+  fresh.start_epoch = ev.epoch;
+  fresh.start_step = ev.step;
+  fresh.initial_weights = carried;
+  dp::DataParallelTrainer shrunken(elastic_net_spec(), fresh);
+  const auto fresh_result = shrunken.fit(splits.train, splits.valid);
+
+  const auto got = snapshot_weights(elastic);
+  const auto want = snapshot_weights(shrunken);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t b = 0; b < got.size(); ++b) {
+    ASSERT_EQ(got[b].size(), want[b].size()) << "block " << b;
+    for (std::size_t i = 0; i < got[b].size(); ++i) {
+      ASSERT_EQ(got[b][i], want[b][i]) << "block " << b << " elem " << i;
+    }
+  }
+  // Post-reconfig epoch stats line up with the fresh run's too.
+  ASSERT_EQ(elastic_result.epochs.size(), base.epochs);
+  const auto& fresh_epochs = fresh_result.epochs;
+  ASSERT_FALSE(fresh_epochs.empty());
+  EXPECT_EQ(elastic_result.epochs.back().valid_accuracy,
+            fresh_epochs.back().valid_accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesAndOverlap, ElasticEquivalence,
+    ::testing::Combine(::testing::Values(dp::AllreduceStrategy::kFlat,
+                                         dp::AllreduceStrategy::kTree,
+                                         dp::AllreduceStrategy::kRing),
+                       ::testing::Bool()));
+
+TEST(ElasticTrainer, HangVictimReclaimedByHeartbeatDeadline) {
+  const auto ds = elastic_dataset(500);
+  Rng split_rng(2);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  std::uint64_t fault_step = 0;
+  std::size_t victim = 0;
+  const std::uint64_t seed = find_single_fault_seed(
+      exec::FaultKind::kHang, 0.003, 2, /*min_step=*/1, /*max_step=*/10,
+      /*horizon=*/400, &fault_step, &victim);
+  ASSERT_NE(seed, 0u);
+
+  dp::DataParallelConfig cfg;
+  cfg.n_procs = 2;
+  cfg.lr1 = 0.004;
+  cfg.bs1 = 16;
+  cfg.epochs = 2;
+  cfg.seed = 9;
+  cfg.elastic.enabled = true;
+  cfg.elastic.heartbeat_seconds = 0.05;  // keep the real-clock wait short
+  cfg.elastic.faults.hang_prob = 0.003;
+  cfg.elastic.faults.seed = seed;
+  dp::DataParallelTrainer trainer(elastic_net_spec(), cfg);
+  const auto result = trainer.fit(splits.train, splits.valid);
+
+  ASSERT_EQ(result.elastic_events.size(), 1u);
+  EXPECT_EQ(result.elastic_events[0].lost, std::vector<std::size_t>{victim});
+  EXPECT_EQ(result.final_world, 1u);
+  // The sole survivor kept training to the end of the epoch budget.
+  EXPECT_EQ(result.epochs.size(), cfg.epochs);
+}
+
+TEST(ElasticTrainer, SlowFaultNeverChangesMembership) {
+  const auto ds = elastic_dataset(400);
+  Rng split_rng(3);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  dp::DataParallelConfig cfg;
+  cfg.n_procs = 2;
+  cfg.lr1 = 0.004;
+  cfg.bs1 = 16;
+  cfg.epochs = 2;
+  cfg.seed = 4;
+  cfg.elastic.enabled = true;
+  cfg.elastic.heartbeat_seconds = 0.05;
+
+  dp::DataParallelTrainer clean(elastic_net_spec(), cfg);
+  clean.fit(splits.train, splits.valid);
+  const auto clean_weights = snapshot_weights(clean);
+
+  cfg.elastic.faults.slow_prob = 0.05;  // frequent interference
+  cfg.elastic.faults.seed = 123;
+  dp::DataParallelTrainer slowed(elastic_net_spec(), cfg);
+  const auto result = slowed.fit(splits.train, splits.valid);
+
+  EXPECT_TRUE(result.elastic_events.empty());
+  EXPECT_EQ(result.final_world, 2u);
+  // Interference costs time, never bits.
+  const auto slow_weights = snapshot_weights(slowed);
+  ASSERT_EQ(slow_weights.size(), clean_weights.size());
+  for (std::size_t b = 0; b < slow_weights.size(); ++b) {
+    for (std::size_t i = 0; i < slow_weights[b].size(); ++i) {
+      ASSERT_EQ(slow_weights[b][i], clean_weights[b][i]);
+    }
+  }
+}
+
+TEST(ElasticTrainer, WorldBelowMinReplicasThrows) {
+  const auto ds = elastic_dataset(400);
+  Rng split_rng(5);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  std::uint64_t fault_step = 0;
+  std::size_t victim = 0;
+  const std::uint64_t seed = find_single_fault_seed(
+      exec::FaultKind::kCrash, 0.004, 2, /*min_step=*/0, /*max_step=*/10,
+      /*horizon=*/200, &fault_step, &victim);
+  ASSERT_NE(seed, 0u);
+
+  dp::DataParallelConfig cfg;
+  cfg.n_procs = 2;
+  cfg.lr1 = 0.004;
+  cfg.bs1 = 16;
+  cfg.epochs = 2;
+  cfg.seed = 6;
+  cfg.elastic.enabled = true;
+  cfg.elastic.min_replicas = 2;  // losing anyone collapses the fit
+  cfg.elastic.faults.crash_prob = 0.004;
+  cfg.elastic.faults.seed = seed;
+  dp::DataParallelTrainer trainer(elastic_net_spec(), cfg);
+  EXPECT_THROW(trainer.fit(splits.train, splits.valid), std::runtime_error);
+}
+
+TEST(ElasticTrainer, ReconfigurationMetricsAreRecorded) {
+  const auto ds = elastic_dataset(400);
+  Rng split_rng(6);
+  auto splits = data::split(ds, data::SplitFractions{}, split_rng);
+
+  const auto& reg = obs::Registry::global();
+  const auto before = reg.snapshot();
+  const auto* prior = before.find("dp.elastic.reconfigurations");
+  const double prior_reconf = prior != nullptr ? prior->value : 0.0;
+
+  std::uint64_t fault_step = 0;
+  std::size_t victim = 0;
+  const std::uint64_t seed = find_single_fault_seed(
+      exec::FaultKind::kCrash, 0.004, 3, /*min_step=*/1, /*max_step=*/5,
+      /*horizon=*/300, &fault_step, &victim);
+  ASSERT_NE(seed, 0u);
+
+  dp::DataParallelConfig cfg;
+  cfg.n_procs = 3;
+  cfg.lr1 = 0.004;
+  cfg.bs1 = 16;
+  cfg.epochs = 2;
+  cfg.seed = 8;
+  cfg.elastic.enabled = true;
+  cfg.elastic.faults.crash_prob = 0.004;
+  cfg.elastic.faults.seed = seed;
+  dp::DataParallelTrainer trainer(elastic_net_spec(), cfg);
+  trainer.fit(splits.train, splits.valid);
+
+  const auto after = reg.snapshot();
+  const auto* reconf = after.find("dp.elastic.reconfigurations");
+  ASSERT_NE(reconf, nullptr);
+  EXPECT_EQ(reconf->value, prior_reconf + 1.0);
+  const auto* world = after.find("dp.elastic.world");
+  ASSERT_NE(world, nullptr);
+  EXPECT_EQ(world->value, 2.0);
+}
+
+// --- Campaign gates: degraded evaluations + exact degraded resume ---------
+
+// Gate (b): a campaign with injected replica crashes completes with ZERO
+// failed evaluations — faults degrade the training world, they don't kill
+// jobs — and the history records the degraded final world sizes.
+TEST(ElasticCampaign, ReplicaCrashesDegradeButNeverFailEvaluations) {
+  nas::SearchSpace space;
+  eval::SurrogateEvaluator evaluator(space, eval::covertype_profile());
+  eval::ElasticSimConfig elastic;
+  elastic.enabled = true;
+  elastic.crash_prob = 0.02;
+  elastic.seed = 99;
+  evaluator.set_elastic(elastic);
+
+  exec::SimulatedExecutor executor(16, 90.0, {}, {});
+  core::SearchConfig cfg = core::config_by_name("agebo", 13, 0.001);
+  cfg.wall_time_seconds = 30.0 * 60.0;
+  core::AgeboSearch search(space, evaluator, executor, cfg);
+  const auto result = search.run();
+
+  ASSERT_FALSE(result.history.empty());
+  std::size_t degraded = 0;
+  for (const auto& rec : result.history) {
+    EXPECT_FALSE(rec.failed);
+    if (rec.degraded) {
+      ++degraded;
+      const auto n = static_cast<std::size_t>(rec.config.hparams[2]);
+      EXPECT_LT(rec.final_world, n);
+      EXPECT_GE(rec.final_world, 1u);
+    }
+  }
+  // The paper-space n goes up to 8 with per-epoch crash draws: a 30-minute
+  // campaign reliably sees degraded-but-successful evaluations.
+  EXPECT_GT(degraded, 0u);
+
+  // The degraded/final_world columns survive a history CSV round trip.
+  std::ostringstream os;
+  core::save_history(result, os);
+  std::istringstream is(os.str());
+  const auto loaded = core::load_history(is, space);
+  ASSERT_EQ(loaded.size(), result.history.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].degraded, result.history[i].degraded);
+    EXPECT_EQ(loaded[i].final_world, result.history[i].final_world);
+  }
+}
+
+// Gate (c): kill+resume of a DEGRADED campaign reproduces the
+// uninterrupted run exactly — elastic config and stateless crash draws ride
+// the checkpoint.
+TEST(ElasticCampaign, KilledDegradedCampaignResumesExactly) {
+  nas::SearchSpace space;
+  svc::SvcConfig cfg;
+  cfg.workers = 16;
+  cfg.job_overhead_seconds = 90.0;
+
+  auto add_campaign = [](svc::CampaignRegistry& r) {
+    svc::CampaignSpec spec;
+    spec.name = "degraded";
+    spec.tenant = "default";
+    spec.kind = svc::CampaignKind::kAgebo;
+    spec.dataset = "covertype";
+    spec.variant = "agebo";
+    spec.wall_time_seconds = 40.0 * 60.0;
+    spec.seed = 21;
+    spec.elastic_crash = 0.02;
+    spec.elastic_seed = 555;
+    r.add_campaign(spec);
+  };
+
+  svc::CampaignRegistry uninterrupted(cfg, space);
+  add_campaign(uninterrupted);
+  EXPECT_TRUE(uninterrupted.run());
+
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "elastic_resume.ckpt";
+  svc::SvcConfig kill_cfg = cfg;
+  kill_cfg.checkpoint_path = ckpt;
+  svc::CampaignRegistry killed(kill_cfg, space);
+  add_campaign(killed);
+  EXPECT_FALSE(killed.run(/*stop_after_seconds=*/900.0));
+
+  svc::CampaignRegistry resumed(kill_cfg, space);
+  resumed.load_checkpoint(ckpt);
+  EXPECT_TRUE(resumed.run());
+
+  const auto& a = uninterrupted.campaign(0).history();
+  const auto& b = resumed.campaign(0).history();
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].objective, b[i].objective) << "record " << i;
+    EXPECT_EQ(a[i].finish_time, b[i].finish_time) << "record " << i;
+    EXPECT_EQ(a[i].train_seconds, b[i].train_seconds) << "record " << i;
+    EXPECT_EQ(a[i].degraded, b[i].degraded) << "record " << i;
+    EXPECT_EQ(a[i].final_world, b[i].final_world) << "record " << i;
+    EXPECT_FALSE(a[i].failed);
+    if (a[i].degraded) ++degraded;
+  }
+  EXPECT_GT(degraded, 0u);
+  std::remove(ckpt.c_str());
+}
+
+}  // namespace

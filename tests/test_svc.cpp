@@ -49,6 +49,8 @@ void expect_same_history(const std::vector<core::EvalRecord>& a,
     EXPECT_EQ(a[i].train_seconds, b[i].train_seconds) << "record " << i;
     EXPECT_EQ(a[i].failed, b[i].failed) << "record " << i;
     EXPECT_EQ(a[i].attempts, b[i].attempts) << "record " << i;
+    EXPECT_EQ(a[i].degraded, b[i].degraded) << "record " << i;
+    EXPECT_EQ(a[i].final_world, b[i].final_world) << "record " << i;
     EXPECT_EQ(a[i].config.genome, b[i].config.genome) << "record " << i;
     EXPECT_EQ(a[i].config.hparams, b[i].config.hparams) << "record " << i;
   }
@@ -112,6 +114,25 @@ TEST(SvcManifest, ParsesTenantsAndCampaigns) {
   EXPECT_EQ(m.campaigns[1].sha_bracket, 16u);
   EXPECT_EQ(m.campaigns[1].sha_eta, 4u);
   EXPECT_EQ(m.campaigns[1].sha_rungs, 2u);
+}
+
+TEST(SvcManifest, ParsesElasticKeys) {
+  std::istringstream is(
+      "tenant prod\n"
+      "campaign a tenant=prod minutes=30 "
+      "elastic-crash=0.05 elastic-seed=42 elastic-min-replicas=2\n");
+  const svc::Manifest m = svc::parse_manifest(is, "inline");
+  ASSERT_EQ(m.campaigns.size(), 1u);
+  EXPECT_EQ(m.campaigns[0].elastic_crash, 0.05);
+  EXPECT_EQ(m.campaigns[0].elastic_seed, 42u);
+  EXPECT_EQ(m.campaigns[0].elastic_min_replicas, 2u);
+}
+
+TEST(SvcManifest, RejectsElasticCrashOutOfRange) {
+  std::istringstream is(
+      "tenant prod\n"
+      "campaign a tenant=prod minutes=30 elastic-crash=1.0\n");
+  EXPECT_THROW(svc::parse_manifest(is, "inline"), std::runtime_error);
 }
 
 TEST(SvcManifest, ErrorsNameTheLine) {
@@ -276,6 +297,34 @@ TEST(SvcResume, RejectsCorruptedCheckpoint) {
 
   svc::CampaignRegistry fresh(cfg, space);
   EXPECT_THROW(fresh.load_checkpoint(ckpt), std::runtime_error);
+  std::remove(ckpt.c_str());
+}
+
+// Torn-write fuzz: whatever prefix of a checkpoint survives a crash mid
+// write, load_checkpoint must reject it with a clean error — never load
+// partial state, read past the buffer, or crash (ASan covers the latter in
+// CI's svc job). Truncate at every 64-byte boundary, including byte 0.
+TEST(SvcResume, TruncatedCheckpointAlwaysFailsCleanly) {
+  nas::SearchSpace space;
+  svc::SvcConfig cfg;
+  cfg.workers = 8;
+  svc::CampaignRegistry registry(cfg, space);
+  auto spec = agebo_spec("solo", "default", 2, 20.0);
+  spec.elastic_crash = 0.02;  // exercise the optional elastic spec line too
+  spec.elastic_seed = 5;
+  registry.add_campaign(spec);
+  registry.run(/*stop_after_seconds=*/600.0);
+  const std::string ckpt = tmp_path("svc_torn_test.ckpt");
+  registry.save_checkpoint(ckpt);
+  const std::string bytes = svc::read_file(ckpt);
+  ASSERT_GT(bytes.size(), 64u);
+
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 64) {
+    svc::atomic_write_file(ckpt, bytes.substr(0, cut));
+    svc::CampaignRegistry fresh(cfg, space);
+    EXPECT_THROW(fresh.load_checkpoint(ckpt), std::runtime_error)
+        << "checkpoint truncated at byte " << cut << " loaded successfully";
+  }
   std::remove(ckpt.c_str());
 }
 

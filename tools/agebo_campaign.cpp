@@ -55,7 +55,8 @@ constexpr const char* kUsage =
     "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
     "[--trace FILE.json] [--metrics FILE.csv] [--report-every N] "
     "[--checkpoint FILE] [--checkpoint-every S] [--resume FILE] "
-    "[--stop-after S] [--bo-shards N] [--bo-gossip-every N]\n"
+    "[--stop-after S] [--bo-shards N] [--bo-gossip-every N] "
+    "[--elastic-crash P] [--elastic-seed S] [--elastic-min-replicas N]\n"
     "variants: age-1 age-2 age-4 age-8 agebo agebo-8-lr "
     "agebo-8-lr-bs rs-1 agebo-multinode agebo-dN\n";
 
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
         "warm-start", "crash", "hang", "slow", "timeout", "retries",
         "straggler", "allreduce", "bucket-kb", "trace", "metrics",
         "report-every", "checkpoint", "checkpoint-every", "resume",
-        "stop-after", "bo-shards", "bo-gossip-every"}) {
+        "stop-after", "bo-shards", "bo-gossip-every", "elastic-crash",
+        "elastic-seed", "elastic-min-replicas"}) {
     args.add_option(opt);
   }
   args.add_flag("no-overlap");
@@ -115,6 +117,14 @@ int main(int argc, char** argv) {
   cfg.wall_time_seconds = minutes * 60.0;
   cfg.eval_timeout_seconds = args.get_double("timeout", 0.0);
   cfg.eval_max_retries = args.get_size("retries", 0);
+
+  // Elastic-training simulation: replica crashes inside evaluations shrink
+  // the training world (degraded results) instead of failing the job.
+  eval::ElasticSimConfig elastic;
+  elastic.crash_prob = args.get_double("elastic-crash", 0.0);
+  elastic.enabled = elastic.crash_prob > 0.0;
+  elastic.seed = args.get_u64("elastic-seed", seed * 1481 + 7);
+  elastic.min_replicas = args.get_size("elastic-min-replicas", 1);
 
   exec::FaultConfig faults;
   faults.crash_prob = args.get_double("crash", 0.0);
@@ -181,6 +191,11 @@ int main(int argc, char** argv) {
         spec.kappa = kappa;
         spec.timeout_seconds = cfg.eval_timeout_seconds;
         spec.max_retries = cfg.eval_max_retries;
+        if (elastic.enabled) {
+          spec.elastic_crash = elastic.crash_prob;
+          spec.elastic_seed = elastic.seed;
+          spec.elastic_min_replicas = elastic.min_replicas;
+        }
         registry.add_campaign(spec);
       }
 
@@ -244,6 +259,7 @@ int main(int argc, char** argv) {
           std::max<std::size_t>(1, args.get_size("bucket-kb", 1024)) * 1024;
       evaluator.set_comm_spec(comm);
     }
+    if (elastic.enabled) evaluator.set_elastic(elastic);
     exec::SimulatedExecutor executor(workers, 90.0, policy, faults);
 
     const auto report_every = args.get_size("report-every", 0);

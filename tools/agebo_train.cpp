@@ -70,13 +70,18 @@ int main(int argc, char** argv) {
       "usage: agebo_train (--data FILE [--arff] | --synthetic ROWS) "
       "[--epochs N] [--procs N] [--bs N] [--lr F] "
       "[--allreduce flat|tree|ring] [--bucket-kb N] [--no-overlap] "
+      "[--elastic] [--crash-prob F] [--hang-prob F] [--slow-prob F] "
+      "[--fault-seed N] [--min-replicas N] [--heartbeat F] "
       "[--save F] [--load F] "
       "[--trace F.json] [--metrics F.csv] [--report-every N]\n");
-  for (const char* opt : {"data", "synthetic", "epochs", "procs", "bs", "lr",
-                          "allreduce", "bucket-kb", "save", "load", "trace",
-                          "metrics", "report-every"}) {
+  for (const char* opt :
+       {"data", "synthetic", "epochs", "procs", "bs", "lr", "allreduce",
+        "bucket-kb", "crash-prob", "hang-prob", "slow-prob", "fault-seed",
+        "min-replicas", "heartbeat", "save", "load", "trace", "metrics",
+        "report-every"}) {
     args.add_option(opt);
   }
+  args.add_flag("elastic");
   args.add_flag("arff");
   args.add_flag("no-overlap");
   if (!args.parse(argc, argv)) return 2;
@@ -148,6 +153,21 @@ int main(int argc, char** argv) {
     }
     cfg.overlap_comm = !no_overlap;
 
+    // Elastic training (DESIGN.md §16): --elastic arms the membership
+    // layer; the probability flags inject replica-scoped faults at
+    // allreduce entry (CI's seeded fault matrix drives these).
+    if (args.flag("elastic") || args.has("crash-prob") ||
+        args.has("hang-prob") || args.has("slow-prob")) {
+      cfg.elastic.enabled = true;
+      cfg.elastic.faults.crash_prob = args.get_double("crash-prob", 0.0);
+      cfg.elastic.faults.hang_prob = args.get_double("hang-prob", 0.0);
+      cfg.elastic.faults.slow_prob = args.get_double("slow-prob", 0.0);
+      cfg.elastic.faults.seed = args.get_size("fault-seed", 0);
+      cfg.elastic.min_replicas =
+          std::max<std::size_t>(1, args.get_size("min-replicas", 1));
+      cfg.elastic.heartbeat_seconds = args.get_double("heartbeat", 1.0);
+    }
+
     const auto report_every = args.get_size("report-every", 0);
     if (report_every > 0) {
       cfg.on_epoch = [report_every](std::size_t epoch,
@@ -188,6 +208,18 @@ int main(int argc, char** argv) {
                   result.allreduce_seconds,
                   static_cast<double>(result.allreduce_bytes) /
                       result.allreduce_seconds * 1e-9);
+    }
+    for (const auto& ev : result.elastic_events) {
+      std::printf("elastic: lost %zu rank(s) at global step %zu "
+                  "(epoch %zu), world %zu -> %zu\n",
+                  ev.lost.size(), ev.global_step, ev.epoch, ev.old_world,
+                  ev.new_world);
+    }
+    if (cfg.elastic.enabled) {
+      std::printf("elastic: finished at world size %zu (replica divergence "
+                  "%g)\n",
+                  result.final_world,
+                  static_cast<double>(trainer.max_replica_divergence()));
     }
     report("valid", trainer.model(), splits.valid);
     report("test", trainer.model(), splits.test);
